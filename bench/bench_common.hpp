@@ -1,0 +1,45 @@
+// Shared setup for the table/figure reproduction benches. Every bench
+// binary reproduces one artifact of the paper's evaluation section and
+// prints it in the paper's row/column structure; EXPERIMENTS.md records
+// expected vs. measured shapes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/evaluate.hpp"
+#include "harness/measure.hpp"
+#include "harness/testbed.hpp"
+#include "products/catalog.hpp"
+#include "products/scoring.hpp"
+
+namespace idseval::bench {
+
+/// The canonical evaluation environment: a distributed real-time cluster
+/// (the paper's motivating deployment), fixed seed for repeatability.
+inline harness::TestbedConfig rt_environment(std::uint64_t seed = 42) {
+  harness::TestbedConfig env;
+  env.profile = traffic::rt_cluster_profile();
+  env.internal_hosts = 8;
+  env.external_hosts = 4;
+  env.seed = seed;
+  return env;
+}
+
+/// The contrasting commercial environment.
+inline harness::TestbedConfig ecommerce_environment(std::uint64_t seed = 42) {
+  harness::TestbedConfig env;
+  env.profile = traffic::ecommerce_profile();
+  env.internal_hosts = 8;
+  env.external_hosts = 4;
+  env.seed = seed;
+  return env;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace idseval::bench

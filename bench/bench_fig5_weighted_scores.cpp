@@ -1,0 +1,67 @@
+// Figure 5 reproduction: the weighted-score computation
+//   S_j = sum_{i=1..n_j} (U_ij * W_ij)
+// demonstrated over the evaluated products, including the two properties
+// §3.1 calls out: a larger weight range separates the field more
+// distinctly, and negative weights penalize counterproductive features.
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+using namespace idseval;
+
+int main() {
+  bench::print_header("Figure 5 - Weighted score computation S_j");
+
+  // Score every product from facts only (no measurement noise): the
+  // algebra, not the lab, is under test here.
+  std::vector<core::Scorecard> cards;
+  for (const products::ProductModel& model : products::product_catalog()) {
+    cards.push_back(products::facts_scorecard(model));
+  }
+
+  // (a) Uniform weights over Table 1+2+3 selected metrics.
+  core::WeightSet uniform;
+  for (const auto id : core::table1_logistical_metrics()) uniform.set(id, 1.0);
+  for (const auto id : core::table2_architectural_metrics()) {
+    uniform.set(id, 1.0);
+  }
+  for (const auto id : core::table3_performance_metrics()) {
+    uniform.set(id, 1.0);
+  }
+  std::printf("%s\n", core::render_weighted_summary(
+                          "(a) Uniform weights (W=1 on selected metrics)",
+                          cards, uniform)
+                          .c_str());
+
+  // (b) The same weights scaled 5x: totals scale linearly, ranking is
+  // unchanged — weighting systems are meaningful up to consistent scale.
+  core::WeightSet scaled = uniform;
+  scaled.scale(5.0);
+  std::printf("%s\n", core::render_weighted_summary(
+                          "(b) Same weights x5 (ranking invariant)", cards,
+                          scaled)
+                          .c_str());
+
+  // (c) Wider, opinionated range separates the field more distinctly.
+  core::WeightSet wide = uniform;
+  wide.set(core::MetricId::kObservedFalseNegativeRatio, 8.0);
+  wide.set(core::MetricId::kTimeliness, 6.0);
+  wide.set(core::MetricId::kOperationalPerformanceImpact, 6.0);
+  wide.set(core::MetricId::kScalableLoadBalancing, 4.0);
+  std::printf("%s\n", core::render_weighted_summary(
+                          "(c) Wider weight range (clearer separation)",
+                          cards, wide)
+                          .c_str());
+
+  // (d) Negative weight: for a closed real-time enclave, *requiring*
+  // host-based input on production machines is counterproductive — it
+  // consumes monitored-host resources (§2.1). Penalize it.
+  core::WeightSet negative = uniform;
+  negative.set(core::MetricId::kHostBased, -2.0);
+  std::printf("%s\n",
+              core::render_weighted_summary(
+                  "(d) Negative weight on Host-based (feature considered "
+                  "counterproductive)",
+                  cards, negative)
+                  .c_str());
+  return 0;
+}

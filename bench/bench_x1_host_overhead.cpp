@@ -1,0 +1,71 @@
+// X1: host-based IDS resource overhead (§2.1). "Nominal event-logging
+// support for host IDSs has been shown to consume three to five percent
+// of the monitored host's resources. Logging compliant with DoD C2-level
+// security requires as much as twenty percent of the host's processing
+// power [3,10]." The bench sweeps the agent logging level at a realistic
+// per-host packet rate and reports the measured CPU fractions.
+#include "bench_common.hpp"
+#include "ids/host_agent.hpp"
+#include "util/table.hpp"
+
+using namespace idseval;
+
+namespace {
+
+products::ProductModel agent_variant(ids::LoggingLevel level) {
+  products::ProductModel model =
+      products::product(products::ProductId::kAgentSwarm);
+  model.name = "AgentSwarm/" + ids::to_string(level);
+  const auto base = model.make_config;
+  model.make_config = [base, level](double sensitivity) {
+    ids::PipelineConfig cfg = base(sensitivity);
+    cfg.agent.logging = level;
+    return cfg;
+  };
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "X1 - Host-agent logging overhead vs. the paper's 3-5% nominal / "
+      "~20% C2 figures (sect. 2.1)");
+
+  // Scale the rt-cluster profile to ~1000 packets/sec/host — the load
+  // regime the published overhead numbers describe.
+  harness::TestbedConfig env = bench::rt_environment();
+  env.rate_scale = 10.0;
+  env.warmup = netsim::SimTime::from_sec(5);
+  env.measure = netsim::SimTime::from_sec(20);
+
+  util::TextTable table(
+      {"Logging level", "Per-host pps", "Mean host IDS CPU",
+       "Worst host IDS CPU", "Paper's figure"},
+      {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kLeft});
+
+  const struct {
+    ids::LoggingLevel level;
+    const char* expectation;
+  } kLevels[] = {
+      {ids::LoggingLevel::kNone, "baseline (analysis cost only)"},
+      {ids::LoggingLevel::kNominal, "3-5% nominal event logging"},
+      {ids::LoggingLevel::kC2Audit, "~20% C2-compliant auditing"},
+  };
+
+  for (const auto& [level, expectation] : kLevels) {
+    const products::ProductModel model = agent_variant(level);
+    harness::Testbed bed(env, &model, 0.5);
+    const harness::RunResult r = bed.run_clean();
+    const double per_host_pps =
+        r.offered_pps / static_cast<double>(env.internal_hosts);
+    table.add_row({ids::to_string(level),
+                   util::fmt_double(per_host_pps, 0),
+                   util::fmt_double(100.0 * r.mean_host_ids_cpu, 1) + "%",
+                   util::fmt_double(100.0 * r.max_host_ids_cpu, 1) + "%",
+                   expectation});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// X4: load-balancing ablation (§2.2). "Load balancing allows the IDS to
+// efficiently utilize the processing power of the distributed sensors for
+// scalability. ... Individual, statically placed sensors may overload or
+// starve, and the protection of the network will be uneven." The bench
+// holds the sensor fleet fixed (4 identical signature sensors) and sweeps
+// the balancing strategy across the Scalable Load-balancing anchor points
+// (none / static placement / flow hash / dynamic least-loaded), measuring
+// zero-loss throughput, loss and imbalance under a fixed overload.
+#include "bench_common.hpp"
+#include "ids/rules.hpp"
+#include "util/table.hpp"
+
+using namespace idseval;
+
+namespace {
+
+products::ProductModel lb_variant(ids::LbStrategy strategy) {
+  products::ProductModel model;
+  model.id = products::ProductId::kSentryNid;  // unused placeholder id
+  model.name = "4-sensor/" + ids::to_string(strategy);
+  model.deploys_host_agents = false;
+  model.make_config = [strategy](double sensitivity) {
+    ids::PipelineConfig c;
+    c.product = "lb-ablation";
+    c.sensor_count = 4;
+    c.sensor.name = "ablate-sensor";
+    c.sensor.base_ops_per_packet = 3500.0;
+    c.sensor.ops_per_sec = 6e7;
+    c.sensor.queue_capacity = 2048;
+    c.sensor.recovery = ids::RecoveryPolicy::kAppRestart;
+    c.signature_engine = true;
+    c.rules = ids::standard_rule_set();
+    c.analyzer_count = 2;
+    c.monitor.name = "ablate-monitor";
+    c.use_console = false;
+    c.sensitivity = sensitivity;
+    if (strategy != ids::LbStrategy::kNone) {
+      // kNone here means "no LB subprocess at all": the pipeline falls
+      // back to static placement only when several sensors exist, so we
+      // model the no-LB anchor as a single sensor fed everything.
+      c.use_load_balancer = true;
+      c.lb.strategy = strategy;
+      c.lb.ops_per_packet = 1000.0;
+      c.lb.ops_per_sec = 4e9;
+      c.lb.in_line = false;
+    } else {
+      c.sensor_count = 1;
+      c.sensor.ops_per_sec = 6e7;  // same per-box budget, one box
+      c.analyzer_count = 1;
+    }
+    return c;
+  };
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "X4 - Load-balancing strategy ablation (4 identical sensors; 'none' "
+      "= single sensor, the no-LB anchor)");
+
+  harness::TestbedConfig env = bench::rt_environment(47);
+  // Skew the traffic: most flows target two busy servers, which is what
+  // separates placement-based balancing from dynamic balancing.
+  env.internal_hosts = 8;
+  env.profile.dest_zipf_s = 1.2;  // a few busy servers dominate
+
+  util::TextTable table(
+      {"Strategy", "Zero-loss pps", "Loss @ 56x load", "Imbalance "
+       "(peak/mean)", "Anchor"},
+      {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kLeft});
+
+  const struct {
+    ids::LbStrategy strategy;
+    const char* anchor;
+  } kStrategies[] = {
+      {ids::LbStrategy::kNone, "low (0): no load balancing"},
+      {ids::LbStrategy::kStaticByHost, "average (2): static placement"},
+      {ids::LbStrategy::kFlowHash, "good (3): uniform flow hash"},
+      {ids::LbStrategy::kLeastLoaded, "high (4): intelligent, dynamic"},
+  };
+
+  for (const auto& [strategy, anchor] : kStrategies) {
+    const products::ProductModel model = lb_variant(strategy);
+    const double zero_loss =
+        harness::measure_zero_loss_pps(env, model, 0.5, 64.0, 1e-4, 5);
+
+    // Fixed overload probe for loss + imbalance.
+    harness::TestbedConfig probe = env;
+    probe.rate_scale = 56.0;
+    probe.warmup = netsim::SimTime::from_sec(4);
+    probe.measure = netsim::SimTime::from_sec(8);
+    harness::Testbed bed(probe, &model, 0.5);
+    const harness::RunResult r = bed.run_clean();
+    double imbalance = 1.0;
+    if (bed.pipeline()->load_balancer() != nullptr) {
+      imbalance = bed.pipeline()->load_balancer()->stats().imbalance();
+    }
+    table.add_row({ids::to_string(strategy),
+                   util::fmt_double(zero_loss, 0),
+                   util::fmt_double(100.0 * r.ids_loss_ratio, 2) + "%",
+                   util::fmt_double(imbalance, 2), anchor});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Expected shape: zero-loss throughput grows monotonically down the\n"
+      "table; static placement beats a single sensor but leaves hot\n"
+      "sensors overloaded (imbalance > 1) while others starve; flow hash\n"
+      "evens packet counts; least-loaded tracks instantaneous queue depth\n"
+      "and sustains the highest zero-loss rate.\n");
+  return 0;
+}

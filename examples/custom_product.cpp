@@ -1,0 +1,130 @@
+// Using idseval as a framework: define a NEW IDS product from parts —
+// pipeline architecture, engines, rule set, reaction policy, fact sheet —
+// and evaluate it against the same metric standard as the built-in
+// catalog. This is the extension point a vendor (or a research group)
+// would use to see how a design choice moves the scorecard.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "harness/evaluate.hpp"
+#include "ids/rules.hpp"
+#include "products/catalog.hpp"
+#include "products/scoring.hpp"
+
+using namespace idseval;
+
+namespace {
+
+// "CerberusHybrid": a hypothetical best-of-both product — flow-hash load
+// balancing across hybrid (signature + anomaly) sensors, app-restart
+// recovery, aggressive automated response.
+products::ProductModel cerberus_hybrid() {
+  products::ProductModel model;
+  model.id = products::ProductId::kSentryNid;  // id unused for customs
+  model.name = "CerberusHybrid";
+  model.description =
+      "Custom: LB'd hybrid signature+anomaly sensors, full response";
+  model.deploys_host_agents = false;
+
+  // Fact sheet for the open-source metrics.
+  products::ProductFacts f;
+  f.product = model.name;
+  f.remote_management = products::RemoteManagement::kFullSecure;
+  f.install_steps = 9;
+  f.central_policy_editor = true;
+  f.policy_hot_reload = true;
+  f.policy_rollback = true;
+  f.license = products::LicenseModel::kPerpetualSite;
+  f.dedicated_boxes_required = 3;
+  f.documentation_score = 3;
+  f.support_score = 3;
+  f.lifetime_score = 2;
+  f.training_score = 2;
+  f.cost_score = 2;
+  f.sensitivity = products::SensitivityControl::kContinuous;
+  f.data_pool = products::DataPoolControl::kFilterLanguage;
+  f.max_sensors = 16;
+  f.lb_strategy = ids::LbStrategy::kFlowHash;
+  f.signature_detection = true;
+  f.anomaly_detection = true;
+  f.autonomous_learning = true;
+  f.firewall_block = true;
+  f.snmp_traps = true;
+  f.recovery = ids::RecoveryPolicy::kAppRestart;
+  model.facts = f;
+
+  model.make_config = [](double sensitivity) {
+    ids::PipelineConfig c;
+    c.product = "CerberusHybrid";
+    c.use_load_balancer = true;
+    c.lb.strategy = ids::LbStrategy::kFlowHash;
+    c.lb.ops_per_packet = 1000.0;
+    c.lb.ops_per_sec = 3e9;
+    c.lb.in_line = false;  // passive tap: no induced latency
+    c.sensor_count = 3;
+    c.sensor.name = "cerberus-sensor";
+    c.sensor.base_ops_per_packet = 4000.0;
+    c.sensor.ops_per_sec = 4e8;
+    c.sensor.queue_capacity = 4096;
+    c.sensor.recovery = ids::RecoveryPolicy::kAppRestart;
+    c.signature_engine = true;
+    c.anomaly_engine = true;  // hybrid (§2.1)
+    c.rules = ids::standard_rule_set();
+    c.analyzer_count = 2;
+    c.analyzer.name = "cerberus-analyzer";
+    c.monitor.name = "cerberus-monitor";
+    c.use_console = true;
+    c.console.name = "cerberus-console";
+    c.console.can_block_firewall = true;
+    c.console.can_snmp = true;
+    c.console.policy = ids::default_policy();
+    c.sensitivity = sensitivity;
+    return c;
+  };
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  harness::TestbedConfig env;
+  env.profile = traffic::rt_cluster_profile();
+  env.seed = 31337;
+
+  harness::EvaluationOptions options;
+  options.sensitivity = 0.6;
+  options.include_load_metrics = false;
+
+  // Evaluate the custom product alongside two catalog incumbents.
+  std::vector<core::Scorecard> cards;
+  const products::ProductModel custom = cerberus_hybrid();
+  cards.push_back(harness::evaluate_product(env, custom, options).card);
+  for (const auto id : {products::ProductId::kSentryNid,
+                        products::ProductId::kFlowHunt}) {
+    cards.push_back(
+        harness::evaluate_product(env, products::product(id), options)
+            .card);
+  }
+
+  std::printf("%s\n",
+              core::render_metric_table(
+                  "Custom product vs incumbents (performance metrics)",
+                  core::table3_performance_metrics(), cards, true)
+                  .c_str());
+
+  const core::WeightSet weights =
+      core::realtime_distributed_requirements().derive_weights();
+  std::printf("%s\n", core::render_weighted_summary(
+                          "Ranking under the real-time profile", cards,
+                          weights)
+                          .c_str());
+
+  // A hybrid detector should clear both detection-surface hurdles:
+  const auto& card = cards.front();
+  std::printf("CerberusHybrid FN score: %d, FP score: %d\n",
+              card.at(core::MetricId::kObservedFalseNegativeRatio)
+                  .score.value(),
+              card.at(core::MetricId::kObservedFalsePositiveRatio)
+                  .score.value());
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Splits bench_output.txt (the `for b in build/bench/*` sweep) into one
+file per bench binary under results/, so EXPERIMENTS.md can reference a
+stable per-experiment artifact."""
+import os
+import re
+import sys
+
+root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+src = os.path.join(root, "bench_output.txt")
+out_dir = os.path.join(root, "results")
+
+current = None
+handle = None
+with open(src) as f:
+    for line in f:
+        m = re.match(r"^===== (bench_\w+) =====$", line.strip())
+        if m:
+            if handle:
+                handle.close()
+            current = m.group(1)
+            handle = open(os.path.join(out_dir, current + ".txt"), "w")
+            continue
+        if handle and not line.startswith("rc="):
+            handle.write(line)
+if handle:
+    handle.close()
+print("split complete")

@@ -1,0 +1,351 @@
+#include "attack/emitter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "attack/patterns.hpp"
+#include "traffic/payload.hpp"
+#include "util/strfmt.hpp"
+
+namespace idseval::attack {
+
+using netsim::FiveTuple;
+using netsim::Ipv4;
+using netsim::Packet;
+using netsim::Protocol;
+using netsim::SimTime;
+using netsim::TcpFlags;
+using util::cat;
+namespace ports = netsim::ports;
+
+AttackEmitter::AttackEmitter(netsim::Simulator& sim, netsim::Network& net,
+                             traffic::TransactionLedger& ledger,
+                             std::uint64_t seed)
+    : sim_(sim), net_(net), ledger_(ledger), rng_(seed) {}
+
+std::uint64_t AttackEmitter::launch(AttackKind kind, Ipv4 attacker,
+                                    Ipv4 victim, SimTime when) {
+  ++stats_.attacks_launched;
+  switch (kind) {
+    case AttackKind::kPortScan:
+      return emit_port_scan(attacker, victim, when);
+    case AttackKind::kSynFlood:
+      return emit_syn_flood(attacker, victim, when);
+    case AttackKind::kBruteForceLogin:
+      return emit_brute_force(attacker, victim, when);
+    case AttackKind::kWebExploit:
+      return emit_web_exploit(attacker, victim, when);
+    case AttackKind::kSmtpWorm:
+      return emit_smtp_worm(attacker, victim, when);
+    case AttackKind::kNovelExploit:
+      return emit_novel_exploit(attacker, victim, when);
+    case AttackKind::kDnsTunnel:
+      return emit_dns_tunnel(attacker, victim, when);
+    case AttackKind::kInsiderMasquerade:
+      return emit_insider(attacker, victim, when);
+    case AttackKind::kEvasiveExploit:
+      return emit_evasive_exploit(attacker, victim, when);
+    case AttackKind::kCount:
+      break;
+  }
+  throw std::invalid_argument("AttackEmitter: bad kind");
+}
+
+std::uint64_t AttackEmitter::open_transaction(AttackKind kind,
+                                              const FiveTuple& tuple,
+                                              SimTime when) {
+  const std::uint64_t flow_id = sim_.next_flow_id();
+  ledger_.begin(flow_id, tuple, when, /*is_attack=*/true,
+                static_cast<int>(kind));
+  return flow_id;
+}
+
+void AttackEmitter::send_at(SimTime when, std::uint64_t flow_id,
+                            FiveTuple tuple, std::string payload,
+                            TcpFlags flags, std::uint32_t seq) {
+  sim_.schedule_at(when, [this, flow_id, tuple, payload = std::move(payload),
+                          flags, seq] {
+    Packet p = netsim::make_packet(sim_.next_packet_id(), flow_id,
+                                   sim_.now(), tuple, payload, flags);
+    p.seq = seq;
+    net_.send(p);
+    ++stats_.packets_emitted;
+    ledger_.touch(flow_id, sim_.now(), p.wire_bytes());
+  });
+}
+
+std::uint64_t AttackEmitter::emit_port_scan(Ipv4 a, Ipv4 v, SimTime t) {
+  // SYN probes walking a port range fast — classic fanout anomaly, and a
+  // behaviour 2002-era signature engines shipped threshold rules for.
+  FiveTuple base;
+  base.src_ip = a;
+  base.dst_ip = v;
+  base.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  base.proto = Protocol::kTcp;
+  const std::uint64_t flow = open_transaction(AttackKind::kPortScan, base, t);
+
+  const int port_count = static_cast<int>(rng_.uniform_u64(60, 160));
+  const auto start_port =
+      static_cast<std::uint16_t>(rng_.uniform_u64(1, 1000));
+  SimTime when = t;
+  for (int i = 0; i < port_count; ++i) {
+    FiveTuple tuple = base;
+    tuple.dst_port = static_cast<std::uint16_t>(start_port + i);
+    TcpFlags syn;
+    syn.syn = true;
+    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(i));
+    when += SimTime::from_ms(rng_.uniform(0.2, 1.5));
+  }
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_syn_flood(Ipv4 a, Ipv4 v, SimTime t) {
+  FiveTuple base;
+  base.src_ip = a;
+  base.dst_ip = v;
+  base.dst_port = ports::kHttp;
+  base.proto = Protocol::kTcp;
+  const std::uint64_t flow = open_transaction(AttackKind::kSynFlood, base, t);
+
+  const int bursts = static_cast<int>(rng_.uniform_u64(400, 900));
+  SimTime when = t;
+  for (int i = 0; i < bursts; ++i) {
+    FiveTuple tuple = base;
+    // Spoofed ephemeral source ports, never completing the handshake.
+    tuple.src_port =
+        static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+    TcpFlags syn;
+    syn.syn = true;
+    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(i));
+    when += SimTime::from_us(rng_.uniform(50.0, 400.0));
+  }
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_brute_force(Ipv4 a, Ipv4 v, SimTime t) {
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kTelnet;
+  tuple.proto = Protocol::kTcp;
+  const std::uint64_t flow =
+      open_transaction(AttackKind::kBruteForceLogin, tuple, t);
+
+  const int attempts = static_cast<int>(rng_.uniform_u64(30, 90));
+  SimTime when = t;
+  TcpFlags syn;
+  syn.syn = true;
+  send_at(when, flow, tuple, "", syn, 0);
+  for (int i = 0; i < attempts; ++i) {
+    when += SimTime::from_ms(rng_.uniform(40.0, 160.0));
+    TcpFlags ack;
+    ack.ack = true;
+    // Each attempt carries the canonical failure banner the server echoes.
+    send_at(when, flow, tuple,
+            cat(patterns::kRootLogin, "\r\nPassword: ",
+                traffic::random_printable(8, rng_), "\r\n",
+                patterns::kLoginFailed, "\r\n"),
+            ack, static_cast<std::uint32_t>(i + 1));
+  }
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_web_exploit(Ipv4 a, Ipv4 v, SimTime t) {
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kHttp;
+  tuple.proto = Protocol::kTcp;
+  const std::uint64_t flow =
+      open_transaction(AttackKind::kWebExploit, tuple, t);
+
+  const bool traversal = rng_.chance(0.5);
+  const std::string exploit_path =
+      traversal ? std::string(patterns::kDirTraversal)
+                : std::string(patterns::kCmdExe);
+  std::string payload =
+      cat("GET ", exploit_path, " HTTP/1.0\r\nHost: ",
+          traffic::random_hostname(rng_), "\r\nUser-Agent: Mozilla/4.0\r\n");
+  if (rng_.chance(0.5)) {
+    payload += cat("X-Data: ", patterns::kNopSled, patterns::kShellInvoke,
+                   " exec\r\n");
+  }
+  payload += "\r\n";
+
+  TcpFlags syn;
+  syn.syn = true;
+  send_at(t, flow, tuple, "", syn, 0);
+  TcpFlags ack;
+  ack.ack = true;
+  send_at(t + SimTime::from_ms(2), flow, tuple, std::move(payload), ack, 1);
+  TcpFlags fin;
+  fin.fin = true;
+  fin.ack = true;
+  send_at(t + SimTime::from_ms(6), flow, tuple, "", fin, 2);
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_smtp_worm(Ipv4 a, Ipv4 v, SimTime t) {
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kSmtp;
+  tuple.proto = Protocol::kTcp;
+  const std::uint64_t flow = open_transaction(AttackKind::kSmtpWorm, tuple, t);
+
+  std::string payload = cat(
+      "HELO ", traffic::random_hostname(rng_), "\r\nMAIL FROM:<",
+      traffic::random_username(rng_), "@infected.example>\r\nRCPT TO:<",
+      traffic::random_username(rng_), "@victim.example>\r\nDATA\r\n",
+      patterns::kWormSubject, "\r\nContent-Disposition: attachment; ",
+      patterns::kWormAttachment, "\r\n\r\n",
+      traffic::random_printable(800, rng_), "\r\n.\r\n");
+
+  TcpFlags syn;
+  syn.syn = true;
+  send_at(t, flow, tuple, "", syn, 0);
+  TcpFlags ack;
+  ack.ack = true;
+  send_at(t + SimTime::from_ms(3), flow, tuple, std::move(payload), ack, 1);
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_novel_exploit(Ipv4 a, Ipv4 v, SimTime t) {
+  // A fresh exploit against the cluster-RPC service: shaped nothing like
+  // the published patterns (signature engines miss it) but wildly unlike
+  // normal RTBUS payloads (anomaly engines can catch it).
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kClusterRpc;
+  tuple.proto = Protocol::kTcp;
+  const std::uint64_t flow =
+      open_transaction(AttackKind::kNovelExploit, tuple, t);
+
+  std::string payload =
+      cat(patterns::kNovelMarker, " ",
+          traffic::random_printable(1100, rng_));
+  TcpFlags syn;
+  syn.syn = true;
+  send_at(t, flow, tuple, "", syn, 0);
+  TcpFlags ack;
+  ack.ack = true;
+  send_at(t + SimTime::from_ms(1), flow, tuple, std::move(payload), ack, 1);
+  send_at(t + SimTime::from_ms(2), flow, tuple,
+          traffic::random_printable(1200, rng_), ack, 2);
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_dns_tunnel(Ipv4 a, Ipv4 v, SimTime t) {
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kDns;
+  tuple.proto = Protocol::kUdp;
+  const std::uint64_t flow = open_transaction(AttackKind::kDnsTunnel, tuple, t);
+
+  const int queries = static_cast<int>(rng_.uniform_u64(25, 60));
+  SimTime when = t;
+  for (int i = 0; i < queries; ++i) {
+    // Exfiltrated data chunked into absurdly long hex labels — textbook
+    // tunneling over a protocol firewalls wave through (§2).
+    std::string hexdata;
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (int j = 0; j < 48; ++j) hexdata += kHex[rng_.index(16)];
+    send_at(when, flow, tuple,
+            cat("QUERY TXT ", hexdata, ".", hexdata.substr(0, 24),
+                ".exfil.example ID=", rng_.uniform_u64(0, 65535)),
+            TcpFlags{}, static_cast<std::uint32_t>(i));
+    when += SimTime::from_ms(rng_.uniform(20.0, 120.0));
+  }
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_insider(Ipv4 a, Ipv4 v, SimTime t) {
+  // A trusted internal host sweeping peers' admin services with valid-
+  // looking (low-volume, well-formed) requests. No signature, low rate;
+  // only fanout/novel-peer behaviour gives it away.
+  FiveTuple base;
+  base.src_ip = a;
+  base.dst_ip = v;
+  base.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  base.proto = Protocol::kTcp;
+  const std::uint64_t flow =
+      open_transaction(AttackKind::kInsiderMasquerade, base, t);
+
+  static constexpr std::uint16_t kAdminPorts[] = {
+      ports::kTelnet, ports::kSsh, ports::kFtp, ports::kSnmp, ports::kPop3};
+  SimTime when = t;
+  int seq = 0;
+  for (std::uint16_t port : kAdminPorts) {
+    FiveTuple tuple = base;
+    tuple.dst_port = port;
+    TcpFlags syn;
+    syn.syn = true;
+    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(seq++));
+    when += SimTime::from_ms(rng_.uniform(100.0, 400.0));
+    TcpFlags ack;
+    ack.ack = true;
+    send_at(when, flow, tuple,
+            cat("login: ", traffic::random_username(rng_), "\r\n$ cat /etc/",
+                rng_.chance(0.5) ? "shadow" : "hosts.equiv", "\r\n"),
+            ack, static_cast<std::uint32_t>(seq++));
+    when += SimTime::from_ms(rng_.uniform(200.0, 800.0));
+  }
+  return flow;
+}
+
+std::uint64_t AttackEmitter::emit_evasive_exploit(Ipv4 a, Ipv4 v,
+                                                  SimTime t) {
+  // The same published exploit content as kWebExploit, but deliberately
+  // fragmented so every signature pattern straddles a packet boundary
+  // (classic Ptacek-Newsham stream-level evasion). A per-packet matcher
+  // sees only halves of each pattern; only a sensor that reassembles the
+  // flow's byte stream sees the exploit.
+  FiveTuple tuple;
+  tuple.src_ip = a;
+  tuple.dst_ip = v;
+  tuple.src_port = static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = ports::kHttp;
+  tuple.proto = Protocol::kTcp;
+  const std::uint64_t flow =
+      open_transaction(AttackKind::kEvasiveExploit, tuple, t);
+
+  const std::string request =
+      cat("GET ", patterns::kDirTraversal, " HTTP/1.0\r\nHost: ",
+          traffic::random_hostname(rng_), "\r\nX-Data: ",
+          patterns::kNopSled, patterns::kShellInvoke, " exec\r\n\r\n");
+
+  TcpFlags syn;
+  syn.syn = true;
+  send_at(t, flow, tuple, "", syn, 0);
+  TcpFlags ack;
+  ack.ack = true;
+  // Split so each fragment ends mid-pattern: cut inside "/../../etc/..."
+  // and inside the NOP sled. Fragment boundaries are chosen relative to
+  // the known pattern offsets, exactly as an evasion tool would.
+  const std::size_t cut1 = request.find(patterns::kDirTraversal) + 6;
+  const std::size_t cut2 = request.find(patterns::kNopSled) + 2;
+  const std::size_t cut3 = request.find(patterns::kShellInvoke) + 4;
+  std::uint32_t seq = 1;
+  SimTime when = t + SimTime::from_ms(1);
+  std::size_t prev = 0;
+  for (const std::size_t cut : {cut1, cut2, cut3, request.size()}) {
+    send_at(when, flow, tuple, request.substr(prev, cut - prev), ack,
+            seq++);
+    prev = cut;
+    when += SimTime::from_ms(rng_.uniform(1.0, 4.0));
+  }
+  TcpFlags fin;
+  fin.fin = true;
+  fin.ack = true;
+  send_at(when, flow, tuple, "", fin, seq);
+  return flow;
+}
+
+}  // namespace idseval::attack

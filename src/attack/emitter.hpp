@@ -1,0 +1,72 @@
+// Attack traffic emitters: generate the packet-level realization of each
+// AttackKind, inject it through the Network, and record labeled
+// transactions in the ledger (the canned-data-with-known-content approach
+// §4 recommends for observing false negatives).
+#pragma once
+
+#include <cstdint>
+
+#include "attack/kind.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+#include "traffic/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace idseval::attack {
+
+struct EmitStats {
+  std::uint64_t attacks_launched = 0;
+  std::uint64_t packets_emitted = 0;
+};
+
+class AttackEmitter {
+ public:
+  AttackEmitter(netsim::Simulator& sim, netsim::Network& net,
+                traffic::TransactionLedger& ledger, std::uint64_t seed);
+
+  /// Schedules one attack instance starting at `when` from `attacker`
+  /// against `victim`. Returns the flow id of the attack's primary
+  /// transaction (scans/floods create one logical transaction even though
+  /// they touch many ports).
+  std::uint64_t launch(AttackKind kind, netsim::Ipv4 attacker,
+                       netsim::Ipv4 victim, netsim::SimTime when);
+
+  const EmitStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint64_t emit_port_scan(netsim::Ipv4 a, netsim::Ipv4 v,
+                               netsim::SimTime t);
+  std::uint64_t emit_syn_flood(netsim::Ipv4 a, netsim::Ipv4 v,
+                               netsim::SimTime t);
+  std::uint64_t emit_brute_force(netsim::Ipv4 a, netsim::Ipv4 v,
+                                 netsim::SimTime t);
+  std::uint64_t emit_web_exploit(netsim::Ipv4 a, netsim::Ipv4 v,
+                                 netsim::SimTime t);
+  std::uint64_t emit_smtp_worm(netsim::Ipv4 a, netsim::Ipv4 v,
+                               netsim::SimTime t);
+  std::uint64_t emit_novel_exploit(netsim::Ipv4 a, netsim::Ipv4 v,
+                                   netsim::SimTime t);
+  std::uint64_t emit_dns_tunnel(netsim::Ipv4 a, netsim::Ipv4 v,
+                                netsim::SimTime t);
+  std::uint64_t emit_insider(netsim::Ipv4 a, netsim::Ipv4 v,
+                             netsim::SimTime t);
+  std::uint64_t emit_evasive_exploit(netsim::Ipv4 a, netsim::Ipv4 v,
+                                     netsim::SimTime t);
+
+  /// Opens a labeled transaction and returns its flow id.
+  std::uint64_t open_transaction(AttackKind kind,
+                                 const netsim::FiveTuple& tuple,
+                                 netsim::SimTime when);
+  /// Schedules a single packet emission at `when`.
+  void send_at(netsim::SimTime when, std::uint64_t flow_id,
+               netsim::FiveTuple tuple, std::string payload,
+               netsim::TcpFlags flags, std::uint32_t seq);
+
+  netsim::Simulator& sim_;
+  netsim::Network& net_;
+  traffic::TransactionLedger& ledger_;
+  util::Rng rng_;
+  EmitStats stats_;
+};
+
+}  // namespace idseval::attack

@@ -1,0 +1,40 @@
+#include "attack/kind.hpp"
+
+#include <stdexcept>
+
+namespace idseval::attack {
+
+namespace {
+constexpr std::array<AttackTraits, kAttackKindCount> kTraits = {{
+    // kind, name, known_sig, rate_anom, payload_anom, insider, severity
+    {AttackKind::kPortScan, "port-scan", true, true, false, false, 2},
+    {AttackKind::kSynFlood, "syn-flood", true, true, false, false, 3},
+    {AttackKind::kBruteForceLogin, "brute-force-login", true, true, false,
+     false, 3},
+    {AttackKind::kWebExploit, "web-exploit", true, false, true, false, 4},
+    {AttackKind::kSmtpWorm, "smtp-worm", true, false, true, false, 4},
+    {AttackKind::kNovelExploit, "novel-exploit", false, false, true, false,
+     5},
+    {AttackKind::kDnsTunnel, "dns-tunnel", false, false, true, false, 3},
+    {AttackKind::kInsiderMasquerade, "insider-masquerade", false, true,
+     false, true, 5},
+    {AttackKind::kEvasiveExploit, "evasive-exploit", true, false, true,
+     false, 4},
+}};
+}  // namespace
+
+const AttackTraits& traits(AttackKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx >= kAttackKindCount) {
+    throw std::invalid_argument("traits: bad AttackKind");
+  }
+  return kTraits[idx];
+}
+
+const std::array<AttackTraits, kAttackKindCount>& all_attack_traits() {
+  return kTraits;
+}
+
+std::string to_string(AttackKind kind) { return traits(kind).name; }
+
+}  // namespace idseval::attack

@@ -1,0 +1,55 @@
+// Attack catalog. Each kind is chosen to exercise a different detection
+// surface from §2.1: known-signature payload attacks (what signature
+// engines catch), rate/behaviour anomalies (what anomaly engines catch),
+// novel payload attacks (signature engines miss by construction), and
+// insider trust exploits (the distributed-system threat §3.3 highlights —
+// "when one host is compromised, other systems that trust it may be very
+// easily compromised in ways that may look like normal interactions").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace idseval::attack {
+
+enum class AttackKind : std::uint8_t {
+  kPortScan = 0,        ///< SYN sweep across many ports.
+  kSynFlood,            ///< Half-open connection flood (DoS).
+  kBruteForceLogin,     ///< Repeated failed telnet logins.
+  kWebExploit,          ///< Known HTTP exploit (traversal / cmd.exe).
+  kSmtpWorm,            ///< Known mail worm payload.
+  kNovelExploit,        ///< Zero-day-like payload: no published signature.
+  kDnsTunnel,           ///< Exfiltration over "benign" DNS (§2 tunneling).
+  kInsiderMasquerade,   ///< Compromised internal host probing peers.
+  kEvasiveExploit,      ///< Known exploit split across packet boundaries
+                        ///< (Ptacek-Newsham stream evasion): defeats
+                        ///< per-packet matchers, caught by reassembly.
+  kCount                ///< Sentinel.
+};
+
+inline constexpr std::size_t kAttackKindCount =
+    static_cast<std::size_t>(AttackKind::kCount);
+
+/// Static properties of an attack class, used by scenario builders and by
+/// the harness when interpreting results (never by IDS detection logic).
+struct AttackTraits {
+  AttackKind kind;
+  const char* name;
+  /// A published signature exists (a signature DB can contain it).
+  bool known_signature;
+  /// Manifests as a traffic-rate / fanout anomaly.
+  bool rate_anomalous;
+  /// Manifests as anomalous payload content for its port.
+  bool payload_anomalous;
+  /// Originates from inside the protected enclave.
+  bool insider;
+  /// Severity 1 (nuisance) .. 5 (critical), for analyzer policy.
+  int severity;
+};
+
+const AttackTraits& traits(AttackKind kind);
+const std::array<AttackTraits, kAttackKindCount>& all_attack_traits();
+std::string to_string(AttackKind kind);
+
+}  // namespace idseval::attack

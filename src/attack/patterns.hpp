@@ -1,0 +1,42 @@
+// Canonical byte patterns of the *known* attacks. A real signature IDS
+// ships a database distilled from published exploits; this header is that
+// published knowledge. Product rule sets reference these constants —
+// crucially, there is NO pattern here for kNovelExploit or kDnsTunnel:
+// those are post-signature-release attacks, which is exactly why a
+// signature-only IDS scores a non-zero observed false-negative ratio.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace idseval::attack::patterns {
+
+// --- kWebExploit ----------------------------------------------------------
+inline constexpr std::string_view kDirTraversal = "/../../etc/passwd";
+inline constexpr std::string_view kCmdExe = "/scripts/..%c0%af../cmd.exe";
+inline constexpr std::string_view kNopSled = "\x90\x90\x90\x90\x90\x90";
+inline constexpr std::string_view kShellInvoke = "/bin/sh -c";
+
+// --- kSmtpWorm -------------------------------------------------------------
+inline constexpr std::string_view kWormSubject =
+    "Subject: Important message for you";
+inline constexpr std::string_view kWormAttachment =
+    "filename=\"update.vbs\"";
+
+// --- kBruteForceLogin -------------------------------------------------------
+inline constexpr std::string_view kLoginFailed = "Login incorrect";
+inline constexpr std::string_view kRootLogin = "login: root";
+
+// --- kNovelExploit (documentation only: NOT in any shipped rule set) --------
+// The emitter embeds this marker so tests can confirm signature engines
+// genuinely miss it rather than coincidentally matching something else.
+inline constexpr std::string_view kNovelMarker = "QZXV-OPAQUE-FRAME";
+
+/// Patterns a year-2002-era signature database would ship. This is the
+/// list product rule sets are built from.
+inline constexpr std::array<std::string_view, 7> kPublished = {
+    kDirTraversal, kCmdExe,      kNopSled,  kShellInvoke,
+    kWormSubject,  kWormAttachment, kLoginFailed,
+};
+
+}  // namespace idseval::attack::patterns

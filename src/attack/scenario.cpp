@@ -1,0 +1,84 @@
+#include "attack/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idseval::attack {
+
+using netsim::SimTime;
+
+std::map<AttackKind, std::size_t> Scenario::histogram() const {
+  std::map<AttackKind, std::size_t> counts;
+  for (const auto& step : steps_) ++counts[step.kind];
+  return counts;
+}
+
+std::vector<std::uint64_t> Scenario::run(
+    AttackEmitter& emitter,
+    const std::vector<netsim::Ipv4>& external_attackers,
+    const std::vector<netsim::Ipv4>& internal_hosts) const {
+  if (internal_hosts.empty()) {
+    throw std::invalid_argument("Scenario::run: no internal hosts");
+  }
+  std::vector<std::uint64_t> flows;
+  flows.reserve(steps_.size());
+  for (const auto& step : steps_) {
+    const bool insider = traits(step.kind).insider;
+    const auto& attacker_pool =
+        insider ? internal_hosts : external_attackers;
+    if (attacker_pool.empty()) {
+      throw std::invalid_argument("Scenario::run: empty attacker pool");
+    }
+    const netsim::Ipv4 attacker =
+        attacker_pool[step.attacker_index % attacker_pool.size()];
+    netsim::Ipv4 victim =
+        internal_hosts[step.victim_index % internal_hosts.size()];
+    if (insider && victim == attacker) {
+      victim = internal_hosts[(step.victim_index + 1) % internal_hosts.size()];
+    }
+    flows.push_back(emitter.launch(step.kind, attacker, victim, step.when));
+  }
+  return flows;
+}
+
+Scenario Scenario::mixed(std::size_t per_kind, SimTime window_start,
+                         SimTime window_end, std::uint64_t seed,
+                         std::size_t attacker_pool,
+                         std::size_t victim_pool) {
+  std::vector<AttackKind> kinds;
+  for (const auto& t : all_attack_traits()) kinds.push_back(t.kind);
+  return of_kinds(kinds, per_kind, window_start, window_end, seed,
+                  attacker_pool, victim_pool);
+}
+
+Scenario Scenario::of_kinds(const std::vector<AttackKind>& kinds,
+                            std::size_t per_kind, SimTime window_start,
+                            SimTime window_end, std::uint64_t seed,
+                            std::size_t attacker_pool,
+                            std::size_t victim_pool) {
+  if (window_end < window_start) {
+    throw std::invalid_argument("Scenario: window_end < window_start");
+  }
+  util::Rng rng(seed);
+  Scenario scenario;
+  const double span = (window_end - window_start).sec();
+  for (const AttackKind kind : kinds) {
+    for (std::size_t i = 0; i < per_kind; ++i) {
+      ScenarioStep step;
+      step.when = window_start + SimTime::from_sec(rng.uniform(0.0, span));
+      step.kind = kind;
+      step.attacker_index = rng.index(std::max<std::size_t>(1, attacker_pool));
+      step.victim_index = rng.index(std::max<std::size_t>(1, victim_pool));
+      scenario.add_step(step);
+    }
+  }
+  // Launch order by time keeps logs readable; emitters don't require it.
+  auto& steps = scenario.steps_;
+  std::sort(steps.begin(), steps.end(),
+            [](const ScenarioStep& a, const ScenarioStep& b) {
+              return a.when < b.when;
+            });
+  return scenario;
+}
+
+}  // namespace idseval::attack

@@ -1,0 +1,68 @@
+// Attack scenarios: declarative, timed scripts of attack launches mixed
+// into background traffic. A scenario plus a seed fully determines the
+// injected threat picture, giving the repeatable "canned data with known
+// attack content" the methodology needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "attack/emitter.hpp"
+#include "attack/kind.hpp"
+#include "netsim/address.hpp"
+#include "netsim/sim_time.hpp"
+#include "util/rng.hpp"
+
+namespace idseval::attack {
+
+struct ScenarioStep {
+  netsim::SimTime when;
+  AttackKind kind;
+  /// Index into the attacker pool (external hosts, except insider attacks
+  /// which index the internal pool).
+  std::size_t attacker_index = 0;
+  /// Index into the victim (internal) pool.
+  std::size_t victim_index = 0;
+};
+
+class Scenario {
+ public:
+  Scenario() = default;
+
+  void add_step(ScenarioStep step) { steps_.push_back(step); }
+  const std::vector<ScenarioStep>& steps() const noexcept { return steps_; }
+  std::size_t size() const noexcept { return steps_.size(); }
+
+  /// Counts per attack kind.
+  std::map<AttackKind, std::size_t> histogram() const;
+
+  /// Launches every step through the emitter. Host pools supply concrete
+  /// addresses; indices wrap modulo pool size. Returns the flow ids of the
+  /// launched attacks, in step order.
+  std::vector<std::uint64_t> run(
+      AttackEmitter& emitter,
+      const std::vector<netsim::Ipv4>& external_attackers,
+      const std::vector<netsim::Ipv4>& internal_hosts) const;
+
+  /// Builds a mixed scenario: `per_kind` instances of every attack kind,
+  /// launch times uniform in [window_start, window_end), attacker/victim
+  /// indices random. Deterministic in `seed`.
+  static Scenario mixed(std::size_t per_kind, netsim::SimTime window_start,
+                        netsim::SimTime window_end, std::uint64_t seed,
+                        std::size_t attacker_pool = 4,
+                        std::size_t victim_pool = 8);
+
+  /// Builds a scenario containing only the given kinds.
+  static Scenario of_kinds(const std::vector<AttackKind>& kinds,
+                           std::size_t per_kind,
+                           netsim::SimTime window_start,
+                           netsim::SimTime window_end, std::uint64_t seed,
+                           std::size_t attacker_pool = 4,
+                           std::size_t victim_pool = 8);
+
+ private:
+  std::vector<ScenarioStep> steps_;
+};
+
+}  // namespace idseval::attack

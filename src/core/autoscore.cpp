@@ -1,0 +1,84 @@
+#include "core/autoscore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idseval::core {
+
+Score score_between(double value, double low_anchor, double high_anchor,
+                    bool higher_is_better, bool geometric) {
+  double position;  // 0 at the low anchor, 1 at the high anchor
+  if (geometric) {
+    const double lo = std::max(low_anchor, 1e-12);
+    const double hi = std::max(high_anchor, lo * (1.0 + 1e-12));
+    const double v = std::clamp(value, lo, hi);
+    position = std::log(v / lo) / std::log(hi / lo);
+  } else {
+    const double v = std::clamp(value, std::min(low_anchor, high_anchor),
+                                std::max(low_anchor, high_anchor));
+    position = (v - low_anchor) / (high_anchor - low_anchor);
+  }
+  if (!higher_is_better) position = 1.0 - position;
+  position = std::clamp(position, 0.0, 1.0);
+  // 5 equal buckets over [0,1]; exact 1.0 lands in the top bucket.
+  const int score = std::min(4, static_cast<int>(position * 5.0));
+  return Score(score);
+}
+
+Score score_system_throughput(double pps) {
+  // Anchors from the catalog: <5k low, 5k-50k average, >50k high.
+  return score_between(pps, 1'500.0, 150'000.0, /*higher=*/true,
+                       /*geometric=*/true);
+}
+
+Score score_data_storage(double bytes_per_mb) {
+  // <10 KB/MB high, >100 KB/MB low.
+  return score_between(bytes_per_mb, 3'000.0, 300'000.0, /*higher=*/false,
+                       /*geometric=*/true);
+}
+
+Score score_induced_latency(double seconds) {
+  // Passive taps (~0) score 4; >1 ms scores 0.
+  return score_between(seconds, 10e-6, 3e-3, /*higher=*/false,
+                       /*geometric=*/true);
+}
+
+Score score_zero_loss_throughput(double pps) {
+  // <2k low, 2k-20k average, >20k high.
+  return score_between(pps, 600.0, 60'000.0, /*higher=*/true,
+                       /*geometric=*/true);
+}
+
+Score score_lethal_dose_ratio(double dose_over_zero_loss) {
+  if (!std::isfinite(dose_over_zero_loss)) return Score(4);
+  return score_between(dose_over_zero_loss, 1.2, 8.0, /*higher=*/true,
+                       /*geometric=*/true);
+}
+
+Score score_false_negative_ratio(double ratio, double attack_share) {
+  if (attack_share <= 0.0) return Score(4);
+  // Normalize: miss-everything == attack_share -> 0; miss-nothing -> 4.
+  const double missed_fraction =
+      std::clamp(ratio / attack_share, 0.0, 1.0);
+  return score_between(missed_fraction, 0.0, 1.0, /*higher=*/false);
+}
+
+Score score_false_positive_ratio(double ratio) {
+  // 10% of transactions alarmed falsely is unusable (0); ~0 is ideal (4).
+  return score_between(ratio, 1e-4, 0.10, /*higher=*/false,
+                       /*geometric=*/true);
+}
+
+Score score_host_cpu_impact(double fraction) {
+  // Catalog anchors: >=20% low, 3-5% average, ~0 high.
+  return score_between(fraction, 0.004, 0.25, /*higher=*/false,
+                       /*geometric=*/true);
+}
+
+Score score_timeliness(double mean_seconds) {
+  // <1s high, 1-60s average, >60s low.
+  return score_between(mean_seconds, 0.3, 120.0, /*higher=*/false,
+                       /*geometric=*/true);
+}
+
+}  // namespace idseval::core

@@ -1,0 +1,44 @@
+// Anchor-based automatic scoring: converts measured quantities into the
+// catalog's discrete 0-4 scores. Each converter encodes the low/average/
+// high anchors of its metric so a measurement maps to the same score any
+// evaluator would assign — the "observable, reproducible, quantifiable"
+// requirement of §3.1.
+#pragma once
+
+#include "core/metric.hpp"
+
+namespace idseval::core {
+
+/// Generic 5-point bucketing between a low and a high anchor value.
+/// With higher_is_better, values <= low_anchor score 0 and values >=
+/// high_anchor score 4; buckets are geometric when `geometric` (suits
+/// rates spanning decades), else linear.
+Score score_between(double value, double low_anchor, double high_anchor,
+                    bool higher_is_better, bool geometric = false);
+
+// --- Table 2 converters -----------------------------------------------------
+/// System Throughput: packets/sec processed successfully.
+Score score_system_throughput(double pps);
+/// Data Storage: bytes stored per megabyte of monitored traffic.
+Score score_data_storage(double bytes_per_mb);
+
+// --- Table 3 converters -----------------------------------------------------
+/// Induced Traffic Latency: added production-path delay, seconds.
+Score score_induced_latency(double seconds);
+/// Maximal Throughput with Zero Loss: packets/sec.
+Score score_zero_loss_throughput(double pps);
+/// Network Lethal Dose: ratio of failure rate to zero-loss rate; infinite
+/// (never failed) scores 4.
+Score score_lethal_dose_ratio(double dose_over_zero_loss);
+/// Observed False Negative Ratio: |A - D| / |T|, given the attack share
+/// of transactions (a FN ratio equal to the attack share means every
+/// attack was missed and scores 0).
+Score score_false_negative_ratio(double ratio, double attack_share);
+/// Observed False Positive Ratio: |D - A| / |T|.
+Score score_false_positive_ratio(double ratio);
+/// Operational Performance Impact: fraction of host CPU consumed (0..1).
+Score score_host_cpu_impact(double fraction);
+/// Timeliness: mean seconds from intrusion occurrence to operator report.
+Score score_timeliness(double mean_seconds);
+
+}  // namespace idseval::core

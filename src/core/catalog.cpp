@@ -1,0 +1,527 @@
+#include "core/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace idseval::core {
+
+namespace {
+
+using MC = MetricClass;
+using Ob = Observation;
+
+std::vector<Metric> build_catalog() {
+  std::vector<Metric> m;
+  m.reserve(kMetricCount);
+
+  // ---- Logistical (Table 1 + named-but-omitted) ---------------------------
+  m.push_back({MetricId::kDistributedManagement, MC::kLogistical,
+               "Distributed Management",
+               "Capability of managing and monitoring the IDS securely from "
+               "multiple, possibly remote systems.",
+               Ob::kBoth,
+               "Management of each node must be done at the node.",
+               "Nodes may be remotely managed, but either security or degree "
+               "of administrative control is limited.",
+               "Complete management of all nodes from any node or remotely; "
+               "appropriate encryption and authentication employed."});
+  m.push_back({MetricId::kEaseOfConfiguration, MC::kLogistical,
+               "Ease of Configuration",
+               "Difficulty in initially installing and subsequently "
+               "configuring the IDS.",
+               Ob::kAnalysis,
+               "Manual, undocumented multi-day install per node.",
+               "Guided install; significant manual tuning per sensor.",
+               "Turnkey install with centralized, scriptable configuration."});
+  m.push_back({MetricId::kEaseOfPolicyMaintenance, MC::kLogistical,
+               "Ease of Policy Maintenance",
+               "The ease of creating, updating, and managing IDS detection "
+               "and reaction policies.",
+               Ob::kAnalysis,
+               "Policies edited per node in proprietary formats, no "
+               "validation.",
+               "Central policy editor, but updates require component "
+               "restarts.",
+               "Versioned central policy with live push, rollback, and "
+               "validation."});
+  m.push_back({MetricId::kLicenseManagement, MC::kLogistical,
+               "License Management",
+               "The difficulty of obtaining, updating, and extending "
+               "licenses for the IDS.",
+               Ob::kOpenSource,
+               "Per-node licenses, manual renewal, vendor contact required "
+               "for every change.",
+               "Per-site license with periodic renewal keys.",
+               "Open/perpetual license or fully automated enterprise "
+               "licensing."});
+  m.push_back({MetricId::kOutsourcedSolution, MC::kLogistical,
+               "Outsourced Solution",
+               "The degree to which the IDS services are provided by an "
+               "external entity. (External vulnerability scans can disrupt "
+               "real-time systems, so self-hosted scores high here.)",
+               Ob::kOpenSource,
+               "Monitoring and response fully outsourced, including "
+               "unscheduled external scans.",
+               "Vendor-assisted monitoring with locally controllable "
+               "scanning windows.",
+               "Fully self-hosted; all monitoring under local control."});
+  m.push_back({MetricId::kPlatformRequirements, MC::kLogistical,
+               "Platform Requirements",
+               "System resources actually required to implement the IDS in "
+               "the expected environment.",
+               Ob::kBoth,
+               "Dedicated high-end hardware per monitored segment.",
+               "Dedicated commodity box, or noticeable share of a "
+               "production host.",
+               "Runs in spare cycles of existing hosts or one small "
+               "appliance."});
+  m.push_back({MetricId::kQualityOfDocumentation, MC::kLogistical,
+               "Quality of Documentation",
+               "Completeness, accuracy and usability of the product "
+               "documentation.",
+               Ob::kOpenSource,
+               "Sparse README; undocumented failure modes.",
+               "Complete manuals with some gaps around tuning.",
+               "Thorough, current manuals including tuning and recovery "
+               "procedures."});
+  m.push_back({MetricId::kEaseOfAttackFilterGeneration, MC::kLogistical,
+               "Ease of Attack Filter Generation",
+               "Difficulty of producing a new attack filter/signature from "
+               "an observed incident.",
+               Ob::kAnalysis,
+               "Vendor-only signature updates.",
+               "Custom signatures possible in a proprietary language with "
+               "restarts.",
+               "Operators author and hot-load filters with a documented "
+               "language and test harness."});
+  m.push_back({MetricId::kEvaluationCopyAvailability, MC::kLogistical,
+               "Evaluation Copy Availability",
+               "Availability of a no-cost or low-cost evaluation copy for "
+               "testbed use.",
+               Ob::kOpenSource,
+               "No evaluation program.",
+               "Time-limited evaluation after sales contact.",
+               "Freely downloadable full-function evaluation."});
+  m.push_back({MetricId::kLevelOfAdministration, MC::kLogistical,
+               "Level of Administration",
+               "Ongoing operator effort required to keep the IDS effective.",
+               Ob::kAnalysis,
+               "Full-time dedicated administrator per segment.",
+               "Part-time attention, daily tuning.",
+               "Mostly autonomous; weekly review suffices."});
+  m.push_back({MetricId::kProductLifetime, MC::kLogistical,
+               "Product Lifetime",
+               "Expected supported lifetime of the product and its "
+               "signature/knowledge updates.",
+               Ob::kOpenSource,
+               "Research prototype; no support commitment.",
+               "Supported, but vendor viability or roadmap unclear.",
+               "Established product line with long-term support commitment."});
+  m.push_back({MetricId::kQualityOfTechnicalSupport, MC::kLogistical,
+               "Quality of Technical Support",
+               "Responsiveness and competence of vendor support.",
+               Ob::kOpenSource,
+               "No support channel.",
+               "Business-hours support with variable quality.",
+               "24/7 support with security-cleared engineers available."});
+  m.push_back({MetricId::kThreeYearCostOfOwnership, MC::kLogistical,
+               "Three Year Cost of Ownership",
+               "Total cost over three years: licenses, hardware, training, "
+               "administration.",
+               Ob::kOpenSource,
+               "Highest-quartile cost for the capability class.",
+               "Mid-range cost.",
+               "Free/open source or lowest-quartile cost."});
+  m.push_back({MetricId::kTrainingSupport, MC::kLogistical,
+               "Training Support",
+               "Availability and quality of operator training.",
+               Ob::kOpenSource,
+               "None.",
+               "Vendor classes at extra cost.",
+               "Included training with certification and refreshers."});
+
+  // ---- Architectural (Table 2 + named-but-omitted) ------------------------
+  m.push_back({MetricId::kAdjustableSensitivity, MC::kArchitectural,
+               "Adjustable Sensitivity",
+               "Ability to change the sensitivity of the IDS to compensate "
+               "for high false positive or false negative ratios.",
+               Ob::kBoth,
+               "Fixed sensitivity.",
+               "Coarse presets (low/medium/high).",
+               "Continuous, per-rule/per-feature sensitivity control."});
+  m.push_back({MetricId::kDataPoolSelectability, MC::kArchitectural,
+               "Data Pool Selectability",
+               "Ability to define the source data to be analyzed (by "
+               "protocol, source and destination addresses, etc.).",
+               Ob::kBoth,
+               "Analyzes everything it sees, no filtering.",
+               "Coarse include/exclude by address or port.",
+               "Full filter language over protocol/address/port/content."});
+  m.push_back({MetricId::kDataStorage, MC::kArchitectural, "Data Storage",
+               "Average required amount of storage per megabyte of source "
+               "data (predictor of network bandwidth in a distributed IDS).",
+               Ob::kAnalysis,
+               ">100 KB stored per MB of traffic.",
+               "10-100 KB per MB.",
+               "<10 KB per MB of monitored traffic."});
+  m.push_back({MetricId::kHostBased, MC::kArchitectural, "Host-based",
+               "Proportion of IDS input from log files, audit trails and "
+               "other host data (indicates monitored-host resource use).",
+               Ob::kBoth,
+               "No host visibility.",
+               "Host data from a few designated hosts.",
+               "Full host audit coverage across the enclave."});
+  m.push_back({MetricId::kMultiSensorSupport, MC::kArchitectural,
+               "Multi-sensor Support",
+               "Ability of an IDS to integrate management and input of "
+               "multiple sensors or analyzers.",
+               Ob::kBoth,
+               "Single sensor only.",
+               "Several sensors, individually managed.",
+               "Fleet of sensors centrally integrated and correlated."});
+  m.push_back({MetricId::kNetworkBased, MC::kArchitectural, "Network-based",
+               "Proportion of IDS input from packet analysis and other "
+               "network data.",
+               Ob::kBoth,
+               "No network visibility.",
+               "Single segment sniffing.",
+               "Multi-segment capture up to the border router."});
+  m.push_back({MetricId::kScalableLoadBalancing, MC::kArchitectural,
+               "Scalable Load-balancing",
+               "Ability to partition traffic into independent balanced "
+               "sensor loads and to scale that partitioning up and down.",
+               Ob::kBoth,
+               "No load balancing.",
+               "Load balancing via static methods such as placement.",
+               "Intelligent, dynamic load balancing."});
+  m.push_back({MetricId::kSystemThroughput, MC::kArchitectural,
+               "System Throughput",
+               "Maximal data input rate processed successfully by the IDS "
+               "(packets/sec for network IDSs).",
+               Ob::kAnalysis,
+               "<5k packets/sec.",
+               "5k-50k packets/sec.",
+               ">50k packets/sec."});
+  m.push_back({MetricId::kAnomalyBased, MC::kArchitectural, "Anomaly Based",
+               "Degree to which detection uses behavior/anomaly analysis "
+               "(may detect novel attacks; §2.1).",
+               Ob::kOpenSource,
+               "None.",
+               "Statistical thresholds on a few features.",
+               "Learned multi-feature behavioral baselines."});
+  m.push_back({MetricId::kAutonomousLearning, MC::kArchitectural,
+               "Autonomous Learning",
+               "Ability to learn normal behavior without manual profiling.",
+               Ob::kBoth,
+               "All profiles hand-built.",
+               "Assisted training runs.",
+               "Continuous unsupervised baseline adaptation."});
+  m.push_back({MetricId::kHostOsSecurity, MC::kArchitectural,
+               "Host/OS Security",
+               "Hardening of the platform the IDS itself runs on.",
+               Ob::kOpenSource,
+               "Runs as root on an unhardened general-purpose OS.",
+               "Vendor hardening guide applied.",
+               "Minimized, hardened appliance with signed updates."});
+  m.push_back({MetricId::kInteroperability, MC::kArchitectural,
+               "Interoperability",
+               "Ability to exchange data with other security tools "
+               "(common formats, management protocols).",
+               Ob::kOpenSource,
+               "Closed formats only.",
+               "Exports logs in documented formats.",
+               "Standard alert formats plus bidirectional integrations."});
+  m.push_back({MetricId::kPackageContents, MC::kArchitectural,
+               "Package Contents",
+               "Completeness of what ships in the box (sensors, console, "
+               "signatures, docs).",
+               Ob::kOpenSource,
+               "Core engine only; everything else separate.",
+               "Complete but minimal.",
+               "Complete suite including response and reporting tools."});
+  m.push_back({MetricId::kProcessSecurity, MC::kArchitectural,
+               "Process Security",
+               "Resistance of IDS processes to tampering or evasion "
+               "(§2.1: host IDSs must survive attack on their host).",
+               Ob::kBoth,
+               "IDS processes are killable by any local admin; no "
+               "self-monitoring.",
+               "Watchdog restarts; tamper logging.",
+               "Mutually monitoring components; can migrate off a "
+               "compromised host."});
+  m.push_back({MetricId::kSignatureBased, MC::kArchitectural,
+               "Signature Based",
+               "Degree to which detection uses known-attack signatures "
+               "(precise on known attacks; §2.1).",
+               Ob::kOpenSource,
+               "None.",
+               "Static vendor signature set.",
+               "Large, frequently updated, user-extensible signature "
+               "database."});
+  m.push_back({MetricId::kVisibility, MC::kArchitectural, "Visibility",
+               "Fraction of the protected enclave's traffic/hosts the "
+               "deployed IDS can observe.",
+               Ob::kAnalysis,
+               "Single host or single link.",
+               "Most of one LAN.",
+               "All segments and key hosts."});
+
+  // ---- Performance (Table 3 + named-but-omitted) --------------------------
+  m.push_back({MetricId::kAnalysisOfCompromise, MC::kPerformance,
+               "Analysis of Compromise",
+               "Ability to report the extent of damage and compromise due "
+               "to intrusions (which hosts are affected, for safe resource "
+               "allocation).",
+               Ob::kAnalysis,
+               "Alert only; no compromise context.",
+               "Affected host/service identified.",
+               "Damage scope, affected resources and confidence reported."});
+  m.push_back({MetricId::kErrorReportingAndRecovery, MC::kPerformance,
+               "Error Reporting and Recovery",
+               "Appropriateness of the behavior of the IDS under "
+               "error/failure conditions.",
+               Ob::kAnalysis,
+               "No notification, no log; fatal errors hang the system "
+               "indefinitely.",
+               "Failure logged, user eventually notified; fatal errors "
+               "cause cold reboot of the entire machine.",
+               "Failure reported near real time via attack notification "
+               "channels; fatal errors restart only the application or "
+               "service."});
+  m.push_back({MetricId::kFirewallInteraction, MC::kPerformance,
+               "Firewall Interaction",
+               "Ability to interact with a firewall, e.g. updating its "
+               "block list in response to a threat.",
+               Ob::kBoth,
+               "None.",
+               "Manual, operator-driven block-list updates.",
+               "Automatic, policy-driven blocking with rollback."});
+  m.push_back({MetricId::kInducedTrafficLatency, MC::kPerformance,
+               "Induced Traffic Latency",
+               "Degree to which traffic is delayed by the IDS's presence "
+               "or operation.",
+               Ob::kAnalysis,
+               ">1 ms added to production traffic.",
+               "100 us - 1 ms added.",
+               "No measurable delay (passive tap)."});
+  m.push_back({MetricId::kMaxThroughputZeroLoss, MC::kPerformance,
+               "Maximal Throughput with Zero Loss",
+               "Observed traffic level sustaining zero lost packets or "
+               "streams (packets/sec or simultaneous TCP streams).",
+               Ob::kAnalysis,
+               "<2k packets/sec.",
+               "2k-20k packets/sec.",
+               ">20k packets/sec."});
+  m.push_back({MetricId::kNetworkLethalDose, MC::kPerformance,
+               "Network Lethal Dose",
+               "Observed traffic level causing shutdown or malfunction of "
+               "the IDS (packets/sec or simultaneous TCP streams).",
+               Ob::kAnalysis,
+               "Fails below 2x its zero-loss rate.",
+               "Fails between 2x and 5x its zero-loss rate.",
+               "No failure observed up to the network's own capacity."});
+  m.push_back({MetricId::kObservedFalseNegativeRatio, MC::kPerformance,
+               "Observed False Negative Ratio",
+               "Ratio of actual attacks not detected to total transactions "
+               "(|A - D| / |T|, Figure 3).",
+               Ob::kAnalysis,
+               "Misses most attack transactions in the replayed corpus.",
+               "Misses only novel/insider attacks.",
+               "Near-zero misses on the replayed corpus."});
+  m.push_back({MetricId::kObservedFalsePositiveRatio, MC::kPerformance,
+               "Observed False Positive Ratio",
+               "Ratio of alarms not corresponding to actual attacks to "
+               "total transactions (|D - A| / |T|, Figure 3).",
+               Ob::kAnalysis,
+               "Alarms on a large share of benign transactions.",
+               "Occasional alarms on unusual-but-benign activity.",
+               "Near-zero benign alarms at the evaluated sensitivity."});
+  m.push_back({MetricId::kOperationalPerformanceImpact, MC::kPerformance,
+               "Operational Performance Impact",
+               "Negative impact on host processing capacity due to IDS "
+               "operation, as a percentage of processing power.",
+               Ob::kAnalysis,
+               ">=20% of a monitored host's CPU (C2-audit class).",
+               "3-5% of host CPU (nominal event logging).",
+               "No production-host impact (dedicated sensors)."});
+  m.push_back({MetricId::kRouterInteraction, MC::kPerformance,
+               "Router Interaction",
+               "Degree of interaction with a router, e.g. redirecting "
+               "attacker traffic to a honeypot.",
+               Ob::kBoth,
+               "None.",
+               "Static route changes via operator.",
+               "Automated redirect/quarantine of offending traffic."});
+  m.push_back({MetricId::kSnmpInteraction, MC::kPerformance,
+               "SNMP Interaction",
+               "Ability to send an SNMP trap to one or more network "
+               "devices in response to a detected attack.",
+               Ob::kBoth,
+               "None.",
+               "Traps to a single configured manager.",
+               "Policy-selected traps to multiple devices."});
+  m.push_back({MetricId::kTimeliness, MC::kPerformance, "Timeliness",
+               "Average/maximal time between an intrusion's occurrence and "
+               "its being reported.",
+               Ob::kAnalysis,
+               ">60 s average to report.",
+               "1-60 s average.",
+               "<1 s average (near real time)."});
+  m.push_back({MetricId::kAnalysisOfIntruderIntent, MC::kPerformance,
+               "Analysis of Intruder Intent",
+               "Ability to infer what the intruder is trying to accomplish "
+               "(secondary analysis, §2.2).",
+               Ob::kAnalysis,
+               "None.",
+               "Categorizes attacks by goal class.",
+               "Correlates campaigns and predicts likely next targets."});
+  m.push_back({MetricId::kClarityOfReports, MC::kPerformance,
+               "Clarity of Reports",
+               "How clearly threat information is presented to operators.",
+               Ob::kAnalysis,
+               "Raw logs only.",
+               "Structured alerts with severity.",
+               "Prioritized, contextualized reporting with drill-down."});
+  m.push_back({MetricId::kEffectivenessOfGeneratedFilters, MC::kPerformance,
+               "Effectiveness of Generated Filters",
+               "Accuracy of automatically generated attack filters: block "
+               "the offender without shutting out legitimate users (§2.2).",
+               Ob::kAnalysis,
+               "Filters block whole subnets or fail to block the attack.",
+               "Filters block the offender with some collateral damage.",
+               "Filters surgically stop offending traffic only."});
+  m.push_back({MetricId::kEvidenceCollection, MC::kPerformance,
+               "Evidence Collection",
+               "Capture and preservation of forensic evidence (key to ex "
+               "post facto unraveling of a distributed compromise, §3.3).",
+               Ob::kBoth,
+               "Nothing retained beyond the alert.",
+               "Triggering packets retained.",
+               "Full session capture with integrity protection."});
+  m.push_back({MetricId::kInformationSharing, MC::kPerformance,
+               "Information Sharing",
+               "Ability to share threat data with other IDS installations "
+               "or authorities.",
+               Ob::kOpenSource,
+               "None.",
+               "Manual export.",
+               "Automated standardized sharing."});
+  m.push_back({MetricId::kNotificationUserAlerts, MC::kPerformance,
+               "Notification: User Alerts",
+               "Variety and interoperability of operator notification "
+               "(console, email, pager, SNMP; §2.2 monitoring metrics).",
+               Ob::kBoth,
+               "Console log only.",
+               "Console plus one out-of-band channel.",
+               "Multiple prioritized channels with escalation."});
+  m.push_back({MetricId::kProgramInteraction, MC::kPerformance,
+               "Program Interaction",
+               "Ability to trigger external programs/scripts on events.",
+               Ob::kBoth,
+               "None.",
+               "Fixed set of built-in actions.",
+               "Arbitrary user hooks with alert context passed in."});
+  m.push_back({MetricId::kSessionRecordingPlayback, MC::kPerformance,
+               "Session Recording and Playback",
+               "Ability to record suspect sessions and replay them for "
+               "analysis.",
+               Ob::kAnalysis,
+               "None.",
+               "Byte-stream capture, offline decoding.",
+               "Full decoded session playback in the console."});
+  m.push_back({MetricId::kThreatCorrelation, MC::kPerformance,
+               "Threat Correlation",
+               "Depth of analysis: ability to correlate one attack with "
+               "another or determine no correlation is appropriate (§2.2).",
+               Ob::kAnalysis,
+               "Every detection independent.",
+               "Same-source/same-flow grouping.",
+               "Cross-sensor, cross-time campaign correlation."});
+  m.push_back({MetricId::kTrendAnalysis, MC::kPerformance, "Trend Analysis",
+               "Ability to report threat trends over time.",
+               Ob::kAnalysis,
+               "None.",
+               "Simple counts over time.",
+               "Statistical trending with anomaly flagging on the trend "
+               "itself."});
+
+  return m;
+}
+
+constexpr std::array<MetricId, 6> kTable1 = {
+    MetricId::kDistributedManagement, MetricId::kEaseOfConfiguration,
+    MetricId::kEaseOfPolicyMaintenance, MetricId::kLicenseManagement,
+    MetricId::kOutsourcedSolution, MetricId::kPlatformRequirements,
+};
+
+constexpr std::array<MetricId, 8> kTable2 = {
+    MetricId::kAdjustableSensitivity, MetricId::kDataPoolSelectability,
+    MetricId::kDataStorage, MetricId::kHostBased,
+    MetricId::kMultiSensorSupport, MetricId::kNetworkBased,
+    MetricId::kScalableLoadBalancing, MetricId::kSystemThroughput,
+};
+
+constexpr std::array<MetricId, 12> kTable3 = {
+    MetricId::kAnalysisOfCompromise, MetricId::kErrorReportingAndRecovery,
+    MetricId::kFirewallInteraction, MetricId::kInducedTrafficLatency,
+    MetricId::kMaxThroughputZeroLoss, MetricId::kNetworkLethalDose,
+    MetricId::kObservedFalseNegativeRatio,
+    MetricId::kObservedFalsePositiveRatio,
+    MetricId::kOperationalPerformanceImpact, MetricId::kRouterInteraction,
+    MetricId::kSnmpInteraction, MetricId::kTimeliness,
+};
+
+}  // namespace
+
+const std::vector<Metric>& metric_catalog() {
+  static const std::vector<Metric> catalog = [] {
+    auto c = build_catalog();
+    if (c.size() != kMetricCount) {
+      throw std::logic_error("metric catalog incomplete");
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (static_cast<std::size_t>(c[i].id) != i) {
+        throw std::logic_error("metric catalog out of order");
+      }
+    }
+    return c;
+  }();
+  return catalog;
+}
+
+const Metric& metric(MetricId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= kMetricCount) throw std::invalid_argument("bad MetricId");
+  return metric_catalog()[idx];
+}
+
+std::string to_string(MetricId id) { return metric(id).name; }
+
+MetricId metric_id_from_string(std::string_view name) {
+  static const std::unordered_map<std::string_view, MetricId> index = [] {
+    std::unordered_map<std::string_view, MetricId> idx;
+    for (const Metric& m : metric_catalog()) idx.emplace(m.name, m.id);
+    return idx;
+  }();
+  const auto it = index.find(name);
+  if (it == index.end()) {
+    throw std::invalid_argument("unknown metric name: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::vector<MetricId> metrics_in_class(MetricClass c) {
+  std::vector<MetricId> out;
+  for (const Metric& m : metric_catalog()) {
+    if (m.metric_class == c) out.push_back(m.id);
+  }
+  return out;
+}
+
+std::span<const MetricId> table1_logistical_metrics() { return kTable1; }
+std::span<const MetricId> table2_architectural_metrics() { return kTable2; }
+std::span<const MetricId> table3_performance_metrics() { return kTable3; }
+
+}  // namespace idseval::core

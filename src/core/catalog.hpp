@@ -1,0 +1,35 @@
+// The metric catalog: definitions and scoring anchors for the general
+// metric set (Tables 1-3 plus every metric the paper names but omits for
+// brevity). The catalog is immutable reference data — the "user-definable,
+// dynamically-changing standard" is expressed as weights over it, never by
+// editing it.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/metric.hpp"
+
+namespace idseval::core {
+
+/// Returns the full catalog, ordered by MetricId.
+const std::vector<Metric>& metric_catalog();
+
+/// Looks up one metric's definition.
+const Metric& metric(MetricId id);
+
+std::string to_string(MetricId id);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+MetricId metric_id_from_string(std::string_view name);
+
+/// All metrics belonging to a class, in id order.
+std::vector<MetricId> metrics_in_class(MetricClass c);
+
+/// The "selected" metrics the paper prints in Tables 1-3 — the subset it
+/// judges most applicable to distributed real-time environments.
+std::span<const MetricId> table1_logistical_metrics();
+std::span<const MetricId> table2_architectural_metrics();
+std::span<const MetricId> table3_performance_metrics();
+
+}  // namespace idseval::core

@@ -1,0 +1,39 @@
+#include "core/metric.hpp"
+
+#include <stdexcept>
+
+namespace idseval::core {
+
+std::string to_string(MetricClass c) {
+  switch (c) {
+    case MetricClass::kLogistical:
+      return "Logistical";
+    case MetricClass::kArchitectural:
+      return "Architectural";
+    case MetricClass::kPerformance:
+      return "Performance";
+  }
+  return "?";
+}
+
+std::string to_string(Observation o) {
+  switch (o) {
+    case Observation::kAnalysis:
+      return "analysis";
+    case Observation::kOpenSource:
+      return "open-source";
+    case Observation::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+Score::Score(int value) : value_(value) {
+  if (value < kMin || value > kMax) {
+    throw std::invalid_argument(
+        "Score: discrete scores range 0..4 (got " + std::to_string(value) +
+        ")");
+  }
+}
+
+}  // namespace idseval::core

@@ -1,0 +1,125 @@
+// The metric model at the heart of the methodology (§3.1): well-defined
+// (observable, reproducible, quantifiable, characteristic) metrics in
+// three classes, scored discretely 0-4 with documented low/average/high
+// anchors, combined under flexible real-valued weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idseval::core {
+
+/// The paper's three metric classes (§3.1).
+enum class MetricClass : std::uint8_t {
+  kLogistical = 1,    ///< Expense, maintainability, manageability.
+  kArchitectural = 2, ///< Fit between IDS scope/architecture and deployment.
+  kPerformance = 3,   ///< Ability to do the job within constraints.
+};
+
+std::string to_string(MetricClass c);
+
+/// How a metric's value is observed (§3.1): direct laboratory analysis,
+/// open-source material (specs, white papers, reviews), or both.
+enum class Observation : std::uint8_t {
+  kAnalysis,
+  kOpenSource,
+  kBoth,
+};
+
+std::string to_string(Observation o);
+
+/// Every metric in the general set, Tables 1-3 plus the metrics the paper
+/// names but omits "for brevity's sake".
+enum class MetricId : std::uint8_t {
+  // --- Logistical (class 1) ----------------------------------------------
+  kDistributedManagement = 0,
+  kEaseOfConfiguration,
+  kEaseOfPolicyMaintenance,
+  kLicenseManagement,
+  kOutsourcedSolution,
+  kPlatformRequirements,
+  kQualityOfDocumentation,
+  kEaseOfAttackFilterGeneration,
+  kEvaluationCopyAvailability,
+  kLevelOfAdministration,
+  kProductLifetime,
+  kQualityOfTechnicalSupport,
+  kThreeYearCostOfOwnership,
+  kTrainingSupport,
+  // --- Architectural (class 2) ---------------------------------------------
+  kAdjustableSensitivity,
+  kDataPoolSelectability,
+  kDataStorage,
+  kHostBased,
+  kMultiSensorSupport,
+  kNetworkBased,
+  kScalableLoadBalancing,
+  kSystemThroughput,
+  kAnomalyBased,
+  kAutonomousLearning,
+  kHostOsSecurity,
+  kInteroperability,
+  kPackageContents,
+  kProcessSecurity,
+  kSignatureBased,
+  kVisibility,
+  // --- Performance (class 3) -----------------------------------------------
+  kAnalysisOfCompromise,
+  kErrorReportingAndRecovery,
+  kFirewallInteraction,
+  kInducedTrafficLatency,
+  kMaxThroughputZeroLoss,
+  kNetworkLethalDose,
+  kObservedFalseNegativeRatio,
+  kObservedFalsePositiveRatio,
+  kOperationalPerformanceImpact,
+  kRouterInteraction,
+  kSnmpInteraction,
+  kTimeliness,
+  kAnalysisOfIntruderIntent,
+  kClarityOfReports,
+  kEffectivenessOfGeneratedFilters,
+  kEvidenceCollection,
+  kInformationSharing,
+  kNotificationUserAlerts,
+  kProgramInteraction,
+  kSessionRecordingPlayback,
+  kThreatCorrelation,
+  kTrendAnalysis,
+  kCount  ///< Sentinel.
+};
+
+inline constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(MetricId::kCount);
+
+/// A metric definition: the scorecard's unit of vocabulary.
+struct Metric {
+  MetricId id;
+  MetricClass metric_class;
+  std::string name;
+  std::string definition;
+  Observation observation;
+  /// Anchor descriptions for discrete scores 0 / 2 / 4 (§3.1-3.2).
+  std::string low_anchor;
+  std::string average_anchor;
+  std::string high_anchor;
+};
+
+/// Discrete metric score: integers 0..4, higher is more favorable (§3.1).
+class Score {
+ public:
+  Score() = default;
+  explicit Score(int value);
+
+  int value() const noexcept { return value_; }
+  static constexpr int kMin = 0;
+  static constexpr int kMax = 4;
+
+  bool operator==(const Score&) const = default;
+  auto operator<=>(const Score&) const = default;
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace idseval::core

@@ -1,0 +1,110 @@
+#include "core/persistence.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace idseval::core {
+
+namespace {
+
+constexpr const char* kScorecardHeader = "idseval-scorecard v1";
+constexpr const char* kWeightsHeader = "idseval-weights v1";
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Splits "a | b | c" into at most `max_fields` trimmed fields; the last
+/// field keeps any further separators (notes may contain '|').
+std::vector<std::string> split_fields(const std::string& line,
+                                      std::size_t max_fields) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (fields.size() + 1 < max_fields) {
+    const std::size_t bar = line.find('|', pos);
+    if (bar == std::string::npos) break;
+    fields.push_back(trim(line.substr(pos, bar - pos)));
+    pos = bar + 1;
+  }
+  fields.push_back(trim(line.substr(pos)));
+  return fields;
+}
+
+}  // namespace
+
+std::string serialize_scorecard(const Scorecard& card) {
+  std::ostringstream out;
+  out << kScorecardHeader << "\n";
+  out << "product: " << card.product() << "\n";
+  for (const auto& [id, entry] : card.entries()) {
+    out << to_string(id) << " | " << entry.score.value() << " | "
+        << entry.note << "\n";
+  }
+  return out.str();
+}
+
+Scorecard deserialize_scorecard(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || trim(line) != kScorecardHeader) {
+    throw std::invalid_argument("scorecard: bad header");
+  }
+  if (!std::getline(in, line) || line.rfind("product: ", 0) != 0) {
+    throw std::invalid_argument("scorecard: missing product line");
+  }
+  Scorecard card(trim(line.substr(9)));
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto fields = split_fields(line, 3);
+    if (fields.size() != 3) {
+      throw std::invalid_argument("scorecard: malformed line: " + line);
+    }
+    const MetricId id = metric_id_from_string(fields[0]);
+    int value = 0;
+    try {
+      value = std::stoi(fields[1]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("scorecard: bad score: " + fields[1]);
+    }
+    card.set(id, Score(value), fields[2]);
+  }
+  return card;
+}
+
+std::string serialize_weights(const WeightSet& weights) {
+  std::ostringstream out;
+  out << kWeightsHeader << "\n";
+  for (const auto& [id, w] : weights.weights()) {
+    out << to_string(id) << " | " << w << "\n";
+  }
+  return out.str();
+}
+
+WeightSet deserialize_weights(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || trim(line) != kWeightsHeader) {
+    throw std::invalid_argument("weights: bad header");
+  }
+  WeightSet weights;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto fields = split_fields(line, 2);
+    if (fields.size() != 2) {
+      throw std::invalid_argument("weights: malformed line: " + line);
+    }
+    try {
+      weights.set(metric_id_from_string(fields[0]), std::stod(fields[1]));
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("weights: bad value: " + fields[1]);
+    }
+  }
+  return weights;
+}
+
+}  // namespace idseval::core

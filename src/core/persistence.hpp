@@ -1,0 +1,32 @@
+// Scorecard and weight-set persistence. The methodology's reuse claim
+// (§1): "the evaluation may be reused with the metrics given different
+// weighting according to the needs of the next customer" — which requires
+// scorecards to outlive the process that measured them. The text format
+// is line-oriented and diff-friendly so evaluations can live in version
+// control next to the canned traffic traces.
+#pragma once
+
+#include <string>
+
+#include "core/requirement.hpp"
+#include "core/scorecard.hpp"
+
+namespace idseval::core {
+
+/// Serializes a scorecard:
+///   idseval-scorecard v1
+///   product: <name>
+///   <metric name> | <score> | <note>
+std::string serialize_scorecard(const Scorecard& card);
+
+/// Parses the text form; throws std::invalid_argument on malformed input
+/// or unknown metric names.
+Scorecard deserialize_scorecard(const std::string& text);
+
+/// Serializes a weight set:
+///   idseval-weights v1
+///   <metric name> | <weight>
+std::string serialize_weights(const WeightSet& weights);
+WeightSet deserialize_weights(const std::string& text);
+
+}  // namespace idseval::core

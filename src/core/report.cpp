@@ -1,0 +1,121 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace idseval::core {
+
+using util::Align;
+using util::TextTable;
+
+std::string render_metric_table(std::string title,
+                                std::span<const MetricId> metrics,
+                                std::span<const Scorecard> cards,
+                                bool show_notes) {
+  std::vector<std::string> headers = {"Metric"};
+  std::vector<Align> aligns = {Align::kLeft};
+  for (const Scorecard& card : cards) {
+    headers.push_back(card.product());
+    aligns.push_back(Align::kRight);
+  }
+  TextTable table(std::move(headers), std::move(aligns));
+  table.set_title(std::move(title));
+
+  for (const MetricId id : metrics) {
+    std::vector<std::string> row = {to_string(id)};
+    for (const Scorecard& card : cards) {
+      if (const auto s = card.score(id)) {
+        std::string cell = std::to_string(s->value());
+        if (show_notes && !card.at(id).note.empty()) {
+          cell += " (" + card.at(id).note + ")";
+        }
+        row.push_back(std::move(cell));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_weighted_summary(std::string title,
+                                    std::span<const Scorecard> cards,
+                                    const WeightSet& weights) {
+  struct RankedRow {
+    const Scorecard* card;
+    WeightedScores scores;
+  };
+  std::vector<RankedRow> rows;
+  for (const Scorecard& card : cards) {
+    rows.push_back({&card, weighted_scores(card, weights)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const RankedRow& a, const RankedRow& b) {
+              return a.scores.total() > b.scores.total();
+            });
+
+  TextTable table({"Rank", "Product", "S1 (Logistical)",
+                   "S2 (Architectural)", "S3 (Performance)", "Total"},
+                  {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+  table.set_title(std::move(title));
+  int rank = 0;
+  for (const RankedRow& row : rows) {
+    table.add_row({std::to_string(++rank), row.card->product(),
+                   util::fmt_double(row.scores.logistical, 1),
+                   util::fmt_double(row.scores.architectural, 1),
+                   util::fmt_double(row.scores.performance, 1),
+                   util::fmt_double(row.scores.total(), 1)});
+  }
+  return table.render();
+}
+
+std::string render_requirement_mapping(const RequirementMapper& mapper,
+                                       double base, double step) {
+  std::string out;
+  {
+    TextTable table({"Rank", "Requirement", "Weight", "Contributes to"},
+                    {Align::kRight, Align::kLeft, Align::kRight,
+                     Align::kLeft});
+    table.set_title("Requirements (least to most important)");
+    const auto weights = mapper.requirement_weights(base, step);
+    for (std::size_t i = 0; i < mapper.requirements().size(); ++i) {
+      const Requirement& r = mapper.requirements()[i];
+      std::string targets;
+      for (const MetricId id : r.contributes_to) {
+        if (!targets.empty()) targets += ", ";
+        targets += to_string(id);
+      }
+      table.add_row({std::to_string(r.importance_rank), r.statement,
+                     util::fmt_double(weights[i], 1), targets});
+    }
+    out += table.render();
+  }
+  {
+    const WeightSet weights = mapper.derive_weights(base, step);
+    TextTable table({"Metric", "Derived weight"},
+                    {Align::kLeft, Align::kRight});
+    table.set_title("Derived metric weights (sum over contributing "
+                    "requirements)");
+    for (const auto& [id, w] : weights.weights()) {
+      table.add_row({to_string(id), util::fmt_double(w, 1)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+std::string render_metric_definition(MetricId id) {
+  const Metric& m = metric(id);
+  return util::cat(
+      m.name, " [", to_string(m.metric_class), ", observed by ",
+      to_string(m.observation), "]\n  ", m.definition,
+      "\n  Low (0):     ", m.low_anchor,
+      "\n  Average (2): ", m.average_anchor,
+      "\n  High (4):    ", m.high_anchor, "\n");
+}
+
+}  // namespace idseval::core

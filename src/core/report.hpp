@@ -1,0 +1,37 @@
+// Report rendering: the comparison tables the evaluation produces —
+// per-class metric tables across products (the shape of Tables 1-3), the
+// weighted-score summary (Figure 5), and the requirement-to-weight trace
+// (Figure 6).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/requirement.hpp"
+#include "core/scorecard.hpp"
+
+namespace idseval::core {
+
+/// Renders one class-table: rows are `metrics`, columns are products;
+/// cells show the discrete score (and the note when `show_notes`).
+std::string render_metric_table(std::string title,
+                                std::span<const MetricId> metrics,
+                                std::span<const Scorecard> cards,
+                                bool show_notes = false);
+
+/// Renders the Figure 5 summary: S_1..S_3 and the total per product,
+/// ranked by total (descending).
+std::string render_weighted_summary(std::string title,
+                                    std::span<const Scorecard> cards,
+                                    const WeightSet& weights);
+
+/// Renders the Figure 6 trace: each requirement, its derived weight, and
+/// the per-metric weight sums.
+std::string render_requirement_mapping(const RequirementMapper& mapper,
+                                       double base = 1.0, double step = 1.0);
+
+/// Renders a single metric's full definition with anchors (catalog page).
+std::string render_metric_definition(MetricId id);
+
+}  // namespace idseval::core

@@ -1,0 +1,123 @@
+#include "core/requirement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace idseval::core {
+
+void RequirementMapper::add(Requirement requirement) {
+  if (requirement.importance_rank < 1) {
+    throw std::invalid_argument("Requirement: rank must be >= 1");
+  }
+  requirements_.push_back(std::move(requirement));
+}
+
+std::vector<double> RequirementMapper::requirement_weights(
+    double base, double step) const {
+  // Collect the distinct ranks and map them onto an increasing weight
+  // ladder. Duplicate ranks share a weight (the ordering is partial).
+  std::vector<int> ranks;
+  for (const auto& r : requirements_) ranks.push_back(r.importance_rank);
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+
+  std::map<int, double> rank_weight;
+  double w = base;
+  for (const int rank : ranks) {
+    rank_weight[rank] = w;
+    w += step;
+  }
+
+  std::vector<double> out;
+  out.reserve(requirements_.size());
+  for (const auto& r : requirements_) {
+    out.push_back(rank_weight.at(r.importance_rank));
+  }
+  return out;
+}
+
+WeightSet RequirementMapper::derive_weights(double base, double step) const {
+  const std::vector<double> req_weights = requirement_weights(base, step);
+  WeightSet weights;
+  for (std::size_t i = 0; i < requirements_.size(); ++i) {
+    for (const MetricId id : requirements_[i].contributes_to) {
+      weights.add(id, req_weights[i]);
+    }
+  }
+  return weights;
+}
+
+RequirementMapper realtime_distributed_requirements() {
+  using M = MetricId;
+  RequirementMapper mapper;
+  // Rank 1 (least important): affordability and vendor logistics.
+  mapper.add({"Acquisition and sustainment costs are bounded", 1,
+              {M::kThreeYearCostOfOwnership, M::kLicenseManagement}});
+  mapper.add({"Operators can be trained on the system", 1,
+              {M::kTrainingSupport, M::kQualityOfDocumentation}});
+  // Rank 2: manageability of a multi-sensor enclave.
+  mapper.add({"The IDS is manageable across the distributed enclave", 2,
+              {M::kDistributedManagement, M::kMultiSensorSupport,
+               M::kEaseOfConfiguration, M::kEaseOfPolicyMaintenance}});
+  mapper.add({"Monitoring remains under local control", 2,
+              {M::kOutsourcedSolution}});
+  // Rank 3: scale with the system.
+  mapper.add({"Monitoring scales with system growth", 3,
+              {M::kScalableLoadBalancing, M::kSystemThroughput,
+               M::kMultiSensorSupport}});
+  mapper.add({"Historical traffic is logged for post-incident analysis", 3,
+              {M::kEvidenceCollection, M::kDataStorage,
+               M::kSessionRecordingPlayback}});
+  // Rank 4: real-time constraints — overhead and determinism.
+  mapper.add({"The IDS must not perturb real-time computation or "
+              "communication", 4,
+              {M::kOperationalPerformanceImpact, M::kInducedTrafficLatency,
+               M::kPlatformRequirements}});
+  mapper.add({"The IDS degrades gracefully and deterministically under "
+              "overload", 4,
+              {M::kErrorReportingAndRecovery, M::kNetworkLethalDose,
+               M::kMaxThroughputZeroLoss, M::kProcessSecurity}});
+  // Rank 5 (most important): catch the initial compromise, react fast.
+  mapper.add({"Attacks are recognized quickly and automatically countered",
+              5,
+              {M::kTimeliness, M::kFirewallInteraction,
+               M::kRouterInteraction, M::kSnmpInteraction,
+               M::kEffectivenessOfGeneratedFilters}});
+  mapper.add({"The false negative ratio is minimized, accepting extra "
+              "false positives (inter-host trust makes a missed initial "
+              "compromise catastrophic)", 5,
+              {M::kObservedFalseNegativeRatio, M::kAdjustableSensitivity,
+               M::kAnomalyBased, M::kThreatCorrelation}});
+  return mapper;
+}
+
+RequirementMapper ecommerce_requirements() {
+  using M = MetricId;
+  RequirementMapper mapper;
+  // Rank 1: niceties.
+  mapper.add({"Evidence can be collected for prosecution", 1,
+              {M::kEvidenceCollection, M::kSessionRecordingPlayback}});
+  mapper.add({"Some automated response is available", 1,
+              {M::kFirewallInteraction, M::kSnmpInteraction}});
+  // Rank 2: performance at commodity web scale.
+  mapper.add({"The IDS keeps up with peak shopping traffic", 2,
+              {M::kSystemThroughput, M::kMaxThroughputZeroLoss}});
+  mapper.add({"Known web attacks are reliably detected", 2,
+              {M::kSignatureBased, M::kObservedFalseNegativeRatio}});
+  // Rank 3: operations economics.
+  mapper.add({"Total cost of ownership is low", 3,
+              {M::kThreeYearCostOfOwnership, M::kLicenseManagement,
+               M::kLevelOfAdministration}});
+  mapper.add({"Deployment and upkeep are simple for a small ops team", 3,
+              {M::kEaseOfConfiguration, M::kEaseOfPolicyMaintenance,
+               M::kQualityOfTechnicalSupport, M::kProductLifetime}});
+  // Rank 4 (most important): operators aren't drowned in alarms.
+  mapper.add({"Alarms are rare enough to act on (suppress false "
+              "positives)", 4,
+              {M::kObservedFalsePositiveRatio, M::kClarityOfReports,
+               M::kAdjustableSensitivity}});
+  return mapper;
+}
+
+}  // namespace idseval::core

@@ -1,0 +1,62 @@
+// Requirement-to-weight mapping (§3.3, Figure 6): the procurer lists
+// requirements in a partial order from least to most important; the least
+// important gets the lowest weight; each metric's weight is the sum of
+// the weights of the requirements it contributes to. This is what turns
+// the static metric set into a user-definable standard.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scorecard.hpp"
+
+namespace idseval::core {
+
+/// One formalized user requirement. `importance_rank` expresses the
+/// partial ordering: requirements sharing a rank are equally important
+/// (duplicate weights are explicitly acceptable, §3.3).
+struct Requirement {
+  std::string statement;            ///< Positive form where possible.
+  int importance_rank = 1;          ///< 1 = least important.
+  std::vector<MetricId> contributes_to;
+};
+
+class RequirementMapper {
+ public:
+  RequirementMapper() = default;
+
+  void add(Requirement requirement);
+  const std::vector<Requirement>& requirements() const noexcept {
+    return requirements_;
+  }
+
+  /// Assigns requirement weights from the partial order: distinct ranks
+  /// are sorted and mapped to weights base, base+step, base+2*step, ...
+  /// (§3.3's "assign the lowest weight, then increasing weights in
+  /// proportion to relative importance"). Returns the per-requirement
+  /// weights in insertion order.
+  std::vector<double> requirement_weights(double base = 1.0,
+                                          double step = 1.0) const;
+
+  /// Builds the metric WeightSet: each metric's weight is the sum of the
+  /// weights of the requirements it contributes to (Figure 6).
+  WeightSet derive_weights(double base = 1.0, double step = 1.0) const;
+
+ private:
+  std::vector<Requirement> requirements_;
+};
+
+/// The weighting profile §3.3 recommends for distributed real-time
+/// systems: emphasis on speed and accuracy of attack recognition, on
+/// automatic reaction (firewall/router/SNMP), on minimal resource impact,
+/// and — for distributed trust — on driving the false-negative ratio
+/// down even at the cost of more false positives, with historical logging
+/// for ex post facto analysis.
+RequirementMapper realtime_distributed_requirements();
+
+/// A contrasting commercial profile (e-commerce web front): cost,
+/// manageability and false-positive suppression dominate; resource
+/// overhead and hard-real-time response matter less.
+RequirementMapper ecommerce_requirements();
+
+}  // namespace idseval::core

@@ -1,0 +1,79 @@
+#include "core/scorecard.hpp"
+
+#include <stdexcept>
+
+namespace idseval::core {
+
+Scorecard::Scorecard(std::string product_name)
+    : product_(std::move(product_name)) {}
+
+void Scorecard::set(MetricId id, Score score, std::string note) {
+  entries_[id] = ScoredMetric{score, std::move(note)};
+}
+
+bool Scorecard::has(MetricId id) const { return entries_.contains(id); }
+
+const ScoredMetric& Scorecard::at(MetricId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::out_of_range("Scorecard: metric not scored: " +
+                            to_string(id));
+  }
+  return it->second;
+}
+
+std::optional<Score> Scorecard::score(MetricId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.score;
+}
+
+std::vector<MetricId> Scorecard::scored_in_class(MetricClass c) const {
+  std::vector<MetricId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (metric(id).metric_class == c) out.push_back(id);
+  }
+  return out;
+}
+
+void WeightSet::set(MetricId id, double weight) { weights_[id] = weight; }
+
+void WeightSet::add(MetricId id, double weight) { weights_[id] += weight; }
+
+double WeightSet::get(MetricId id) const {
+  const auto it = weights_.find(id);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+void WeightSet::scale(double k) {
+  for (auto& [id, w] : weights_) w *= k;
+}
+
+WeightedScores weighted_scores(const Scorecard& card,
+                               const WeightSet& weights,
+                               std::vector<MetricId>* missing) {
+  WeightedScores s;
+  for (const auto& [id, weight] : weights.weights()) {
+    if (weight == 0.0) continue;
+    const auto score = card.score(id);
+    if (!score) {
+      if (missing != nullptr) missing->push_back(id);
+      continue;
+    }
+    const double contribution = weight * static_cast<double>(score->value());
+    switch (metric(id).metric_class) {
+      case MetricClass::kLogistical:
+        s.logistical += contribution;
+        break;
+      case MetricClass::kArchitectural:
+        s.architectural += contribution;
+        break;
+      case MetricClass::kPerformance:
+        s.performance += contribution;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace idseval::core

@@ -1,0 +1,87 @@
+// Scorecards and weighted scoring — the Figure 5 computation:
+//   S_j = sum over metrics i in class j of (U_ij * W_ij)
+// with discrete unweighted scores U and flexible real weights W (negative
+// weights mark counterproductive features, §3.1).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/metric.hpp"
+
+namespace idseval::core {
+
+/// One scored metric entry: the discrete score plus the evidence note the
+/// evaluator recorded (measurement value, spec citation, ...).
+struct ScoredMetric {
+  Score score;
+  std::string note;
+};
+
+/// A product's scorecard: scores for some subset of the catalog.
+class Scorecard {
+ public:
+  explicit Scorecard(std::string product_name);
+
+  const std::string& product() const noexcept { return product_; }
+
+  void set(MetricId id, Score score, std::string note = "");
+  bool has(MetricId id) const;
+  const ScoredMetric& at(MetricId id) const;
+  std::optional<Score> score(MetricId id) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::map<MetricId, ScoredMetric>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Metrics scored within one class, in id order.
+  std::vector<MetricId> scored_in_class(MetricClass c) const;
+
+ private:
+  std::string product_;
+  std::map<MetricId, ScoredMetric> entries_;
+};
+
+/// A weighting of the metric set. Unmentioned metrics weigh 0 — they do
+/// not contribute to any requirement the procurer stated.
+class WeightSet {
+ public:
+  WeightSet() = default;
+
+  void set(MetricId id, double weight);
+  void add(MetricId id, double weight);  ///< Accumulates (Figure 6 sums).
+  double get(MetricId id) const;
+  const std::map<MetricId, double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Scales every weight by k (weighting systems are only meaningful up
+  /// to consistent scale, §3.1).
+  void scale(double k);
+
+ private:
+  std::map<MetricId, double> weights_;
+};
+
+/// Figure 5's weighted class score S_j and the overall sum.
+struct WeightedScores {
+  double logistical = 0.0;
+  double architectural = 0.0;
+  double performance = 0.0;
+
+  double total() const noexcept {
+    return logistical + architectural + performance;
+  }
+};
+
+/// Computes S_j for each class. Metrics with weights but no score are
+/// reported through `missing` (scorecards must cover what the procurer
+/// cares about); they contribute 0.
+WeightedScores weighted_scores(const Scorecard& card, const WeightSet& weights,
+                               std::vector<MetricId>* missing = nullptr);
+
+}  // namespace idseval::core

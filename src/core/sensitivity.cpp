@@ -1,0 +1,132 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace idseval::core {
+
+std::vector<std::size_t> rank_products(std::span<const Scorecard> cards,
+                                       const WeightSet& weights) {
+  std::vector<std::size_t> order(cards.size());
+  for (std::size_t i = 0; i < cards.size(); ++i) order[i] = i;
+  std::vector<double> totals(cards.size());
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    totals[i] = weighted_scores(cards[i], weights).total();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return totals[a] > totals[b];
+                   });
+  return order;
+}
+
+namespace {
+
+/// Unweighted score of `metric` for a card, 0 when unscored (consistent
+/// with weighted_scores, which contributes nothing for missing entries).
+double u_of(const Scorecard& card, MetricId metric) {
+  const auto s = card.score(metric);
+  return s ? static_cast<double>(s->value()) : 0.0;
+}
+
+}  // namespace
+
+std::optional<double> winner_flip_scale(std::span<const Scorecard> cards,
+                                        const WeightSet& weights,
+                                        MetricId metric, double max_scale) {
+  if (cards.size() < 2) return std::nullopt;
+  const double w = weights.get(metric);
+  if (w == 0.0) return std::nullopt;
+
+  const auto order = rank_products(cards, weights);
+  const Scorecard& winner = cards[order[0]];
+  const double winner_total = weighted_scores(winner, weights).total();
+  const double winner_u = u_of(winner, metric);
+
+  // Total_i(k) = base_i + (k - 1) * w * U_i  — linear in k. The winner is
+  // overtaken by challenger j at k* where the lines cross.
+  std::optional<double> best;
+  for (std::size_t idx = 1; idx < order.size(); ++idx) {
+    const Scorecard& challenger = cards[order[idx]];
+    const double challenger_total =
+        weighted_scores(challenger, weights).total();
+    const double du = u_of(challenger, metric) - winner_u;
+    const double gap = winner_total - challenger_total;  // >= 0
+    const double slope = w * du;  // challenger gain per unit k
+    if (slope == 0.0) continue;   // parallel: never crosses
+    const double k = 1.0 + gap / slope;
+    if (k < 0.0 || k > max_scale) continue;
+    if (gap == 0.0) continue;  // already tied; any perturbation flips
+    // Prefer the k closest to 1 (smallest relative change).
+    if (!best || std::abs(std::log(std::max(k, 1e-9))) <
+                     std::abs(std::log(std::max(*best, 1e-9)))) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<MetricRobustness> weight_robustness(
+    std::span<const Scorecard> cards, const WeightSet& weights,
+    double max_scale) {
+  std::vector<MetricRobustness> out;
+  for (const auto& [metric, weight] : weights.weights()) {
+    if (weight == 0.0) continue;
+    MetricRobustness entry;
+    entry.metric = metric;
+    entry.weight = weight;
+    entry.flip_scale = winner_flip_scale(cards, weights, metric, max_scale);
+    out.push_back(entry);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MetricRobustness& a, const MetricRobustness& b) {
+                     const double fa =
+                         a.flip_scale
+                             ? std::abs(std::log(std::max(*a.flip_scale,
+                                                          1e-9)))
+                             : 1e18;
+                     const double fb =
+                         b.flip_scale
+                             ? std::abs(std::log(std::max(*b.flip_scale,
+                                                          1e-9)))
+                             : 1e18;
+                     return fa < fb;
+                   });
+  return out;
+}
+
+std::string render_weight_robustness(std::span<const Scorecard> cards,
+                                     const WeightSet& weights,
+                                     double max_scale) {
+  const auto order = rank_products(cards, weights);
+  const auto robustness = weight_robustness(cards, weights, max_scale);
+
+  util::TextTable table({"Metric", "Weight", "Winner flips at", "Verdict"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kLeft});
+  table.set_title(util::cat("Decision robustness (winner: ",
+                            cards[order[0]].product(), ")"));
+  for (const auto& entry : robustness) {
+    std::string at = "-";
+    std::string verdict = "decision insensitive to this weight";
+    if (entry.flip_scale) {
+      at = util::cat(util::fmt_fixed(*entry.flip_scale, 2), "x");
+      const double log_dist = std::abs(std::log(*entry.flip_scale));
+      if (log_dist < std::log(1.5)) {
+        verdict = "FRAGILE: defend this weight explicitly";
+      } else if (log_dist < std::log(3.0)) {
+        verdict = "moderately sensitive";
+      } else {
+        verdict = "robust";
+      }
+    }
+    table.add_row({to_string(entry.metric),
+                   util::fmt_double(entry.weight, 1), at, verdict});
+  }
+  return table.render();
+}
+
+}  // namespace idseval::core

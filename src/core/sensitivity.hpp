@@ -1,0 +1,54 @@
+// Weight-robustness analysis — the paper's future-work item: "Mapping of
+// requirements to metric weights is an area where we hope to do more
+// work... as long as the weighting accurately and consistently reflects
+// the goals of the procurer's organization, the scorecard methodology
+// will work effectively" (§3.3). Because the Figure-5 total is linear in
+// every weight, we can answer exactly: how much would any single metric's
+// weight have to move before the procurement decision (the winner)
+// changes? Metrics with small flip factors are where the subjective
+// mapping must be defended hardest.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scorecard.hpp"
+
+namespace idseval::core {
+
+/// Indices into `cards`, best total first. Ties keep input order.
+std::vector<std::size_t> rank_products(std::span<const Scorecard> cards,
+                                       const WeightSet& weights);
+
+/// The smallest multiplicative change k (k >= 0, k != 1) to `metric`'s
+/// weight that changes the winner, or nullopt when no k in
+/// [0, max_scale] flips the decision. k < 1 means shrinking the weight
+/// flips it; k > 1 means growing it does.
+std::optional<double> winner_flip_scale(std::span<const Scorecard> cards,
+                                        const WeightSet& weights,
+                                        MetricId metric,
+                                        double max_scale = 100.0);
+
+/// Robustness entry for one weighted metric.
+struct MetricRobustness {
+  MetricId metric;
+  double weight = 0.0;
+  /// Flip factor; nullopt = decision insensitive to this weight within
+  /// the scanned range.
+  std::optional<double> flip_scale;
+};
+
+/// Flip factors for every non-zero-weight metric, sorted most fragile
+/// first (smallest |log(flip_scale)|); insensitive metrics last.
+std::vector<MetricRobustness> weight_robustness(
+    std::span<const Scorecard> cards, const WeightSet& weights,
+    double max_scale = 100.0);
+
+/// Renders the robustness table.
+std::string render_weight_robustness(std::span<const Scorecard> cards,
+                                     const WeightSet& weights,
+                                     double max_scale = 100.0);
+
+}  // namespace idseval::core

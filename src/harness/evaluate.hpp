@@ -1,0 +1,44 @@
+// Full product evaluation: fact-sheet scoring for the open-source
+// metrics, laboratory measurement for the performance metrics, anchor
+// autoscoring, and assembly into a complete Scorecard — the end-to-end
+// methodology of §3 run against one product in one environment.
+#pragma once
+
+#include <string>
+
+#include "core/scorecard.hpp"
+#include "harness/measure.hpp"
+#include "harness/testbed.hpp"
+#include "products/catalog.hpp"
+
+namespace idseval::harness {
+
+struct EvaluationOptions {
+  double sensitivity = 0.5;
+  std::size_t attacks_per_kind = 3;
+  /// Skip the expensive load sweeps (zero loss, lethal dose, system
+  /// throughput) — useful for quick scorecards and unit tests.
+  bool include_load_metrics = true;
+};
+
+/// The measured values backing the scorecard entries, retained so reports
+/// can show measurement evidence next to the discrete scores.
+struct Measurements {
+  RunResult detection_run;        ///< Mixed-scenario detection run.
+  double zero_loss_pps = 0.0;
+  double system_throughput_pps = 0.0;
+  std::optional<double> lethal_dose_pps;
+  double induced_latency_sec = 0.0;
+};
+
+struct Evaluation {
+  core::Scorecard card;
+  Measurements measured;
+};
+
+/// Evaluates one product in the given environment.
+Evaluation evaluate_product(const TestbedConfig& env,
+                            const products::ProductModel& model,
+                            const EvaluationOptions& options = {});
+
+}  // namespace idseval::harness

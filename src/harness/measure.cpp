@@ -1,0 +1,199 @@
+#include "harness/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace idseval::harness {
+
+using netsim::SimTime;
+
+namespace {
+
+/// Short-window config variant for load probing.
+TestbedConfig probe_config(const TestbedConfig& base, double rate_scale) {
+  TestbedConfig cfg = base;
+  cfg.rate_scale = rate_scale;
+  cfg.warmup = SimTime::from_sec(4);
+  cfg.measure = SimTime::from_sec(6);
+  cfg.drain = SimTime::from_sec(2);
+  return cfg;
+}
+
+LoadPoint probe(const TestbedConfig& base,
+                const products::ProductModel& model, double sensitivity,
+                double rate_scale) {
+  Testbed bed(probe_config(base, rate_scale), &model, sensitivity);
+  const RunResult r = bed.run_clean();
+  LoadPoint p;
+  p.rate_scale = rate_scale;
+  p.offered_pps = r.offered_pps;
+  p.tapped_pps = r.tapped_pps;
+  p.processed_pps = r.processed_pps;
+  p.loss_ratio = r.ids_loss_ratio;
+  p.failures = r.sensor_failures;
+  return p;
+}
+
+}  // namespace
+
+std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
+                                  const products::ProductModel& model,
+                                  double sensitivity,
+                                  const std::vector<double>& rate_scales) {
+  std::vector<LoadPoint> points(rate_scales.size());
+  util::ThreadPool pool;
+  pool.parallel_for(rate_scales.size(), [&](std::size_t i) {
+    points[i] = probe(base, model, sensitivity, rate_scales[i]);
+  });
+  return points;
+}
+
+double measure_zero_loss_pps(const TestbedConfig& base,
+                             const products::ProductModel& model,
+                             double sensitivity, double max_scale,
+                             double loss_epsilon, int iterations) {
+  // Establish a bracket: grow until loss appears (or max_scale reached).
+  double lo = 0.0;        // highest scale with zero loss
+  double lo_pps = 0.0;
+  double hi = 0.0;        // lowest scale with loss (0 = none found)
+  double scale = 1.0;
+  while (scale <= max_scale) {
+    const LoadPoint p = probe(base, model, sensitivity, scale);
+    if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
+      lo = scale;
+      lo_pps = p.offered_pps;
+      scale *= 2.0;
+    } else {
+      hi = scale;
+      break;
+    }
+  }
+  if (hi == 0.0 && lo < max_scale) {
+    // The doubling bracket stopped short of max_scale; probe it directly
+    // so fast products are measured at the full range, not at the last
+    // power of two.
+    const LoadPoint p = probe(base, model, sensitivity, max_scale);
+    if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
+      return p.offered_pps;
+    }
+    hi = max_scale;
+  }
+  if (hi == 0.0) return lo_pps;  // never lost anything up to max_scale
+
+  // Bisection refines the knee.
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const LoadPoint p = probe(base, model, sensitivity, mid);
+    if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
+      lo = mid;
+      lo_pps = p.offered_pps;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo_pps;
+}
+
+double measure_system_throughput_pps(const TestbedConfig& base,
+                                     const products::ProductModel& model,
+                                     double sensitivity,
+                                     double overload_scale) {
+  // "Maximal data input rate that can be processed successfully": probe a
+  // ladder of loads up to the overload scale and keep the best sustained
+  // processing rate — a single overload probe would report the *post-
+  // collapse* rate for products whose sensors die past their lethal dose.
+  double best = 0.0;
+  for (double scale : {overload_scale / 8.0, overload_scale / 4.0,
+                       overload_scale / 3.0, overload_scale * 0.4,
+                       overload_scale / 2.0, overload_scale * 0.75,
+                       overload_scale}) {
+    const LoadPoint p = probe(base, model, sensitivity, scale);
+    best = std::max(best, p.processed_pps);
+  }
+  return best;
+}
+
+std::optional<double> measure_lethal_dose_pps(
+    const TestbedConfig& base, const products::ProductModel& model,
+    double sensitivity, double max_scale) {
+  for (double scale = 2.0; scale <= max_scale; scale *= 1.6) {
+    const LoadPoint p = probe(base, model, sensitivity, scale);
+    if (p.failures > 0) return p.offered_pps;
+  }
+  return std::nullopt;
+}
+
+double measure_induced_latency_sec(const TestbedConfig& base,
+                                   const products::ProductModel& model,
+                                   double sensitivity) {
+  TestbedConfig cfg = base;
+  cfg.warmup = SimTime::from_sec(5);
+  cfg.measure = SimTime::from_sec(20);
+  cfg.drain = SimTime::from_sec(2);
+
+  Testbed with_ids(cfg, &model, sensitivity);
+  const RunResult a = with_ids.run_clean();
+  Testbed baseline(cfg, nullptr, sensitivity);
+  const RunResult b = baseline.run_clean();
+  return std::max(0.0, a.mean_delivery_latency_sec -
+                           b.mean_delivery_latency_sec);
+}
+
+std::vector<ErrorRatePoint> sensitivity_sweep(
+    const TestbedConfig& base, const products::ProductModel& model,
+    const std::vector<double>& sensitivities, std::size_t attacks_per_kind,
+    std::size_t threads) {
+  std::vector<ErrorRatePoint> points(sensitivities.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(sensitivities.size(), [&](std::size_t i) {
+    Testbed bed(base, &model, sensitivities[i]);
+    const auto scenario = attack::Scenario::mixed(
+        attacks_per_kind, SimTime::zero(), base.measure * 0.9,
+        util::hash64("sweep") ^ base.seed, base.external_hosts,
+        base.internal_hosts);
+    const RunResult r = bed.run(scenario);
+    ErrorRatePoint p;
+    p.sensitivity = sensitivities[i];
+    p.fp_ratio = r.fp_ratio;
+    p.fn_ratio = r.fn_ratio;
+    const double benign =
+        static_cast<double>(r.transactions - r.attacks);
+    p.fp_percent_of_benign =
+        benign > 0.0 ? 100.0 * static_cast<double>(r.false_alarms) / benign
+                     : 0.0;
+    p.fn_percent_of_attacks =
+        r.attacks > 0 ? 100.0 * static_cast<double>(r.missed_attacks) /
+                            static_cast<double>(r.attacks)
+                      : 0.0;
+    points[i] = p;
+  });
+  return points;
+}
+
+EqualErrorRate equal_error_rate(const std::vector<ErrorRatePoint>& sweep) {
+  EqualErrorRate eer;
+  // diff = FN% - FP%: positive at low sensitivity (missing attacks),
+  // negative at high (false alarms). The crossing is the EER.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double d0 =
+        sweep[i - 1].fn_percent_of_attacks - sweep[i - 1].fp_percent_of_benign;
+    const double d1 =
+        sweep[i].fn_percent_of_attacks - sweep[i].fp_percent_of_benign;
+    if ((d0 >= 0.0 && d1 <= 0.0) || (d0 <= 0.0 && d1 >= 0.0)) {
+      const double span = d0 - d1;
+      const double t = span == 0.0 ? 0.5 : d0 / span;
+      eer.sensitivity = sweep[i - 1].sensitivity +
+                        t * (sweep[i].sensitivity - sweep[i - 1].sensitivity);
+      const double fp0 = sweep[i - 1].fp_percent_of_benign;
+      const double fp1 = sweep[i].fp_percent_of_benign;
+      eer.error_percent = fp0 + t * (fp1 - fp0);
+      eer.found = true;
+      return eer;
+    }
+  }
+  return eer;
+}
+
+}  // namespace idseval::harness

@@ -1,0 +1,84 @@
+// Measurement procedures for the load-dependent Table 3 metrics. Each
+// procedure runs (several) testbed simulations with controlled knobs and
+// extracts one scalar the scorecard's anchor-based autoscorer consumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "products/catalog.hpp"
+
+namespace idseval::harness {
+
+/// One point of a load sweep.
+struct LoadPoint {
+  double rate_scale = 1.0;
+  double offered_pps = 0.0;
+  double tapped_pps = 0.0;
+  double processed_pps = 0.0;
+  double loss_ratio = 0.0;
+  std::uint64_t failures = 0;
+};
+
+/// Runs the profile at each rate scale (attack-free), short windows.
+std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
+                                  const products::ProductModel& model,
+                                  double sensitivity,
+                                  const std::vector<double>& rate_scales);
+
+/// Maximal Throughput with Zero Loss: the highest *network traffic
+/// level* (offered packets/sec — Table 3's "observed level of traffic")
+/// whose IDS-path loss stays under `loss_epsilon`, found by bisection
+/// over the rate scale.
+double measure_zero_loss_pps(const TestbedConfig& base,
+                             const products::ProductModel& model,
+                             double sensitivity, double max_scale = 64.0,
+                             double loss_epsilon = 1e-4, int iterations = 7);
+
+/// System Throughput (packets/sec the IDS processes successfully at
+/// saturation): processed rate under a deliberately overloading offer.
+double measure_system_throughput_pps(const TestbedConfig& base,
+                                     const products::ProductModel& model,
+                                     double sensitivity,
+                                     double overload_scale = 48.0);
+
+/// Network Lethal Dose: lowest offered pps that trips a sensor failure,
+/// searched over geometrically increasing load; nullopt if no failure up
+/// to max_scale (scores the "never failed" anchor).
+std::optional<double> measure_lethal_dose_pps(
+    const TestbedConfig& base, const products::ProductModel& model,
+    double sensitivity, double max_scale = 96.0);
+
+/// Induced Traffic Latency (seconds added to production delivery):
+/// latency with the product attached minus the no-IDS baseline.
+double measure_induced_latency_sec(const TestbedConfig& base,
+                                   const products::ProductModel& model,
+                                   double sensitivity);
+
+/// One sensitivity point of the Figure 4 error-rate sweep.
+struct ErrorRatePoint {
+  double sensitivity = 0.5;
+  double fp_ratio = 0.0;   ///< |D-A|/|T|
+  double fn_ratio = 0.0;   ///< |A-D|/|T|
+  double fp_percent_of_benign = 0.0;   ///< Of benign transactions alarmed.
+  double fn_percent_of_attacks = 0.0;  ///< Of attacks missed.
+};
+
+/// Sweeps sensitivity with a fixed mixed attack scenario.
+std::vector<ErrorRatePoint> sensitivity_sweep(
+    const TestbedConfig& base, const products::ProductModel& model,
+    const std::vector<double>& sensitivities, std::size_t attacks_per_kind,
+    std::size_t threads = 0);
+
+/// Equal Error Rate: the sensitivity where the Type I and Type II curves
+/// cross (linear interpolation between sweep points; Figure 4). Uses the
+/// percent-of-class curves, which is how EER is classically defined.
+struct EqualErrorRate {
+  double sensitivity = 0.0;
+  double error_percent = 0.0;  ///< Common error level at the crossing.
+  bool found = false;
+};
+EqualErrorRate equal_error_rate(const std::vector<ErrorRatePoint>& sweep);
+
+}  // namespace idseval::harness

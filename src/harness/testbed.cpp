@@ -1,0 +1,267 @@
+#include "harness/testbed.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::harness {
+
+using attack::AttackKind;
+using netsim::Ipv4;
+using netsim::SimTime;
+
+Testbed::Testbed(TestbedConfig config, const products::ProductModel* model,
+                 double sensitivity)
+    : config_(std::move(config)), model_(model), sensitivity_(sensitivity) {
+  build();
+}
+
+void Testbed::build() {
+  net_ = std::make_unique<netsim::Network>(sim_);
+
+  // Internal enclave: 10.0.0.x on a fast LAN.
+  for (std::size_t i = 0; i < config_.internal_hosts; ++i) {
+    const Ipv4 addr(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    netsim::LinkSpec spec;
+    spec.bandwidth_bps = 1e9;
+    spec.latency = SimTime::from_us(50);
+    spec.queue_capacity = 512;
+    netsim::Host* host =
+        net_->add_host(util::cat("node", i + 1), addr, spec,
+                       config_.host_cpu_ops_per_sec);
+    internal_.push_back(addr);
+    // Record production delivery latency for induced-latency measurement.
+    host->add_receiver([this](const netsim::Packet& p) {
+      delivery_latency_.add((sim_.now() - p.created).sec());
+    });
+  }
+
+  // External population: 198.51.100.x behind a WAN link.
+  for (std::size_t i = 0; i < config_.external_hosts; ++i) {
+    const Ipv4 addr(198, 51, 100, static_cast<std::uint8_t>(i + 1));
+    netsim::LinkSpec spec;
+    spec.bandwidth_bps = 2e8;
+    spec.latency = SimTime::from_ms(15);
+    spec.queue_capacity = 1024;
+    net_->add_external_host(util::cat("ext", i + 1), addr, spec);
+    external_.push_back(addr);
+  }
+
+  // Background traffic.
+  flowgen_ = std::make_unique<traffic::FlowGenerator>(
+      sim_, *net_, &ledger_, config_.profile,
+      util::hash64("flowgen") ^ config_.seed);
+  flowgen_->set_internal_hosts(internal_);
+  flowgen_->set_external_hosts(external_);
+  flowgen_->set_rate_scale(config_.rate_scale);
+
+  // Stream accounting for the "# simultaneous TCP streams" units.
+  net_->lan_switch().add_mirror([this](const netsim::Packet& p) {
+    if (p.tuple.proto == netsim::Protocol::kTcp) streams_.observe(p);
+  });
+  // Attack machinery.
+  emitter_ = std::make_unique<attack::AttackEmitter>(
+      sim_, *net_, ledger_, util::hash64("attacker") ^ config_.seed);
+
+  // Product under test.
+  if (model_ != nullptr) {
+    pipeline_ = std::make_unique<ids::Pipeline>(
+        sim_, *net_, model_->make_config(sensitivity_));
+    pipeline_->attach(model_->deploys_host_agents ? internal_
+                                                  : std::vector<Ipv4>{});
+  }
+}
+
+RunResult Testbed::run(const attack::Scenario& scenario) {
+  const SimTime warmup_end = config_.warmup;
+  const SimTime measure_end = warmup_end + config_.measure;
+  const SimTime drain_end = measure_end + config_.drain;
+
+  // Housekeeping ticks: bounded, so the event queue drains after the run.
+  for (SimTime t = SimTime::from_sec(1); t <= drain_end;
+       t += SimTime::from_sec(1)) {
+    sim_.schedule_at(t, [this] { streams_.expire(sim_.now()); });
+  }
+
+  // --- Phase 1: warmup. Anomaly engines learn the clean baseline. --------
+  if (pipeline_ != nullptr) pipeline_->set_learning(true);
+  flowgen_->start(measure_end);  // arrivals span warmup + measurement
+  sim_.run_until(warmup_end);
+
+  // --- Phase 2: measurement. Counters reset; attacks injected. -----------
+  if (pipeline_ != nullptr) {
+    pipeline_->set_learning(false);
+    pipeline_->reset_counters();
+  }
+  net_->reset_link_stats();
+  delivery_latency_.reset();
+  for (Ipv4 addr : internal_) {
+    net_->find_host(addr)->begin_accounting(sim_.now());
+  }
+
+  // Scenario steps are relative to measurement start.
+  attack::Scenario shifted;
+  for (attack::ScenarioStep step : scenario.steps()) {
+    step.when += warmup_end;
+    shifted.add_step(step);
+  }
+  shifted.run(*emitter_, external_, internal_);
+
+  sim_.run_until(measure_end);
+  for (Ipv4 addr : internal_) {
+    net_->find_host(addr)->end_accounting(sim_.now());
+  }
+
+  // --- Phase 3: drain. Let queued analysis and notifications complete. ---
+  sim_.run_until(drain_end);
+
+  return collect(&shifted, warmup_end, measure_end);
+}
+
+RunResult Testbed::run_clean() {
+  return run(attack::Scenario{});
+}
+
+RunResult Testbed::collect(const attack::Scenario* scenario,
+                           SimTime measure_start, SimTime measure_end) {
+  RunResult r;
+  r.product = model_ != nullptr ? model_->name : "baseline";
+  r.sensitivity = sensitivity_;
+  const double window_sec = (measure_end - measure_start).sec();
+
+  // --- Confusion over transactions that began in the window --------------
+  std::unordered_set<std::uint64_t> alerted;
+  if (pipeline_ != nullptr) {
+    for (const auto flow : pipeline_->monitor().alerted_flows()) {
+      if (flow != 0) alerted.insert(flow);
+    }
+  }
+  // Firewall-suppressed attacks: launched after their source was blocked.
+  std::vector<ids::BlockEvent> blocks;
+  if (pipeline_ != nullptr && pipeline_->console() != nullptr) {
+    blocks = pipeline_->console()->block_events();
+  }
+  const auto was_prevented = [&blocks](const traffic::Transaction& t) {
+    for (const ids::BlockEvent& b : blocks) {
+      if (t.tuple.src_ip == b.source && t.start >= b.effective_at) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const traffic::Transaction* t : ledger_.all()) {
+    if (t->start < measure_start || t->start >= measure_end) continue;
+    ++r.transactions;
+    const bool is_attack = t->is_attack;
+    const bool was_alerted = alerted.contains(t->flow_id);
+    if (is_attack) {
+      ++r.attacks;
+      auto& outcome =
+          r.per_kind[static_cast<AttackKind>(t->attack_kind)];
+      ++outcome.launched;
+      if (was_alerted) {
+        ++r.true_detections;
+        ++outcome.detected;
+      } else if (was_prevented(*t)) {
+        ++r.prevented_attacks;
+        ++outcome.prevented;
+      } else {
+        ++r.missed_attacks;
+      }
+    } else if (was_alerted) {
+      ++r.false_alarms;
+    }
+  }
+  r.detected = r.true_detections + r.false_alarms;
+  if (r.transactions > 0) {
+    r.fp_ratio = static_cast<double>(r.false_alarms) /
+                 static_cast<double>(r.transactions);
+    r.fn_ratio = static_cast<double>(r.missed_attacks) /
+                 static_cast<double>(r.transactions);
+  }
+
+  // --- Timeliness ---------------------------------------------------------
+  if (pipeline_ != nullptr) {
+    util::RunningStats timeliness;
+    for (const ids::Alert& alert : pipeline_->monitor().log()) {
+      if (alert.flow_id == 0) continue;
+      const traffic::Transaction* t = ledger_.find(alert.flow_id);
+      if (t == nullptr || !t->is_attack) continue;
+      timeliness.add((alert.raised - t->start).sec());
+    }
+    r.timeliness_mean_sec = timeliness.mean();
+    r.timeliness_max_sec = timeliness.max();
+  }
+
+  // --- Load / loss ---------------------------------------------------------
+  const netsim::LinkStats up = net_->aggregate_uplink_stats();
+  r.offered_pps =
+      static_cast<double>(up.offered_packets) / std::max(1e-9, window_sec);
+  if (pipeline_ != nullptr) {
+    const ids::PipelineTotals totals = pipeline_->totals();
+    r.tapped_pps = static_cast<double>(totals.packets_tapped) /
+                   std::max(1e-9, window_sec);
+    // Primary analysis path: the network-sensor fleet when one exists,
+    // otherwise the host-agent fleet (hybrids would double-count).
+    const std::uint64_t primary_processed =
+        totals.network_processed > 0 ? totals.network_processed
+                                     : totals.agent_processed;
+    r.processed_pps = static_cast<double>(primary_processed) /
+                      std::max(1e-9, window_sec);
+    r.ids_loss_ratio = totals.ids_loss_ratio();
+    r.sensor_failures = totals.sensor_failures + totals.sensors_down;
+    r.alerts_raised = totals.alerts;
+
+    // Storage per MB of tapped traffic.
+    std::uint64_t stored = 0;
+    for (const auto& a : pipeline_->analyzers()) {
+      stored += a->stats().bytes_stored;
+    }
+    // Sensors do not track bytes; the switch saw what the uplinks carried.
+    const std::uint64_t tapped_bytes = up.delivered_bytes;
+    if (tapped_bytes > 0) {
+      r.storage_bytes_per_mb = static_cast<double>(stored) /
+                               (static_cast<double>(tapped_bytes) / 1e6);
+    }
+
+    if (pipeline_->console() != nullptr) {
+      r.firewall_blocks = pipeline_->console()->stats().blocks_issued;
+      r.snmp_traps = pipeline_->console()->stats().snmp_traps;
+      // Judge each generated filter: what did the block actually stop?
+      for (const ids::BlockEvent& block :
+           pipeline_->console()->block_events()) {
+        for (const traffic::Transaction* t : ledger_.all()) {
+          if (t->tuple.src_ip != block.source) continue;
+          if (t->start < block.effective_at) continue;
+          if (t->is_attack) {
+            ++r.post_block_attacks_suppressed;
+          } else {
+            ++r.post_block_benign_collateral;
+          }
+        }
+      }
+    }
+  }
+
+  r.peak_concurrent_streams = streams_.peak_streams();
+  r.total_streams = streams_.total_streams_seen();
+
+  // --- Production latency --------------------------------------------------
+  r.mean_delivery_latency_sec = delivery_latency_.mean();
+  r.p99_delivery_latency_sec =
+      delivery_latency_.mean() + 3.0 * delivery_latency_.stddev();
+
+  // --- Host impact -----------------------------------------------------------
+  util::RunningStats host_cpu;
+  for (Ipv4 addr : internal_) {
+    host_cpu.add(net_->find_host(addr)->ids_cpu_fraction());
+  }
+  r.max_host_ids_cpu = host_cpu.max();
+  r.mean_host_ids_cpu = host_cpu.mean();
+
+  (void)scenario;
+  return r;
+}
+
+}  // namespace idseval::harness

@@ -1,0 +1,15 @@
+#include "ids/alert.hpp"
+
+namespace idseval::ids {
+
+std::string to_string(DetectionMethod m) {
+  switch (m) {
+    case DetectionMethod::kSignature:
+      return "signature";
+    case DetectionMethod::kAnomaly:
+      return "anomaly";
+  }
+  return "?";
+}
+
+}  // namespace idseval::ids

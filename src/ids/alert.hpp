@@ -1,0 +1,52 @@
+// Detection and alert records flowing through the IDS pipeline:
+// Sensor -> Detection -> Analyzer -> ThreatReport -> Monitor -> Alert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/address.hpp"
+#include "netsim/sim_time.hpp"
+
+namespace idseval::ids {
+
+enum class DetectionMethod : std::uint8_t { kSignature, kAnomaly };
+
+std::string to_string(DetectionMethod m);
+
+/// Raw sensor finding: suspicious traffic separated from normal (§2.2
+/// subprocess 2).
+struct Detection {
+  std::uint64_t flow_id = 0;
+  netsim::FiveTuple tuple;
+  netsim::SimTime when;          ///< Sensor processing completion time.
+  std::string rule;              ///< Rule name or anomaly feature.
+  double confidence = 1.0;       ///< 0..1.
+  int severity = 1;              ///< 1..5 (rule's base severity).
+  DetectionMethod method = DetectionMethod::kSignature;
+};
+
+/// Analyzer verdict on one or more correlated detections (subprocess 3).
+struct ThreatReport {
+  Detection primary;
+  int correlated_count = 1;      ///< Detections merged into this threat.
+  int severity = 1;              ///< Possibly escalated by correlation.
+  netsim::SimTime when;          ///< Analyzer completion time.
+};
+
+/// Operator-visible alert (subprocess 4).
+struct Alert {
+  std::uint64_t id = 0;
+  std::uint64_t flow_id = 0;
+  netsim::FiveTuple tuple;
+  netsim::SimTime detected;      ///< Sensor time.
+  netsim::SimTime raised;        ///< Monitor notification time.
+  std::string rule;
+  double confidence = 1.0;
+  int severity = 1;
+  DetectionMethod method = DetectionMethod::kSignature;
+  int correlated_count = 1;
+};
+
+}  // namespace idseval::ids

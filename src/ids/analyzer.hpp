@@ -1,0 +1,80 @@
+// Analysis subprocess (§2.2, subprocess 3): determines the nature and
+// threat of suspicious traffic. Performs primary analysis (severity) and
+// second-order correlation (scope/intent: multiple detections on one flow
+// or one offender merge and escalate). Stores historical context — the
+// paper's Data Storage metric is the growth rate of that store.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "ids/alert.hpp"
+#include "netsim/simulator.hpp"
+
+namespace idseval::ids {
+
+struct AnalyzerConfig {
+  std::string name = "analyzer";
+  /// Abstract ops per detection analyzed (service-time model).
+  double ops_per_detection = 50000.0;
+  double ops_per_sec = 2e8;
+  /// Extra hop delay when sensing and analysis are separated onto
+  /// different boxes (§2.2: "separation adds network overhead").
+  netsim::SimTime transfer_delay = netsim::SimTime::zero();
+  /// Detections on the same flow within this window merge into one
+  /// threat; repeated offender activity escalates severity.
+  netsim::SimTime correlation_window = netsim::SimTime::from_sec(10);
+  /// Escalate severity when an offender accumulates this many distinct
+  /// rules in the window (threat correlation capability).
+  int escalation_rule_count = 3;
+  /// Bytes of historical context retained per detection (Data Storage).
+  std::size_t bytes_per_detection = 512;
+};
+
+struct AnalyzerStats {
+  std::uint64_t detections_in = 0;
+  std::uint64_t reports_out = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t bytes_stored = 0;
+};
+
+class Analyzer {
+ public:
+  using ReportFn = std::function<void(const ThreatReport&)>;
+
+  Analyzer(netsim::Simulator& sim, AnalyzerConfig config);
+
+  void set_on_report(ReportFn fn) { on_report_ = std::move(fn); }
+
+  /// Receives a detection from a sensor (already timestamped by it).
+  void submit(const Detection& detection);
+
+  const AnalyzerConfig& config() const noexcept { return config_; }
+  const AnalyzerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = AnalyzerStats{}; }
+
+ private:
+  void analyze(const Detection& detection);
+
+  struct FlowState {
+    netsim::SimTime last_report;
+    int count = 0;
+  };
+  struct OffenderState {
+    std::deque<std::pair<netsim::SimTime, std::uint64_t>> rule_hits;
+  };
+
+  netsim::Simulator& sim_;
+  AnalyzerConfig config_;
+  ReportFn on_report_;
+  AnalyzerStats stats_;
+  netsim::SimTime busy_until_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+  std::unordered_map<std::uint32_t, OffenderState> offenders_;
+};
+
+}  // namespace idseval::ids

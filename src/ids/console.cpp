@@ -1,0 +1,78 @@
+#include "ids/console.hpp"
+
+#include <algorithm>
+
+namespace idseval::ids {
+
+std::string to_string(ReactionAction a) {
+  switch (a) {
+    case ReactionAction::kLogOnly:
+      return "log-only";
+    case ReactionAction::kNotifyOperator:
+      return "notify";
+    case ReactionAction::kSnmpTrap:
+      return "snmp-trap";
+    case ReactionAction::kBlockSource:
+      return "block-source";
+    case ReactionAction::kRedirectHoneypot:
+      return "redirect-honeypot";
+  }
+  return "?";
+}
+
+ManagementConsole::ManagementConsole(netsim::Simulator& sim,
+                                     ConsoleConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+void ManagementConsole::on_alert(const Alert& alert) {
+  ++stats_.alerts_in;
+  for (const PolicyRule& rule : config_.policy) {
+    if (alert.severity >= rule.min_severity &&
+        alert.confidence >= rule.min_confidence) {
+      react(alert, rule.action);
+    }
+  }
+}
+
+void ManagementConsole::react(const Alert& alert, ReactionAction action) {
+  switch (action) {
+    case ReactionAction::kLogOnly:
+      break;
+    case ReactionAction::kNotifyOperator:
+      ++stats_.notifications;
+      break;
+    case ReactionAction::kSnmpTrap:
+      if (config_.can_snmp) ++stats_.snmp_traps;
+      break;
+    case ReactionAction::kRedirectHoneypot:
+      if (config_.can_redirect_router) ++stats_.redirects;
+      break;
+    case ReactionAction::kBlockSource: {
+      if (!config_.can_block_firewall || switch_ == nullptr) break;
+      const netsim::Ipv4 offender = alert.tuple.src_ip;
+      if (std::find(blocked_.begin(), blocked_.end(), offender) !=
+          blocked_.end()) {
+        break;
+      }
+      blocked_.push_back(offender);
+      ++stats_.blocks_issued;
+      block_events_.push_back(
+          BlockEvent{offender, sim_.now() + config_.reaction_delay});
+      sim_.schedule_in(config_.reaction_delay, [this, offender] {
+        if (switch_ != nullptr) switch_->block_source(offender);
+      });
+      break;
+    }
+  }
+}
+
+std::vector<PolicyRule> default_policy() {
+  return {
+      PolicyRule{5, 0.6, ReactionAction::kBlockSource},
+      PolicyRule{4, 0.0, ReactionAction::kSnmpTrap},
+      PolicyRule{3, 0.0, ReactionAction::kNotifyOperator},
+      PolicyRule{1, 0.0, ReactionAction::kLogOnly},
+  };
+}
+
+}  // namespace idseval::ids

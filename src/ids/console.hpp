@@ -1,0 +1,98 @@
+// Managing subprocess (§2.2, subprocess 5): the optional management
+// console. Maps threats to automated reactions through a security policy
+// — firewall block-list updates, router redirects, SNMP traps — which is
+// the near-real-time automated response the paper says real-time systems
+// must weight heavily (§3.3). Policy quality matters: over-broad blocking
+// locks out legitimate users ("faulty policy risks shutting out
+// legitimate users").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ids/alert.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/switch.hpp"
+
+namespace idseval::ids {
+
+enum class ReactionAction : std::uint8_t {
+  kLogOnly,
+  kNotifyOperator,
+  kSnmpTrap,          ///< SNMP Interaction metric.
+  kBlockSource,       ///< Firewall Interaction metric.
+  kRedirectHoneypot,  ///< Router Interaction metric.
+};
+
+std::string to_string(ReactionAction a);
+
+/// One policy line: alerts at or above `min_severity` (and at or above
+/// `min_confidence`) trigger `action`.
+struct PolicyRule {
+  int min_severity = 4;
+  double min_confidence = 0.0;
+  ReactionAction action = ReactionAction::kBlockSource;
+};
+
+struct ConsoleConfig {
+  std::string name = "console";
+  /// Delay from alert to the external device accepting the change.
+  netsim::SimTime reaction_delay = netsim::SimTime::from_ms(500);
+  bool can_block_firewall = true;
+  bool can_snmp = true;
+  bool can_redirect_router = false;
+  std::vector<PolicyRule> policy;
+};
+
+/// One firewall block decision, retained with its effective time so the
+/// harness can judge the generated filter: did it stop the attack without
+/// shutting out legitimate users (§2.2)?
+struct BlockEvent {
+  netsim::Ipv4 source;
+  netsim::SimTime effective_at;
+};
+
+struct ConsoleStats {
+  std::uint64_t alerts_in = 0;
+  std::uint64_t blocks_issued = 0;
+  std::uint64_t snmp_traps = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t notifications = 0;
+};
+
+class ManagementConsole {
+ public:
+  ManagementConsole(netsim::Simulator& sim, ConsoleConfig config);
+
+  /// Attaches the firewall-capable switch reactions act on.
+  void attach_switch(netsim::Switch* sw) noexcept { switch_ = sw; }
+
+  void on_alert(const Alert& alert);
+
+  const ConsoleConfig& config() const noexcept { return config_; }
+  const ConsoleStats& stats() const noexcept { return stats_; }
+  const std::vector<netsim::Ipv4>& blocked_sources() const noexcept {
+    return blocked_;
+  }
+  const std::vector<BlockEvent>& block_events() const noexcept {
+    return block_events_;
+  }
+
+ private:
+  void react(const Alert& alert, ReactionAction action);
+
+  netsim::Simulator& sim_;
+  ConsoleConfig config_;
+  netsim::Switch* switch_ = nullptr;
+  ConsoleStats stats_;
+  std::vector<netsim::Ipv4> blocked_;
+  std::vector<BlockEvent> block_events_;
+};
+
+/// A sensible default policy: critical threats block at the firewall,
+/// high severity sends SNMP traps, everything else is logged.
+std::vector<PolicyRule> default_policy();
+
+}  // namespace idseval::ids

@@ -1,0 +1,110 @@
+#include "ids/load_balancer.hpp"
+
+#include <algorithm>
+
+#include "ids/sensor.hpp"
+
+namespace idseval::ids {
+
+using netsim::Packet;
+using netsim::SimTime;
+
+std::string to_string(LbStrategy s) {
+  switch (s) {
+    case LbStrategy::kNone:
+      return "none";
+    case LbStrategy::kStaticByHost:
+      return "static-by-host";
+    case LbStrategy::kFlowHash:
+      return "flow-hash";
+    case LbStrategy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+double LoadBalancerStats::imbalance() const {
+  if (per_sensor.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const auto c : per_sensor) {
+    total += c;
+    peak = std::max(peak, c);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(per_sensor.size());
+  return static_cast<double>(peak) / mean;
+}
+
+LoadBalancer::LoadBalancer(netsim::Simulator& sim, LoadBalancerConfig config,
+                           std::size_t sensor_count)
+    : sim_(sim),
+      config_(std::move(config)),
+      sensor_count_(std::max<std::size_t>(1, sensor_count)) {
+  stats_.per_sensor.assign(sensor_count_, 0);
+}
+
+SimTime LoadBalancer::service_time() const noexcept {
+  return SimTime::from_sec(config_.ops_per_packet /
+                           std::max(1.0, config_.ops_per_sec));
+}
+
+std::size_t LoadBalancer::route(const Packet& packet) {
+  switch (config_.strategy) {
+    case LbStrategy::kNone:
+      return 0;
+    case LbStrategy::kStaticByHost:
+      // Placement by destination host: uneven when traffic concentrates
+      // on a few servers — exactly the "individual, statically placed
+      // sensors may overload or starve" failure mode (§2.2).
+      return packet.tuple.dst_ip.value() % sensor_count_;
+    case LbStrategy::kFlowHash: {
+      const netsim::FiveTuple canon = packet.tuple.canonical();
+      return netsim::FiveTupleHash{}(canon) % sensor_count_;
+    }
+    case LbStrategy::kLeastLoaded: {
+      // Session-consistent: a pinned flow stays put; new flows go to the
+      // sensor with the shortest queue right now.
+      const auto it = flow_pin_.find(packet.flow_id);
+      if (it != flow_pin_.end()) return it->second;
+      std::size_t best = 0;
+      std::size_t best_depth = SIZE_MAX;
+      for (std::size_t i = 0; i < sensors_.size(); ++i) {
+        const std::size_t depth = sensors_[i]->queue_depth();
+        if (depth < best_depth) {
+          best_depth = depth;
+          best = i;
+        }
+      }
+      flow_pin_.emplace(packet.flow_id, best);
+      return best;
+    }
+  }
+  return 0;
+}
+
+void LoadBalancer::ingest(const Packet& packet) {
+  ++stats_.offered;
+  if (queued_ >= config_.queue_capacity) {
+    ++stats_.dropped;
+    return;
+  }
+  ++queued_;
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + service_time();
+  sim_.schedule_at(busy_until_, [this, packet] {
+    --queued_;
+    const std::size_t idx = route(packet);
+    ++stats_.forwarded;
+    ++stats_.per_sensor[idx];
+    if (forward_) forward_(idx, packet);
+  });
+}
+
+void LoadBalancer::reset_stats() {
+  stats_ = LoadBalancerStats{};
+  stats_.per_sensor.assign(sensor_count_, 0);
+}
+
+}  // namespace idseval::ids

@@ -1,0 +1,130 @@
+#include "ids/monitor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace idseval::ids {
+
+Monitor::Monitor(netsim::Simulator& sim, MonitorConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+void Monitor::submit(const ThreatReport& report) {
+  ++stats_.reports_in;
+  if (report.severity < config_.min_severity) {
+    ++stats_.suppressed_severity;
+    return;
+  }
+  const auto prior = alerted_severity_.find(report.primary.flow_id);
+  if (prior != alerted_severity_.end() &&
+      report.severity <= prior->second) {
+    ++stats_.suppressed_duplicate;
+    return;
+  }
+  alerted_flows_.insert(report.primary.flow_id);
+  alerted_severity_[report.primary.flow_id] = report.severity;
+
+  Alert alert;
+  alert.id = ++next_alert_id_;
+  alert.flow_id = report.primary.flow_id;
+  alert.tuple = report.primary.tuple;
+  alert.detected = report.primary.when;
+  alert.raised = sim_.now() + config_.notification_delay;
+  alert.rule = report.primary.rule;
+  alert.confidence = report.primary.confidence;
+  alert.severity = report.severity;
+  alert.method = report.primary.method;
+  alert.correlated_count = report.correlated_count;
+
+  sim_.schedule_at(alert.raised, [this, alert] {
+    ++stats_.alerts_raised;
+    log_.push_back(alert);
+    if (on_alert_) on_alert_(alert);
+  });
+}
+
+std::vector<Alert> Monitor::alerts_from(netsim::Ipv4 offender) const {
+  std::vector<Alert> out;
+  for (const Alert& a : log_) {
+    if (a.tuple.src_ip == offender) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Alert> Monitor::alerts_at_least(int severity) const {
+  std::vector<Alert> out;
+  for (const Alert& a : log_) {
+    if (a.severity >= severity) out.push_back(a);
+  }
+  return out;
+}
+
+std::string Monitor::render_report(netsim::SimTime window_start,
+                                   netsim::SimTime window_end,
+                                   std::size_t trend_buckets) const {
+  std::ostringstream out;
+  out << "=== " << config_.name << " threat summary ("
+      << window_start.to_string() << " .. " << window_end.to_string()
+      << ") ===\n";
+
+  std::size_t in_window = 0;
+  std::map<int, std::size_t> by_severity;
+  std::map<std::string, std::size_t> by_method;
+  std::map<std::uint32_t, std::size_t> by_offender;
+  std::vector<std::size_t> trend(std::max<std::size_t>(1, trend_buckets), 0);
+  const double span = std::max(1e-9, (window_end - window_start).sec());
+
+  for (const Alert& a : log_) {
+    if (a.raised < window_start || a.raised >= window_end) continue;
+    ++in_window;
+    ++by_severity[a.severity];
+    ++by_method[to_string(a.method)];
+    ++by_offender[a.tuple.src_ip.value()];
+    auto bucket = static_cast<std::size_t>(
+        (a.raised - window_start).sec() / span *
+        static_cast<double>(trend.size()));
+    if (bucket >= trend.size()) bucket = trend.size() - 1;
+    ++trend[bucket];
+  }
+
+  out << "alerts: " << in_window << "\n";
+  out << "by severity:";
+  for (int sev = 5; sev >= 1; --sev) {
+    out << "  S" << sev << "=" << by_severity[sev];
+  }
+  out << "\nby method:";
+  for (const auto& [method, count] : by_method) {
+    out << "  " << method << "=" << count;
+  }
+  out << "\n";
+
+  // Top offenders (descending count, top 5).
+  std::vector<std::pair<std::uint32_t, std::size_t>> offenders(
+      by_offender.begin(), by_offender.end());
+  std::sort(offenders.begin(), offenders.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "top offenders:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, offenders.size());
+       ++i) {
+    out << "  " << netsim::Ipv4(offenders[i].first).to_string() << "  "
+        << offenders[i].second << " alerts\n";
+  }
+
+  // Trend: alert counts per bucket (the Trend Analysis metric's view).
+  out << "trend:";
+  for (const std::size_t count : trend) out << ' ' << count;
+  out << "\n";
+  return out.str();
+}
+
+void Monitor::clear() {
+  log_.clear();
+  alerted_flows_.clear();
+  alerted_severity_.clear();
+  stats_ = MonitorStats{};
+}
+
+}  // namespace idseval::ids

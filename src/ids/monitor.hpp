@@ -1,0 +1,84 @@
+// Monitoring subprocess (§2.2, subprocess 4): operator visibility into
+// the threat. The monitor owns the alert log (the evaluation harness's
+// view of D, the detected-intrusion set), applies the display severity
+// floor, and models operator-notification latency — the tail of the
+// paper's Timeliness metric (intrusion occurrence -> operator report).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ids/alert.hpp"
+#include "netsim/simulator.hpp"
+
+namespace idseval::ids {
+
+struct MonitorConfig {
+  std::string name = "monitor";
+  /// Console/GUI refresh + operator notification path delay.
+  netsim::SimTime notification_delay = netsim::SimTime::from_ms(200);
+  /// Threats below this severity are logged but not raised to the
+  /// operator (tuning "according to the traffic patterns of the protected
+  /// network" — §2.2's alert-fatigue discussion).
+  int min_severity = 1;
+};
+
+struct MonitorStats {
+  std::uint64_t reports_in = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t suppressed_severity = 0;
+  std::uint64_t suppressed_duplicate = 0;
+};
+
+class Monitor {
+ public:
+  using AlertFn = std::function<void(const Alert&)>;
+
+  Monitor(netsim::Simulator& sim, MonitorConfig config);
+
+  void set_on_alert(AlertFn fn) { on_alert_ = std::move(fn); }
+
+  void submit(const ThreatReport& report);
+
+  const std::vector<Alert>& log() const noexcept { return log_; }
+  const MonitorConfig& config() const noexcept { return config_; }
+  const MonitorStats& stats() const noexcept { return stats_; }
+
+  /// Set of flow ids with at least one raised alert — the D in Figure 3.
+  const std::unordered_set<std::uint64_t>& alerted_flows() const noexcept {
+    return alerted_flows_;
+  }
+
+  void clear();
+
+  /// Operator-facing threat summary (the monitoring subprocess's "view of
+  /// the threat ... graphical or textual, with some historical querying
+  /// ability", §2.2): alert counts by severity and detection method, top
+  /// offending sources, and an alert-rate trend over fixed buckets.
+  std::string render_report(netsim::SimTime window_start,
+                            netsim::SimTime window_end,
+                            std::size_t trend_buckets = 10) const;
+
+  /// Historical query: alerts involving `offender` as source.
+  std::vector<Alert> alerts_from(netsim::Ipv4 offender) const;
+  /// Historical query: alerts with severity >= floor.
+  std::vector<Alert> alerts_at_least(int severity) const;
+
+ private:
+  netsim::Simulator& sim_;
+  MonitorConfig config_;
+  AlertFn on_alert_;
+  MonitorStats stats_;
+  std::vector<Alert> log_;
+  std::unordered_set<std::uint64_t> alerted_flows_;
+  /// Highest severity already raised per flow: an escalated threat on an
+  /// already-alerted flow is raised again, lower/equal ones are duplicate.
+  std::unordered_map<std::uint64_t, int> alerted_severity_;
+  std::uint64_t next_alert_id_ = 0;
+};
+
+}  // namespace idseval::ids

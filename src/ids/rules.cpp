@@ -1,0 +1,69 @@
+#include "ids/rules.hpp"
+
+#include "attack/patterns.hpp"
+
+namespace idseval::ids {
+
+namespace pat = attack::patterns;
+namespace ports = netsim::ports;
+using netsim::Protocol;
+using netsim::SimTime;
+
+RuleSet standard_rule_set() {
+  RuleSet rules;
+
+  // --- High-confidence published exploit content -------------------------
+  // Both grant remote command execution: critical severity, so the
+  // default reaction policy blocks the offender at the firewall.
+  rules.patterns.push_back(PatternRule{
+      "WEB-IIS dir traversal", std::string(pat::kDirTraversal),
+      ports::kHttp, Protocol::kTcp, 5, 0.98});
+  rules.patterns.push_back(PatternRule{
+      "WEB-IIS cmd.exe access", std::string(pat::kCmdExe), ports::kHttp,
+      Protocol::kTcp, 5, 0.98});
+  rules.patterns.push_back(PatternRule{
+      "SHELLCODE x86 NOP sled", std::string(pat::kNopSled), std::nullopt,
+      std::nullopt, 5, 0.95});
+  rules.patterns.push_back(PatternRule{
+      "ATTACK-RESPONSES shell invoke", std::string(pat::kShellInvoke),
+      std::nullopt, std::nullopt, 4, 0.85});
+  rules.patterns.push_back(PatternRule{
+      "VIRUS mail worm subject", std::string(pat::kWormSubject),
+      ports::kSmtp, Protocol::kTcp, 4, 0.97});
+  rules.patterns.push_back(PatternRule{
+      "VIRUS vbs attachment", std::string(pat::kWormAttachment),
+      ports::kSmtp, Protocol::kTcp, 4, 0.95});
+  rules.patterns.push_back(PatternRule{
+      "TELNET login failed", std::string(pat::kLoginFailed),
+      ports::kTelnet, Protocol::kTcp, 2, 0.75});
+
+  // --- Weak rules: also present in legitimate admin traffic --------------
+  // These buy recall at the cost of Type I errors; whether they fire is
+  // exactly what the Adjustable Sensitivity metric tunes.
+  rules.patterns.push_back(PatternRule{
+      "POLICY passwd file access", "/etc/passwd", std::nullopt,
+      std::nullopt, 3, 0.45});
+  rules.patterns.push_back(PatternRule{
+      "POLICY su to root", "su - root", std::nullopt, std::nullopt, 2,
+      0.40});
+  rules.patterns.push_back(PatternRule{
+      "TELNET root login", std::string(pat::kRootLogin), ports::kTelnet,
+      Protocol::kTcp, 3, 0.50});
+
+  // --- Threshold rules ----------------------------------------------------
+  rules.thresholds.push_back(ThresholdRule{
+      "SCAN port sweep", ThresholdFeature::kDistinctDstPorts, 40.0,
+      SimTime::from_sec(5), std::nullopt, 2, 0.92});
+  rules.thresholds.push_back(ThresholdRule{
+      "DOS syn flood", ThresholdFeature::kSynRate, 200.0,
+      SimTime::from_sec(2), std::nullopt, 3, 0.92});
+  // Long legitimate telnet sessions can cross this threshold too — a
+  // deliberate, realistic Type I source on the telnet share of traffic.
+  rules.thresholds.push_back(ThresholdRule{
+      "TELNET brute force", ThresholdFeature::kFlowPacketRate, 25.0,
+      SimTime::from_sec(10), ports::kTelnet, 3, 0.85});
+
+  return rules;
+}
+
+}  // namespace idseval::ids

@@ -1,0 +1,64 @@
+// Signature rule definitions. Two rule families cover what 2002-era
+// commercial engines shipped: payload pattern rules (content matching via
+// Aho–Corasick) and threshold rules (rate/fanout counting over sliding
+// windows — scans, floods, repeated failures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/address.hpp"
+#include "netsim/sim_time.hpp"
+
+namespace idseval::ids {
+
+/// Content rule: fires when `pattern` occurs in the payload of a packet
+/// matching the port/proto constraints.
+struct PatternRule {
+  std::string name;
+  std::string pattern;
+  std::optional<std::uint16_t> dst_port;  ///< Any port when unset.
+  std::optional<netsim::Protocol> proto;
+  int severity = 3;
+  /// How diagnostic a match is. Weak patterns (low confidence) also occur
+  /// in legitimate admin traffic — they are the signature engine's false
+  /// positive source, and the sensitivity knob decides whether they fire.
+  double confidence = 1.0;
+};
+
+enum class ThresholdFeature : std::uint8_t {
+  kDistinctDstPorts,  ///< Per source: fanout across ports (scan).
+  kSynRate,           ///< Per destination: bare-SYN arrivals (flood).
+  kFlowPacketRate,    ///< Per flow: packets in window.
+};
+
+/// Counting rule: fires when the feature's count within `window` crosses
+/// `threshold` (scaled by the engine's sensitivity).
+struct ThresholdRule {
+  std::string name;
+  ThresholdFeature feature = ThresholdFeature::kDistinctDstPorts;
+  double threshold = 50.0;
+  netsim::SimTime window = netsim::SimTime::from_sec(5);
+  std::optional<std::uint16_t> dst_port;  ///< Restrict counting to a port.
+  int severity = 2;
+  double confidence = 0.9;
+};
+
+/// A product's shipped rule database.
+struct RuleSet {
+  std::vector<PatternRule> patterns;
+  std::vector<ThresholdRule> thresholds;
+
+  std::size_t size() const noexcept {
+    return patterns.size() + thresholds.size();
+  }
+};
+
+/// The rule set a 2002-era signature vendor would ship: the published
+/// patterns from attack::patterns plus scan/flood/brute-force threshold
+/// rules and a handful of weak (FP-prone) content rules.
+RuleSet standard_rule_set();
+
+}  // namespace idseval::ids

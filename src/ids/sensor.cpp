@@ -1,0 +1,118 @@
+#include "ids/sensor.hpp"
+
+#include <algorithm>
+
+namespace idseval::ids {
+
+using netsim::Packet;
+using netsim::SimTime;
+
+std::string to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kHang:
+      return "hang";
+    case RecoveryPolicy::kColdReboot:
+      return "cold-reboot";
+    case RecoveryPolicy::kAppRestart:
+      return "app-restart";
+  }
+  return "?";
+}
+
+Sensor::Sensor(netsim::Simulator& sim, SensorConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+void Sensor::set_signature_engine(std::unique_ptr<SignatureEngine> engine) {
+  signature_ = std::move(engine);
+}
+
+void Sensor::set_anomaly_engine(std::unique_ptr<AnomalyEngine> engine) {
+  anomaly_ = std::move(engine);
+}
+
+void Sensor::set_sensitivity(double s) noexcept {
+  if (signature_) signature_->set_sensitivity(s);
+  if (anomaly_) anomaly_->set_sensitivity(s);
+}
+
+SimTime Sensor::backlog() const noexcept {
+  const SimTime now = sim_.now();
+  return busy_until_ > now ? busy_until_ - now : SimTime::zero();
+}
+
+void Sensor::ingest(const Packet& packet) {
+  ++stats_.offered;
+  if (failed_) {
+    ++stats_.dropped_failed;
+    return;
+  }
+  if (queued_ >= config_.queue_capacity) {
+    ++stats_.dropped_queue;
+    // Persistent tail-dropping with a saturated backlog is the overload
+    // condition that can kill the sensor outright ("network lethal dose").
+    if (backlog() > config_.overload_tolerance) fail_now();
+    return;
+  }
+
+  double ops = config_.base_ops_per_packet;
+  if (signature_) ops += signature_->scan_cost_ops(packet);
+  if (anomaly_) ops += anomaly_->scan_cost_ops(packet);
+  if (host_ != nullptr) host_->charge_ops(ops, /*ids_work=*/true);
+
+  const SimTime service =
+      SimTime::from_sec(ops / std::max(1.0, config_.ops_per_sec));
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + service;
+  ++queued_;
+
+  sim_.schedule_at(busy_until_, [this, packet] { complete(packet); });
+}
+
+void Sensor::complete(const Packet& packet) {
+  --queued_;
+  if (failed_) {
+    // Work in flight when the sensor died is lost.
+    ++stats_.dropped_failed;
+    return;
+  }
+  ++stats_.processed;
+
+  std::vector<Detection> detections;
+  if (signature_) signature_->process(packet, sim_.now(), detections);
+  if (anomaly_) anomaly_->process(packet, sim_.now(), detections);
+
+  stats_.detections += detections.size();
+  if (on_detection_) {
+    for (const Detection& d : detections) on_detection_(d);
+  }
+}
+
+void Sensor::fail_now() {
+  if (failed_) return;
+  failed_ = true;
+  ++stats_.failures;
+  if (on_failure_ && config_.recovery == RecoveryPolicy::kAppRestart) {
+    // High-score behaviour: the failure itself is reported in near real
+    // time through the normal notification channel.
+    on_failure_(config_.name, sim_.now(), /*failed=*/true);
+  }
+
+  if (config_.recovery == RecoveryPolicy::kHang) {
+    return;  // Low score: down for the remainder of the run.
+  }
+  const SimTime delay = config_.recovery == RecoveryPolicy::kColdReboot
+                            ? config_.reboot_delay
+                            : config_.restart_delay;
+  sim_.schedule_in(delay, [this] {
+    failed_ = false;
+    busy_until_ = sim_.now();
+    // A cold reboot loses all learned/windowed state.
+    if (config_.recovery == RecoveryPolicy::kColdReboot) {
+      if (signature_) signature_->reset_state();
+      if (anomaly_) anomaly_->reset_windows();
+    }
+    if (on_failure_) on_failure_(config_.name, sim_.now(), /*failed=*/false);
+  });
+}
+
+}  // namespace idseval::ids

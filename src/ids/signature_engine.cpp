@@ -1,0 +1,196 @@
+#include "ids/signature_engine.hpp"
+
+#include <algorithm>
+
+namespace idseval::ids {
+
+using netsim::Packet;
+using netsim::SimTime;
+
+double sensitivity_to_min_confidence(double sensitivity) noexcept {
+  const double s = std::clamp(sensitivity, 0.0, 1.0);
+  // s=0 -> 0.95 (only near-certain rules), s=1 -> 0.25 (almost anything).
+  return 0.95 - 0.70 * s;
+}
+
+double sensitivity_threshold_scale(double sensitivity) noexcept {
+  const double s = std::clamp(sensitivity, 0.0, 1.0);
+  // s=0 -> 1.6x the shipped threshold, s=0.5 -> 1.0x, s=1 -> 0.4x.
+  return 1.6 - 1.2 * s;
+}
+
+SignatureEngine::SignatureEngine(RuleSet rules,
+                                 SignatureEngineOptions options)
+    : rules_(std::move(rules)), options_(options) {
+  std::vector<std::string> patterns;
+  patterns.reserve(rules_.patterns.size());
+  for (std::size_t i = 0; i < rules_.patterns.size(); ++i) {
+    patterns.push_back(rules_.patterns[i].pattern);
+    pattern_rule_index_.push_back(i);
+  }
+  if (!patterns.empty()) {
+    matcher_ = std::make_unique<AhoCorasick>(patterns);
+  }
+}
+
+double SignatureEngine::scan_cost_ops(const Packet& packet) const noexcept {
+  // Header rule evaluation + window bookkeeping.
+  double ops = 600.0;
+  if (options_.deep_inspection && packet.payload_bytes() > 0) {
+    // One automaton transition per byte, ~12 abstract ops each; stream
+    // reassembly rescans the retained tail and pays copy costs.
+    double bytes = static_cast<double>(packet.payload_bytes());
+    if (options_.stream_reassembly) {
+      bytes += static_cast<double>(options_.reassembly_tail_bytes);
+      ops += 400.0;  // per-flow buffer management
+    }
+    ops += 12.0 * bytes;
+  }
+  return ops;
+}
+
+std::size_t SignatureEngine::reassembly_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [flow, tail] : stream_tail_) {
+    total += tail.size() + 16;
+  }
+  return total;
+}
+
+void SignatureEngine::process(const Packet& packet, SimTime now,
+                              std::vector<Detection>& out) {
+  const double min_conf =
+      sensitivity_to_min_confidence(options_.sensitivity);
+  if (options_.deep_inspection && matcher_ && packet.payload_bytes() > 0) {
+    check_patterns(packet, now, min_conf, out);
+  }
+  check_thresholds(packet, now, min_conf, out);
+}
+
+bool SignatureEngine::already_fired(std::size_t rule_tag,
+                                    std::uint64_t flow_id) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(rule_tag) << 48) ^ flow_id;
+  return !fired_.insert(key).second;
+}
+
+Detection SignatureEngine::make_detection(const Packet& packet, SimTime now,
+                                          const std::string& rule,
+                                          double confidence,
+                                          int severity) const {
+  Detection d;
+  d.flow_id = packet.flow_id;
+  d.tuple = packet.tuple;
+  d.when = now;
+  d.rule = rule;
+  d.confidence = confidence;
+  d.severity = severity;
+  d.method = DetectionMethod::kSignature;
+  return d;
+}
+
+void SignatureEngine::check_patterns(const Packet& packet, SimTime now,
+                                     double min_conf,
+                                     std::vector<Detection>& out) {
+  std::vector<std::size_t> hits;
+  if (options_.stream_reassembly) {
+    // Scan the retained tail of this flow's stream concatenated with the
+    // new payload so boundary-straddling patterns match, then retain the
+    // new tail.
+    std::string& tail = stream_tail_[packet.flow_id];
+    const std::string scan = tail + packet.payload_view();
+    hits = matcher_->find_set(scan);
+    const std::size_t keep =
+        std::min(options_.reassembly_tail_bytes, scan.size());
+    tail.assign(scan, scan.size() - keep, keep);
+  } else {
+    hits = matcher_->find_set(packet.payload_view());
+  }
+  for (const std::size_t pid : hits) {
+    const PatternRule& rule = rules_.patterns[pattern_rule_index_[pid]];
+    if (rule.confidence < min_conf) continue;
+    if (rule.dst_port && *rule.dst_port != packet.tuple.dst_port) continue;
+    if (rule.proto && *rule.proto != packet.tuple.proto) continue;
+    if (already_fired(pattern_rule_index_[pid], packet.flow_id)) continue;
+    out.push_back(make_detection(packet, now, rule.name, rule.confidence,
+                                 rule.severity));
+  }
+}
+
+void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
+                                       double min_conf,
+                                       std::vector<Detection>& out) {
+  const double scale = sensitivity_threshold_scale(options_.sensitivity);
+  for (std::size_t r = 0; r < rules_.thresholds.size(); ++r) {
+    const ThresholdRule& rule = rules_.thresholds[r];
+    if (rule.confidence < min_conf) continue;
+    if (rule.dst_port && *rule.dst_port != packet.tuple.dst_port) continue;
+    const double effective = rule.threshold * scale;
+    const std::size_t rule_tag = rules_.patterns.size() + r;
+
+    switch (rule.feature) {
+      case ThresholdFeature::kDistinctDstPorts: {
+        PortFanout& state = fanout_by_src_[packet.tuple.src_ip.value()];
+        state.last_seen[packet.tuple.dst_port] = now;
+        if (now < state.cooldown_until) break;
+        // Prune entries older than the window, then count.
+        std::erase_if(state.last_seen, [&](const auto& kv) {
+          return now - kv.second > rule.window;
+        });
+        if (static_cast<double>(state.last_seen.size()) >= effective) {
+          state.cooldown_until = now + rule.window;
+          if (!already_fired(rule_tag, packet.flow_id)) {
+            out.push_back(make_detection(packet, now, rule.name,
+                                         rule.confidence, rule.severity));
+          }
+        }
+        break;
+      }
+      case ThresholdFeature::kSynRate: {
+        if (!(packet.flags.syn && !packet.flags.ack)) break;
+        RateWindow& state = syn_by_dst_[packet.tuple.dst_ip.value()];
+        state.events.push_back(now);
+        while (!state.events.empty() &&
+               now - state.events.front() > rule.window) {
+          state.events.pop_front();
+        }
+        if (now < state.cooldown_until) break;
+        if (static_cast<double>(state.events.size()) >= effective) {
+          state.cooldown_until = now + rule.window;
+          if (!already_fired(rule_tag, packet.flow_id)) {
+            out.push_back(make_detection(packet, now, rule.name,
+                                         rule.confidence, rule.severity));
+          }
+        }
+        break;
+      }
+      case ThresholdFeature::kFlowPacketRate: {
+        RateWindow& state = rate_by_flow_[packet.flow_id];
+        state.events.push_back(now);
+        while (!state.events.empty() &&
+               now - state.events.front() > rule.window) {
+          state.events.pop_front();
+        }
+        if (now < state.cooldown_until) break;
+        if (static_cast<double>(state.events.size()) >= effective) {
+          state.cooldown_until = now + rule.window;
+          if (!already_fired(rule_tag, packet.flow_id)) {
+            out.push_back(make_detection(packet, now, rule.name,
+                                         rule.confidence, rule.severity));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void SignatureEngine::reset_state() {
+  stream_tail_.clear();
+  fanout_by_src_.clear();
+  syn_by_dst_.clear();
+  rate_by_flow_.clear();
+  fired_.clear();
+}
+
+}  // namespace idseval::ids

@@ -1,0 +1,101 @@
+// Signature-based ("knowledge-based", "misuse-based") detection engine
+// (§2.1): multi-pattern payload matching plus sliding-window threshold
+// rules. Only detects what its shipped database describes — novel attacks
+// sail through, which is the engine's structural false-negative source.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ids/aho_corasick.hpp"
+#include "ids/alert.hpp"
+#include "ids/rules.hpp"
+#include "netsim/packet.hpp"
+
+namespace idseval::ids {
+
+/// Converts the shared sensitivity knob (0..1) into the minimum rule
+/// confidence that is allowed to fire. Higher sensitivity admits weaker
+/// rules: more true detections, more Type I errors (Figure 4's x-axis).
+double sensitivity_to_min_confidence(double sensitivity) noexcept;
+/// Scales a threshold rule's trigger level: higher sensitivity lowers the
+/// bar (fires earlier).
+double sensitivity_threshold_scale(double sensitivity) noexcept;
+
+struct SignatureEngineOptions {
+  double sensitivity = 0.5;
+  /// When false the engine only evaluates header/threshold rules — the
+  /// cheap mode whose inadequacy the X3 ablation demonstrates.
+  bool deep_inspection = true;
+  /// Stream reassembly: retain the tail of each flow's byte stream and
+  /// scan it concatenated with the next payload, so patterns split across
+  /// packet boundaries (Ptacek-Newsham evasion) still match. Costs per-
+  /// flow memory and extra scan bytes — engines without it are faster and
+  /// blind to kEvasiveExploit.
+  bool stream_reassembly = false;
+  std::size_t reassembly_tail_bytes = 64;
+};
+
+class SignatureEngine {
+ public:
+  SignatureEngine(RuleSet rules, SignatureEngineOptions options);
+
+  /// Evaluates one packet; appends any detections (at most one per rule
+  /// per flow — real engines suppress duplicate alerts).
+  void process(const netsim::Packet& packet, netsim::SimTime now,
+               std::vector<Detection>& out);
+
+  void set_sensitivity(double s) noexcept { options_.sensitivity = s; }
+  double sensitivity() const noexcept { return options_.sensitivity; }
+  bool deep_inspection() const noexcept { return options_.deep_inspection; }
+
+  const RuleSet& rules() const noexcept { return rules_; }
+
+  /// Abstract CPU cost of scanning this packet (drives the sensor's
+  /// service-time model): header rules are O(1); deep inspection pays per
+  /// payload byte.
+  double scan_cost_ops(const netsim::Packet& packet) const noexcept;
+
+  /// Clears all sliding-window state (used between measurement phases).
+  void reset_state();
+
+  /// Approximate bytes of per-flow reassembly state (storage accounting).
+  std::size_t reassembly_bytes() const noexcept;
+
+ private:
+  struct PortFanout {
+    std::unordered_map<std::uint16_t, netsim::SimTime> last_seen;
+    netsim::SimTime cooldown_until;
+  };
+  struct RateWindow {
+    std::deque<netsim::SimTime> events;
+    netsim::SimTime cooldown_until;
+  };
+
+  void check_patterns(const netsim::Packet& packet, netsim::SimTime now,
+                      double min_conf, std::vector<Detection>& out);
+  void check_thresholds(const netsim::Packet& packet, netsim::SimTime now,
+                        double min_conf, std::vector<Detection>& out);
+  bool already_fired(std::size_t rule_tag, std::uint64_t flow_id);
+  Detection make_detection(const netsim::Packet& packet, netsim::SimTime now,
+                           const std::string& rule, double confidence,
+                           int severity) const;
+
+  RuleSet rules_;
+  SignatureEngineOptions options_;
+  std::unique_ptr<AhoCorasick> matcher_;
+  /// matcher pattern id -> index into rules_.patterns.
+  std::vector<std::size_t> pattern_rule_index_;
+
+  std::unordered_map<std::uint32_t, PortFanout> fanout_by_src_;
+  std::unordered_map<std::uint32_t, RateWindow> syn_by_dst_;
+  std::unordered_map<std::uint64_t, RateWindow> rate_by_flow_;
+  std::unordered_map<std::uint64_t, std::string> stream_tail_;
+  std::unordered_set<std::uint64_t> fired_;  ///< (rule_tag, flow) pairs.
+};
+
+}  // namespace idseval::ids

@@ -1,0 +1,58 @@
+#include "netsim/address.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace idseval::netsim {
+
+using util::cat;
+
+std::string Ipv4::to_string() const {
+  return cat((value_ >> 24) & 0xff, '.', (value_ >> 16) & 0xff, '.',
+             (value_ >> 8) & 0xff, '.', value_ & 0xff);
+}
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdp:
+      return "udp";
+    case Protocol::kIcmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+FiveTuple FiveTuple::canonical() const {
+  // Order endpoints so (src, dst) and (dst, src) collapse to one key.
+  if (src_ip.value() < dst_ip.value() ||
+      (src_ip == dst_ip && src_port <= dst_port)) {
+    return *this;
+  }
+  FiveTuple flipped = *this;
+  std::swap(flipped.src_ip, flipped.dst_ip);
+  std::swap(flipped.src_port, flipped.dst_port);
+  return flipped;
+}
+
+std::string FiveTuple::to_string() const {
+  return cat(src_ip.to_string(), ':', src_port, " -> ", dst_ip.to_string(),
+             ':', dst_port, " (", netsim::to_string(proto), ')');
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  // FNV-style mix over the tuple fields.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(t.src_ip.value());
+  mix(t.dst_ip.value());
+  mix(t.src_port);
+  mix(t.dst_port);
+  mix(static_cast<std::uint64_t>(t.proto));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace idseval::netsim

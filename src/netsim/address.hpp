@@ -1,0 +1,78 @@
+// Network addressing primitives: IPv4 addresses, protocol identifiers,
+// ports, and the five-tuple that keys flows and TCP streams.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace idseval::netsim {
+
+/// IPv4 address as a host-order 32-bit value with dotted-quad rendering.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  explicit constexpr Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  /// True when this address falls inside `net/prefix_len`.
+  constexpr bool in_subnet(Ipv4 net, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? ~0u : ~((1u << (32 - prefix_len)) - 1u);
+    return (value_ & mask) == (net.value_ & mask);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+std::string to_string(Protocol p);
+
+/// Well-known ports used by the payload synthesizers and signature rules.
+namespace ports {
+inline constexpr std::uint16_t kFtp = 21;
+inline constexpr std::uint16_t kSsh = 22;
+inline constexpr std::uint16_t kTelnet = 23;
+inline constexpr std::uint16_t kSmtp = 25;
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kPop3 = 110;
+inline constexpr std::uint16_t kSnmp = 161;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kClusterRpc = 7400;  // simulated RT bus
+}  // namespace ports
+
+/// Flow key: the classic 5-tuple.
+struct FiveTuple {
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol proto = Protocol::kTcp;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Canonical form ignoring direction (both directions of a TCP session
+  /// map to the same key).
+  FiveTuple canonical() const;
+
+  std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+}  // namespace idseval::netsim

@@ -1,0 +1,51 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace idseval::netsim {
+
+Link::Link(Simulator& sim, std::string name, double bandwidth_bps,
+           SimTime latency, std::size_t queue_capacity_packets)
+    : sim_(sim),
+      name_(std::move(name)),
+      bandwidth_bps_(bandwidth_bps),
+      latency_(latency),
+      queue_capacity_(queue_capacity_packets) {}
+
+SimTime Link::serialization_delay(std::uint32_t bytes) const noexcept {
+  if (bandwidth_bps_ <= 0.0) return SimTime::zero();
+  const double seconds = static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+  return SimTime::from_sec(seconds);
+}
+
+bool Link::send(const Packet& packet) {
+  ++stats_.offered_packets;
+  stats_.offered_bytes += packet.wire_bytes();
+
+  if (queued_ >= queue_capacity_) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  ++queued_;
+
+  // The transmitter serializes packets back to back; a packet begins
+  // serialization when the line frees up, then propagates for latency_.
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime tx_done = start + serialization_delay(packet.wire_bytes());
+  busy_until_ = tx_done;
+  const SimTime arrival = tx_done + latency_;
+
+  // The slot frees when serialization finishes (propagation does not hold
+  // buffer space); delivery happens one propagation delay later.
+  sim_.schedule_at(tx_done, [this] { --queued_; });
+  // Copy the packet into the closure; payload is shared, headers are small.
+  sim_.schedule_at(arrival, [this, packet] {
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += packet.wire_bytes();
+    if (deliver_) deliver_(packet);
+  });
+  return true;
+}
+
+}  // namespace idseval::netsim

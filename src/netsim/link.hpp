@@ -1,0 +1,69 @@
+// Point-to-point link with finite bandwidth, propagation latency, and a
+// bounded FIFO queue with tail drop. Links are where the performance
+// metrics become observable: induced latency, loss under load, and the
+// saturation behaviour behind "maximal throughput with zero loss" and
+// "network lethal dose" (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+
+namespace idseval::netsim {
+
+struct LinkStats {
+  std::uint64_t offered_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+
+  double drop_ratio() const noexcept {
+    return offered_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets) /
+                     static_cast<double>(offered_packets);
+  }
+};
+
+/// Unidirectional link. `deliver` is invoked in simulation time when the
+/// packet's last bit arrives at the far end.
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Link(Simulator& sim, std::string name, double bandwidth_bps,
+       SimTime latency, std::size_t queue_capacity_packets);
+
+  /// Offers a packet to the link; returns false when the queue tail-drops.
+  bool send(const Packet& packet);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  const std::string& name() const noexcept { return name_; }
+  double bandwidth_bps() const noexcept { return bandwidth_bps_; }
+  SimTime latency() const noexcept { return latency_; }
+  const LinkStats& stats() const noexcept { return stats_; }
+  std::size_t queue_depth() const noexcept { return queued_; }
+  void reset_stats() noexcept { stats_ = LinkStats{}; }
+
+  /// Serialization delay for a packet of `bytes` at this bandwidth.
+  SimTime serialization_delay(std::uint32_t bytes) const noexcept;
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  double bandwidth_bps_;
+  SimTime latency_;
+  std::size_t queue_capacity_;
+
+  DeliverFn deliver_;
+  LinkStats stats_;
+  std::size_t queued_ = 0;      ///< Packets queued or in serialization.
+  SimTime busy_until_;          ///< When the transmitter frees up.
+};
+
+}  // namespace idseval::netsim

@@ -1,0 +1,37 @@
+#include "netsim/packet.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace idseval::netsim {
+
+std::string TcpFlags::to_string() const {
+  std::string out;
+  if (syn) out += 'S';
+  if (ack) out += 'A';
+  if (fin) out += 'F';
+  if (rst) out += 'R';
+  return out.empty() ? "-" : out;
+}
+
+std::string Packet::to_string() const {
+  return util::cat('#', id, " flow=", flow_id, " t=", created.to_string(),
+                   ' ', tuple.to_string(), " [", flags.to_string(), "] ",
+                   wire_bytes(), 'B');
+}
+
+Packet make_packet(std::uint64_t id, std::uint64_t flow_id, SimTime created,
+                   const FiveTuple& tuple, std::string payload,
+                   TcpFlags flags) {
+  Packet p;
+  p.id = id;
+  p.flow_id = flow_id;
+  p.created = created;
+  p.tuple = tuple;
+  p.flags = flags;
+  if (!payload.empty()) {
+    p.payload = std::make_shared<const std::string>(std::move(payload));
+  }
+  return p;
+}
+
+}  // namespace idseval::netsim

@@ -1,0 +1,18 @@
+#include "netsim/sim_time.hpp"
+
+#include <cstdlib>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::netsim {
+
+std::string SimTime::to_string() const {
+  using util::fmt_fixed;
+  const std::int64_t a = std::llabs(ns_);
+  if (a >= 1'000'000'000) return fmt_fixed(sec(), 3) + "s";
+  if (a >= 1'000'000) return fmt_fixed(ms(), 3) + "ms";
+  if (a >= 1'000) return fmt_fixed(us(), 3) + "us";
+  return util::cat(ns_, "ns");
+}
+
+}  // namespace idseval::netsim

@@ -1,0 +1,62 @@
+// Simulation time: signed 64-bit nanosecond ticks. A distinct type (not a
+// bare integer) so packet timestamps, link latencies, and alert deadlines
+// cannot be mixed with counts by accident.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace idseval::netsim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ns(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime from_us(double us) {
+    return SimTime{static_cast<std::int64_t>(us * 1e3)};
+  }
+  static constexpr SimTime from_ms(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  static constexpr SimTime from_sec(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{INT64_MAX};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime rhs) const {
+    return SimTime{ns_ + rhs.ns_};
+  }
+  constexpr SimTime operator-(SimTime rhs) const {
+    return SimTime{ns_ - rhs.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(double k) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace idseval::netsim

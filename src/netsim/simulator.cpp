@@ -1,0 +1,43 @@
+#include "netsim/simulator.hpp"
+
+#include <utility>
+
+namespace idseval::netsim {
+
+void Simulator::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, ++seq_, std::move(cb)});
+}
+
+void Simulator::schedule_in(SimTime delay, Callback cb) {
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t ran = 0;
+  while (step(deadline)) ++ran;
+  // If we stopped because the next event is past the deadline, advance
+  // time to the deadline so subsequent scheduling is relative to it.
+  if (!queue_.empty() && queue_.top().when > deadline && now_ < deadline) {
+    now_ = deadline;
+  }
+  if (queue_.empty() && now_ < deadline && deadline < SimTime::max()) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+bool Simulator::step(SimTime deadline) {
+  if (queue_.empty()) return false;
+  if (queue_.top().when > deadline) return false;
+  // priority_queue::top() is const; move via const_cast is the standard
+  // idiom-free workaround — copy the callback instead to stay clean.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+}  // namespace idseval::netsim

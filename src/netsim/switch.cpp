@@ -1,0 +1,52 @@
+#include "netsim/switch.hpp"
+
+#include <utility>
+
+namespace idseval::netsim {
+
+Switch::Switch(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void Switch::attach(Ipv4 addr, Link* egress) {
+  routes_[addr.value()] = egress;
+}
+
+void Switch::receive(const Packet& packet) {
+  if (blocked_.contains(packet.tuple.src_ip.value())) {
+    ++stats_.blocked;
+    return;
+  }
+  // Mirrors observe traffic as it traverses the switch, before any
+  // in-line device: a SPAN copy is taken at the ingress ASIC.
+  for (const auto& mirror : mirrors_) {
+    ++stats_.mirrored;
+    mirror(packet);
+  }
+  if (inline_hook_) {
+    inline_hook_(packet, [this](const Packet& p) { forward(p); });
+  } else {
+    forward(packet);
+  }
+}
+
+void Switch::forward(const Packet& packet) {
+  const auto it = routes_.find(packet.tuple.dst_ip.value());
+  if (it == routes_.end() || it->second == nullptr) {
+    ++stats_.no_route;
+    return;
+  }
+  ++stats_.forwarded;
+  it->second->send(packet);
+}
+
+void Switch::add_mirror(MirrorFn fn) { mirrors_.push_back(std::move(fn)); }
+
+void Switch::block_source(Ipv4 addr) { blocked_.insert(addr.value()); }
+
+void Switch::unblock_source(Ipv4 addr) { blocked_.erase(addr.value()); }
+
+bool Switch::is_blocked(Ipv4 addr) const {
+  return blocked_.contains(addr.value());
+}
+
+}  // namespace idseval::netsim

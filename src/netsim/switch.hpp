@@ -1,0 +1,70 @@
+// LAN switch with forwarding, SPAN port mirroring (how passive network
+// IDS sensors see traffic), an optional in-line hook (how an in-line
+// load-balancer/IDS induces latency, §2.2), and a firewall-style block
+// list that the IDS management console manipulates in response to threats
+// ("Firewall Interaction", Table 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+
+namespace idseval::netsim {
+
+struct SwitchStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t mirrored = 0;
+};
+
+class Switch {
+ public:
+  using MirrorFn = std::function<void(const Packet&)>;
+  /// In-line hook: receives the packet and a continuation that resumes
+  /// normal forwarding; the hook may delay, drop, or forward immediately.
+  using InlineFn =
+      std::function<void(const Packet&, std::function<void(const Packet&)>)>;
+
+  explicit Switch(Simulator& sim, std::string name = "switch0");
+
+  /// Registers the egress link toward `addr`.
+  void attach(Ipv4 addr, Link* egress);
+
+  /// Ingress entry point: called when a packet arrives at the switch.
+  void receive(const Packet& packet);
+
+  /// SPAN: every forwarded packet is also copied to each mirror.
+  void add_mirror(MirrorFn fn);
+  /// Installs / clears the in-line device hook.
+  void set_inline_hook(InlineFn fn) { inline_hook_ = std::move(fn); }
+
+  /// Firewall block list manipulated by IDS consoles.
+  void block_source(Ipv4 addr);
+  void unblock_source(Ipv4 addr);
+  bool is_blocked(Ipv4 addr) const;
+  std::size_t blocked_count() const noexcept { return blocked_.size(); }
+
+  const SwitchStats& stats() const noexcept { return stats_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void forward(const Packet& packet);
+
+  Simulator& sim_;
+  std::string name_;
+  std::unordered_map<std::uint32_t, Link*> routes_;
+  std::unordered_set<std::uint32_t> blocked_;
+  std::vector<MirrorFn> mirrors_;
+  InlineFn inline_hook_;
+  SwitchStats stats_;
+};
+
+}  // namespace idseval::netsim

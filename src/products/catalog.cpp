@@ -1,0 +1,432 @@
+#include "products/catalog.hpp"
+
+#include <stdexcept>
+
+#include "ids/rules.hpp"
+
+namespace idseval::products {
+
+using ids::LbStrategy;
+using ids::PipelineConfig;
+using ids::RecoveryPolicy;
+using netsim::SimTime;
+
+namespace {
+
+ProductFacts sentry_facts() {
+  ProductFacts f;
+  f.product = "SentryNID";
+  // Logistical: solid commercial sniffer; per-node management is weak.
+  f.remote_management = RemoteManagement::kLimited;
+  f.install_steps = 8;
+  f.central_policy_editor = false;
+  f.policy_hot_reload = true;   // filter language hot-loads
+  f.policy_rollback = false;
+  f.license = LicenseModel::kPerpetualSite;
+  f.dedicated_boxes_required = 1;
+  f.documentation_score = 3;
+  f.support_score = 3;
+  f.lifetime_score = 3;
+  f.training_score = 2;
+  f.cost_score = 2;
+  f.eval_copy_score = 3;
+  f.administration_score = 2;
+  // Architectural: single powerful network sensor, excellent filters.
+  f.sensitivity = SensitivityControl::kContinuous;
+  f.data_pool = DataPoolControl::kFilterLanguage;
+  f.network_based_share = 1.0;
+  f.host_based_share = 0.0;
+  f.max_sensors = 1;
+  f.lb_strategy = LbStrategy::kNone;
+  f.signature_detection = true;
+  f.anomaly_detection = false;
+  f.host_os_security_score = 2;
+  f.interoperability_score = 2;
+  f.package_contents_score = 3;
+  f.process_security_score = 2;
+  f.visibility_score = 2;
+  // Performance capabilities.
+  f.firewall_block = false;
+  f.snmp_traps = true;
+  f.router_redirect = false;
+  f.recovery = RecoveryPolicy::kColdReboot;
+  f.compromise_analysis_score = 2;
+  f.intent_analysis_score = 1;
+  f.report_clarity_score = 3;
+  f.filter_effectiveness_score = 2;
+  f.evidence_collection_score = 3;  // packet capture heritage
+  f.information_sharing_score = 1;
+  f.notification_channels = 2;
+  f.program_interaction_score = 3;  // scriptable engine
+  f.session_playback_score = 3;
+  f.threat_correlation_score = 2;
+  f.trend_analysis_score = 2;
+  return f;
+}
+
+ProductFacts guard_facts() {
+  ProductFacts f;
+  f.product = "GuardSecure";
+  // Logistical: enterprise console is the selling point.
+  f.remote_management = RemoteManagement::kFullSecure;
+  f.install_steps = 12;
+  f.central_policy_editor = true;
+  f.policy_hot_reload = true;
+  f.policy_rollback = true;
+  f.license = LicenseModel::kAnnualPerSensor;
+  f.dedicated_boxes_required = 2;
+  f.host_cpu_budget = 0.05;  // host agents at nominal logging
+  f.documentation_score = 3;
+  f.support_score = 4;
+  f.lifetime_score = 4;
+  f.training_score = 4;
+  f.cost_score = 1;          // priciest
+  f.eval_copy_score = 2;
+  f.administration_score = 3;
+  // Architectural: hybrid host+network.
+  f.sensitivity = SensitivityControl::kCoarsePresets;
+  f.data_pool = DataPoolControl::kAddressPort;
+  f.network_based_share = 0.6;
+  f.host_based_share = 0.4;
+  f.max_sensors = 16;
+  f.lb_strategy = LbStrategy::kStaticByHost;
+  f.signature_detection = true;
+  f.anomaly_detection = false;
+  f.host_os_security_score = 3;
+  f.interoperability_score = 3;
+  f.package_contents_score = 4;
+  f.process_security_score = 3;
+  f.visibility_score = 3;
+  // Performance capabilities: strongest response story.
+  f.firewall_block = true;
+  f.snmp_traps = true;
+  f.router_redirect = false;
+  f.recovery = RecoveryPolicy::kAppRestart;
+  f.compromise_analysis_score = 3;
+  f.intent_analysis_score = 2;
+  f.report_clarity_score = 4;
+  f.filter_effectiveness_score = 3;
+  f.evidence_collection_score = 2;
+  f.information_sharing_score = 2;
+  f.notification_channels = 3;
+  f.program_interaction_score = 2;
+  f.session_playback_score = 2;
+  f.threat_correlation_score = 2;
+  f.trend_analysis_score = 3;
+  return f;
+}
+
+ProductFacts flowhunt_facts() {
+  ProductFacts f;
+  f.product = "FlowHunt";
+  // Logistical.
+  f.remote_management = RemoteManagement::kFullSecure;
+  f.install_steps = 10;
+  f.central_policy_editor = true;
+  f.policy_hot_reload = true;
+  f.policy_rollback = false;
+  f.license = LicenseModel::kAnnualPerSensor;
+  f.dedicated_boxes_required = 5;  // LB + 4 sensors
+  f.documentation_score = 2;
+  f.support_score = 3;
+  f.lifetime_score = 2;            // young vendor
+  f.training_score = 2;
+  f.cost_score = 2;
+  f.eval_copy_score = 2;
+  f.administration_score = 3;      // mostly autonomous once trained
+  // Architectural: scalable anomaly/flow analysis.
+  f.sensitivity = SensitivityControl::kContinuous;
+  f.data_pool = DataPoolControl::kAddressPort;
+  f.network_based_share = 1.0;
+  f.host_based_share = 0.0;
+  f.max_sensors = 32;
+  f.lb_strategy = LbStrategy::kLeastLoaded;
+  f.signature_detection = false;
+  f.anomaly_detection = true;
+  f.autonomous_learning = true;
+  f.host_os_security_score = 3;
+  f.interoperability_score = 2;
+  f.package_contents_score = 2;
+  f.process_security_score = 3;
+  f.visibility_score = 3;
+  // Performance capabilities: traffic-control reactions.
+  f.firewall_block = true;
+  f.snmp_traps = true;
+  f.router_redirect = true;  // honeypot redirect heritage
+  f.recovery = RecoveryPolicy::kAppRestart;
+  f.compromise_analysis_score = 2;
+  f.intent_analysis_score = 3;
+  f.report_clarity_score = 2;
+  f.filter_effectiveness_score = 3;
+  f.evidence_collection_score = 2;
+  f.information_sharing_score = 1;
+  f.notification_channels = 2;
+  f.program_interaction_score = 2;
+  f.session_playback_score = 1;
+  f.threat_correlation_score = 3;
+  f.trend_analysis_score = 3;
+  return f;
+}
+
+ProductFacts agent_facts() {
+  ProductFacts f;
+  f.product = "AgentSwarm";
+  // Logistical: research prototype economics.
+  f.remote_management = RemoteManagement::kLocalOnly;
+  f.install_steps = 25;  // build from source, per host
+  f.central_policy_editor = false;
+  f.policy_hot_reload = false;
+  f.policy_rollback = false;
+  f.license = LicenseModel::kResearchFree;
+  f.dedicated_boxes_required = 0;
+  f.host_cpu_budget = 0.20;  // C2-grade auditing on every host
+  f.documentation_score = 1;
+  f.support_score = 0;
+  f.lifetime_score = 1;
+  f.training_score = 0;
+  f.cost_score = 4;          // free
+  f.eval_copy_score = 4;     // source available
+  f.administration_score = 1;
+  // Architectural: purely host-based, every host an agent.
+  f.sensitivity = SensitivityControl::kContinuous;
+  f.data_pool = DataPoolControl::kAddressPort;
+  f.network_based_share = 0.0;
+  f.host_based_share = 1.0;
+  f.max_sensors = 64;        // agents scale with hosts
+  f.lb_strategy = LbStrategy::kNone;
+  f.signature_detection = true;
+  f.anomaly_detection = true;
+  f.autonomous_learning = true;
+  f.host_os_security_score = 1;
+  f.interoperability_score = 1;
+  f.package_contents_score = 1;
+  f.process_security_score = 3;  // mutually monitoring agents
+  f.visibility_score = 3;        // every host instrumented
+  // Performance capabilities: detection research, no response path.
+  f.firewall_block = false;
+  f.snmp_traps = false;
+  f.router_redirect = false;
+  f.recovery = RecoveryPolicy::kHang;
+  f.compromise_analysis_score = 3;  // knows exactly which host
+  f.intent_analysis_score = 2;
+  f.report_clarity_score = 1;
+  f.filter_effectiveness_score = 0;
+  f.evidence_collection_score = 2;
+  f.information_sharing_score = 2;
+  f.notification_channels = 1;
+  f.program_interaction_score = 2;
+  f.session_playback_score = 0;
+  f.threat_correlation_score = 3;
+  f.trend_analysis_score = 1;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline configurations. Capacities are chosen so the measured Table 3
+// values reproduce the expected differentiation: a single fast sniffer
+// saturates before the load-balanced fleet; host agents never stress the
+// network path but tax their hosts.
+// ---------------------------------------------------------------------------
+
+PipelineConfig sentry_config(double sensitivity) {
+  PipelineConfig c;
+  c.product = "SentryNID";
+  c.sensor_count = 1;
+  c.sensor.name = "sentry-sensor";
+  c.sensor.base_ops_per_packet = 3000.0;
+  c.sensor.ops_per_sec = 2.4e8;
+  c.sensor.queue_capacity = 4096;
+  c.sensor.overload_tolerance = SimTime::from_ms(100);
+  c.sensor.recovery = RecoveryPolicy::kColdReboot;
+  c.sensor.reboot_delay = SimTime::from_sec(40);
+  c.signature_engine = true;
+  // N-code-style engines reassemble streams: boundary-split exploits
+  // (kEvasiveExploit) do not slip past.
+  c.stream_reassembly = true;
+  c.anomaly_engine = false;
+  c.rules = ids::standard_rule_set();
+  c.analyzer_count = 1;
+  c.analyzer.name = "sentry-analyzer";
+  c.analyzer.ops_per_detection = 30000.0;
+  c.analyzer.transfer_delay = SimTime::zero();  // combined sensor/analyzer
+  c.monitor.name = "sentry-monitor";
+  c.monitor.notification_delay = SimTime::from_ms(250);
+  c.use_console = true;
+  c.console.name = "sentry-console";
+  c.console.can_block_firewall = false;
+  c.console.can_snmp = true;
+  c.console.can_redirect_router = false;
+  c.console.reaction_delay = SimTime::from_ms(400);
+  c.console.policy = ids::default_policy();
+  c.sensitivity = sensitivity;
+  return c;
+}
+
+PipelineConfig guard_config(double sensitivity) {
+  PipelineConfig c;
+  c.product = "GuardSecure";
+  c.sensor_count = 2;
+  c.sensor.name = "guard-sensor";
+  c.sensor.base_ops_per_packet = 5000.0;
+  c.sensor.ops_per_sec = 1e8;
+  c.sensor.queue_capacity = 2048;
+  c.sensor.overload_tolerance = SimTime::from_ms(120);
+  c.sensor.recovery = RecoveryPolicy::kAppRestart;
+  c.sensor.restart_delay = SimTime::from_sec(3);
+  c.signature_engine = true;
+  // Per-packet matching only — the classic stream-evasion blind spot of
+  // this product class (Ptacek-Newsham 1998).
+  c.stream_reassembly = false;
+  c.anomaly_engine = false;
+  c.rules = ids::standard_rule_set();
+  // Host agents with nominal event logging on monitored hosts.
+  c.use_host_agents = true;
+  c.agent.name = "guard-agent";
+  c.agent.logging = ids::LoggingLevel::kNominal;
+  c.agent.cpu_share = 0.10;
+  c.agent_sensor.name = "guard-agent-sensor";
+  c.agent_sensor.base_ops_per_packet = 6000.0;
+  c.agent_sensor.queue_capacity = 1024;
+  c.agent_sensor.recovery = RecoveryPolicy::kAppRestart;
+  c.analyzer_count = 1;
+  c.analyzer.name = "guard-analyzer";
+  c.analyzer.ops_per_detection = 60000.0;
+  c.analyzer.transfer_delay = SimTime::from_ms(5);  // separate console box
+  c.monitor.name = "guard-monitor";
+  c.monitor.notification_delay = SimTime::from_ms(150);
+  c.use_console = true;
+  c.console.name = "guard-console";
+  c.console.can_block_firewall = true;
+  c.console.can_snmp = true;
+  c.console.can_redirect_router = false;
+  c.console.reaction_delay = SimTime::from_ms(300);
+  c.console.policy = ids::default_policy();
+  c.sensitivity = sensitivity;
+  return c;
+}
+
+PipelineConfig flowhunt_config(double sensitivity) {
+  PipelineConfig c;
+  c.product = "FlowHunt";
+  c.use_load_balancer = true;
+  c.lb.name = "flowhunt-lb";
+  c.lb.strategy = LbStrategy::kLeastLoaded;
+  c.lb.ops_per_packet = 1200.0;
+  c.lb.ops_per_sec = 3e9;
+  c.lb.queue_capacity = 16384;
+  c.lb.in_line = true;  // traffic-control heritage: sits in the path
+  c.sensor_count = 4;
+  c.sensor.name = "flowhunt-sensor";
+  c.sensor.base_ops_per_packet = 3500.0;
+  c.sensor.ops_per_sec = 1e8;
+  c.sensor.queue_capacity = 4096;
+  c.sensor.overload_tolerance = SimTime::from_ms(200);
+  c.sensor.recovery = RecoveryPolicy::kAppRestart;
+  c.sensor.restart_delay = SimTime::from_sec(2);
+  c.signature_engine = false;
+  c.anomaly_engine = true;
+  c.anomaly.ewma_alpha = 0.05;
+  c.analyzer_count = 2;
+  c.analyzer.name = "flowhunt-analyzer";
+  c.analyzer.ops_per_detection = 80000.0;  // flow correlation is heavy
+  c.analyzer.transfer_delay = SimTime::from_ms(2);
+  c.analyzer.correlation_window = SimTime::from_sec(20);
+  c.monitor.name = "flowhunt-monitor";
+  c.monitor.notification_delay = SimTime::from_ms(300);
+  c.use_console = true;
+  c.console.name = "flowhunt-console";
+  c.console.can_block_firewall = true;
+  c.console.can_snmp = true;
+  c.console.can_redirect_router = true;
+  c.console.reaction_delay = SimTime::from_ms(200);
+  c.console.policy = ids::default_policy();
+  c.sensitivity = sensitivity;
+  return c;
+}
+
+PipelineConfig agent_config(double sensitivity) {
+  PipelineConfig c;
+  c.product = "AgentSwarm";
+  c.sensor_count = 0;  // purely host-based
+  c.signature_engine = true;
+  // Host agents read the reassembled application byte stream, so stream
+  // evasion cannot hide content from them.
+  c.stream_reassembly = true;
+  c.anomaly_engine = true;
+  c.rules = ids::standard_rule_set();
+  c.use_host_agents = true;
+  c.agent.name = "swarm-agent";
+  c.agent.logging = ids::LoggingLevel::kC2Audit;
+  c.agent.cpu_share = 0.08;
+  c.agent.report_over_network = true;
+  c.agent.report_bytes = 240;
+  c.agent_sensor.name = "swarm-agent-sensor";
+  c.agent_sensor.base_ops_per_packet = 8000.0;  // research-grade code
+  c.agent_sensor.queue_capacity = 512;
+  c.agent_sensor.overload_tolerance = SimTime::from_ms(50);
+  c.agent_sensor.recovery = RecoveryPolicy::kHang;
+  c.analyzer_count = 1;
+  c.analyzer.name = "swarm-analyzer";
+  c.analyzer.ops_per_detection = 50000.0;
+  c.analyzer.transfer_delay = SimTime::from_ms(20);  // agent gossip hops
+  c.monitor.name = "swarm-monitor";
+  c.monitor.notification_delay = SimTime::from_sec(1);  // batch reporting
+  c.use_console = false;  // research prototype: no management console
+  c.sensitivity = sensitivity;
+  return c;
+}
+
+}  // namespace
+
+std::string to_string(ProductId id) {
+  switch (id) {
+    case ProductId::kSentryNid:
+      return "SentryNID";
+    case ProductId::kGuardSecure:
+      return "GuardSecure";
+    case ProductId::kFlowHunt:
+      return "FlowHunt";
+    case ProductId::kAgentSwarm:
+      return "AgentSwarm";
+    case ProductId::kCount:
+      break;
+  }
+  throw std::invalid_argument("bad ProductId");
+}
+
+const std::vector<ProductModel>& product_catalog() {
+  static const std::vector<ProductModel> catalog = [] {
+    std::vector<ProductModel> v;
+    v.push_back({ProductId::kSentryNid, "SentryNID",
+                 "Centralized network signature sniffer with a "
+                 "programmable filter language (NFR NID 5.0's class).",
+                 sentry_facts(), sentry_config, false});
+    v.push_back({ProductId::kGuardSecure, "GuardSecure",
+                 "Console-managed hybrid host+network signature system "
+                 "with firewall response (RealSecure 5.0's class).",
+                 guard_facts(), guard_config, true});
+    v.push_back({ProductId::kFlowHunt, "FlowHunt",
+                 "Flow-anomaly engine behind a dynamic load balancer with "
+                 "router/honeypot reactions (ManHunt 1.2's class).",
+                 flowhunt_facts(), flowhunt_config, false});
+    v.push_back({ProductId::kAgentSwarm, "AgentSwarm",
+                 "Autonomous host agents with hybrid detection, reporting "
+                 "over the production network (AAFID's class).",
+                 agent_facts(), agent_config, true});
+    return v;
+  }();
+  return catalog;
+}
+
+const ProductModel& product(ProductId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= kProductCount) throw std::invalid_argument("bad ProductId");
+  return product_catalog()[idx];
+}
+
+std::vector<ProductId> commercial_products() {
+  return {ProductId::kSentryNid, ProductId::kGuardSecure,
+          ProductId::kFlowHunt};
+}
+
+}  // namespace idseval::products

@@ -1,0 +1,51 @@
+// The evaluated products. Four model IDSes spanning the architecture
+// space of the paper's test set: a centralized signature sniffer (in the
+// mold of NFR NID 5.0), a console-managed hybrid host+network signature
+// system (RealSecure 5.0's class), a flow-anomaly system with dynamic
+// load balancing (ManHunt 1.2's class), and an autonomous-agents research
+// system (AAFID's class). Built entirely on the ids:: pipeline framework;
+// nothing here is vendor code.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ids/pipeline.hpp"
+#include "products/facts.hpp"
+
+namespace idseval::products {
+
+enum class ProductId : std::uint8_t {
+  kSentryNid = 0,   ///< Centralized network signature sniffer.
+  kGuardSecure,     ///< Hybrid host+network signature, strong console.
+  kFlowHunt,        ///< Anomaly/flow engine, dynamic load balancing.
+  kAgentSwarm,      ///< Autonomous host agents (research prototype).
+  kCount
+};
+
+inline constexpr std::size_t kProductCount =
+    static_cast<std::size_t>(ProductId::kCount);
+
+std::string to_string(ProductId id);
+
+struct ProductModel {
+  ProductId id;
+  std::string name;
+  std::string description;
+  ProductFacts facts;
+  /// Builds this product's pipeline configuration at a given sensitivity.
+  std::function<ids::PipelineConfig(double sensitivity)> make_config;
+  /// True when the product deploys host agents on monitored hosts.
+  bool deploys_host_agents = false;
+};
+
+/// The full evaluated-product catalog, ordered by ProductId.
+const std::vector<ProductModel>& product_catalog();
+const ProductModel& product(ProductId id);
+
+/// The three "commercial" products (the paper's Table 1-3 columns); the
+/// research system was examined separately.
+std::vector<ProductId> commercial_products();
+
+}  // namespace idseval::products

@@ -1,0 +1,97 @@
+// Product fact sheets: the "open source material" observations (specs,
+// white papers, reviews — §3.1) encoded as typed data. The paper's three
+// commercial products and the AAFID research system are out of reach, so
+// each model product here declares facts in the same architectural class
+// as its inspiration; scoring.cpp maps facts to discrete scores against
+// the catalog anchors, keeping class-1/2 scoring reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ids/load_balancer.hpp"
+#include "ids/sensor.hpp"
+
+namespace idseval::products {
+
+enum class RemoteManagement : std::uint8_t {
+  kLocalOnly,    ///< Each node managed at the node.
+  kLimited,      ///< Remote, but weak security or partial control.
+  kFullSecure,   ///< Any node, encrypted and authenticated.
+};
+
+enum class LicenseModel : std::uint8_t {
+  kResearchFree,
+  kPerpetualSite,
+  kAnnualPerSensor,
+};
+
+enum class SensitivityControl : std::uint8_t {
+  kFixed,
+  kCoarsePresets,
+  kContinuous,
+};
+
+enum class DataPoolControl : std::uint8_t {
+  kNone,          ///< Analyzes everything it sees.
+  kAddressPort,   ///< Coarse include/exclude lists.
+  kFilterLanguage ///< Full filter language (BPF/N-code style).
+};
+
+struct ProductFacts {
+  std::string product;
+
+  // --- Logistical ---------------------------------------------------------
+  RemoteManagement remote_management = RemoteManagement::kLimited;
+  int install_steps = 10;           ///< Manual steps to first detection.
+  bool central_policy_editor = false;
+  bool policy_hot_reload = false;
+  bool policy_rollback = false;
+  LicenseModel license = LicenseModel::kAnnualPerSensor;
+  bool outsourced_monitoring = false;
+  bool vendor_scans_required = false;
+  int dedicated_boxes_required = 1; ///< Appliances per protected LAN.
+  double host_cpu_budget = 0.0;     ///< Fraction of each production host.
+  int documentation_score = 2;      ///< Direct open-source observation 0-4.
+  int support_score = 2;
+  int lifetime_score = 2;
+  int training_score = 2;
+  int cost_score = 2;               ///< 4 = cheapest (3yr TCO).
+  int eval_copy_score = 2;
+  int administration_score = 2;
+
+  // --- Architectural ------------------------------------------------------
+  SensitivityControl sensitivity = SensitivityControl::kCoarsePresets;
+  DataPoolControl data_pool = DataPoolControl::kAddressPort;
+  double host_based_share = 0.0;    ///< Fraction of input from host data.
+  double network_based_share = 1.0;
+  int max_sensors = 1;
+  ids::LbStrategy lb_strategy = ids::LbStrategy::kNone;
+  bool anomaly_detection = false;
+  bool signature_detection = true;
+  bool autonomous_learning = false;
+  int host_os_security_score = 2;
+  int interoperability_score = 2;
+  int package_contents_score = 2;
+  int process_security_score = 2;
+  int visibility_score = 2;
+
+  // --- Performance facts (capability flags; effectiveness is measured) ----
+  bool firewall_block = false;
+  bool snmp_traps = false;
+  bool router_redirect = false;
+  ids::RecoveryPolicy recovery = ids::RecoveryPolicy::kColdReboot;
+  int compromise_analysis_score = 2;
+  int intent_analysis_score = 1;
+  int report_clarity_score = 2;
+  int filter_effectiveness_score = 2;
+  int evidence_collection_score = 2;
+  int information_sharing_score = 1;
+  int notification_channels = 1;   ///< Count of operator alert channels.
+  int program_interaction_score = 1;
+  int session_playback_score = 1;
+  int threat_correlation_score = 2;
+  int trend_analysis_score = 1;
+};
+
+}  // namespace idseval::products

@@ -1,0 +1,256 @@
+#include "products/scoring.hpp"
+
+#include <algorithm>
+
+namespace idseval::products {
+
+using core::MetricId;
+using core::Score;
+using core::Scorecard;
+
+namespace {
+
+Score clamp_score(int v) { return Score(std::clamp(v, 0, 4)); }
+
+Score score_remote_management(RemoteManagement rm) {
+  switch (rm) {
+    case RemoteManagement::kLocalOnly:
+      return Score(0);
+    case RemoteManagement::kLimited:
+      return Score(2);
+    case RemoteManagement::kFullSecure:
+      return Score(4);
+  }
+  return Score(0);
+}
+
+Score score_install_steps(int steps) {
+  if (steps <= 5) return Score(4);
+  if (steps <= 9) return Score(3);
+  if (steps <= 14) return Score(2);
+  if (steps <= 20) return Score(1);
+  return Score(0);
+}
+
+Score score_policy_maintenance(const ProductFacts& f) {
+  int s = 0;
+  if (f.central_policy_editor) s += 2;
+  if (f.policy_hot_reload) s += 1;
+  if (f.policy_rollback) s += 1;
+  return clamp_score(s);
+}
+
+Score score_license(LicenseModel m) {
+  switch (m) {
+    case LicenseModel::kResearchFree:
+      return Score(4);
+    case LicenseModel::kPerpetualSite:
+      return Score(3);
+    case LicenseModel::kAnnualPerSensor:
+      return Score(1);
+  }
+  return Score(0);
+}
+
+Score score_outsourced(const ProductFacts& f) {
+  // Self-hosted scores high for real-time systems (external scans can
+  // disrupt performance in a way that is not locally controllable, §3.2).
+  if (!f.outsourced_monitoring) return Score(4);
+  return f.vendor_scans_required ? Score(0) : Score(2);
+}
+
+Score score_platform(const ProductFacts& f) {
+  // Penalize both dedicated boxes and production-host CPU budgets.
+  int s = 4;
+  s -= std::min(3, f.dedicated_boxes_required);
+  if (f.host_cpu_budget >= 0.15) {
+    s -= 2;
+  } else if (f.host_cpu_budget >= 0.03) {
+    s -= 1;
+  }
+  return clamp_score(s);
+}
+
+Score score_sensitivity(SensitivityControl c) {
+  switch (c) {
+    case SensitivityControl::kFixed:
+      return Score(0);
+    case SensitivityControl::kCoarsePresets:
+      return Score(2);
+    case SensitivityControl::kContinuous:
+      return Score(4);
+  }
+  return Score(0);
+}
+
+Score score_data_pool(DataPoolControl c) {
+  switch (c) {
+    case DataPoolControl::kNone:
+      return Score(0);
+    case DataPoolControl::kAddressPort:
+      return Score(2);
+    case DataPoolControl::kFilterLanguage:
+      return Score(4);
+  }
+  return Score(0);
+}
+
+Score score_share(double share) {
+  // Proportion metrics (Host-based / Network-based): 0 -> 0, 1.0 -> 4.
+  return clamp_score(static_cast<int>(share * 4.0 + 0.5));
+}
+
+Score score_multi_sensor(int max_sensors) {
+  if (max_sensors <= 1) return Score(0);
+  if (max_sensors <= 4) return Score(2);
+  if (max_sensors <= 16) return Score(3);
+  return Score(4);
+}
+
+Score score_lb(ids::LbStrategy s) {
+  switch (s) {
+    case ids::LbStrategy::kNone:
+      return Score(0);
+    case ids::LbStrategy::kStaticByHost:
+      return Score(2);
+    case ids::LbStrategy::kFlowHash:
+      return Score(3);
+    case ids::LbStrategy::kLeastLoaded:
+      return Score(4);
+  }
+  return Score(0);
+}
+
+Score score_recovery(ids::RecoveryPolicy p) {
+  switch (p) {
+    case ids::RecoveryPolicy::kHang:
+      return Score(0);
+    case ids::RecoveryPolicy::kColdReboot:
+      return Score(2);
+    case ids::RecoveryPolicy::kAppRestart:
+      return Score(4);
+  }
+  return Score(0);
+}
+
+Score score_notification(int channels) {
+  if (channels <= 0) return Score(0);
+  if (channels == 1) return Score(1);
+  if (channels == 2) return Score(2);
+  if (channels == 3) return Score(3);
+  return Score(4);
+}
+
+}  // namespace
+
+Scorecard facts_scorecard(const ProductModel& model) {
+  const ProductFacts& f = model.facts;
+  Scorecard card(model.name);
+
+  // --- Logistical -----------------------------------------------------------
+  card.set(MetricId::kDistributedManagement,
+           score_remote_management(f.remote_management), "fact sheet");
+  card.set(MetricId::kEaseOfConfiguration, score_install_steps(f.install_steps),
+           std::to_string(f.install_steps) + " install steps");
+  card.set(MetricId::kEaseOfPolicyMaintenance, score_policy_maintenance(f),
+           "editor/hot-reload/rollback facts");
+  card.set(MetricId::kLicenseManagement, score_license(f.license),
+           "license model");
+  card.set(MetricId::kOutsourcedSolution, score_outsourced(f),
+           "hosting model");
+  card.set(MetricId::kPlatformRequirements, score_platform(f),
+           "boxes + host CPU budget");
+  card.set(MetricId::kQualityOfDocumentation,
+           clamp_score(f.documentation_score), "review");
+  card.set(MetricId::kEaseOfAttackFilterGeneration,
+           f.data_pool == DataPoolControl::kFilterLanguage
+               ? Score(f.policy_hot_reload ? 4 : 3)
+               : Score(f.central_policy_editor ? 2 : 1),
+           "filter authoring facts");
+  card.set(MetricId::kEvaluationCopyAvailability,
+           clamp_score(f.eval_copy_score), "vendor program");
+  card.set(MetricId::kLevelOfAdministration,
+           clamp_score(f.administration_score), "review");
+  card.set(MetricId::kProductLifetime, clamp_score(f.lifetime_score),
+           "vendor maturity");
+  card.set(MetricId::kQualityOfTechnicalSupport,
+           clamp_score(f.support_score), "review");
+  card.set(MetricId::kThreeYearCostOfOwnership, clamp_score(f.cost_score),
+           "published pricing");
+  card.set(MetricId::kTrainingSupport, clamp_score(f.training_score),
+           "vendor program");
+
+  // --- Architectural ----------------------------------------------------------
+  card.set(MetricId::kAdjustableSensitivity, score_sensitivity(f.sensitivity),
+           "control granularity");
+  card.set(MetricId::kDataPoolSelectability, score_data_pool(f.data_pool),
+           "filter capability");
+  card.set(MetricId::kHostBased, score_share(f.host_based_share),
+           "input share");
+  card.set(MetricId::kNetworkBased, score_share(f.network_based_share),
+           "input share");
+  card.set(MetricId::kMultiSensorSupport, score_multi_sensor(f.max_sensors),
+           std::to_string(f.max_sensors) + " sensors max");
+  card.set(MetricId::kScalableLoadBalancing, score_lb(f.lb_strategy),
+           ids::to_string(f.lb_strategy));
+  card.set(MetricId::kAnomalyBased,
+           f.anomaly_detection ? Score(f.autonomous_learning ? 4 : 2)
+                               : Score(0),
+           "detection mechanism");
+  card.set(MetricId::kSignatureBased,
+           f.signature_detection
+               ? Score(f.data_pool == DataPoolControl::kFilterLanguage ? 4
+                                                                       : 3)
+               : Score(0),
+           "detection mechanism");
+  card.set(MetricId::kAutonomousLearning,
+           f.autonomous_learning ? Score(4) : Score(0), "fact sheet");
+  card.set(MetricId::kHostOsSecurity, clamp_score(f.host_os_security_score),
+           "platform hardening");
+  card.set(MetricId::kInteroperability, clamp_score(f.interoperability_score),
+           "formats/integrations");
+  card.set(MetricId::kPackageContents, clamp_score(f.package_contents_score),
+           "package review");
+  card.set(MetricId::kProcessSecurity, clamp_score(f.process_security_score),
+           "tamper resistance");
+  card.set(MetricId::kVisibility, clamp_score(f.visibility_score),
+           "deployment coverage");
+  // kDataStorage and kSystemThroughput are measured by the harness.
+
+  // --- Performance (capability facts; effectiveness measured later) ---------
+  card.set(MetricId::kErrorReportingAndRecovery, score_recovery(f.recovery),
+           ids::to_string(f.recovery));
+  card.set(MetricId::kFirewallInteraction,
+           f.firewall_block ? Score(4) : Score(0), "capability");
+  card.set(MetricId::kSnmpInteraction, f.snmp_traps ? Score(3) : Score(0),
+           "capability");
+  card.set(MetricId::kRouterInteraction,
+           f.router_redirect ? Score(4) : Score(0), "capability");
+  card.set(MetricId::kAnalysisOfCompromise,
+           clamp_score(f.compromise_analysis_score), "analysis review");
+  card.set(MetricId::kAnalysisOfIntruderIntent,
+           clamp_score(f.intent_analysis_score), "analysis review");
+  card.set(MetricId::kClarityOfReports, clamp_score(f.report_clarity_score),
+           "console review");
+  card.set(MetricId::kEffectivenessOfGeneratedFilters,
+           clamp_score(f.filter_effectiveness_score), "filter review");
+  card.set(MetricId::kEvidenceCollection,
+           clamp_score(f.evidence_collection_score), "capture review");
+  card.set(MetricId::kInformationSharing,
+           clamp_score(f.information_sharing_score), "export review");
+  card.set(MetricId::kNotificationUserAlerts,
+           score_notification(f.notification_channels),
+           std::to_string(f.notification_channels) + " channels");
+  card.set(MetricId::kProgramInteraction,
+           clamp_score(f.program_interaction_score), "hook review");
+  card.set(MetricId::kSessionRecordingPlayback,
+           clamp_score(f.session_playback_score), "capture review");
+  card.set(MetricId::kThreatCorrelation,
+           clamp_score(f.threat_correlation_score), "analysis review");
+  card.set(MetricId::kTrendAnalysis, clamp_score(f.trend_analysis_score),
+           "console review");
+
+  return card;
+}
+
+}  // namespace idseval::products

@@ -1,0 +1,18 @@
+// Fact-sheet scoring: maps ProductFacts to discrete scores against the
+// catalog anchors for every metric observable from open-source material
+// or static analysis. The harness later overwrites/fills the metrics that
+// must be *measured* (throughput, error ratios, latency, ...), yielding
+// the complete per-product scorecard.
+#pragma once
+
+#include "core/scorecard.hpp"
+#include "products/catalog.hpp"
+
+namespace idseval::products {
+
+/// Scores all fact-derivable metrics (classes 1 and 2 fully; class 3
+/// capability metrics like SNMP/Firewall/Router interaction partially —
+/// measured effectiveness can upgrade or downgrade them later).
+core::Scorecard facts_scorecard(const ProductModel& model);
+
+}  // namespace idseval::products

@@ -1,0 +1,76 @@
+// Background traffic generation: turns an EnvironmentProfile into a
+// stream of flows injected through the Network. Arrivals follow a
+// two-state Markov-modulated Poisson process (normal/burst); flow lengths
+// are Pareto; packets within a flow are paced with exponential gaps. All
+// randomness flows from one seed, so a run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+#include "traffic/ledger.hpp"
+#include "traffic/profile.hpp"
+#include "util/rng.hpp"
+
+namespace idseval::traffic {
+
+struct FlowGenStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t packets_emitted = 0;
+  std::uint64_t bytes_emitted = 0;
+};
+
+class FlowGenerator {
+ public:
+  FlowGenerator(netsim::Simulator& sim, netsim::Network& net,
+                TransactionLedger* ledger, EnvironmentProfile profile,
+                std::uint64_t seed);
+
+  /// Hosts that may source/sink flows. Internal hosts are both; external
+  /// hosts only source (toward internal destinations) and receive replies.
+  void set_internal_hosts(std::vector<netsim::Ipv4> hosts);
+  void set_external_hosts(std::vector<netsim::Ipv4> hosts);
+
+  /// Scales the profile's arrival rate — the load knob for throughput
+  /// sweeps (Table 3's load-dependent metrics).
+  void set_rate_scale(double scale) noexcept { rate_scale_ = scale; }
+  double rate_scale() const noexcept { return rate_scale_; }
+
+  /// Begins generating; flow arrivals stop at `until` (in-flight flows
+  /// finish their remaining packets).
+  void start(netsim::SimTime until);
+
+  const FlowGenStats& stats() const noexcept { return stats_; }
+  const EnvironmentProfile& profile() const noexcept { return profile_; }
+
+ private:
+  void schedule_next_arrival();
+  void launch_flow();
+  void emit_flow_packet(std::uint64_t flow_id, netsim::FiveTuple tuple,
+                        PayloadKind kind, std::uint32_t seq,
+                        std::uint32_t remaining, double interval_ms);
+  netsim::Ipv4 pick_source();
+  netsim::Ipv4 pick_destination(netsim::Ipv4 source);
+  double current_rate() const noexcept;
+  void toggle_burst();
+
+  netsim::Simulator& sim_;
+  netsim::Network& net_;
+  TransactionLedger* ledger_;
+  EnvironmentProfile profile_;
+  util::Rng rng_;
+
+  std::vector<netsim::Ipv4> internal_;
+  std::vector<netsim::Ipv4> external_;
+  std::vector<double> mix_weights_;
+
+  double rate_scale_ = 1.0;
+  bool in_burst_ = false;
+  netsim::SimTime stop_time_;
+  bool started_ = false;
+  FlowGenStats stats_;
+};
+
+}  // namespace idseval::traffic

@@ -1,0 +1,65 @@
+#include "traffic/ledger.hpp"
+
+#include <stdexcept>
+
+namespace idseval::traffic {
+
+Transaction& TransactionLedger::begin(std::uint64_t flow_id,
+                                      const netsim::FiveTuple& tuple,
+                                      netsim::SimTime start, bool is_attack,
+                                      int attack_kind) {
+  auto [it, inserted] = by_flow_.try_emplace(flow_id);
+  if (!inserted) {
+    throw std::invalid_argument("TransactionLedger: duplicate flow id " +
+                                std::to_string(flow_id));
+  }
+  Transaction& t = it->second;
+  t.flow_id = flow_id;
+  t.tuple = tuple;
+  t.start = start;
+  t.end = start;
+  t.is_attack = is_attack;
+  t.attack_kind = attack_kind;
+  order_.push_back(flow_id);
+  if (is_attack) ++attacks_;
+  return t;
+}
+
+void TransactionLedger::touch(std::uint64_t flow_id, netsim::SimTime when,
+                              std::uint64_t bytes) {
+  const auto it = by_flow_.find(flow_id);
+  if (it == by_flow_.end()) return;
+  Transaction& t = it->second;
+  ++t.packets;
+  t.bytes += bytes;
+  if (when > t.end) t.end = when;
+}
+
+const Transaction* TransactionLedger::find(std::uint64_t flow_id) const {
+  const auto it = by_flow_.find(flow_id);
+  return it == by_flow_.end() ? nullptr : &it->second;
+}
+
+bool TransactionLedger::is_attack(std::uint64_t flow_id) const {
+  const Transaction* t = find(flow_id);
+  return t != nullptr && t->is_attack;
+}
+
+std::vector<const Transaction*> TransactionLedger::all() const {
+  std::vector<const Transaction*> out;
+  out.reserve(order_.size());
+  for (const auto id : order_) out.push_back(&by_flow_.at(id));
+  return out;
+}
+
+std::vector<const Transaction*> TransactionLedger::attacks() const {
+  std::vector<const Transaction*> out;
+  out.reserve(attacks_);
+  for (const auto id : order_) {
+    const Transaction& t = by_flow_.at(id);
+    if (t.is_attack) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace idseval::traffic

@@ -1,0 +1,235 @@
+#include "traffic/payload.hpp"
+
+#include <array>
+#include <string_view>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::traffic {
+
+using util::cat;
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kWords = {
+    "track",  "sensor",  "update",  "status",  "contact", "bearing",
+    "range",  "report",  "system",  "channel", "message", "engage",
+    "radar",  "console", "monitor", "network", "cluster", "packet",
+    "signal", "vector",  "profile", "target",  "station", "relay"};
+
+// "root" appears because real operators do log in as root; a weak
+// signature rule keyed on root logins will therefore occasionally fire on
+// legitimate traffic — the paper's Type I error source (Figure 3).
+constexpr std::array<std::string_view, 13> kUsers = {
+    "operator", "admin",   "jsmith",  "mbrown", "watch1", "watch2",
+    "sysop",    "analyst", "chief",   "tech3",  "ensign", "ops",
+    "root"};
+
+constexpr std::array<std::string_view, 8> kHostPrefixes = {
+    "tactical", "console", "sensor", "relay",
+    "gateway",  "archive", "bridge", "node"};
+
+constexpr std::array<std::string_view, 6> kDomains = {
+    "fleet.mil", "lan.local", "ops.net", "corp.example",
+    "shop.example", "cluster.grid"};
+
+constexpr std::array<std::string_view, 8> kUserAgents = {
+    "Mozilla/4.0 (compatible; MSIE 5.5; Windows NT 5.0)",
+    "Mozilla/4.7 [en] (X11; U; SunOS 5.8)",
+    "Lynx/2.8.4rel.1 libwww-FM/2.14",
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows 98)",
+    "Wget/1.7",
+    "Java1.3.1",
+    "libwww-perl/5.53",
+    "Mozilla/4.76 [en] (Windows NT 5.0; U)"};
+
+// Includes genuine sysadmin commands ("cat /etc/passwd", "su - root")
+// that overlap weak attack signatures — legitimate admin work is the
+// classic source of signature false positives.
+constexpr std::array<std::string_view, 12> kShellCmds = {
+    "ls -la /var/log", "ps -ef | grep ids", "cat status.txt",
+    "tail -f /var/log/messages", "df -k", "netstat -an",
+    "uptime", "who", "vmstat 5 3", "top -b -n 1",
+    "cat /etc/passwd | wc -l", "su - root"};
+
+std::string_view pick(util::Rng& rng, const auto& table) {
+  return table[rng.index(table.size())];
+}
+
+}  // namespace
+
+std::string to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kHttpRequest:
+      return "http-request";
+    case PayloadKind::kHttpResponse:
+      return "http-response";
+    case PayloadKind::kSmtp:
+      return "smtp";
+    case PayloadKind::kFtp:
+      return "ftp";
+    case PayloadKind::kTelnet:
+      return "telnet";
+    case PayloadKind::kDns:
+      return "dns";
+    case PayloadKind::kClusterRpc:
+      return "cluster-rpc";
+    case PayloadKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string random_http_path(util::Rng& rng) {
+  std::string path = cat("/", pick(rng, kWords), "/", pick(rng, kWords));
+  if (rng.chance(0.4)) {
+    path += cat("?id=", rng.uniform_u64(1, 9999));
+  } else if (rng.chance(0.3)) {
+    path += ".html";
+  }
+  return path;
+}
+
+std::string random_username(util::Rng& rng) {
+  return std::string(pick(rng, kUsers));
+}
+
+std::string random_hostname(util::Rng& rng) {
+  return cat(pick(rng, kHostPrefixes), "-", rng.uniform_u64(1, 48), ".",
+             pick(rng, kDomains));
+}
+
+std::string random_words(std::size_t target_len, util::Rng& rng) {
+  std::string out;
+  while (out.size() < target_len) {
+    if (!out.empty()) out += ' ';
+    out += pick(rng, kWords);
+  }
+  if (out.size() > target_len) out.resize(target_len);
+  return out;
+}
+
+std::string random_printable(std::size_t len, util::Rng& rng) {
+  std::string out(len, ' ');
+  for (auto& c : out) {
+    c = static_cast<char>('!' + rng.index(94));  // printable ASCII
+  }
+  return out;
+}
+
+namespace {
+
+std::string make_http_request(std::size_t target_len, util::Rng& rng) {
+  const bool is_post = rng.chance(0.15);
+  std::string body;
+  std::string req =
+      cat(is_post ? "POST" : "GET", " ", random_http_path(rng),
+          " HTTP/1.0\r\nHost: ", random_hostname(rng),
+          "\r\nUser-Agent: ", pick(rng, kUserAgents),
+          "\r\nAccept: text/html, image/gif, image/jpeg\r\n");
+  if (is_post) {
+    const std::size_t body_len =
+        target_len > req.size() + 64 ? target_len - req.size() - 64 : 32;
+    body = cat("user=", random_username(rng),
+               "&note=", random_words(body_len, rng));
+    req += cat("Content-Type: application/x-www-form-urlencoded\r\n",
+               "Content-Length: ", body.size(), "\r\n");
+  }
+  req += "\r\n";
+  req += body;
+  if (req.size() < target_len) {
+    // Pad with a benign header rather than trailing junk.
+    req.insert(req.find("\r\n\r\n"),
+               cat("\r\nX-Padding: ",
+                   random_printable(target_len - req.size(), rng)));
+  }
+  return req;
+}
+
+std::string make_http_response(std::size_t target_len, util::Rng& rng) {
+  const std::size_t head = 120;
+  const std::size_t body_len = target_len > head ? target_len - head : 64;
+  std::string body =
+      cat("<html><head><title>", pick(rng, kWords),
+          "</title></head><body><p>", random_words(body_len, rng),
+          "</p></body></html>");
+  return cat("HTTP/1.0 200 OK\r\nServer: Apache/1.3.20 (Unix)\r\n",
+             "Content-Type: text/html\r\nContent-Length: ", body.size(),
+             "\r\n\r\n", body);
+}
+
+std::string make_smtp(std::size_t target_len, util::Rng& rng) {
+  const std::size_t body_len = target_len > 200 ? target_len - 200 : 64;
+  return cat("HELO ", random_hostname(rng), "\r\nMAIL FROM:<",
+             random_username(rng), "@", pick(rng, kDomains),
+             ">\r\nRCPT TO:<", random_username(rng), "@",
+             pick(rng, kDomains), ">\r\nDATA\r\nSubject: ",
+             random_words(24, rng), "\r\n\r\n", random_words(body_len, rng),
+             "\r\n.\r\nQUIT\r\n");
+}
+
+std::string make_ftp(std::size_t /*target_len*/, util::Rng& rng) {
+  return cat("USER ", random_username(rng), "\r\nPASS ",
+             random_printable(8, rng), "\r\nCWD /pub/", pick(rng, kWords),
+             "\r\nTYPE I\r\nRETR ", pick(rng, kWords), ".dat\r\nQUIT\r\n");
+}
+
+std::string make_telnet(std::size_t target_len, util::Rng& rng) {
+  std::string out = cat("login: ", random_username(rng),
+                        "\r\nPassword: ", random_printable(8, rng), "\r\n$ ");
+  while (out.size() < target_len) {
+    out += cat(pick(rng, kShellCmds), "\r\n$ ");
+  }
+  return out;
+}
+
+std::string make_dns(std::size_t /*target_len*/, util::Rng& rng) {
+  return cat("QUERY A ", random_hostname(rng), " ID=",
+             rng.uniform_u64(0, 65535), " RD=1");
+}
+
+std::string make_cluster_rpc(std::size_t target_len, util::Rng& rng) {
+  // Simulated real-time bus message: fixed-field header + telemetry body.
+  // Cluster traffic is highly regular — that regularity is what lets an
+  // anomaly-based IDS learn a tight baseline in a constrained environment
+  // (§2.1's maxim about constrained application environments).
+  std::string out = cat(
+      "RTBUS/1 seq=", rng.uniform_u64(1, 1u << 20),
+      " node=", rng.uniform_u64(1, 32), " cmd=TRACK_UPDATE tracks=",
+      rng.uniform_u64(1, 12), " ");
+  while (out.size() < target_len) {
+    out += cat("t", rng.uniform_u64(100, 999), "=",
+               util::fmt_fixed(rng.uniform(-90.0, 90.0), 4), ",",
+               util::fmt_fixed(rng.uniform(-180.0, 180.0), 4), ",",
+               util::fmt_fixed(rng.uniform(0.0, 600.0), 1), " ");
+  }
+  if (out.size() > target_len) out.resize(target_len);
+  return out;
+}
+
+}  // namespace
+
+std::string synthesize(PayloadKind kind, std::size_t target_len,
+                       util::Rng& rng) {
+  switch (kind) {
+    case PayloadKind::kHttpRequest:
+      return make_http_request(target_len, rng);
+    case PayloadKind::kHttpResponse:
+      return make_http_response(target_len, rng);
+    case PayloadKind::kSmtp:
+      return make_smtp(target_len, rng);
+    case PayloadKind::kFtp:
+      return make_ftp(target_len, rng);
+    case PayloadKind::kTelnet:
+      return make_telnet(target_len, rng);
+    case PayloadKind::kDns:
+      return make_dns(target_len, rng);
+    case PayloadKind::kClusterRpc:
+      return make_cluster_rpc(target_len, rng);
+    case PayloadKind::kRandom:
+      return random_printable(target_len, rng);
+  }
+  return {};
+}
+
+}  // namespace idseval::traffic

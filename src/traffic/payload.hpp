@@ -1,0 +1,47 @@
+// Protocol-shaped payload synthesis. The paper's first lesson learned
+// (§4): flooding with meaningless data is sufficient for benchmarking a
+// switch but not an IDS — payload-inspecting engines must be fed content
+// with realistic structure. These synthesizers produce plausible
+// application-layer text for each protocol the profiles use, plus a
+// deliberately-unrealistic random generator used by the X3 ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace idseval::traffic {
+
+enum class PayloadKind : std::uint8_t {
+  kHttpRequest,
+  kHttpResponse,
+  kSmtp,
+  kFtp,
+  kTelnet,
+  kDns,
+  kClusterRpc,  ///< Simulated distributed real-time bus traffic.
+  kRandom,      ///< Printable noise — realistic *only* in length.
+};
+
+std::string to_string(PayloadKind kind);
+
+/// Generates one payload of the given kind with a target length hint
+/// (the result may differ by a few bytes to keep content well-formed).
+std::string synthesize(PayloadKind kind, std::size_t target_len,
+                       util::Rng& rng);
+
+/// Payload helpers reused by attack emitters -------------------------------
+
+/// A plausible URL path like "/api/track/status?id=4821".
+std::string random_http_path(util::Rng& rng);
+/// A plausible login username.
+std::string random_username(util::Rng& rng);
+/// A plausible hostname like "tactical-12.fleet.mil".
+std::string random_hostname(util::Rng& rng);
+/// English-ish filler words, space separated, roughly `target_len` bytes.
+std::string random_words(std::size_t target_len, util::Rng& rng);
+/// Printable random characters of exactly `len` bytes.
+std::string random_printable(std::size_t len, util::Rng& rng);
+
+}  // namespace idseval::traffic

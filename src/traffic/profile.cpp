@@ -1,0 +1,107 @@
+#include "traffic/profile.hpp"
+
+#include <stdexcept>
+
+namespace idseval::traffic {
+
+using netsim::Protocol;
+namespace ports = netsim::ports;
+
+EnvironmentProfile rt_cluster_profile() {
+  EnvironmentProfile p;
+  p.name = "rt_cluster";
+  p.mix = {
+      {PayloadKind::kClusterRpc, Protocol::kUdp, ports::kClusterRpc, 0.80},
+      {PayloadKind::kClusterRpc, Protocol::kTcp, ports::kClusterRpc, 0.10},
+      {PayloadKind::kDns, Protocol::kUdp, ports::kDns, 0.04},
+      {PayloadKind::kTelnet, Protocol::kTcp, ports::kTelnet, 0.03},
+      {PayloadKind::kHttpRequest, Protocol::kTcp, ports::kHttp, 0.03},
+  };
+  p.flows_per_sec = 120.0;        // dense periodic bus updates
+  p.burst_factor = 1.5;           // engagement bursts are mild
+  p.burst_fraction = 0.05;
+  p.mean_burst_sec = 0.2;
+  p.mean_packets_per_flow = 6.0;  // short, regular exchanges
+  p.flow_tail_alpha = 3.0;        // light tail: few long flows
+  p.mean_payload_bytes = 160.0;
+  p.payload_jitter = 0.10;        // very regular sizes
+  p.mean_pkt_interval_ms = 0.5;   // fast LAN pacing
+  p.external_fraction = 0.02;     // almost everything is intra-cluster
+  return p;
+}
+
+EnvironmentProfile ecommerce_profile() {
+  EnvironmentProfile p;
+  p.name = "ecommerce";
+  p.mix = {
+      {PayloadKind::kHttpRequest, Protocol::kTcp, ports::kHttp, 0.45},
+      {PayloadKind::kHttpResponse, Protocol::kTcp, ports::kHttp, 0.30},
+      {PayloadKind::kHttpRequest, Protocol::kTcp, ports::kHttps, 0.10},
+      {PayloadKind::kSmtp, Protocol::kTcp, ports::kSmtp, 0.07},
+      {PayloadKind::kDns, Protocol::kUdp, ports::kDns, 0.08},
+  };
+  p.flows_per_sec = 80.0;
+  p.burst_factor = 4.0;           // flash crowds
+  p.burst_fraction = 0.15;
+  p.mean_burst_sec = 1.0;
+  p.mean_packets_per_flow = 14.0;
+  p.flow_tail_alpha = 1.5;        // heavy tail: big downloads
+  p.mean_payload_bytes = 420.0;
+  p.payload_jitter = 0.60;        // wildly varying sizes
+  p.mean_pkt_interval_ms = 3.0;
+  p.external_fraction = 0.85;     // customers are outside
+  return p;
+}
+
+EnvironmentProfile office_profile() {
+  EnvironmentProfile p;
+  p.name = "office";
+  p.mix = {
+      {PayloadKind::kHttpRequest, Protocol::kTcp, ports::kHttp, 0.30},
+      {PayloadKind::kHttpResponse, Protocol::kTcp, ports::kHttp, 0.20},
+      {PayloadKind::kSmtp, Protocol::kTcp, ports::kSmtp, 0.15},
+      {PayloadKind::kFtp, Protocol::kTcp, ports::kFtp, 0.10},
+      {PayloadKind::kTelnet, Protocol::kTcp, ports::kTelnet, 0.10},
+      {PayloadKind::kDns, Protocol::kUdp, ports::kDns, 0.15},
+  };
+  p.flows_per_sec = 40.0;
+  p.burst_factor = 2.0;
+  p.burst_fraction = 0.10;
+  p.mean_burst_sec = 0.7;
+  p.mean_packets_per_flow = 10.0;
+  p.flow_tail_alpha = 1.8;
+  p.mean_payload_bytes = 320.0;
+  p.payload_jitter = 0.45;
+  p.mean_pkt_interval_ms = 4.0;
+  p.external_fraction = 0.35;
+  return p;
+}
+
+EnvironmentProfile random_flood_profile() {
+  EnvironmentProfile p;
+  p.name = "random_flood";
+  p.mix = {
+      {PayloadKind::kRandom, Protocol::kTcp, ports::kHttp, 0.70},
+      {PayloadKind::kRandom, Protocol::kUdp, ports::kDns, 0.30},
+  };
+  p.flows_per_sec = 80.0;
+  p.burst_factor = 1.0;
+  p.burst_fraction = 0.0;
+  p.mean_packets_per_flow = 14.0;
+  p.flow_tail_alpha = 1.5;
+  p.mean_payload_bytes = 420.0;
+  p.payload_jitter = 0.60;
+  p.mean_pkt_interval_ms = 3.0;
+  p.external_fraction = 0.85;
+  return p;
+}
+
+EnvironmentProfile profile_by_name(const std::string& name) {
+  if (name == "rt_cluster") return rt_cluster_profile();
+  if (name == "ecommerce") return ecommerce_profile();
+  if (name == "office") return office_profile();
+  if (name == "random_flood") return random_flood_profile();
+  throw std::invalid_argument("unknown traffic profile: " + name);
+}
+
+}  // namespace idseval::traffic

@@ -1,0 +1,70 @@
+// Environment traffic profiles. §4 of the paper: "IDSs perform
+// differently in the presence of different kinds of network traffic.
+// Distributed systems with high levels of inter-host trust on a
+// high-speed LAN will have distinctive traffic compared to that of a web
+// server in an e-commerce shop." Each profile captures one such
+// environment; the harness evaluates every product under the profile the
+// procurer actually runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/address.hpp"
+#include "traffic/payload.hpp"
+
+namespace idseval::traffic {
+
+/// One protocol's share of the traffic mix.
+struct ProtocolShare {
+  PayloadKind kind = PayloadKind::kHttpRequest;
+  netsim::Protocol proto = netsim::Protocol::kTcp;
+  std::uint16_t dst_port = netsim::ports::kHttp;
+  double weight = 1.0;
+};
+
+/// A Markov-modulated Poisson arrival process plus flow-shape parameters.
+struct EnvironmentProfile {
+  std::string name;
+  std::vector<ProtocolShare> mix;
+
+  double flows_per_sec = 50.0;       ///< Mean arrival rate, normal state.
+  double burst_factor = 1.0;         ///< Rate multiplier in burst state.
+  double burst_fraction = 0.0;       ///< Long-run fraction of time bursty.
+  double mean_burst_sec = 0.5;       ///< Mean sojourn in burst state.
+
+  double mean_packets_per_flow = 12.0;
+  double flow_tail_alpha = 1.8;      ///< Pareto shape for flow lengths.
+  double mean_payload_bytes = 300.0;
+  double payload_jitter = 0.35;      ///< Relative stddev of payload size.
+  double mean_pkt_interval_ms = 2.0; ///< Pacing within a flow.
+  double external_fraction = 0.3;    ///< Flows originating off-LAN.
+  /// Zipf exponent for destination popularity (0 = uniform): real
+  /// networks concentrate traffic on a few busy servers, which is what
+  /// separates placement-based load balancing from dynamic balancing.
+  double dest_zipf_s = 0.0;
+};
+
+/// Distributed real-time cluster (the paper's motivating environment):
+/// dominated by regular cluster-RPC bus traffic among trusted hosts,
+/// little external traffic, tight payload regularity.
+EnvironmentProfile rt_cluster_profile();
+
+/// E-commerce web front: external HTTP-heavy, bursty, diverse payloads —
+/// the environment commercial IDSes are typically tuned for.
+EnvironmentProfile ecommerce_profile();
+
+/// General office LAN: mixed mail/web/ftp/telnet.
+EnvironmentProfile office_profile();
+
+/// Meaningless random-payload flood at web-like rates — the §4 negative
+/// example. Used by the X3 ablation to show why it mis-measures
+/// payload-inspecting IDSes.
+EnvironmentProfile random_flood_profile();
+
+/// Look up a built-in profile by name ("rt_cluster", "ecommerce",
+/// "office", "random_flood"); throws std::invalid_argument otherwise.
+EnvironmentProfile profile_by_name(const std::string& name);
+
+}  // namespace idseval::traffic

@@ -1,0 +1,148 @@
+#include "traffic/trace.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace idseval::traffic {
+
+using netsim::Packet;
+using netsim::SimTime;
+
+void Trace::append(SimTime offset, const Packet& packet) {
+  entries_.push_back(TraceEntry{offset, packet});
+}
+
+void Trace::append_absolute(SimTime when, const Packet& packet) {
+  if (!have_base_) {
+    base_ = when;
+    have_base_ = true;
+  }
+  append(when - base_, packet);
+}
+
+SimTime Trace::duration() const noexcept {
+  return entries_.empty() ? SimTime::zero() : entries_.back().offset;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::replay(
+    netsim::Simulator& sim, netsim::Network& net, SimTime start,
+    double time_scale) const {
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_map;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> mapping;
+  for (const auto& entry : entries_) {
+    auto [it, inserted] =
+        flow_map.try_emplace(entry.packet.flow_id, 0);
+    if (inserted) {
+      it->second = sim.next_flow_id();
+      mapping.emplace_back(entry.packet.flow_id, it->second);
+    }
+    Packet copy = entry.packet;
+    copy.id = sim.next_packet_id();
+    copy.flow_id = it->second;
+    const SimTime when = start + entry.offset * time_scale;
+    sim.schedule_at(when, [&net, copy, when]() mutable {
+      copy.created = when;
+      net.send(copy);
+    });
+  }
+  return mapping;
+}
+
+namespace {
+
+std::string hex_encode(const std::string& raw) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (unsigned char c : raw) {
+    out += kHex[c >> 4];
+    out += kHex[c & 0xf];
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Trace: bad hex digit");
+}
+
+std::string hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("Trace: odd hex length");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out += static_cast<char>((hex_nibble(hex[i]) << 4) |
+                             hex_nibble(hex[i + 1]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Trace::serialize() const {
+  std::ostringstream out;
+  out << "idseval-trace v1\n";
+  for (const auto& e : entries_) {
+    const Packet& p = e.packet;
+    out << e.offset.ns() << ' ' << p.flow_id << ' '
+        << p.tuple.src_ip.value() << ' ' << p.tuple.src_port << ' '
+        << p.tuple.dst_ip.value() << ' ' << p.tuple.dst_port << ' '
+        << static_cast<int>(p.tuple.proto) << ' ' << p.flags.to_string()
+        << ' ' << p.seq << ' ' << hex_encode(p.payload_view()) << '\n';
+  }
+  return out.str();
+}
+
+Trace Trace::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "idseval-trace v1") {
+    throw std::invalid_argument("Trace: bad header: " + header);
+  }
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::int64_t offset_ns = 0;
+    std::uint64_t flow_id = 0;
+    std::uint32_t src = 0, dst = 0;
+    std::uint16_t sport = 0, dport = 0;
+    int proto = 0;
+    std::string flags, hex;
+    std::uint32_t seq = 0;
+    if (!(fields >> offset_ns >> flow_id >> src >> sport >> dst >> dport >>
+          proto >> flags >> seq)) {
+      throw std::invalid_argument("Trace: malformed line: " + line);
+    }
+    fields >> hex;  // may be empty for zero-payload packets
+
+    netsim::FiveTuple tuple;
+    tuple.src_ip = netsim::Ipv4(src);
+    tuple.dst_ip = netsim::Ipv4(dst);
+    tuple.src_port = sport;
+    tuple.dst_port = dport;
+    tuple.proto = static_cast<netsim::Protocol>(proto);
+
+    netsim::TcpFlags f;
+    f.syn = flags.find('S') != std::string::npos;
+    f.ack = flags.find('A') != std::string::npos;
+    f.fin = flags.find('F') != std::string::npos;
+    f.rst = flags.find('R') != std::string::npos;
+
+    Packet p = netsim::make_packet(0, flow_id, SimTime::zero(), tuple,
+                                   hex.empty() ? "" : hex_decode(hex), f);
+    p.seq = seq;
+    trace.append(SimTime::from_ns(offset_ns), p);
+  }
+  return trace;
+}
+
+}  // namespace idseval::traffic

@@ -1,0 +1,55 @@
+// Packet-trace record and replay. §4's second lesson: the only practical
+// way to observe the false-negative ratio is to replay canned data with
+// *known* attack content. A Trace captures packets (typically via a
+// switch mirror), serializes to a text format, and replays into any
+// network — optionally time-scaled, which gives a load knob with fully
+// fixed content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+
+namespace idseval::traffic {
+
+struct TraceEntry {
+  netsim::SimTime offset;  ///< Relative to trace start.
+  netsim::Packet packet;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void append(netsim::SimTime offset, const netsim::Packet& packet);
+  /// Appends with offset = when - first packet's absolute time.
+  void append_absolute(netsim::SimTime when, const netsim::Packet& packet);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  netsim::SimTime duration() const noexcept;
+
+  /// Schedules every packet into `sim`, re-emitting through `net` starting
+  /// at `start`. `time_scale` < 1 compresses the trace (higher load).
+  /// Flow ids and packet ids are remapped to fresh ids from `sim`; the
+  /// mapping old-flow -> new-flow is returned so ground truth can follow.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> replay(
+      netsim::Simulator& sim, netsim::Network& net, netsim::SimTime start,
+      double time_scale = 1.0) const;
+
+  /// Line-oriented text serialization (hex-escaped payloads).
+  std::string serialize() const;
+  static Trace deserialize(const std::string& text);
+
+ private:
+  std::vector<TraceEntry> entries_;
+  bool have_base_ = false;
+  netsim::SimTime base_;
+};
+
+}  // namespace idseval::traffic

@@ -1,0 +1,144 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace idseval::util {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value,
+                            std::string_view type) {
+  throw std::invalid_argument("Config: key '" + std::string(key) +
+                              "' value '" + std::string(value) +
+                              "' is not a valid " + std::string(type));
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("Config: line " + std::to_string(line_no) +
+                                  " has no '='");
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument("Config: line " + std::to_string(line_no) +
+                                  " has empty key");
+    }
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::get_int(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) throw std::invalid_argument("Config: missing key " + std::string(key));
+  std::int64_t out = 0;
+  const char* first = v->data();
+  const char* last = first + v->size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr != last) bad_value(key, *v, "integer");
+  return out;
+}
+
+std::int64_t Config::get_int_or(std::string_view key,
+                                std::int64_t fallback) const {
+  return contains(key) ? get_int(key) : fallback;
+}
+
+double Config::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) throw std::invalid_argument("Config: missing key " + std::string(key));
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*v, &consumed);
+    if (consumed != v->size()) bad_value(key, *v, "double");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v, "double");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v, "double");
+  }
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  return contains(key) ? get_double(key) : fallback;
+}
+
+bool Config::get_bool(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) throw std::invalid_argument("Config: missing key " + std::string(key));
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  bad_value(key, *v, "bool");
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  return contains(key) ? get_bool(key) : fallback;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : entries_) out << k << " = " << v << "\n";
+  return out.str();
+}
+
+}  // namespace idseval::util

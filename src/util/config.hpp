@@ -1,0 +1,47 @@
+// Flat key=value configuration with typed accessors. Experiment configs
+// in the harness are expressible as text so runs can be reproduced from a
+// single string.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idseval::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines; '#' starts a comment; blank lines are
+  /// ignored. Later keys override earlier ones. Throws on malformed lines.
+  static Config parse(std::string_view text);
+
+  void set(std::string key, std::string value);
+  bool contains(std::string_view key) const;
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::string get_or(std::string_view key, std::string fallback) const;
+  /// Typed accessors throw std::invalid_argument when the value does not
+  /// parse; *_or variants return the fallback when the key is absent but
+  /// still throw when present-and-malformed (silent fallback hides typos).
+  std::int64_t get_int(std::string_view key) const;
+  std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key) const;
+  double get_double_or(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Serializes back to parseable "key = value" lines in key order.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace idseval::util

@@ -1,0 +1,130 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace idseval::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: require lo < hi and bins > 0");
+  }
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return bin_lo(i) + bin_width_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t cum = underflow_;
+  if (cum > target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] > target) {
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - cum) /
+                    static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum += counts_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << " "
+        << counts_[i] << "\n";
+  }
+  if (underflow_) out << "underflow: " << underflow_ << "\n";
+  if (overflow_) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+LogHistogram::LogHistogram()
+    : counts_(static_cast<std::size_t>(kMaxExp - kMinExp + 1), 0) {}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x <= 0.0) {
+    ++zeros_;
+    return;
+  }
+  int exp = static_cast<int>(std::floor(std::log2(x)));
+  exp = std::clamp(exp, kMinExp, kMaxExp);
+  ++counts_[static_cast<std::size_t>(exp - kMinExp)];
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = zeros_;
+  if (cum > target) return 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] > target) {
+      const double lo = std::exp2(static_cast<double>(kMinExp) +
+                                  static_cast<double>(i));
+      return lo * 1.5;  // bucket midpoint in linear terms
+    }
+    cum += counts_[i];
+  }
+  return std::exp2(kMaxExp);
+}
+
+std::string LogHistogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  if (zeros_) out << "zeros: " << zeros_ << "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int exp = kMinExp + static_cast<int>(i);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "2^" << exp << " "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace idseval::util

@@ -1,0 +1,59 @@
+// Fixed-bin and log-scale histograms used for latency and rate reporting
+// in the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idseval::util {
+
+/// Linear histogram over [lo, hi) with `bins` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  /// Approximate quantile by linear interpolation within the bucket.
+  double quantile(double q) const noexcept;
+  /// Renders a terminal bar chart, one line per non-empty bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log2-bucketed histogram for values spanning many orders of magnitude
+/// (e.g. alert latencies from microseconds to seconds).
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+  double quantile(double q) const noexcept;
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  static constexpr int kMinExp = -30;  // 2^-30 ~ 1e-9
+  static constexpr int kMaxExp = 40;   // 2^40 ~ 1e12
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t zeros_ = 0;
+};
+
+}  // namespace idseval::util

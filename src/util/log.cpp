@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace idseval::util {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace idseval::util

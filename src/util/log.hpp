@@ -1,0 +1,55 @@
+// Minimal leveled logger. Kept deliberately simple: the harness's primary
+// outputs are structured tables, not log lines; logging exists for
+// debugging testbed wiring.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log sink with a runtime severity threshold.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  void write(LogLevel level, std::string_view msg);
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) {
+    if (level < level_) return;
+    write(level, cat(std::forward<Args>(args)...));
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  Logger::instance().log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  Logger::instance().log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  Logger::instance().log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  Logger::instance().log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace idseval::util

@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulation runs. Every stochastic component in idseval takes an explicit
+// Rng (or a seed) so that a testbed run is a pure function of its
+// configuration — the paper's methodology demands "scientific
+// repeatability" (§1), and that starts with the load generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace idseval::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state for
+/// Xoshiro256**. Also a fine standalone generator for seed derivation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality, 256-bit state PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x1d5e0A11ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double pareto(double xm, double alpha) noexcept;
+  /// Zipf-like rank selection over n items with exponent s >= 0.
+  std::size_t zipf(std::size_t n, double s) noexcept;
+  /// Poisson-distributed count with the given mean (Knuth / normal approx).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Picks an index according to non-negative weights (sum must be > 0).
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Derives an independent child generator; children with distinct tags
+  /// are statistically independent streams.
+  Rng fork(std::uint64_t tag) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Stable 64-bit FNV-1a hash of a string — used to derive per-component
+/// seeds from names so adding a component does not perturb others.
+std::uint64_t hash64(std::string_view s) noexcept;
+
+}  // namespace idseval::util

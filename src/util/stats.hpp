@@ -1,0 +1,119 @@
+// Streaming statistics used throughout the measurement harness:
+// Welford running moments, exponentially weighted moving averages, and
+// percentile extraction over retained samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace idseval::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm),
+/// plus min/max tracking. O(1) per observation, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (n denominator). 0 when n < 2.
+  double variance() const noexcept;
+  /// Sample variance (n-1 denominator). 0 when n < 2.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average: y += alpha * (x - y).
+/// Used by the anomaly engine's feature baselines.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+  double value() const noexcept { return value_; }
+  bool seeded() const noexcept { return seeded_; }
+  double alpha() const noexcept { return alpha_; }
+  void reset() noexcept {
+    value_ = 0.0;
+    seeded_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// EWMA of mean and mean-square, exposing a streaming z-score. This is
+/// the statistical core of the anomaly-based sensor (§2.1).
+class EwmaBaseline {
+ public:
+  explicit EwmaBaseline(double alpha) noexcept : mean_(alpha), sq_(alpha) {}
+
+  void add(double x) noexcept {
+    mean_.add(x);
+    sq_.add(x * x);
+  }
+  double mean() const noexcept { return mean_.value(); }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Deviation of x from the learned baseline in stddev units.
+  /// Returns 0 until the baseline has seen at least one sample.
+  /// `min_stddev` floors the spread so a near-constant baseline does not
+  /// turn measurement noise into unbounded scores.
+  double zscore(double x, double min_stddev = 0.0) const noexcept;
+  bool seeded() const noexcept { return mean_.seeded(); }
+
+ private:
+  Ewma mean_;
+  Ewma sq_;
+};
+
+/// Percentile over a sample vector (linear interpolation between order
+/// statistics). p in [0, 100]. Sorts a copy; call sparingly.
+double percentile(std::span<const double> samples, double p);
+
+/// In-place variant for hot paths that own their sample buffer.
+double percentile_inplace(std::vector<double>& samples, double p);
+
+/// Reservoir sampler retaining up to `capacity` uniformly-chosen samples
+/// of an unbounded stream — keeps latency percentiles cheap over long runs.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity, std::uint64_t seed = 1);
+
+  void add(double x) noexcept;
+  std::span<const double> samples() const noexcept { return samples_; }
+  std::uint64_t seen() const noexcept { return seen_; }
+  double percentile(double p) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<double> samples_;
+};
+
+}  // namespace idseval::util

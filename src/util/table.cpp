@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::util {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kLeft);
+  }
+  if (aligns_.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: aligns/headers size mismatch");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cells = [&](std::ostringstream& out,
+                        const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      out << "| ";
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (aligns_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  auto emit_rule = [&](std::ostringstream& out) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  emit_rule(out);
+  emit_cells(out, headers_);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.rule_before) emit_rule(out);
+    emit_cells(out, row.cells);
+  }
+  emit_rule(out);
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  return fmt_fixed(v, precision);
+}
+
+std::string fmt_si(double v, int precision) {
+  const double a = std::abs(v);
+  if (a >= 1e9) return fmt_fixed(v / 1e9, precision) + "G";
+  if (a >= 1e6) return fmt_fixed(v / 1e6, precision) + "M";
+  if (a >= 1e3) return fmt_fixed(v / 1e3, precision) + "k";
+  return fmt_fixed(v, precision);
+}
+
+}  // namespace idseval::util

@@ -1,0 +1,48 @@
+// Plain-text table rendering. The paper's evaluation artifacts are tables
+// (Tables 1-3) and the benches must print the same row/column structure,
+// so a shared renderer keeps their output uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idseval::util {
+
+enum class Align { kLeft, kRight };
+
+/// Column-aligned text table with an optional title and header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row added.
+  void add_rule();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros is NOT
+/// done (stable column widths matter more than minimal digits).
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a rate as "12.3k"/"4.56M" style for compact table cells.
+std::string fmt_si(double v, int precision = 2);
+
+}  // namespace idseval::util

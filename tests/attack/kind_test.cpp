@@ -1,0 +1,80 @@
+#include "attack/kind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "attack/patterns.hpp"
+
+namespace idseval::attack {
+namespace {
+
+TEST(AttackKindTest, TraitsCoverEveryKind) {
+  const auto& all = all_attack_traits();
+  EXPECT_EQ(all.size(), kAttackKindCount);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(all[i].kind), i);
+  }
+}
+
+TEST(AttackKindTest, NamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& t : all_attack_traits()) {
+    ASSERT_NE(t.name, nullptr);
+    EXPECT_FALSE(std::string(t.name).empty());
+    EXPECT_TRUE(names.insert(t.name).second) << t.name;
+  }
+}
+
+TEST(AttackKindTest, SeveritiesInRange) {
+  for (const auto& t : all_attack_traits()) {
+    EXPECT_GE(t.severity, 1);
+    EXPECT_LE(t.severity, 5);
+  }
+}
+
+TEST(AttackKindTest, NovelAttacksHaveNoSignature) {
+  EXPECT_FALSE(traits(AttackKind::kNovelExploit).known_signature);
+  EXPECT_FALSE(traits(AttackKind::kDnsTunnel).known_signature);
+  EXPECT_FALSE(traits(AttackKind::kInsiderMasquerade).known_signature);
+}
+
+TEST(AttackKindTest, KnownAttacksHaveSignature) {
+  EXPECT_TRUE(traits(AttackKind::kWebExploit).known_signature);
+  EXPECT_TRUE(traits(AttackKind::kSmtpWorm).known_signature);
+  EXPECT_TRUE(traits(AttackKind::kPortScan).known_signature);
+}
+
+TEST(AttackKindTest, OnlyInsiderIsInsider) {
+  for (const auto& t : all_attack_traits()) {
+    EXPECT_EQ(t.insider, t.kind == AttackKind::kInsiderMasquerade);
+  }
+}
+
+TEST(AttackKindTest, EveryAttackDetectableSomehow) {
+  // Each kind must manifest on at least one detection surface — an
+  // attack invisible to every engine would make the FN floor meaningless.
+  for (const auto& t : all_attack_traits()) {
+    EXPECT_TRUE(t.known_signature || t.rate_anomalous || t.payload_anomalous)
+        << t.name;
+  }
+}
+
+TEST(AttackKindTest, ToStringAndBadKind) {
+  EXPECT_EQ(to_string(AttackKind::kPortScan), "port-scan");
+  EXPECT_THROW(traits(AttackKind::kCount), std::invalid_argument);
+}
+
+TEST(PatternsTest, PublishedSetExcludesNovelMarker) {
+  for (const auto p : patterns::kPublished) {
+    EXPECT_EQ(p.find(patterns::kNovelMarker), std::string_view::npos);
+  }
+}
+
+TEST(PatternsTest, PublishedPatternsNonEmpty) {
+  for (const auto p : patterns::kPublished) EXPECT_FALSE(p.empty());
+}
+
+}  // namespace
+}  // namespace idseval::attack

@@ -1,0 +1,111 @@
+#include "core/autoscore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace idseval::core {
+namespace {
+
+TEST(ScoreBetweenTest, LinearEndpoints) {
+  EXPECT_EQ(score_between(0.0, 0.0, 10.0, true).value(), 0);
+  EXPECT_EQ(score_between(10.0, 0.0, 10.0, true).value(), 4);
+  EXPECT_EQ(score_between(5.0, 0.0, 10.0, true).value(), 2);
+}
+
+TEST(ScoreBetweenTest, LowerIsBetterFlips) {
+  EXPECT_EQ(score_between(0.0, 0.0, 10.0, false).value(), 4);
+  EXPECT_EQ(score_between(10.0, 0.0, 10.0, false).value(), 0);
+}
+
+TEST(ScoreBetweenTest, ClampsOutOfRange) {
+  EXPECT_EQ(score_between(-100.0, 0.0, 10.0, true).value(), 0);
+  EXPECT_EQ(score_between(1e9, 0.0, 10.0, true).value(), 4);
+}
+
+TEST(ScoreBetweenTest, GeometricMidpoint) {
+  // Geometric: 1 .. 100, midpoint 10 -> position 0.5 -> score 2.
+  EXPECT_EQ(score_between(10.0, 1.0, 100.0, true, true).value(), 2);
+  EXPECT_EQ(score_between(1.0, 1.0, 100.0, true, true).value(), 0);
+  EXPECT_EQ(score_between(100.0, 1.0, 100.0, true, true).value(), 4);
+}
+
+TEST(ScoreBetweenTest, MonotoneInValue) {
+  int last = -1;
+  for (double v = 0.0; v <= 10.0; v += 0.25) {
+    const int s = score_between(v, 0.0, 10.0, true).value();
+    EXPECT_GE(s, last);
+    last = s;
+  }
+}
+
+TEST(ThroughputScoresTest, AnchorsFromCatalog) {
+  // <5k low, >50k high (System Throughput anchors).
+  EXPECT_LE(score_system_throughput(1000.0).value(), 1);
+  EXPECT_EQ(score_system_throughput(200'000.0).value(), 4);
+  EXPECT_GE(score_system_throughput(60'000.0).value(), 3);
+  // Zero-loss: <2k low, >20k high.
+  EXPECT_LE(score_zero_loss_throughput(500.0).value(), 1);
+  EXPECT_EQ(score_zero_loss_throughput(80'000.0).value(), 4);
+}
+
+TEST(LatencyScoreTest, PassiveTapScoresHigh) {
+  EXPECT_EQ(score_induced_latency(0.0).value(), 4);
+  EXPECT_EQ(score_induced_latency(5e-6).value(), 4);
+  EXPECT_LE(score_induced_latency(5e-3).value(), 0);
+  EXPECT_GT(score_induced_latency(50e-6).value(),
+            score_induced_latency(1e-3).value());
+}
+
+TEST(LethalDoseScoreTest, InfiniteIsPerfect) {
+  EXPECT_EQ(
+      score_lethal_dose_ratio(std::numeric_limits<double>::infinity())
+          .value(),
+      4);
+  EXPECT_LE(score_lethal_dose_ratio(1.1).value(), 0);
+  EXPECT_GT(score_lethal_dose_ratio(6.0).value(),
+            score_lethal_dose_ratio(2.0).value());
+}
+
+TEST(FnScoreTest, NormalizedByAttackShare) {
+  // Missing every attack (ratio == attack share) scores 0.
+  EXPECT_EQ(score_false_negative_ratio(0.01, 0.01).value(), 0);
+  // Missing nothing scores 4.
+  EXPECT_EQ(score_false_negative_ratio(0.0, 0.01).value(), 4);
+  // Half missed lands mid-scale.
+  EXPECT_EQ(score_false_negative_ratio(0.005, 0.01).value(), 2);
+  // No attacks in corpus: vacuous 4.
+  EXPECT_EQ(score_false_negative_ratio(0.0, 0.0).value(), 4);
+}
+
+TEST(FpScoreTest, Shape) {
+  EXPECT_EQ(score_false_positive_ratio(0.0).value(), 4);
+  EXPECT_LE(score_false_positive_ratio(0.2).value(), 0);
+  EXPECT_GT(score_false_positive_ratio(0.001).value(),
+            score_false_positive_ratio(0.05).value());
+}
+
+TEST(HostImpactScoreTest, PaperAnchors) {
+  // Dedicated sensor (no host impact) -> 4.
+  EXPECT_EQ(score_host_cpu_impact(0.0).value(), 4);
+  // Nominal logging 3-5% -> around the average anchor.
+  const int nominal = score_host_cpu_impact(0.04).value();
+  EXPECT_GE(nominal, 1);
+  EXPECT_LE(nominal, 3);
+  // C2-audit ~20% -> low.
+  EXPECT_LE(score_host_cpu_impact(0.20).value(), 1);
+}
+
+TEST(TimelinessScoreTest, PaperAnchors) {
+  EXPECT_EQ(score_timeliness(0.2).value(), 4);   // sub-second
+  EXPECT_LE(score_timeliness(150.0).value(), 0); // over a minute
+  EXPECT_GT(score_timeliness(2.0).value(), score_timeliness(90.0).value());
+}
+
+TEST(DataStorageScoreTest, Shape) {
+  EXPECT_EQ(score_data_storage(1'000.0).value(), 4);    // ~1KB/MB
+  EXPECT_LE(score_data_storage(500'000.0).value(), 0);  // 500KB/MB
+}
+
+}  // namespace
+}  // namespace idseval::core

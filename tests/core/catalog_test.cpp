@@ -1,0 +1,109 @@
+#include "core/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace idseval::core {
+namespace {
+
+TEST(ScoreTest, AcceptsDiscreteRange) {
+  for (int v = 0; v <= 4; ++v) {
+    EXPECT_EQ(Score(v).value(), v);
+  }
+}
+
+TEST(ScoreTest, RejectsOutOfRange) {
+  EXPECT_THROW(Score(-1), std::invalid_argument);
+  EXPECT_THROW(Score(5), std::invalid_argument);
+}
+
+TEST(CatalogTest, CompleteAndOrdered) {
+  const auto& catalog = metric_catalog();
+  EXPECT_EQ(catalog.size(), kMetricCount);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(catalog[i].id), i);
+  }
+}
+
+TEST(CatalogTest, EveryMetricFullyDefined) {
+  for (const Metric& m : metric_catalog()) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_FALSE(m.definition.empty()) << m.name;
+    // Well-defined metrics need all three anchors (§3.1: definitions
+    // include examples of low, average, and high scores).
+    EXPECT_FALSE(m.low_anchor.empty()) << m.name;
+    EXPECT_FALSE(m.average_anchor.empty()) << m.name;
+    EXPECT_FALSE(m.high_anchor.empty()) << m.name;
+  }
+}
+
+TEST(CatalogTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const Metric& m : metric_catalog()) {
+    EXPECT_TRUE(names.insert(m.name).second) << m.name;
+  }
+}
+
+TEST(CatalogTest, RoundTripNameLookup) {
+  for (const Metric& m : metric_catalog()) {
+    EXPECT_EQ(metric_id_from_string(m.name), m.id);
+  }
+  EXPECT_THROW(metric_id_from_string("No Such Metric"),
+               std::invalid_argument);
+}
+
+TEST(CatalogTest, ClassPartitionCoversEverything) {
+  const auto logistical = metrics_in_class(MetricClass::kLogistical);
+  const auto architectural = metrics_in_class(MetricClass::kArchitectural);
+  const auto performance = metrics_in_class(MetricClass::kPerformance);
+  EXPECT_EQ(logistical.size() + architectural.size() + performance.size(),
+            kMetricCount);
+  // The paper's counts: 14 logistical, 16 architectural, 22 performance.
+  EXPECT_EQ(logistical.size(), 14u);
+  EXPECT_EQ(architectural.size(), 16u);
+  EXPECT_EQ(performance.size(), 22u);
+}
+
+TEST(CatalogTest, TableSubsetsMatchPaper) {
+  // Table 1: six selected logistical metrics.
+  EXPECT_EQ(table1_logistical_metrics().size(), 6u);
+  // Table 2: eight selected architectural metrics.
+  EXPECT_EQ(table2_architectural_metrics().size(), 8u);
+  // Table 3: twelve selected performance metrics.
+  EXPECT_EQ(table3_performance_metrics().size(), 12u);
+
+  for (const auto id : table1_logistical_metrics()) {
+    EXPECT_EQ(metric(id).metric_class, MetricClass::kLogistical);
+  }
+  for (const auto id : table2_architectural_metrics()) {
+    EXPECT_EQ(metric(id).metric_class, MetricClass::kArchitectural);
+  }
+  for (const auto id : table3_performance_metrics()) {
+    EXPECT_EQ(metric(id).metric_class, MetricClass::kPerformance);
+  }
+}
+
+TEST(CatalogTest, SelectedTableMetricsByName) {
+  // Spot-check the exact metrics the paper's tables list.
+  EXPECT_EQ(metric(MetricId::kDistributedManagement).name,
+            "Distributed Management");
+  EXPECT_EQ(metric(MetricId::kScalableLoadBalancing).name,
+            "Scalable Load-balancing");
+  EXPECT_EQ(metric(MetricId::kNetworkLethalDose).name,
+            "Network Lethal Dose");
+  EXPECT_EQ(metric(MetricId::kObservedFalseNegativeRatio).name,
+            "Observed False Negative Ratio");
+}
+
+TEST(CatalogTest, ClassNames) {
+  EXPECT_EQ(to_string(MetricClass::kLogistical), "Logistical");
+  EXPECT_EQ(to_string(MetricClass::kArchitectural), "Architectural");
+  EXPECT_EQ(to_string(MetricClass::kPerformance), "Performance");
+  EXPECT_EQ(to_string(Observation::kAnalysis), "analysis");
+  EXPECT_EQ(to_string(Observation::kOpenSource), "open-source");
+  EXPECT_EQ(to_string(Observation::kBoth), "both");
+}
+
+}  // namespace
+}  // namespace idseval::core

@@ -1,0 +1,98 @@
+#include "core/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace idseval::core {
+namespace {
+
+TEST(ScorecardPersistenceTest, RoundTrip) {
+  Scorecard card("GuardSecure");
+  card.set(MetricId::kTimeliness, Score(3), "0.21s mean");
+  card.set(MetricId::kLicenseManagement, Score(1));
+  card.set(MetricId::kObservedFalsePositiveRatio, Score(4),
+           "|D-A|/|T| = 0.0001");
+
+  const Scorecard copy = deserialize_scorecard(serialize_scorecard(card));
+  EXPECT_EQ(copy.product(), "GuardSecure");
+  ASSERT_EQ(copy.size(), card.size());
+  for (const auto& [id, entry] : card.entries()) {
+    EXPECT_EQ(copy.at(id).score, entry.score);
+    EXPECT_EQ(copy.at(id).note, entry.note);
+  }
+}
+
+TEST(ScorecardPersistenceTest, NoteMayContainSeparator) {
+  Scorecard card("p");
+  card.set(MetricId::kVisibility, Score(2), "seg A | seg B");
+  const Scorecard copy = deserialize_scorecard(serialize_scorecard(card));
+  EXPECT_EQ(copy.at(MetricId::kVisibility).note, "seg A | seg B");
+}
+
+TEST(ScorecardPersistenceTest, EmptyCardRoundTrips) {
+  const Scorecard copy =
+      deserialize_scorecard(serialize_scorecard(Scorecard("empty")));
+  EXPECT_EQ(copy.product(), "empty");
+  EXPECT_EQ(copy.size(), 0u);
+}
+
+TEST(ScorecardPersistenceTest, RejectsBadInput) {
+  EXPECT_THROW(deserialize_scorecard("garbage"), std::invalid_argument);
+  EXPECT_THROW(deserialize_scorecard("idseval-scorecard v1\nno product\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      deserialize_scorecard(
+          "idseval-scorecard v1\nproduct: p\nNo Such Metric | 3 |\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      deserialize_scorecard(
+          "idseval-scorecard v1\nproduct: p\nTimeliness | nine |\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      deserialize_scorecard(
+          "idseval-scorecard v1\nproduct: p\nTimeliness | 7 |\n"),
+      std::invalid_argument);  // out-of-range discrete score
+}
+
+TEST(WeightsPersistenceTest, RoundTrip) {
+  WeightSet weights;
+  weights.set(MetricId::kTimeliness, 6.5);
+  weights.set(MetricId::kHostBased, -2.0);
+  const WeightSet copy = deserialize_weights(serialize_weights(weights));
+  EXPECT_DOUBLE_EQ(copy.get(MetricId::kTimeliness), 6.5);
+  EXPECT_DOUBLE_EQ(copy.get(MetricId::kHostBased), -2.0);
+  EXPECT_EQ(copy.weights().size(), 2u);
+}
+
+TEST(WeightsPersistenceTest, RejectsBadInput) {
+  EXPECT_THROW(deserialize_weights("nope"), std::invalid_argument);
+  EXPECT_THROW(
+      deserialize_weights("idseval-weights v1\nNo Such Metric | 1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(deserialize_weights("idseval-weights v1\nTimeliness | x\n"),
+               std::invalid_argument);
+}
+
+TEST(PersistenceTest, ReuseWorkflow) {
+  // The §1 reuse claim as a test: score once, persist, re-weight twice
+  // without re-measuring, get the same totals as live computation.
+  util::Rng rng(8);
+  Scorecard card("p");
+  for (const Metric& m : metric_catalog()) {
+    card.set(m.id, Score(static_cast<int>(rng.uniform_u64(0, 4))));
+  }
+  const std::string stored = serialize_scorecard(card);
+
+  const Scorecard reloaded = deserialize_scorecard(stored);
+  using MapperFn = RequirementMapper (*)();
+  for (const MapperFn mapper_fn :
+       {&realtime_distributed_requirements, &ecommerce_requirements}) {
+    const WeightSet weights = mapper_fn().derive_weights();
+    EXPECT_DOUBLE_EQ(weighted_scores(reloaded, weights).total(),
+                     weighted_scores(card, weights).total());
+  }
+}
+
+}  // namespace
+}  // namespace idseval::core

@@ -1,0 +1,76 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idseval::core {
+namespace {
+
+std::vector<Scorecard> two_cards() {
+  Scorecard a("AlphaIDS");
+  a.set(MetricId::kTimeliness, Score(4), "0.3s");
+  a.set(MetricId::kLicenseManagement, Score(1));
+  Scorecard b("BetaIDS");
+  b.set(MetricId::kTimeliness, Score(2), "12s");
+  b.set(MetricId::kLicenseManagement, Score(3));
+  return {a, b};
+}
+
+TEST(ReportTest, MetricTableHasProductsAndScores) {
+  const auto cards = two_cards();
+  const MetricId metrics[] = {MetricId::kTimeliness,
+                              MetricId::kLicenseManagement,
+                              MetricId::kVisibility};
+  const std::string out =
+      render_metric_table("Title", metrics, cards, false);
+  EXPECT_NE(out.find("AlphaIDS"), std::string::npos);
+  EXPECT_NE(out.find("BetaIDS"), std::string::npos);
+  EXPECT_NE(out.find("Timeliness"), std::string::npos);
+  // Unscored metric renders as "-".
+  EXPECT_NE(out.find("Visibility"), std::string::npos);
+  EXPECT_NE(out.find(" - "), std::string::npos);
+}
+
+TEST(ReportTest, MetricTableNotes) {
+  const auto cards = two_cards();
+  const MetricId metrics[] = {MetricId::kTimeliness};
+  const std::string with_notes =
+      render_metric_table("T", metrics, cards, true);
+  EXPECT_NE(with_notes.find("0.3s"), std::string::npos);
+  const std::string without =
+      render_metric_table("T", metrics, cards, false);
+  EXPECT_EQ(without.find("0.3s"), std::string::npos);
+}
+
+TEST(ReportTest, WeightedSummaryRanksByTotal) {
+  const auto cards = two_cards();
+  WeightSet w;
+  w.set(MetricId::kTimeliness, 5.0);        // Alpha: 20, Beta: 10
+  w.set(MetricId::kLicenseManagement, 1.0); // Alpha: 1, Beta: 3
+  const std::string out = render_weighted_summary("Summary", cards, w);
+  // Alpha (21) must rank above Beta (13).
+  EXPECT_LT(out.find("AlphaIDS"), out.find("BetaIDS"));
+  EXPECT_NE(out.find("21.0"), std::string::npos);
+  EXPECT_NE(out.find("13.0"), std::string::npos);
+}
+
+TEST(ReportTest, RequirementMappingRendersBothTables) {
+  const std::string out =
+      render_requirement_mapping(realtime_distributed_requirements());
+  EXPECT_NE(out.find("Requirements (least to most important)"),
+            std::string::npos);
+  EXPECT_NE(out.find("Derived metric weights"), std::string::npos);
+  EXPECT_NE(out.find("Observed False Negative Ratio"), std::string::npos);
+}
+
+TEST(ReportTest, MetricDefinitionHasAnchors) {
+  const std::string out =
+      render_metric_definition(MetricId::kErrorReportingAndRecovery);
+  EXPECT_NE(out.find("Error Reporting and Recovery"), std::string::npos);
+  EXPECT_NE(out.find("Low (0):"), std::string::npos);
+  EXPECT_NE(out.find("Average (2):"), std::string::npos);
+  EXPECT_NE(out.find("High (4):"), std::string::npos);
+  EXPECT_NE(out.find("cold reboot"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idseval::core

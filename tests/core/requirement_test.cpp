@@ -1,0 +1,130 @@
+// Figure 6 requirement-to-weight mapping tests, including monotonicity
+// properties of the mapping algorithm.
+#include "core/requirement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace idseval::core {
+namespace {
+
+TEST(RequirementMapperTest, RejectsBadRank) {
+  RequirementMapper mapper;
+  EXPECT_THROW(mapper.add({"bad", 0, {}}), std::invalid_argument);
+}
+
+TEST(RequirementMapperTest, WeightsIncreaseWithRank) {
+  RequirementMapper mapper;
+  mapper.add({"least", 1, {MetricId::kTrainingSupport}});
+  mapper.add({"middle", 2, {MetricId::kTimeliness}});
+  mapper.add({"most", 3, {MetricId::kObservedFalseNegativeRatio}});
+  const auto weights = mapper.requirement_weights();
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(weights[2], 3.0);
+}
+
+TEST(RequirementMapperTest, DuplicateRanksShareWeight) {
+  RequirementMapper mapper;
+  mapper.add({"a", 2, {}});
+  mapper.add({"b", 2, {}});
+  const auto weights = mapper.requirement_weights();
+  EXPECT_DOUBLE_EQ(weights[0], weights[1]);
+}
+
+TEST(RequirementMapperTest, SparseRanksCompressToLadder) {
+  // Ranks 1, 5, 20 still map to the ladder base, base+step, base+2*step —
+  // only the ordering matters, not the absolute rank values.
+  RequirementMapper mapper;
+  mapper.add({"a", 1, {}});
+  mapper.add({"b", 5, {}});
+  mapper.add({"c", 20, {}});
+  const auto weights = mapper.requirement_weights(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(weights[2], 3.0);
+}
+
+TEST(RequirementMapperTest, MetricWeightIsSumOfContributingRequirements) {
+  // The Figure 6 example shape: one metric served by two requirements
+  // gets the sum of their weights.
+  RequirementMapper mapper;
+  mapper.add({"cheap", 1, {MetricId::kThreeYearCostOfOwnership}});
+  mapper.add({"fast", 2, {MetricId::kTimeliness}});
+  mapper.add(
+      {"accurate and fast", 3,
+       {MetricId::kTimeliness, MetricId::kObservedFalseNegativeRatio}});
+  const WeightSet weights = mapper.derive_weights();
+  EXPECT_DOUBLE_EQ(weights.get(MetricId::kThreeYearCostOfOwnership), 1.0);
+  EXPECT_DOUBLE_EQ(weights.get(MetricId::kTimeliness), 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(weights.get(MetricId::kObservedFalseNegativeRatio), 3.0);
+  EXPECT_DOUBLE_EQ(weights.get(MetricId::kVisibility), 0.0);
+}
+
+TEST(RequirementMapperTest, BaseAndStepHonored) {
+  RequirementMapper mapper;
+  mapper.add({"a", 1, {MetricId::kTimeliness}});
+  mapper.add({"b", 2, {MetricId::kTimeliness}});
+  const WeightSet weights = mapper.derive_weights(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(weights.get(MetricId::kTimeliness), 10.0 + 15.0);
+}
+
+TEST(RequirementMapperTest, AddingRequirementNeverLowersWeights) {
+  // Monotonicity: with the ladder fixed by rank set, adding a requirement
+  // at an existing rank only adds weight.
+  util::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    RequirementMapper mapper;
+    const int n = 3 + static_cast<int>(rng.uniform_u64(0, 4));
+    for (int i = 0; i < n; ++i) {
+      mapper.add({"req", 1 + static_cast<int>(rng.uniform_u64(0, 2)),
+                  {static_cast<MetricId>(rng.uniform_u64(0, 10))}});
+    }
+    const WeightSet before = mapper.derive_weights();
+    mapper.add({"extra", 2, {MetricId::kTimeliness}});
+    const WeightSet after = mapper.derive_weights();
+    for (const auto& [id, w] : before.weights()) {
+      EXPECT_GE(after.get(id) + 1e-12, w);
+    }
+  }
+}
+
+TEST(BuiltinProfilesTest, RealtimeProfileShape) {
+  const RequirementMapper rt = realtime_distributed_requirements();
+  EXPECT_GE(rt.requirements().size(), 8u);
+  const WeightSet weights = rt.derive_weights();
+  // §3.3: for real-time systems, speed/accuracy of recognition and
+  // automated reaction dominate; cost is least important.
+  EXPECT_GT(weights.get(MetricId::kObservedFalseNegativeRatio),
+            weights.get(MetricId::kThreeYearCostOfOwnership));
+  EXPECT_GT(weights.get(MetricId::kTimeliness),
+            weights.get(MetricId::kTrainingSupport));
+  EXPECT_GT(weights.get(MetricId::kFirewallInteraction), 0.0);
+  EXPECT_GT(weights.get(MetricId::kOperationalPerformanceImpact),
+            weights.get(MetricId::kLicenseManagement));
+}
+
+TEST(BuiltinProfilesTest, EcommerceProfileShape) {
+  const WeightSet weights = ecommerce_requirements().derive_weights();
+  // The commercial profile puts false-positive suppression on top.
+  EXPECT_GT(weights.get(MetricId::kObservedFalsePositiveRatio),
+            weights.get(MetricId::kObservedFalseNegativeRatio));
+  EXPECT_GT(weights.get(MetricId::kThreeYearCostOfOwnership),
+            weights.get(MetricId::kEvidenceCollection));
+}
+
+TEST(BuiltinProfilesTest, ProfilesDisagreeOnPriorities) {
+  const WeightSet rt = realtime_distributed_requirements().derive_weights();
+  const WeightSet ec = ecommerce_requirements().derive_weights();
+  // The FN-vs-FP priority inversion is the crux of §3.3.
+  const double rt_fn_bias = rt.get(MetricId::kObservedFalseNegativeRatio) -
+                            rt.get(MetricId::kObservedFalsePositiveRatio);
+  const double ec_fn_bias = ec.get(MetricId::kObservedFalseNegativeRatio) -
+                            ec.get(MetricId::kObservedFalsePositiveRatio);
+  EXPECT_GT(rt_fn_bias, 0.0);
+  EXPECT_LT(ec_fn_bias, 0.0);
+}
+
+}  // namespace
+}  // namespace idseval::core

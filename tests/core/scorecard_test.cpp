@@ -1,0 +1,185 @@
+// Scorecard and Figure 5 weighted-score algebra, including the
+// parameterized property sweeps: scale-invariance of rankings, additivity
+// across classes, and negative-weight semantics.
+#include "core/scorecard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace idseval::core {
+namespace {
+
+TEST(ScorecardTest, SetAndGet) {
+  Scorecard card("prod");
+  EXPECT_EQ(card.product(), "prod");
+  EXPECT_FALSE(card.has(MetricId::kTimeliness));
+  card.set(MetricId::kTimeliness, Score(3), "0.4s mean");
+  EXPECT_TRUE(card.has(MetricId::kTimeliness));
+  EXPECT_EQ(card.at(MetricId::kTimeliness).score.value(), 3);
+  EXPECT_EQ(card.at(MetricId::kTimeliness).note, "0.4s mean");
+  EXPECT_EQ(card.score(MetricId::kTimeliness)->value(), 3);
+  EXPECT_FALSE(card.score(MetricId::kVisibility).has_value());
+}
+
+TEST(ScorecardTest, AtThrowsOnUnscored) {
+  const Scorecard card("prod");
+  EXPECT_THROW(card.at(MetricId::kTimeliness), std::out_of_range);
+}
+
+TEST(ScorecardTest, OverwriteReplaces) {
+  Scorecard card("prod");
+  card.set(MetricId::kTimeliness, Score(1));
+  card.set(MetricId::kTimeliness, Score(4), "re-measured");
+  EXPECT_EQ(card.size(), 1u);
+  EXPECT_EQ(card.at(MetricId::kTimeliness).score.value(), 4);
+}
+
+TEST(ScorecardTest, ScoredInClassFilters) {
+  Scorecard card("prod");
+  card.set(MetricId::kTimeliness, Score(3));          // performance
+  card.set(MetricId::kLicenseManagement, Score(2));   // logistical
+  card.set(MetricId::kSystemThroughput, Score(4));    // architectural
+  EXPECT_EQ(card.scored_in_class(MetricClass::kPerformance).size(), 1u);
+  EXPECT_EQ(card.scored_in_class(MetricClass::kLogistical).size(), 1u);
+  EXPECT_EQ(card.scored_in_class(MetricClass::kArchitectural).size(), 1u);
+}
+
+TEST(WeightSetTest, DefaultsToZero) {
+  const WeightSet w;
+  EXPECT_EQ(w.get(MetricId::kTimeliness), 0.0);
+}
+
+TEST(WeightSetTest, AddAccumulates) {
+  WeightSet w;
+  w.add(MetricId::kTimeliness, 2.0);
+  w.add(MetricId::kTimeliness, 3.0);
+  EXPECT_DOUBLE_EQ(w.get(MetricId::kTimeliness), 5.0);
+}
+
+TEST(WeightedScoresTest, Figure5Formula) {
+  // Hand-computed S_j = sum(U_ij * W_ij) per class.
+  Scorecard card("prod");
+  card.set(MetricId::kLicenseManagement, Score(3));   // class 1
+  card.set(MetricId::kTrainingSupport, Score(1));     // class 1
+  card.set(MetricId::kSystemThroughput, Score(4));    // class 2
+  card.set(MetricId::kTimeliness, Score(2));          // class 3
+
+  WeightSet w;
+  w.set(MetricId::kLicenseManagement, 2.0);
+  w.set(MetricId::kTrainingSupport, 1.0);
+  w.set(MetricId::kSystemThroughput, 3.0);
+  w.set(MetricId::kTimeliness, 5.0);
+
+  const WeightedScores s = weighted_scores(card, w);
+  EXPECT_DOUBLE_EQ(s.logistical, 3 * 2.0 + 1 * 1.0);  // 7
+  EXPECT_DOUBLE_EQ(s.architectural, 4 * 3.0);          // 12
+  EXPECT_DOUBLE_EQ(s.performance, 2 * 5.0);            // 10
+  EXPECT_DOUBLE_EQ(s.total(), 29.0);
+}
+
+TEST(WeightedScoresTest, NegativeWeightsPenalize) {
+  Scorecard card("prod");
+  card.set(MetricId::kHostBased, Score(4));
+  WeightSet w;
+  w.set(MetricId::kHostBased, -2.0);
+  EXPECT_DOUBLE_EQ(weighted_scores(card, w).total(), -8.0);
+}
+
+TEST(WeightedScoresTest, MissingScoredMetricsReported) {
+  Scorecard card("prod");
+  WeightSet w;
+  w.set(MetricId::kTimeliness, 5.0);
+  std::vector<MetricId> missing;
+  const WeightedScores s = weighted_scores(card, w, &missing);
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], MetricId::kTimeliness);
+}
+
+TEST(WeightedScoresTest, ZeroWeightIgnored) {
+  Scorecard card("prod");
+  WeightSet w;
+  w.set(MetricId::kTimeliness, 0.0);  // weighted but zero: not "missing"
+  std::vector<MetricId> missing;
+  weighted_scores(card, w, &missing);
+  EXPECT_TRUE(missing.empty());
+}
+
+// --- Property sweeps (TEST_P) -----------------------------------------------
+
+class WeightedScoreProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Scorecard random_card(util::Rng& rng, const std::string& name) {
+    Scorecard card(name);
+    for (const Metric& m : metric_catalog()) {
+      if (rng.chance(0.8)) {
+        card.set(m.id, Score(static_cast<int>(rng.uniform_u64(0, 4))));
+      }
+    }
+    return card;
+  }
+
+  static WeightSet random_weights(util::Rng& rng) {
+    WeightSet w;
+    for (const Metric& m : metric_catalog()) {
+      if (rng.chance(0.7)) {
+        w.set(m.id, rng.uniform(-2.0, 8.0));
+      }
+    }
+    return w;
+  }
+};
+
+TEST_P(WeightedScoreProperty, ScalingWeightsScalesScoresLinearly) {
+  util::Rng rng(GetParam());
+  const Scorecard card = random_card(rng, "p");
+  WeightSet w = random_weights(rng);
+  const double before = weighted_scores(card, w).total();
+  w.scale(3.5);
+  const double after = weighted_scores(card, w).total();
+  EXPECT_NEAR(after, 3.5 * before, 1e-9 + 1e-12 * std::abs(before));
+}
+
+TEST_P(WeightedScoreProperty, ScalingPreservesRanking) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const Scorecard a = random_card(rng, "a");
+  const Scorecard b = random_card(rng, "b");
+  WeightSet w = random_weights(rng);
+  const bool a_wins =
+      weighted_scores(a, w).total() > weighted_scores(b, w).total();
+  w.scale(7.0);  // positive scaling: ranking invariant (§3.1)
+  const bool a_still_wins =
+      weighted_scores(a, w).total() > weighted_scores(b, w).total();
+  EXPECT_EQ(a_wins, a_still_wins);
+}
+
+TEST_P(WeightedScoreProperty, TotalIsSumOfClasses) {
+  util::Rng rng(GetParam() ^ 0x555);
+  const Scorecard card = random_card(rng, "p");
+  const WeightSet w = random_weights(rng);
+  const WeightedScores s = weighted_scores(card, w);
+  EXPECT_NEAR(s.total(), s.logistical + s.architectural + s.performance,
+              1e-9);
+}
+
+TEST_P(WeightedScoreProperty, WeightSuperpositionIsAdditive) {
+  // S(w1 + w2) == S(w1) + S(w2): the scoring functional is linear.
+  util::Rng rng(GetParam() ^ 0x777);
+  const Scorecard card = random_card(rng, "p");
+  const WeightSet w1 = random_weights(rng);
+  const WeightSet w2 = random_weights(rng);
+  WeightSet sum = w1;
+  for (const auto& [id, weight] : w2.weights()) sum.add(id, weight);
+  const double combined = weighted_scores(card, sum).total();
+  const double separate = weighted_scores(card, w1).total() +
+                          weighted_scores(card, w2).total();
+  EXPECT_NEAR(combined, separate, 1e-9 + 1e-12 * std::abs(combined));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedScoreProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace idseval::core

@@ -1,0 +1,122 @@
+#include "harness/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+
+namespace idseval::harness {
+namespace {
+
+using core::MetricId;
+using netsim::SimTime;
+
+TestbedConfig quick_env() {
+  TestbedConfig env;
+  env.profile = traffic::rt_cluster_profile();
+  env.internal_hosts = 6;
+  env.external_hosts = 3;
+  env.seed = 31;
+  env.warmup = SimTime::from_sec(8);
+  env.measure = SimTime::from_sec(20);
+  env.drain = SimTime::from_sec(3);
+  return env;
+}
+
+EvaluationOptions quick_options() {
+  EvaluationOptions opt;
+  opt.sensitivity = 0.5;
+  opt.attacks_per_kind = 2;
+  opt.include_load_metrics = false;  // keep unit tests fast
+  return opt;
+}
+
+TEST(EvaluateTest, MeasuredMetricsFillTheScorecard) {
+  const auto& model =
+      products::product(products::ProductId::kGuardSecure);
+  const Evaluation eval =
+      evaluate_product(quick_env(), model, quick_options());
+
+  // All detection-run metrics must be scored with measurement notes.
+  for (const auto id :
+       {MetricId::kObservedFalseNegativeRatio,
+        MetricId::kObservedFalsePositiveRatio, MetricId::kTimeliness,
+        MetricId::kOperationalPerformanceImpact, MetricId::kDataStorage}) {
+    ASSERT_TRUE(eval.card.has(id)) << core::to_string(id);
+    EXPECT_FALSE(eval.card.at(id).note.empty());
+  }
+  // Load metrics were skipped.
+  EXPECT_FALSE(eval.card.has(MetricId::kMaxThroughputZeroLoss));
+  EXPECT_FALSE(eval.card.has(MetricId::kNetworkLethalDose));
+}
+
+TEST(EvaluateTest, SignatureProductScoresPoorlyOnFnWellOnFp) {
+  const auto& model =
+      products::product(products::ProductId::kSentryNid);
+  const Evaluation eval =
+      evaluate_product(quick_env(), model, quick_options());
+  // Misses all novel/insider kinds (3 of 8) -> clearly below perfect.
+  EXPECT_LE(
+      eval.card.at(MetricId::kObservedFalseNegativeRatio).score.value(), 3);
+  // Near-zero false alarms -> top FP score.
+  EXPECT_GE(
+      eval.card.at(MetricId::kObservedFalsePositiveRatio).score.value(), 3);
+}
+
+TEST(EvaluateTest, HybridAgentsScoreWellOnFnPoorlyOnImpact) {
+  const auto& model =
+      products::product(products::ProductId::kAgentSwarm);
+  const Evaluation eval =
+      evaluate_product(quick_env(), model, quick_options());
+  EXPECT_GE(
+      eval.card.at(MetricId::kObservedFalseNegativeRatio).score.value(), 3);
+  // C2 auditing on production hosts costs real CPU.
+  EXPECT_LE(
+      eval.card.at(MetricId::kOperationalPerformanceImpact).score.value(),
+      3);
+}
+
+TEST(EvaluateTest, FirewallEffectivenessOverridesCapability) {
+  // GuardSecure claims blocking; when the lab observes actual automatic
+  // blocks the score is 4, otherwise downgraded to 2. Either way the note
+  // records the evidence.
+  const auto& model =
+      products::product(products::ProductId::kGuardSecure);
+  const Evaluation eval =
+      evaluate_product(quick_env(), model, quick_options());
+  const auto& entry = eval.card.at(MetricId::kFirewallInteraction);
+  if (eval.measured.detection_run.firewall_blocks > 0) {
+    EXPECT_EQ(entry.score.value(), 4);
+  } else {
+    EXPECT_EQ(entry.score.value(), 2);
+  }
+  EXPECT_FALSE(entry.note.empty());
+}
+
+TEST(EvaluateTest, MeasurementsRetained) {
+  const auto& model =
+      products::product(products::ProductId::kSentryNid);
+  const Evaluation eval =
+      evaluate_product(quick_env(), model, quick_options());
+  EXPECT_GT(eval.measured.detection_run.transactions, 0u);
+  EXPECT_EQ(eval.measured.detection_run.product, "SentryNID");
+}
+
+TEST(EvaluateTest, WithLoadMetricsScoresThroughputFamily) {
+  // One slower full evaluation to cover the load-metric path.
+  TestbedConfig env = quick_env();
+  const auto& model =
+      products::product(products::ProductId::kSentryNid);
+  EvaluationOptions opt = quick_options();
+  opt.include_load_metrics = true;
+  const Evaluation eval = evaluate_product(env, model, opt);
+  for (const auto id :
+       {MetricId::kMaxThroughputZeroLoss, MetricId::kSystemThroughput,
+        MetricId::kNetworkLethalDose, MetricId::kInducedTrafficLatency}) {
+    EXPECT_TRUE(eval.card.has(id)) << core::to_string(id);
+  }
+  EXPECT_GT(eval.measured.zero_loss_pps, 0.0);
+  EXPECT_GT(eval.measured.system_throughput_pps, 0.0);
+}
+
+}  // namespace
+}  // namespace idseval::harness

@@ -1,0 +1,145 @@
+#include "harness/measure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idseval::harness {
+namespace {
+
+using netsim::SimTime;
+
+TestbedConfig quick_env() {
+  TestbedConfig env;
+  env.profile = traffic::rt_cluster_profile();
+  env.internal_hosts = 6;
+  env.external_hosts = 3;
+  env.seed = 17;
+  env.warmup = SimTime::from_sec(6);
+  env.measure = SimTime::from_sec(15);
+  env.drain = SimTime::from_sec(2);
+  return env;
+}
+
+TEST(EqualErrorRateTest, FindsCrossing) {
+  std::vector<ErrorRatePoint> sweep(3);
+  sweep[0] = {0.0, 0.0, 0.0, 0.0, 40.0};
+  sweep[1] = {0.5, 0.0, 0.0, 10.0, 20.0};
+  sweep[2] = {1.0, 0.0, 0.0, 30.0, 0.0};
+  const EqualErrorRate eer = equal_error_rate(sweep);
+  ASSERT_TRUE(eer.found);
+  // Between s=0.5 (diff +10) and s=1.0 (diff -30): crossing at t=0.25.
+  EXPECT_NEAR(eer.sensitivity, 0.625, 1e-9);
+  EXPECT_NEAR(eer.error_percent, 15.0, 1e-9);
+}
+
+TEST(EqualErrorRateTest, NoCrossingReportsNotFound) {
+  std::vector<ErrorRatePoint> sweep(2);
+  sweep[0] = {0.0, 0, 0, 1.0, 50.0};
+  sweep[1] = {1.0, 0, 0, 2.0, 40.0};  // FN always above FP
+  EXPECT_FALSE(equal_error_rate(sweep).found);
+}
+
+TEST(EqualErrorRateTest, ExactTouchFound) {
+  std::vector<ErrorRatePoint> sweep(2);
+  sweep[0] = {0.0, 0, 0, 10.0, 10.0};  // equal at the first point
+  sweep[1] = {1.0, 0, 0, 30.0, 0.0};
+  const EqualErrorRate eer = equal_error_rate(sweep);
+  EXPECT_TRUE(eer.found);
+  EXPECT_NEAR(eer.sensitivity, 0.0, 1e-9);
+}
+
+TEST(MeasureTest, LoadSweepMonotoneOffered) {
+  const auto& model =
+      products::product(products::ProductId::kSentryNid);
+  const auto points =
+      load_sweep(quick_env(), model, 0.5, {1.0, 4.0, 12.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].offered_pps, points[1].offered_pps);
+  EXPECT_LT(points[1].offered_pps, points[2].offered_pps);
+  for (const auto& p : points) {
+    EXPECT_GE(p.loss_ratio, 0.0);
+    EXPECT_LE(p.loss_ratio, 1.0);
+  }
+}
+
+TEST(MeasureTest, ZeroLossBelowSaturationKnee) {
+  // A sensor with tiny capacity must report a low zero-loss rate; the
+  // same pipeline with a fast sensor reports a higher one.
+  products::ProductModel slow =
+      products::product(products::ProductId::kSentryNid);
+  slow.make_config = [](double s) {
+    auto c = products::product(products::ProductId::kSentryNid)
+                 .make_config(s);
+    c.sensor.ops_per_sec = 2e6;  // ~hundreds of pps
+    return c;
+  };
+  const double slow_pps =
+      measure_zero_loss_pps(quick_env(), slow, 0.5, 16.0, 1e-4, 4);
+
+  products::ProductModel fast = slow;
+  fast.make_config = [](double s) {
+    auto c = products::product(products::ProductId::kSentryNid)
+                 .make_config(s);
+    c.sensor.ops_per_sec = 6e8;
+    return c;
+  };
+  const double fast_pps =
+      measure_zero_loss_pps(quick_env(), fast, 0.5, 16.0, 1e-4, 4);
+  EXPECT_GT(fast_pps, 2.0 * slow_pps);
+}
+
+TEST(MeasureTest, LethalDoseFoundForFragileSensor) {
+  products::ProductModel fragile =
+      products::product(products::ProductId::kSentryNid);
+  fragile.make_config = [](double s) {
+    auto c = products::product(products::ProductId::kSentryNid)
+                 .make_config(s);
+    c.sensor.ops_per_sec = 2e6;
+    c.sensor.queue_capacity = 64;
+    c.sensor.overload_tolerance = netsim::SimTime::from_ms(100);
+    return c;
+  };
+  const auto dose = measure_lethal_dose_pps(quick_env(), fragile, 0.5, 16.0);
+  ASSERT_TRUE(dose.has_value());
+  EXPECT_GT(*dose, 0.0);
+}
+
+TEST(MeasureTest, NoLethalDoseForRobustSensor) {
+  const auto& model =
+      products::product(products::ProductId::kSentryNid);
+  // Up to a modest max scale the stock product should not die.
+  const auto dose = measure_lethal_dose_pps(quick_env(), model, 0.5, 4.0);
+  EXPECT_FALSE(dose.has_value());
+}
+
+TEST(MeasureTest, InlineProductInducesMoreLatencyThanPassive) {
+  const auto& passive =
+      products::product(products::ProductId::kSentryNid);
+  const auto& inline_product =
+      products::product(products::ProductId::kFlowHunt);
+  const double passive_latency =
+      measure_induced_latency_sec(quick_env(), passive, 0.5);
+  const double inline_latency =
+      measure_induced_latency_sec(quick_env(), inline_product, 0.5);
+  EXPECT_LT(passive_latency, 20e-6);   // mirror: negligible
+  EXPECT_GT(inline_latency, 50e-6);    // in-line LB store-and-forward
+}
+
+TEST(MeasureTest, SensitivitySweepShapes) {
+  const auto& model =
+      products::product(products::ProductId::kAgentSwarm);
+  const auto sweep =
+      sensitivity_sweep(quick_env(), model, {0.1, 0.9}, 2, 2);
+  ASSERT_EQ(sweep.size(), 2u);
+  // Type I rises with sensitivity; Type II does not rise.
+  EXPECT_LE(sweep[0].fp_percent_of_benign, sweep[1].fp_percent_of_benign);
+  EXPECT_GE(sweep[0].fn_percent_of_attacks, sweep[1].fn_percent_of_attacks);
+  for (const auto& p : sweep) {
+    EXPECT_GE(p.fp_ratio, 0.0);
+    EXPECT_LE(p.fp_ratio, 1.0);
+    EXPECT_GE(p.fn_ratio, 0.0);
+    EXPECT_LE(p.fn_ratio, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace idseval::harness

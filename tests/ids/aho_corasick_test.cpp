@@ -1,0 +1,130 @@
+#include "ids/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "traffic/payload.hpp"
+#include "util/rng.hpp"
+
+namespace idseval::ids {
+namespace {
+
+TEST(AhoCorasickTest, RejectsEmptyPattern) {
+  EXPECT_THROW(AhoCorasick({"ok", ""}), std::invalid_argument);
+}
+
+TEST(AhoCorasickTest, FindsSinglePattern) {
+  const AhoCorasick ac({"needle"});
+  const auto matches = ac.find_all("hay needle stack");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].pattern_id, 0u);
+  EXPECT_EQ(matches[0].end_offset, 10u);  // one past 'needle'
+}
+
+TEST(AhoCorasickTest, NoMatchIsEmpty) {
+  const AhoCorasick ac({"needle"});
+  EXPECT_TRUE(ac.find_all("plain haystack").empty());
+  EXPECT_FALSE(ac.contains_any("plain haystack"));
+}
+
+TEST(AhoCorasickTest, FindsOverlappingPatterns) {
+  const AhoCorasick ac({"he", "she", "his", "hers"});
+  const auto matches = ac.find_all("ushers");
+  // "ushers" contains she, he, hers.
+  std::vector<std::size_t> ids;
+  for (const auto& m : matches) ids.push_back(m.pattern_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(AhoCorasickTest, RepeatedOccurrencesAllReported) {
+  const AhoCorasick ac({"ab"});
+  EXPECT_EQ(ac.find_all("ababab").size(), 3u);
+}
+
+TEST(AhoCorasickTest, FindSetDeduplicates) {
+  const AhoCorasick ac({"ab", "zz"});
+  const auto set = ac.find_set("abababab");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 0u);
+}
+
+TEST(AhoCorasickTest, PatternInsidePattern) {
+  const AhoCorasick ac({"/etc/passwd", "passwd"});
+  const auto set = ac.find_set("GET /../../etc/passwd HTTP/1.0");
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AhoCorasickTest, BinaryPatterns) {
+  const std::string nop_sled = "\x90\x90\x90\x90\x90\x90";
+  const AhoCorasick ac({nop_sled});
+  std::string payload = "header";
+  payload += std::string(10, '\x90');
+  payload += "tail";
+  EXPECT_TRUE(ac.contains_any(payload));
+  EXPECT_FALSE(ac.contains_any("header tail"));
+}
+
+TEST(AhoCorasickTest, MatchAtStartAndEnd) {
+  const AhoCorasick ac({"start", "end"});
+  const auto set = ac.find_set("start middle end");
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AhoCorasickTest, PatternEqualsText) {
+  const AhoCorasick ac({"exact"});
+  EXPECT_TRUE(ac.contains_any("exact"));
+}
+
+TEST(AhoCorasickTest, EmptyTextMatchesNothing) {
+  const AhoCorasick ac({"x"});
+  EXPECT_FALSE(ac.contains_any(""));
+  EXPECT_TRUE(ac.find_all("").empty());
+}
+
+TEST(AhoCorasickTest, AccessorsAndNodeCount) {
+  const AhoCorasick ac({"abc", "abd"});
+  EXPECT_EQ(ac.pattern_count(), 2u);
+  EXPECT_EQ(ac.pattern(1), "abd");
+  // root + a + b + c + d = 5 nodes (shared prefix "ab").
+  EXPECT_EQ(ac.node_count(), 5u);
+}
+
+TEST(AhoCorasickTest, AgreesWithNaiveSearchOnRandomText) {
+  const std::vector<std::string> patterns = {"track", "GET /", "passwd",
+                                             "\r\n\r\n", "seq="};
+  const AhoCorasick ac(patterns);
+  util::Rng rng(123);
+  for (int round = 0; round < 50; ++round) {
+    const auto kind = static_cast<traffic::PayloadKind>(round % 7);
+    const std::string text = traffic::synthesize(kind, 500, rng);
+    const auto set = ac.find_set(text);
+    for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+      const bool naive = text.find(patterns[pid]) != std::string::npos;
+      const bool found =
+          std::find(set.begin(), set.end(), pid) != set.end();
+      EXPECT_EQ(naive, found)
+          << "pattern '" << patterns[pid] << "' round " << round;
+    }
+  }
+}
+
+TEST(AhoCorasickTest, ManyPatternsStress) {
+  std::vector<std::string> patterns;
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    patterns.push_back(traffic::random_printable(8, rng));
+  }
+  const AhoCorasick ac(patterns);
+  // Every pattern must be found in a text that embeds it.
+  for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+    const std::string text = "prefix " + patterns[pid] + " suffix";
+    const auto set = ac.find_set(text);
+    EXPECT_TRUE(std::find(set.begin(), set.end(), pid) != set.end());
+  }
+}
+
+}  // namespace
+}  // namespace idseval::ids

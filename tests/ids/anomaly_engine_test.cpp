@@ -1,0 +1,257 @@
+#include "ids/anomaly_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/payload.hpp"
+#include "util/rng.hpp"
+
+namespace idseval::ids {
+namespace {
+
+using netsim::FiveTuple;
+using netsim::Ipv4;
+using netsim::Packet;
+using netsim::Protocol;
+using netsim::SimTime;
+using netsim::TcpFlags;
+
+Packet make(std::uint64_t flow, Ipv4 src, Ipv4 dst, std::uint16_t dst_port,
+            std::string payload, TcpFlags flags = {},
+            Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src_ip = src;
+  t.dst_ip = dst;
+  t.src_port = 4000;
+  t.dst_port = dst_port;
+  t.proto = proto;
+  return netsim::make_packet(flow, flow, SimTime::zero(), t,
+                             std::move(payload), flags);
+}
+
+TEST(PayloadEntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(payload_entropy(""), 0.0);
+  EXPECT_DOUBLE_EQ(payload_entropy("aaaa"), 0.0);
+  EXPECT_DOUBLE_EQ(payload_entropy("ab"), 1.0);
+  EXPECT_DOUBLE_EQ(payload_entropy("abcd"), 2.0);
+}
+
+TEST(PayloadEntropyTest, RandomHigherThanStructured) {
+  util::Rng rng(4);
+  const double random_h =
+      payload_entropy(traffic::random_printable(1000, rng));
+  const double text_h = payload_entropy(
+      traffic::synthesize(traffic::PayloadKind::kClusterRpc, 1000, rng));
+  EXPECT_GT(random_h, text_h);
+  EXPECT_LE(random_h, 8.0);
+}
+
+TEST(SensitivityToZscoreTest, BoundsAndMonotone) {
+  EXPECT_NEAR(sensitivity_to_zscore(0.0), 8.0, 1e-9);
+  EXPECT_NEAR(sensitivity_to_zscore(1.0), 1.5, 1e-9);
+  EXPECT_GT(sensitivity_to_zscore(0.2), sensitivity_to_zscore(0.8));
+}
+
+class AnomalyEngineTest : public ::testing::Test {
+ protected:
+  AnomalyEngine make_engine(double sensitivity = 0.5) {
+    AnomalyEngineOptions opt;
+    opt.sensitivity = sensitivity;
+    return AnomalyEngine(opt);
+  }
+
+  /// Trains the engine on regular cluster traffic among internal hosts.
+  void train(AnomalyEngine& engine, int packets = 3000) {
+    util::Rng rng(11);
+    for (int i = 0; i < packets; ++i) {
+      const Ipv4 src(10, 0, 0, static_cast<std::uint8_t>(1 + rng.index(6)));
+      const Ipv4 dst(10, 0, 0, static_cast<std::uint8_t>(1 + rng.index(6)));
+      const std::uint16_t port =
+          i % 10 == 0 ? netsim::ports::kDns : netsim::ports::kClusterRpc;
+      Packet p = make(static_cast<std::uint64_t>(100 + i / 6), src, dst,
+                      port,
+                      traffic::synthesize(traffic::PayloadKind::kClusterRpc,
+                                          160, rng));
+      std::vector<Detection> sink;
+      engine.process(p, SimTime::from_ms(i), sink);
+      EXPECT_TRUE(sink.empty());  // learning mode never detects
+    }
+    engine.set_mode(AnomalyEngine::Mode::kDetecting);
+  }
+
+  util::Rng rng_{22};
+};
+
+TEST_F(AnomalyEngineTest, StartsInLearningMode) {
+  auto engine = make_engine();
+  EXPECT_EQ(engine.mode(), AnomalyEngine::Mode::kLearning);
+}
+
+TEST_F(AnomalyEngineTest, NormalTrafficStaysQuietAtModerateSensitivity) {
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> out;
+  for (int i = 0; i < 500; ++i) {
+    Packet p = make(static_cast<std::uint64_t>(5000 + i), Ipv4(10, 0, 0, 2),
+                    Ipv4(10, 0, 0, 3), netsim::ports::kClusterRpc,
+                    traffic::synthesize(traffic::PayloadKind::kClusterRpc,
+                                        160, rng_));
+    engine.process(p, SimTime::from_sec(10) + SimTime::from_ms(i), out);
+  }
+  // A couple of tail events are acceptable; a flood is not.
+  EXPECT_LE(out.size(), 5u);
+}
+
+TEST_F(AnomalyEngineTest, NovelPayloadEntropyDetected) {
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> out;
+  Packet p = make(9000, Ipv4(198, 51, 100, 1), Ipv4(10, 0, 0, 2),
+                  netsim::ports::kClusterRpc,
+                  traffic::random_printable(1100, rng_));
+  engine.process(p, SimTime::from_sec(10), out);
+  ASSERT_FALSE(out.empty());
+  bool entropy_or_length = false;
+  for (const auto& d : out) {
+    EXPECT_EQ(d.method, DetectionMethod::kAnomaly);
+    if (d.rule.find("payload") != std::string::npos) {
+      entropy_or_length = true;
+    }
+  }
+  EXPECT_TRUE(entropy_or_length);
+}
+
+TEST_F(AnomalyEngineTest, GradualFanoutScanDetectedDespitePoisoning) {
+  // The self-poisoning regression: a scan's fanout climbs gradually; the
+  // winsorized baseline must not absorb it.
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> out;
+  for (int i = 0; i < 100; ++i) {
+    Packet p = make(9100, Ipv4(198, 51, 100, 1), Ipv4(10, 0, 0, 2),
+                    static_cast<std::uint16_t>(100 + i), "");
+    engine.process(p, SimTime::from_sec(10) + SimTime::from_ms(i), out);
+  }
+  bool fanout = false;
+  for (const auto& d : out) {
+    if (d.rule == "source fanout anomaly") fanout = true;
+  }
+  EXPECT_TRUE(fanout);
+}
+
+TEST_F(AnomalyEngineTest, SynFloodRateDetected) {
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> out;
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 600; ++i) {
+    Packet p = make(9200, Ipv4(198, 51, 100, 1), Ipv4(10, 0, 0, 2),
+                    netsim::ports::kHttp, "", syn);
+    engine.process(p, SimTime::from_sec(10) + SimTime::from_us(i * 300),
+                   out);
+  }
+  bool rate = false;
+  for (const auto& d : out) {
+    if (d.rule == "SYN rate anomaly") rate = true;
+  }
+  EXPECT_TRUE(rate);
+}
+
+TEST_F(AnomalyEngineTest, NovelInternalPeerDetected) {
+  auto engine = make_engine(0.6);
+  train(engine);
+  std::vector<Detection> out;
+  // Host 10.0.0.7 never appeared as a source during training.
+  Packet p = make(9300, Ipv4(10, 0, 0, 7), Ipv4(10, 0, 0, 2),
+                  netsim::ports::kTelnet, "");
+  engine.process(p, SimTime::from_sec(10), out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].rule, "novel internal peer");
+  EXPECT_EQ(out[0].severity, 5);
+}
+
+TEST_F(AnomalyEngineTest, ExternalSourcesNeverTriggerPeerNovelty) {
+  auto engine = make_engine(1.0);
+  train(engine);
+  std::vector<Detection> out;
+  Packet p = make(9400, Ipv4(198, 51, 100, 9), Ipv4(10, 0, 0, 2),
+                  netsim::ports::kClusterRpc,
+                  traffic::synthesize(traffic::PayloadKind::kClusterRpc,
+                                      160, rng_));
+  engine.process(p, SimTime::from_sec(10), out);
+  for (const auto& d : out) {
+    EXPECT_EQ(d.rule.find("novel internal"), std::string::npos);
+  }
+}
+
+TEST_F(AnomalyEngineTest, LowSensitivityIgnoresPeerNovelty) {
+  auto engine = make_engine(0.0);  // trigger z = 8 > pseudo-z 5
+  train(engine);
+  std::vector<Detection> out;
+  Packet p = make(9500, Ipv4(10, 0, 0, 7), Ipv4(10, 0, 0, 2),
+                  netsim::ports::kTelnet, "");
+  engine.process(p, SimTime::from_sec(10), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AnomalyEngineTest, DetectionFiresOncePerFlow) {
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> out;
+  for (int i = 0; i < 5; ++i) {
+    Packet p = make(9600, Ipv4(198, 51, 100, 1), Ipv4(10, 0, 0, 2),
+                    netsim::ports::kClusterRpc,
+                    traffic::random_printable(1100, rng_));
+    engine.process(p, SimTime::from_sec(10) + SimTime::from_ms(i), out);
+  }
+  std::size_t entropy_hits = 0;
+  for (const auto& d : out) {
+    if (d.rule == "anomalous payload entropy") ++entropy_hits;
+  }
+  EXPECT_EQ(entropy_hits, 1u);
+}
+
+TEST_F(AnomalyEngineTest, ConfidenceGrowsWithDeviation) {
+  auto engine = make_engine(0.5);
+  train(engine);
+  std::vector<Detection> mild;
+  std::vector<Detection> extreme;
+  // Mildly long payload vs extremely long payload on the learned port.
+  Packet mild_p = make(9700, Ipv4(198, 51, 100, 1), Ipv4(10, 0, 0, 2),
+                       netsim::ports::kClusterRpc,
+                       traffic::synthesize(
+                           traffic::PayloadKind::kClusterRpc, 320, rng_));
+  Packet extreme_p = make(9701, Ipv4(198, 51, 100, 2), Ipv4(10, 0, 0, 2),
+                          netsim::ports::kClusterRpc,
+                          traffic::synthesize(
+                              traffic::PayloadKind::kClusterRpc, 1400,
+                              rng_));
+  engine.process(mild_p, SimTime::from_sec(10), mild);
+  engine.process(extreme_p, SimTime::from_sec(10), extreme);
+  if (!mild.empty() && !extreme.empty()) {
+    EXPECT_GE(extreme[0].confidence, mild[0].confidence);
+  }
+  ASSERT_FALSE(extreme.empty());
+}
+
+TEST_F(AnomalyEngineTest, ModelBytesGrowWithLearning) {
+  auto engine = make_engine();
+  const std::size_t before = engine.model_bytes();
+  train(engine);
+  EXPECT_GT(engine.model_bytes(), before);
+  EXPECT_GT(engine.learned_ports(), 0u);
+  EXPECT_GT(engine.learned_peers(), 0u);
+}
+
+TEST_F(AnomalyEngineTest, CostGrowsWithPayload) {
+  auto engine = make_engine();
+  Packet small = make(1, Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 80, "x");
+  Packet large = make(2, Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 80,
+                      std::string(1000, 'x'));
+  EXPECT_GT(engine.scan_cost_ops(large), engine.scan_cost_ops(small));
+}
+
+}  // namespace
+}  // namespace idseval::ids

@@ -1,0 +1,141 @@
+#include "ids/console.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+
+namespace idseval::ids {
+namespace {
+
+using netsim::Ipv4;
+using netsim::SimTime;
+
+Alert alert(int severity, double confidence = 0.9,
+            Ipv4 src = Ipv4(198, 51, 100, 1)) {
+  Alert a;
+  a.id = 1;
+  a.flow_id = 10;
+  a.tuple.src_ip = src;
+  a.tuple.dst_ip = Ipv4(10, 0, 0, 2);
+  a.severity = severity;
+  a.confidence = confidence;
+  a.rule = "test";
+  return a;
+}
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  ConsoleTest() : net_(sim_) {}
+
+  ManagementConsole make(ConsoleConfig cfg = {}) {
+    if (cfg.policy.empty()) cfg.policy = default_policy();
+    ManagementConsole console(sim_, cfg);
+    console.attach_switch(&net_.lan_switch());
+    return console;
+  }
+
+  netsim::Simulator sim_;
+  netsim::Network net_;
+};
+
+TEST_F(ConsoleTest, CriticalAlertBlocksSourceAfterDelay) {
+  ConsoleConfig cfg;
+  cfg.reaction_delay = SimTime::from_ms(500);
+  auto console = make(cfg);
+  console.on_alert(alert(5));
+  EXPECT_FALSE(net_.lan_switch().is_blocked(Ipv4(198, 51, 100, 1)));
+  sim_.run_until();
+  EXPECT_TRUE(net_.lan_switch().is_blocked(Ipv4(198, 51, 100, 1)));
+  EXPECT_EQ(console.stats().blocks_issued, 1u);
+}
+
+TEST_F(ConsoleTest, LowSeverityOnlyLogs) {
+  auto console = make();
+  console.on_alert(alert(2));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().blocks_issued, 0u);
+  EXPECT_EQ(console.stats().snmp_traps, 0u);
+  EXPECT_EQ(net_.lan_switch().blocked_count(), 0u);
+}
+
+TEST_F(ConsoleTest, Severity4SendsSnmpTrap) {
+  auto console = make();
+  console.on_alert(alert(4));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().snmp_traps, 1u);
+  EXPECT_EQ(console.stats().blocks_issued, 0u);
+}
+
+TEST_F(ConsoleTest, LowConfidenceCriticalDoesNotBlock) {
+  // default_policy requires confidence >= 0.6 for blocking: faulty policy
+  // risks shutting out legitimate users, so weak evidence never blocks.
+  auto console = make();
+  console.on_alert(alert(5, /*confidence=*/0.3));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().blocks_issued, 0u);
+  // But the severity-4 SNMP rule still applies.
+  EXPECT_EQ(console.stats().snmp_traps, 1u);
+}
+
+TEST_F(ConsoleTest, DuplicateOffenderBlockedOnce) {
+  auto console = make();
+  console.on_alert(alert(5));
+  console.on_alert(alert(5));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().blocks_issued, 1u);
+  EXPECT_EQ(console.blocked_sources().size(), 1u);
+}
+
+TEST_F(ConsoleTest, CapabilityFlagsGateActions) {
+  ConsoleConfig cfg;
+  cfg.can_block_firewall = false;
+  cfg.can_snmp = false;
+  auto console = make(cfg);
+  console.on_alert(alert(5));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().blocks_issued, 0u);
+  EXPECT_EQ(console.stats().snmp_traps, 0u);
+  EXPECT_EQ(net_.lan_switch().blocked_count(), 0u);
+}
+
+TEST_F(ConsoleTest, HoneypotRedirectRequiresCapability) {
+  ConsoleConfig cfg;
+  cfg.can_redirect_router = true;
+  cfg.policy = {PolicyRule{4, 0.0, ReactionAction::kRedirectHoneypot}};
+  auto console = make(cfg);
+  console.on_alert(alert(4));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().redirects, 1u);
+}
+
+TEST_F(ConsoleTest, NotifyCountsNotifications) {
+  ConsoleConfig cfg;
+  cfg.policy = {PolicyRule{1, 0.0, ReactionAction::kNotifyOperator}};
+  auto console = make(cfg);
+  console.on_alert(alert(3));
+  console.on_alert(alert(1));
+  EXPECT_EQ(console.stats().notifications, 2u);
+  EXPECT_EQ(console.stats().alerts_in, 2u);
+}
+
+TEST_F(ConsoleTest, MultiplePolicyRulesAllApply) {
+  // A severity-5 alert matches both the block rule (>=5) and the SNMP
+  // rule (>=4): both actions fire.
+  auto console = make();
+  console.on_alert(alert(5));
+  sim_.run_until();
+  EXPECT_EQ(console.stats().blocks_issued, 1u);
+  EXPECT_EQ(console.stats().snmp_traps, 1u);
+}
+
+TEST(ReactionActionTest, Names) {
+  EXPECT_EQ(to_string(ReactionAction::kLogOnly), "log-only");
+  EXPECT_EQ(to_string(ReactionAction::kBlockSource), "block-source");
+  EXPECT_EQ(to_string(ReactionAction::kSnmpTrap), "snmp-trap");
+  EXPECT_EQ(to_string(ReactionAction::kRedirectHoneypot),
+            "redirect-honeypot");
+  EXPECT_EQ(to_string(ReactionAction::kNotifyOperator), "notify");
+}
+
+}  // namespace
+}  // namespace idseval::ids

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ids/monitor.hpp"
+
+namespace idseval::ids {
+namespace {
+
+using netsim::Ipv4;
+using netsim::SimTime;
+
+ThreatReport report_for(std::uint64_t flow, int severity, Ipv4 src,
+                        DetectionMethod method,
+                        SimTime when = SimTime::zero()) {
+  ThreatReport r;
+  r.primary.flow_id = flow;
+  r.primary.tuple.src_ip = src;
+  r.primary.tuple.dst_ip = Ipv4(10, 0, 0, 2);
+  r.primary.rule = "r";
+  r.primary.severity = severity;
+  r.primary.method = method;
+  r.primary.when = when;
+  r.severity = severity;
+  r.when = when;
+  return r;
+}
+
+class MonitorReportTest : public ::testing::Test {
+ protected:
+  MonitorReportTest() : monitor_(sim_, MonitorConfig{}) {
+    // Three alerts from one offender, one from another, spread in time.
+    int flow = 0;
+    for (const double t : {1.0, 2.0, 3.0}) {
+      sim_.schedule_at(SimTime::from_sec(t), [this, flow, t] {
+        monitor_.submit(report_for(static_cast<std::uint64_t>(100 + flow),
+                                   5, Ipv4(198, 51, 100, 1),
+                                   DetectionMethod::kSignature,
+                                   SimTime::from_sec(t)));
+      });
+      ++flow;
+    }
+    sim_.schedule_at(SimTime::from_sec(8), [this] {
+      monitor_.submit(report_for(200, 3, Ipv4(198, 51, 100, 2),
+                                 DetectionMethod::kAnomaly,
+                                 SimTime::from_sec(8)));
+    });
+    sim_.run_until();
+  }
+
+  netsim::Simulator sim_;
+  Monitor monitor_;
+};
+
+TEST_F(MonitorReportTest, SummaryCountsAndSections) {
+  const std::string report = monitor_.render_report(
+      SimTime::zero(), SimTime::from_sec(10), /*trend_buckets=*/5);
+  EXPECT_NE(report.find("alerts: 4"), std::string::npos) << report;
+  EXPECT_NE(report.find("S5=3"), std::string::npos);
+  EXPECT_NE(report.find("S3=1"), std::string::npos);
+  EXPECT_NE(report.find("signature=3"), std::string::npos);
+  EXPECT_NE(report.find("anomaly=1"), std::string::npos);
+  EXPECT_NE(report.find("198.51.100.1  3 alerts"), std::string::npos);
+}
+
+TEST_F(MonitorReportTest, TrendBucketsPlaceAlertsInTime) {
+  const std::string report = monitor_.render_report(
+      SimTime::zero(), SimTime::from_sec(10), /*trend_buckets=*/10);
+  // Alerts at ~1s, ~2s, ~3s and ~8s (plus notification delay) -> trend
+  // line has nonzero early buckets and a nonzero late bucket.
+  const auto pos = report.find("trend:");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string trend = report.substr(pos);
+  EXPECT_NE(trend.find('1'), std::string::npos);
+}
+
+TEST_F(MonitorReportTest, WindowFiltersAlerts) {
+  const std::string report = monitor_.render_report(
+      SimTime::from_sec(5), SimTime::from_sec(10));
+  EXPECT_NE(report.find("alerts: 1"), std::string::npos) << report;
+}
+
+TEST_F(MonitorReportTest, HistoricalQueries) {
+  EXPECT_EQ(monitor_.alerts_from(Ipv4(198, 51, 100, 1)).size(), 3u);
+  EXPECT_EQ(monitor_.alerts_from(Ipv4(198, 51, 100, 9)).size(), 0u);
+  EXPECT_EQ(monitor_.alerts_at_least(4).size(), 3u);
+  EXPECT_EQ(monitor_.alerts_at_least(1).size(), 4u);
+}
+
+}  // namespace
+}  // namespace idseval::ids

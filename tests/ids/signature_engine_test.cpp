@@ -1,0 +1,270 @@
+#include "ids/signature_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/patterns.hpp"
+#include "util/strfmt.hpp"
+
+namespace idseval::ids {
+namespace {
+
+using netsim::FiveTuple;
+using netsim::Ipv4;
+using netsim::Packet;
+using netsim::Protocol;
+using netsim::SimTime;
+using netsim::TcpFlags;
+
+Packet packet_with(std::uint64_t flow, std::uint16_t dst_port,
+                   std::string payload, TcpFlags flags = {},
+                   Protocol proto = Protocol::kTcp,
+                   Ipv4 src = Ipv4(198, 51, 100, 1),
+                   std::uint16_t src_port = 4000) {
+  FiveTuple t;
+  t.src_ip = src;
+  t.dst_ip = Ipv4(10, 0, 0, 2);
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  t.proto = proto;
+  return netsim::make_packet(flow, flow, SimTime::zero(),
+                             t, std::move(payload), flags);
+}
+
+TEST(SensitivityMappingTest, ConfidenceBoundsAndMonotonicity) {
+  EXPECT_NEAR(sensitivity_to_min_confidence(0.0), 0.95, 1e-9);
+  EXPECT_NEAR(sensitivity_to_min_confidence(1.0), 0.25, 1e-9);
+  EXPECT_GT(sensitivity_to_min_confidence(0.2),
+            sensitivity_to_min_confidence(0.8));
+  // Clamped outside [0,1].
+  EXPECT_EQ(sensitivity_to_min_confidence(-5.0),
+            sensitivity_to_min_confidence(0.0));
+}
+
+TEST(SensitivityMappingTest, ThresholdScale) {
+  EXPECT_NEAR(sensitivity_threshold_scale(0.0), 1.6, 1e-9);
+  EXPECT_NEAR(sensitivity_threshold_scale(0.5), 1.0, 1e-9);
+  EXPECT_NEAR(sensitivity_threshold_scale(1.0), 0.4, 1e-9);
+}
+
+class SignatureEngineTest : public ::testing::Test {
+ protected:
+  SignatureEngine make(double sensitivity = 0.5,
+                       bool deep_inspection = true) {
+    return SignatureEngine(standard_rule_set(),
+                           SignatureEngineOptions{sensitivity,
+                                                  deep_inspection});
+  }
+
+  std::vector<Detection> process(SignatureEngine& engine, const Packet& p,
+                                 SimTime now = SimTime::from_ms(1)) {
+    std::vector<Detection> out;
+    engine.process(p, now, out);
+    return out;
+  }
+};
+
+TEST_F(SignatureEngineTest, DetectsDirTraversalOnHttp) {
+  auto engine = make();
+  const Packet p = packet_with(
+      1, netsim::ports::kHttp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  const auto detections = process(engine, p);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].rule, "WEB-IIS dir traversal");
+  EXPECT_EQ(detections[0].method, DetectionMethod::kSignature);
+  EXPECT_EQ(detections[0].flow_id, 1u);
+}
+
+TEST_F(SignatureEngineTest, PortConstraintEnforced) {
+  auto engine = make();
+  // Same payload on SMTP port: HTTP-only rule must not fire; the weak
+  // "/etc/passwd" POLICY rule (any port) fires instead at s=0.5.
+  const Packet p = packet_with(
+      1, netsim::ports::kSmtp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  const auto detections = process(engine, p);
+  for (const auto& d : detections) {
+    EXPECT_NE(d.rule, "WEB-IIS dir traversal");
+  }
+}
+
+TEST_F(SignatureEngineTest, DuplicateAlertSuppressionPerFlow) {
+  auto engine = make();
+  const Packet p = packet_with(
+      1, netsim::ports::kHttp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  EXPECT_EQ(process(engine, p).size(), 1u);
+  EXPECT_TRUE(process(engine, p).empty());  // same flow: suppressed
+  Packet other = packet_with(
+      2, netsim::ports::kHttp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  EXPECT_EQ(process(engine, other).size(), 1u);  // new flow: fires
+}
+
+TEST_F(SignatureEngineTest, LowSensitivitySuppressesWeakRules) {
+  auto strict = make(0.0);
+  // "POLICY passwd file access" has confidence 0.45 < 0.95 floor.
+  const Packet p =
+      packet_with(1, netsim::ports::kTelnet, "cat /etc/passwd | wc -l");
+  EXPECT_TRUE(process(strict, p).empty());
+
+  auto lax = make(1.0);
+  EXPECT_FALSE(process(lax, p).empty());
+}
+
+TEST_F(SignatureEngineTest, DeepInspectionOffSkipsPatterns) {
+  auto engine = make(1.0, /*deep_inspection=*/false);
+  const Packet p = packet_with(
+      1, netsim::ports::kHttp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  EXPECT_TRUE(process(engine, p).empty());
+}
+
+TEST_F(SignatureEngineTest, ScanCostGrowsWithPayload) {
+  auto engine = make();
+  const Packet small = packet_with(1, 80, std::string(100, 'x'));
+  const Packet large = packet_with(2, 80, std::string(1000, 'x'));
+  EXPECT_GT(engine.scan_cost_ops(large), engine.scan_cost_ops(small));
+  auto headers_only = make(0.5, false);
+  EXPECT_EQ(headers_only.scan_cost_ops(small),
+            headers_only.scan_cost_ops(large));
+}
+
+TEST_F(SignatureEngineTest, PortScanThresholdRule) {
+  auto engine = make(0.5);
+  std::vector<Detection> all;
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 60; ++i) {
+    Packet p = packet_with(100, static_cast<std::uint16_t>(100 + i), "",
+                           syn);
+    engine.process(p, SimTime::from_ms(i * 2), all);
+  }
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all[0].rule, "SCAN port sweep");
+  // Cooldown: exactly one alert for the sweep, not sixty.
+  EXPECT_EQ(all.size(), 1u);
+}
+
+TEST_F(SignatureEngineTest, PortScanBelowThresholdSilent) {
+  auto engine = make(0.5);
+  std::vector<Detection> all;
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 20; ++i) {  // threshold is 40 at scale 1.0
+    Packet p = packet_with(100, static_cast<std::uint16_t>(100 + i), "",
+                           syn);
+    engine.process(p, SimTime::from_ms(i * 2), all);
+  }
+  EXPECT_TRUE(all.empty());
+}
+
+TEST_F(SignatureEngineTest, SensitivityLowersThreshold) {
+  auto lax = make(1.0);  // threshold x0.4 => 16 ports suffice
+  std::vector<Detection> all;
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 20; ++i) {
+    Packet p = packet_with(100, static_cast<std::uint16_t>(100 + i), "",
+                           syn);
+    lax.process(p, SimTime::from_ms(i * 2), all);
+  }
+  EXPECT_FALSE(all.empty());
+}
+
+TEST_F(SignatureEngineTest, SynFloodRule) {
+  auto engine = make(0.5);
+  std::vector<Detection> all;
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 300; ++i) {
+    Packet p = packet_with(
+        200, netsim::ports::kHttp, "", syn, Protocol::kTcp,
+        Ipv4(198, 51, 100, 1), static_cast<std::uint16_t>(1024 + i));
+    engine.process(p, SimTime::from_us(i * 500), all);
+  }
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all[0].rule, "DOS syn flood");
+}
+
+TEST_F(SignatureEngineTest, SynWithAckNotCountedAsFlood) {
+  auto engine = make(1.0);
+  std::vector<Detection> all;
+  TcpFlags synack;
+  synack.syn = true;
+  synack.ack = true;
+  for (int i = 0; i < 300; ++i) {
+    Packet p = packet_with(200, netsim::ports::kHttp, "", synack);
+    engine.process(p, SimTime::from_us(i * 500), all);
+  }
+  for (const auto& d : all) EXPECT_NE(d.rule, "DOS syn flood");
+}
+
+TEST_F(SignatureEngineTest, BruteForceFlowRateRuleRespectsPort) {
+  auto engine = make(0.5);
+  std::vector<Detection> all;
+  // 40 packets in one flow on telnet -> fires; same on HTTP -> silent.
+  for (int i = 0; i < 40; ++i) {
+    Packet telnet = packet_with(300, netsim::ports::kTelnet, "x");
+    engine.process(telnet, SimTime::from_ms(i * 100), all);
+  }
+  bool brute = false;
+  for (const auto& d : all) {
+    if (d.rule == "TELNET brute force") brute = true;
+  }
+  EXPECT_TRUE(brute);
+
+  auto engine2 = make(0.5);
+  std::vector<Detection> http_out;
+  for (int i = 0; i < 40; ++i) {
+    Packet http = packet_with(301, netsim::ports::kHttp, "x");
+    engine2.process(http, SimTime::from_ms(i * 100), http_out);
+  }
+  for (const auto& d : http_out) EXPECT_NE(d.rule, "TELNET brute force");
+}
+
+TEST_F(SignatureEngineTest, WindowExpiryForgetsOldEvents) {
+  auto engine = make(0.5);
+  std::vector<Detection> all;
+  TcpFlags syn;
+  syn.syn = true;
+  // 60 ports but spread over 60 seconds — outside the 5 s window.
+  for (int i = 0; i < 60; ++i) {
+    Packet p = packet_with(400, static_cast<std::uint16_t>(100 + i), "",
+                           syn);
+    engine.process(p, SimTime::from_sec(i), all);
+  }
+  EXPECT_TRUE(all.empty());
+}
+
+TEST_F(SignatureEngineTest, ResetStateClearsWindowsAndDedup) {
+  auto engine = make(0.5);
+  const Packet p = packet_with(
+      1, netsim::ports::kHttp,
+      util::cat("GET ", attack::patterns::kDirTraversal, " HTTP/1.0\r\n"));
+  EXPECT_EQ(process(engine, p).size(), 1u);
+  engine.reset_state();
+  EXPECT_EQ(process(engine, p).size(), 1u);  // fires again after reset
+}
+
+TEST_F(SignatureEngineTest, StandardRuleSetSanity) {
+  const RuleSet rules = standard_rule_set();
+  EXPECT_GE(rules.patterns.size(), 9u);
+  EXPECT_GE(rules.thresholds.size(), 3u);
+  for (const auto& r : rules.patterns) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.pattern.empty());
+    EXPECT_GE(r.severity, 1);
+    EXPECT_LE(r.severity, 5);
+    EXPECT_GT(r.confidence, 0.0);
+    EXPECT_LE(r.confidence, 1.0);
+  }
+  // The novel-exploit marker must not be in the shipped database.
+  for (const auto& r : rules.patterns) {
+    EXPECT_EQ(r.pattern.find(attack::patterns::kNovelMarker),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace idseval::ids

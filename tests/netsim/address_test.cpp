@@ -1,0 +1,97 @@
+#include "netsim/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace idseval::netsim {
+namespace {
+
+TEST(Ipv4Test, DottedQuadRendering) {
+  EXPECT_EQ(Ipv4(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4(198, 51, 100, 42).to_string(), "198.51.100.42");
+  EXPECT_EQ(Ipv4(0u).to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4Test, ValueRoundTrip) {
+  const Ipv4 a(192, 168, 1, 7);
+  EXPECT_EQ(Ipv4(a.value()), a);
+}
+
+TEST(Ipv4Test, SubnetMembership) {
+  const Ipv4 net(10, 0, 0, 0);
+  EXPECT_TRUE(Ipv4(10, 0, 0, 5).in_subnet(net, 8));
+  EXPECT_TRUE(Ipv4(10, 255, 255, 255).in_subnet(net, 8));
+  EXPECT_FALSE(Ipv4(11, 0, 0, 1).in_subnet(net, 8));
+  EXPECT_TRUE(Ipv4(10, 0, 0, 5).in_subnet(Ipv4(10, 0, 0, 0), 24));
+  EXPECT_FALSE(Ipv4(10, 0, 1, 5).in_subnet(Ipv4(10, 0, 0, 0), 24));
+}
+
+TEST(Ipv4Test, SubnetEdgeCases) {
+  EXPECT_TRUE(Ipv4(1, 2, 3, 4).in_subnet(Ipv4(9, 9, 9, 9), 0));
+  EXPECT_TRUE(Ipv4(1, 2, 3, 4).in_subnet(Ipv4(1, 2, 3, 4), 32));
+  EXPECT_FALSE(Ipv4(1, 2, 3, 5).in_subnet(Ipv4(1, 2, 3, 4), 32));
+}
+
+TEST(FiveTupleTest, CanonicalOrdersEndpoints) {
+  FiveTuple forward;
+  forward.src_ip = Ipv4(10, 0, 0, 1);
+  forward.dst_ip = Ipv4(10, 0, 0, 2);
+  forward.src_port = 4000;
+  forward.dst_port = 80;
+  FiveTuple reverse = forward;
+  std::swap(reverse.src_ip, reverse.dst_ip);
+  std::swap(reverse.src_port, reverse.dst_port);
+  EXPECT_EQ(forward.canonical(), reverse.canonical());
+}
+
+TEST(FiveTupleTest, CanonicalIdempotent) {
+  FiveTuple t;
+  t.src_ip = Ipv4(10, 0, 0, 9);
+  t.dst_ip = Ipv4(10, 0, 0, 2);
+  t.src_port = 1;
+  t.dst_port = 2;
+  EXPECT_EQ(t.canonical(), t.canonical().canonical());
+}
+
+TEST(FiveTupleTest, HashConsistentWithEquality) {
+  FiveTuple a;
+  a.src_ip = Ipv4(1, 2, 3, 4);
+  a.src_port = 10;
+  FiveTuple b = a;
+  EXPECT_EQ(FiveTupleHash{}(a), FiveTupleHash{}(b));
+  b.dst_port = 99;
+  EXPECT_NE(FiveTupleHash{}(a), FiveTupleHash{}(b));  // overwhelmingly
+}
+
+TEST(FiveTupleTest, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    FiveTuple t;
+    t.src_ip = Ipv4(10, 0, 0, static_cast<std::uint8_t>(i % 250));
+    t.src_port = static_cast<std::uint16_t>(1000 + i);
+    t.dst_port = 80;
+    hashes.insert(FiveTupleHash{}(t));
+  }
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(ProtocolTest, Names) {
+  EXPECT_EQ(to_string(Protocol::kTcp), "tcp");
+  EXPECT_EQ(to_string(Protocol::kUdp), "udp");
+  EXPECT_EQ(to_string(Protocol::kIcmp), "icmp");
+}
+
+TEST(FiveTupleTest, ToStringContainsEndpoints) {
+  FiveTuple t;
+  t.src_ip = Ipv4(10, 0, 0, 1);
+  t.dst_ip = Ipv4(10, 0, 0, 2);
+  t.src_port = 1234;
+  t.dst_port = 80;
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("10.0.0.1:1234"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.2:80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idseval::netsim

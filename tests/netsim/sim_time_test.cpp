@@ -1,0 +1,43 @@
+#include "netsim/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idseval::netsim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(SimTime::from_us(1.0).ns(), 1000);
+  EXPECT_EQ(SimTime::from_ms(1.0).ns(), 1'000'000);
+  EXPECT_EQ(SimTime::from_sec(1.0).ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::from_ns(2'500'000).ms(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_sec(0.75).sec(), 0.75);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::from_ms(3.0);
+  const SimTime b = SimTime::from_ms(1.5);
+  EXPECT_EQ((a + b).ns(), 4'500'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000);
+  EXPECT_EQ((a * 2.0).ns(), 6'000'000);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::from_ms(4.5));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::from_us(1), SimTime::from_us(2));
+  EXPECT_EQ(SimTime::zero(), SimTime::from_ns(0));
+  EXPECT_GT(SimTime::max(), SimTime::from_sec(1e9));
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::from_ns(12).to_string(), "12ns");
+  EXPECT_EQ(SimTime::from_us(3.0).to_string(), "3.000us");
+  EXPECT_EQ(SimTime::from_ms(2.5).to_string(), "2.500ms");
+  EXPECT_EQ(SimTime::from_sec(1.25).to_string(), "1.250s");
+}
+
+}  // namespace
+}  // namespace idseval::netsim

@@ -1,0 +1,127 @@
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace idseval::netsim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_ms(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_ms(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_ms(2), [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_ms(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::from_us(250), [&] { seen = sim.now(); });
+  sim.run_until();
+  EXPECT_EQ(seen, SimTime::from_us(250));
+  EXPECT_EQ(sim.now(), SimTime::from_us(250));
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(SimTime::from_ms(10), [&] {
+    sim.schedule_in(SimTime::from_ms(5),
+                    [&] { times.push_back(sim.now().ms()); });
+  });
+  sim.run_until();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(SimTime::from_ms(10), [&] {
+    sim.schedule_at(SimTime::from_ms(1), [&] {
+      ran = true;
+      EXPECT_EQ(sim.now(), SimTime::from_ms(10));
+    });
+  });
+  sim.run_until();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, DeadlineStopsExecution) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(SimTime::from_ms(1), [&] { ++ran; });
+  sim.schedule_at(SimTime::from_ms(100), [&] { ++ran; });
+  sim.run_until(SimTime::from_ms(50));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  // Time advanced to the deadline even though no event fired there.
+  EXPECT_EQ(sim.now(), SimTime::from_ms(50));
+  sim.run_until();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(SimTime::from_us(1), recurse);
+  };
+  sim.schedule_at(SimTime::zero(), recurse);
+  sim.run_until();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed(), 100u);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(SimTime::from_ms(1), [&] { ++ran; });
+  sim.schedule_at(SimTime::from_ms(2), [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, IdsAreUniqueAndMonotonic) {
+  Simulator sim;
+  const auto p1 = sim.next_packet_id();
+  const auto p2 = sim.next_packet_id();
+  const auto f1 = sim.next_flow_id();
+  EXPECT_LT(p1, p2);
+  EXPECT_EQ(f1, 1u);
+}
+
+TEST(SimulatorTest, RunUntilReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_at(SimTime::from_us(i), [] {});
+  }
+  EXPECT_EQ(sim.run_until(), 7u);
+}
+
+}  // namespace
+}  // namespace idseval::netsim

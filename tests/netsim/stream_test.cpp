@@ -1,0 +1,141 @@
+#include "netsim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idseval::netsim {
+namespace {
+
+Packet stream_packet(Ipv4 src, Ipv4 dst, std::uint16_t sport,
+                     std::uint16_t dport, SimTime when, TcpFlags flags,
+                     std::string payload = "") {
+  FiveTuple t;
+  t.src_ip = src;
+  t.dst_ip = dst;
+  t.src_port = sport;
+  t.dst_port = dport;
+  Packet p = make_packet(1, 1, when, t, std::move(payload), flags);
+  return p;
+}
+
+TEST(StreamTrackerTest, NewStreamOnSyn) {
+  StreamTracker tracker;
+  TcpFlags syn;
+  syn.syn = true;
+  const StreamInfo& info = tracker.observe(stream_packet(
+      Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 4000, 80, SimTime::zero(), syn));
+  EXPECT_EQ(info.state, StreamState::kSynSeen);
+  EXPECT_EQ(tracker.active_streams(), 1u);
+  EXPECT_EQ(tracker.total_streams_seen(), 1u);
+}
+
+TEST(StreamTrackerTest, BothDirectionsShareOneStream) {
+  StreamTracker tracker;
+  TcpFlags syn;
+  syn.syn = true;
+  TcpFlags ack;
+  ack.ack = true;
+  tracker.observe(stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 4000,
+                                80, SimTime::zero(), syn));
+  tracker.observe(stream_packet(Ipv4(10, 0, 0, 2), Ipv4(10, 0, 0, 1), 80,
+                                4000, SimTime::from_ms(1), ack));
+  EXPECT_EQ(tracker.active_streams(), 1u);
+  EXPECT_EQ(tracker.total_streams_seen(), 1u);
+}
+
+TEST(StreamTrackerTest, StateProgression) {
+  StreamTracker tracker;
+  const Ipv4 a(10, 0, 0, 1);
+  const Ipv4 b(10, 0, 0, 2);
+  TcpFlags syn;
+  syn.syn = true;
+  TcpFlags ack;
+  ack.ack = true;
+  TcpFlags fin;
+  fin.fin = true;
+
+  tracker.observe(stream_packet(a, b, 4000, 80, SimTime::zero(), syn));
+  const StreamInfo& established = tracker.observe(
+      stream_packet(a, b, 4000, 80, SimTime::from_ms(1), ack));
+  EXPECT_EQ(established.state, StreamState::kEstablished);
+  const StreamInfo& closing = tracker.observe(
+      stream_packet(a, b, 4000, 80, SimTime::from_ms(2), fin));
+  EXPECT_EQ(closing.state, StreamState::kClosing);
+  const StreamInfo& closed = tracker.observe(
+      stream_packet(b, a, 80, 4000, SimTime::from_ms(3), fin));
+  EXPECT_EQ(closed.state, StreamState::kClosed);
+}
+
+TEST(StreamTrackerTest, RstClosesImmediately) {
+  StreamTracker tracker;
+  TcpFlags syn;
+  syn.syn = true;
+  TcpFlags rst;
+  rst.rst = true;
+  tracker.observe(stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1, 2,
+                                SimTime::zero(), syn));
+  const StreamInfo& info = tracker.observe(stream_packet(
+      Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1, 2, SimTime::from_ms(1), rst));
+  EXPECT_EQ(info.state, StreamState::kClosed);
+}
+
+TEST(StreamTrackerTest, ExpireRemovesIdleAndClosed) {
+  StreamTracker tracker(SimTime::from_sec(10));
+  TcpFlags syn;
+  syn.syn = true;
+  tracker.observe(stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1, 2,
+                                SimTime::zero(), syn));
+  tracker.observe(stream_packet(Ipv4(10, 0, 0, 3), Ipv4(10, 0, 0, 4), 3, 4,
+                                SimTime::from_sec(9), syn));
+  tracker.expire(SimTime::from_sec(12));
+  // First stream idle > 10s, second still fresh.
+  EXPECT_EQ(tracker.active_streams(), 1u);
+}
+
+TEST(StreamTrackerTest, PeakTracksHighWaterMark) {
+  StreamTracker tracker(SimTime::from_sec(1));
+  TcpFlags syn;
+  syn.syn = true;
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe(stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2),
+                                  static_cast<std::uint16_t>(1000 + i), 80,
+                                  SimTime::zero(), syn));
+  }
+  tracker.expire(SimTime::from_sec(5));
+  EXPECT_EQ(tracker.active_streams(), 0u);
+  EXPECT_EQ(tracker.peak_streams(), 5u);
+  EXPECT_EQ(tracker.total_streams_seen(), 5u);
+}
+
+TEST(StreamTrackerTest, CountsPacketsAndBytes) {
+  StreamTracker tracker;
+  TcpFlags ack;
+  ack.ack = true;
+  const Packet p1 = stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1,
+                                  2, SimTime::zero(), ack, "abcd");
+  tracker.observe(p1);
+  const StreamInfo& info = tracker.observe(stream_packet(
+      Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1, 2, SimTime::from_ms(1), ack,
+      "efgh"));
+  EXPECT_EQ(info.packets, 2u);
+  EXPECT_EQ(info.bytes, 2u * p1.wire_bytes());
+}
+
+TEST(StreamTrackerTest, FindByEitherDirection) {
+  StreamTracker tracker;
+  TcpFlags syn;
+  syn.syn = true;
+  const Packet p = stream_packet(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 4000,
+                                 80, SimTime::zero(), syn);
+  tracker.observe(p);
+  EXPECT_NE(tracker.find(p.tuple), nullptr);
+  FiveTuple reversed = p.tuple;
+  std::swap(reversed.src_ip, reversed.dst_ip);
+  std::swap(reversed.src_port, reversed.dst_port);
+  EXPECT_NE(tracker.find(reversed), nullptr);
+  FiveTuple other = p.tuple;
+  other.dst_port = 99;
+  EXPECT_EQ(tracker.find(other), nullptr);
+}
+
+}  // namespace
+}  // namespace idseval::netsim

@@ -1,0 +1,195 @@
+#include "products/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ids/pipeline.hpp"
+#include "products/scoring.hpp"
+
+namespace idseval::products {
+namespace {
+
+TEST(ProductCatalogTest, FourProductsOrdered) {
+  const auto& catalog = product_catalog();
+  EXPECT_EQ(catalog.size(), kProductCount);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(catalog[i].id), i);
+    EXPECT_FALSE(catalog[i].name.empty());
+    EXPECT_FALSE(catalog[i].description.empty());
+    EXPECT_EQ(catalog[i].facts.product, catalog[i].name);
+  }
+}
+
+TEST(ProductCatalogTest, CommercialSubsetExcludesResearchSystem) {
+  const auto commercial = commercial_products();
+  EXPECT_EQ(commercial.size(), 3u);
+  for (const auto id : commercial) {
+    EXPECT_NE(id, ProductId::kAgentSwarm);
+  }
+}
+
+TEST(ProductCatalogTest, EveryConfigPassesCardinalityValidation) {
+  for (const ProductModel& model : product_catalog()) {
+    for (const double s : {0.0, 0.5, 1.0}) {
+      const ids::PipelineConfig cfg = model.make_config(s);
+      EXPECT_TRUE(ids::Pipeline::validate(cfg).empty())
+          << model.name << " at sensitivity " << s;
+      EXPECT_DOUBLE_EQ(cfg.sensitivity, s);
+    }
+  }
+}
+
+TEST(ProductCatalogTest, ArchitecturesAreDistinct) {
+  const auto& sentry = product(ProductId::kSentryNid);
+  const auto& guard = product(ProductId::kGuardSecure);
+  const auto& flowhunt = product(ProductId::kFlowHunt);
+  const auto& swarm = product(ProductId::kAgentSwarm);
+
+  // SentryNID: centralized single network sensor, signature only.
+  const auto sc = sentry.make_config(0.5);
+  EXPECT_EQ(sc.sensor_count, 1u);
+  EXPECT_FALSE(sc.use_load_balancer);
+  EXPECT_TRUE(sc.signature_engine);
+  EXPECT_FALSE(sc.anomaly_engine);
+  EXPECT_FALSE(sentry.deploys_host_agents);
+
+  // GuardSecure: hybrid host+network, signature.
+  const auto gc = guard.make_config(0.5);
+  EXPECT_GE(gc.sensor_count, 2u);
+  EXPECT_TRUE(gc.use_host_agents);
+  EXPECT_TRUE(guard.deploys_host_agents);
+  EXPECT_TRUE(gc.console.can_block_firewall);
+
+  // FlowHunt: anomaly engine behind a dynamic in-line LB.
+  const auto fc = flowhunt.make_config(0.5);
+  EXPECT_TRUE(fc.use_load_balancer);
+  EXPECT_EQ(fc.lb.strategy, ids::LbStrategy::kLeastLoaded);
+  EXPECT_TRUE(fc.lb.in_line);
+  EXPECT_TRUE(fc.anomaly_engine);
+  EXPECT_FALSE(fc.signature_engine);
+  EXPECT_TRUE(fc.console.can_redirect_router);
+
+  // AgentSwarm: purely host-based research prototype, no console.
+  const auto ac = swarm.make_config(0.5);
+  EXPECT_EQ(ac.sensor_count, 0u);
+  EXPECT_TRUE(ac.use_host_agents);
+  EXPECT_FALSE(ac.use_console);
+  EXPECT_TRUE(ac.signature_engine);
+  EXPECT_TRUE(ac.anomaly_engine);
+  EXPECT_EQ(ac.agent.logging, ids::LoggingLevel::kC2Audit);
+  EXPECT_TRUE(ac.agent.report_over_network);
+}
+
+TEST(ProductCatalogTest, RecoveryPoliciesSpanAnchors) {
+  // The three commercial products plus the prototype must cover the
+  // Error Reporting and Recovery anchor spectrum.
+  std::set<ids::RecoveryPolicy> policies;
+  for (const ProductModel& model : product_catalog()) {
+    const auto cfg = model.make_config(0.5);
+    policies.insert(model.deploys_host_agents && cfg.sensor_count == 0
+                        ? cfg.agent_sensor.recovery
+                        : cfg.sensor.recovery);
+  }
+  EXPECT_TRUE(policies.contains(ids::RecoveryPolicy::kHang));
+  EXPECT_TRUE(policies.contains(ids::RecoveryPolicy::kColdReboot));
+  EXPECT_TRUE(policies.contains(ids::RecoveryPolicy::kAppRestart));
+}
+
+TEST(ProductCatalogTest, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(ProductId::kSentryNid), "SentryNID");
+  EXPECT_EQ(to_string(ProductId::kAgentSwarm), "AgentSwarm");
+  EXPECT_THROW(to_string(ProductId::kCount), std::invalid_argument);
+}
+
+// --- Fact-sheet scoring -------------------------------------------------------
+
+TEST(FactsScorecardTest, ScoresAllFactDerivableMetrics) {
+  for (const ProductModel& model : product_catalog()) {
+    const core::Scorecard card = facts_scorecard(model);
+    // Complete class 1 coverage.
+    for (const auto id :
+         core::metrics_in_class(core::MetricClass::kLogistical)) {
+      EXPECT_TRUE(card.has(id)) << model.name << " " << core::to_string(id);
+    }
+    // Class 2 except the two measured metrics.
+    for (const auto id :
+         core::metrics_in_class(core::MetricClass::kArchitectural)) {
+      if (id == core::MetricId::kDataStorage ||
+          id == core::MetricId::kSystemThroughput) {
+        EXPECT_FALSE(card.has(id)) << model.name;
+      } else {
+        EXPECT_TRUE(card.has(id)) << model.name << " "
+                                  << core::to_string(id);
+      }
+    }
+  }
+}
+
+TEST(FactsScorecardTest, AnchorExamplesFromPaper) {
+  // The paper's Distributed Management example: local-only management
+  // scores 0; full secure remote management scores 4.
+  const auto swarm_card =
+      facts_scorecard(product(ProductId::kAgentSwarm));
+  EXPECT_EQ(swarm_card.at(core::MetricId::kDistributedManagement)
+                .score.value(),
+            0);
+  const auto guard_card =
+      facts_scorecard(product(ProductId::kGuardSecure));
+  EXPECT_EQ(guard_card.at(core::MetricId::kDistributedManagement)
+                .score.value(),
+            4);
+
+  // Scalable Load-balancing anchors: none=0 ... dynamic=4.
+  const auto sentry_card =
+      facts_scorecard(product(ProductId::kSentryNid));
+  EXPECT_EQ(sentry_card.at(core::MetricId::kScalableLoadBalancing)
+                .score.value(),
+            0);
+  const auto flowhunt_card =
+      facts_scorecard(product(ProductId::kFlowHunt));
+  EXPECT_EQ(flowhunt_card.at(core::MetricId::kScalableLoadBalancing)
+                .score.value(),
+            4);
+}
+
+TEST(FactsScorecardTest, DetectionMechanismScores) {
+  const auto flowhunt_card =
+      facts_scorecard(product(ProductId::kFlowHunt));
+  EXPECT_EQ(flowhunt_card.at(core::MetricId::kSignatureBased).score.value(),
+            0);
+  EXPECT_GE(flowhunt_card.at(core::MetricId::kAnomalyBased).score.value(),
+            2);
+  const auto sentry_card =
+      facts_scorecard(product(ProductId::kSentryNid));
+  EXPECT_GE(sentry_card.at(core::MetricId::kSignatureBased).score.value(),
+            3);
+  EXPECT_EQ(sentry_card.at(core::MetricId::kAnomalyBased).score.value(), 0);
+}
+
+TEST(FactsScorecardTest, ResearchPrototypeCheapButUnsupported) {
+  const auto card = facts_scorecard(product(ProductId::kAgentSwarm));
+  EXPECT_EQ(card.at(core::MetricId::kThreeYearCostOfOwnership)
+                .score.value(),
+            4);
+  EXPECT_EQ(card.at(core::MetricId::kQualityOfTechnicalSupport)
+                .score.value(),
+            0);
+  EXPECT_EQ(card.at(core::MetricId::kErrorReportingAndRecovery)
+                .score.value(),
+            0);  // hang anchor
+}
+
+TEST(FactsScorecardTest, RecoveryAnchorsMapToScores) {
+  const auto guard = facts_scorecard(product(ProductId::kGuardSecure));
+  EXPECT_EQ(guard.at(core::MetricId::kErrorReportingAndRecovery)
+                .score.value(),
+            4);  // app-restart
+  const auto sentry = facts_scorecard(product(ProductId::kSentryNid));
+  EXPECT_EQ(sentry.at(core::MetricId::kErrorReportingAndRecovery)
+                .score.value(),
+            2);  // cold reboot
+}
+
+}  // namespace
+}  // namespace idseval::products

@@ -1,0 +1,102 @@
+#include "traffic/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace idseval::traffic {
+namespace {
+
+using netsim::FiveTuple;
+using netsim::Ipv4;
+using netsim::SimTime;
+
+FiveTuple tuple() {
+  FiveTuple t;
+  t.src_ip = Ipv4(10, 0, 0, 1);
+  t.dst_ip = Ipv4(10, 0, 0, 2);
+  t.dst_port = 80;
+  return t;
+}
+
+TEST(LedgerTest, BeginCreatesTransaction) {
+  TransactionLedger ledger;
+  const Transaction& t =
+      ledger.begin(1, tuple(), SimTime::from_ms(5), false);
+  EXPECT_EQ(t.flow_id, 1u);
+  EXPECT_FALSE(t.is_attack);
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.benign_count(), 1u);
+  EXPECT_EQ(ledger.attack_count(), 0u);
+}
+
+TEST(LedgerTest, DuplicateFlowIdThrows) {
+  TransactionLedger ledger;
+  ledger.begin(1, tuple(), SimTime::zero());
+  EXPECT_THROW(ledger.begin(1, tuple(), SimTime::zero()),
+               std::invalid_argument);
+}
+
+TEST(LedgerTest, TouchAccumulates) {
+  TransactionLedger ledger;
+  ledger.begin(1, tuple(), SimTime::zero());
+  ledger.touch(1, SimTime::from_ms(1), 100);
+  ledger.touch(1, SimTime::from_ms(5), 200);
+  const Transaction* t = ledger.find(1);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->packets, 2u);
+  EXPECT_EQ(t->bytes, 300u);
+  EXPECT_EQ(t->end, SimTime::from_ms(5));
+}
+
+TEST(LedgerTest, TouchUnknownFlowIgnored) {
+  TransactionLedger ledger;
+  ledger.touch(42, SimTime::zero(), 10);  // must not crash
+  EXPECT_EQ(ledger.find(42), nullptr);
+}
+
+TEST(LedgerTest, EndNeverMovesBackward) {
+  TransactionLedger ledger;
+  ledger.begin(1, tuple(), SimTime::from_ms(10));
+  ledger.touch(1, SimTime::from_ms(20), 1);
+  ledger.touch(1, SimTime::from_ms(15), 1);  // out of order
+  EXPECT_EQ(ledger.find(1)->end, SimTime::from_ms(20));
+}
+
+TEST(LedgerTest, AttackLabeling) {
+  TransactionLedger ledger;
+  ledger.begin(1, tuple(), SimTime::zero(), /*is_attack=*/true, 3);
+  ledger.begin(2, tuple(), SimTime::zero(), false);
+  EXPECT_TRUE(ledger.is_attack(1));
+  EXPECT_FALSE(ledger.is_attack(2));
+  EXPECT_FALSE(ledger.is_attack(99));
+  EXPECT_EQ(ledger.attack_count(), 1u);
+  EXPECT_EQ(ledger.find(1)->attack_kind, 3);
+  EXPECT_EQ(ledger.find(2)->attack_kind, -1);
+}
+
+TEST(LedgerTest, AllPreservesInsertionOrder) {
+  TransactionLedger ledger;
+  for (std::uint64_t id = 10; id > 0; --id) {
+    ledger.begin(id, tuple(), SimTime::zero());
+  }
+  const auto all = ledger.all();
+  ASSERT_EQ(all.size(), 10u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i]->flow_id, 10 - i);
+  }
+}
+
+TEST(LedgerTest, AttacksFiltersOnlyAttacks) {
+  TransactionLedger ledger;
+  ledger.begin(1, tuple(), SimTime::zero(), true, 0);
+  ledger.begin(2, tuple(), SimTime::zero(), false);
+  ledger.begin(3, tuple(), SimTime::zero(), true, 1);
+  const auto attacks = ledger.attacks();
+  ASSERT_EQ(attacks.size(), 2u);
+  EXPECT_EQ(attacks[0]->flow_id, 1u);
+  EXPECT_EQ(attacks[1]->flow_id, 3u);
+}
+
+}  // namespace
+}  // namespace idseval::traffic

@@ -1,0 +1,123 @@
+#include "traffic/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "util/rng.hpp"
+
+namespace idseval::traffic {
+namespace {
+
+TEST(PayloadTest, HttpRequestLooksLikeHttp) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string p = synthesize(PayloadKind::kHttpRequest, 300, rng);
+    const bool get = p.rfind("GET ", 0) == 0;
+    const bool post = p.rfind("POST ", 0) == 0;
+    EXPECT_TRUE(get || post) << p.substr(0, 40);
+    EXPECT_NE(p.find(" HTTP/1.0\r\n"), std::string::npos);
+    EXPECT_NE(p.find("Host: "), std::string::npos);
+    EXPECT_NE(p.find("User-Agent: "), std::string::npos);
+  }
+}
+
+TEST(PayloadTest, HttpResponseHasStatusAndBody) {
+  util::Rng rng(2);
+  const std::string p = synthesize(PayloadKind::kHttpResponse, 500, rng);
+  EXPECT_EQ(p.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(p.find("<html>"), std::string::npos);
+  EXPECT_NE(p.find("Content-Length: "), std::string::npos);
+}
+
+TEST(PayloadTest, SmtpTransactionShape) {
+  util::Rng rng(3);
+  const std::string p = synthesize(PayloadKind::kSmtp, 400, rng);
+  EXPECT_EQ(p.rfind("HELO ", 0), 0u);
+  EXPECT_NE(p.find("MAIL FROM:<"), std::string::npos);
+  EXPECT_NE(p.find("RCPT TO:<"), std::string::npos);
+  EXPECT_NE(p.find("DATA"), std::string::npos);
+  EXPECT_NE(p.find("\r\n.\r\n"), std::string::npos);
+}
+
+TEST(PayloadTest, FtpSessionShape) {
+  util::Rng rng(4);
+  const std::string p = synthesize(PayloadKind::kFtp, 200, rng);
+  EXPECT_EQ(p.rfind("USER ", 0), 0u);
+  EXPECT_NE(p.find("PASS "), std::string::npos);
+  EXPECT_NE(p.find("RETR "), std::string::npos);
+}
+
+TEST(PayloadTest, TelnetHasLoginAndCommands) {
+  util::Rng rng(5);
+  const std::string p = synthesize(PayloadKind::kTelnet, 300, rng);
+  EXPECT_EQ(p.rfind("login: ", 0), 0u);
+  EXPECT_NE(p.find("Password: "), std::string::npos);
+  EXPECT_NE(p.find("$ "), std::string::npos);
+}
+
+TEST(PayloadTest, ClusterRpcIsRegular) {
+  util::Rng rng(6);
+  const std::string p = synthesize(PayloadKind::kClusterRpc, 200, rng);
+  EXPECT_EQ(p.rfind("RTBUS/1 seq=", 0), 0u);
+  EXPECT_NE(p.find("cmd=TRACK_UPDATE"), std::string::npos);
+}
+
+TEST(PayloadTest, RandomIsPrintableAndExactLength) {
+  util::Rng rng(7);
+  const std::string p = synthesize(PayloadKind::kRandom, 257, rng);
+  EXPECT_EQ(p.size(), 257u);
+  for (const char c : p) {
+    EXPECT_TRUE(std::isprint(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(PayloadTest, LengthsTrackTarget) {
+  util::Rng rng(8);
+  for (const auto kind :
+       {PayloadKind::kHttpRequest, PayloadKind::kHttpResponse,
+        PayloadKind::kSmtp, PayloadKind::kTelnet,
+        PayloadKind::kClusterRpc}) {
+    for (const std::size_t target : {200u, 600u, 1200u}) {
+      const std::string p = synthesize(kind, target, rng);
+      EXPECT_GT(p.size(), target / 3) << to_string(kind);
+      EXPECT_LT(p.size(), target * 3 + 200) << to_string(kind);
+    }
+  }
+}
+
+TEST(PayloadTest, DeterministicGivenSameRngState) {
+  util::Rng a(99);
+  util::Rng b(99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(synthesize(PayloadKind::kHttpRequest, 300, a),
+              synthesize(PayloadKind::kHttpRequest, 300, b));
+  }
+}
+
+TEST(PayloadTest, HelperGenerators) {
+  util::Rng rng(10);
+  const std::string path = random_http_path(rng);
+  EXPECT_EQ(path.front(), '/');
+  const std::string host = random_hostname(rng);
+  EXPECT_NE(host.find('.'), std::string::npos);
+  EXPECT_NE(host.find('-'), std::string::npos);
+  EXPECT_FALSE(random_username(rng).empty());
+  EXPECT_EQ(random_printable(64, rng).size(), 64u);
+}
+
+TEST(PayloadTest, RandomWordsApproximateLength) {
+  util::Rng rng(11);
+  const std::string w = random_words(100, rng);
+  EXPECT_EQ(w.size(), 100u);
+  EXPECT_NE(w.find(' '), std::string::npos);
+}
+
+TEST(PayloadTest, KindNames) {
+  EXPECT_EQ(to_string(PayloadKind::kHttpRequest), "http-request");
+  EXPECT_EQ(to_string(PayloadKind::kClusterRpc), "cluster-rpc");
+  EXPECT_EQ(to_string(PayloadKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace idseval::traffic

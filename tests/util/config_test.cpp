@@ -1,0 +1,103 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace idseval::util {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValues) {
+  const Config cfg = Config::parse("a = 1\nb = hello\n");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_or("b", ""), "hello");
+}
+
+TEST(ConfigTest, IgnoresCommentsAndBlankLines) {
+  const Config cfg = Config::parse(
+      "# a comment\n"
+      "\n"
+      "key = value  # trailing comment\n"
+      "   \n");
+  EXPECT_EQ(cfg.get_or("key", ""), "value");
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+TEST(ConfigTest, TrimsWhitespace) {
+  const Config cfg = Config::parse("  spaced   =   hello world \n");
+  EXPECT_EQ(cfg.get_or("spaced", ""), "hello world");
+}
+
+TEST(ConfigTest, LaterKeysOverride) {
+  const Config cfg = Config::parse("x = 1\nx = 2\n");
+  EXPECT_EQ(cfg.get_int("x"), 2);
+}
+
+TEST(ConfigTest, ThrowsOnMissingEquals) {
+  EXPECT_THROW(Config::parse("not a pair\n"), std::invalid_argument);
+}
+
+TEST(ConfigTest, ThrowsOnEmptyKey) {
+  EXPECT_THROW(Config::parse("= value\n"), std::invalid_argument);
+}
+
+TEST(ConfigTest, MissingKeyReturnsNullopt) {
+  const Config cfg;
+  EXPECT_FALSE(cfg.get("absent").has_value());
+  EXPECT_EQ(cfg.get_or("absent", "fb"), "fb");
+}
+
+TEST(ConfigTest, TypedAccessors) {
+  const Config cfg = Config::parse(
+      "i = -42\nd = 3.25\nbt = true\nbf = off\n");
+  EXPECT_EQ(cfg.get_int("i"), -42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d"), 3.25);
+  EXPECT_TRUE(cfg.get_bool("bt"));
+  EXPECT_FALSE(cfg.get_bool("bf"));
+}
+
+TEST(ConfigTest, IntAcceptedByDoubleAccessor) {
+  const Config cfg = Config::parse("v = 5\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("v"), 5.0);
+}
+
+TEST(ConfigTest, MalformedTypedValuesThrow) {
+  const Config cfg = Config::parse("i = 12x\nd = 1.2.3\nb = maybe\n");
+  EXPECT_THROW(cfg.get_int("i"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("d"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("b"), std::invalid_argument);
+}
+
+TEST(ConfigTest, OrVariantsThrowOnPresentButMalformed) {
+  // Silent fallback would hide typos; present-and-bad must throw.
+  const Config cfg = Config::parse("i = abc\n");
+  EXPECT_THROW(cfg.get_int_or("i", 7), std::invalid_argument);
+  EXPECT_EQ(cfg.get_int_or("absent", 7), 7);
+}
+
+TEST(ConfigTest, MissingTypedKeyThrows) {
+  const Config cfg;
+  EXPECT_THROW(cfg.get_int("absent"), std::invalid_argument);
+}
+
+TEST(ConfigTest, RoundTripSerialization) {
+  Config cfg;
+  cfg.set("zeta", "26");
+  cfg.set("alpha", "1");
+  const Config reparsed = Config::parse(cfg.to_string());
+  EXPECT_EQ(reparsed.entries(), cfg.entries());
+}
+
+TEST(ConfigTest, BoolSynonyms) {
+  const Config cfg = Config::parse(
+      "a = TRUE\nb = Yes\nc = 1\nd = FALSE\ne = no\nf = 0\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_TRUE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+  EXPECT_FALSE(cfg.get_bool("e"));
+  EXPECT_FALSE(cfg.get_bool("f"));
+}
+
+}  // namespace
+}  // namespace idseval::util

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace idseval::util {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(5.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("[0, 1)"), std::string::npos);
+}
+
+TEST(LogHistogramTest, CountsAndZeros) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-5.0);
+  h.add(1e-6);
+  h.add(1e3);
+  EXPECT_EQ(h.count(), 4u);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("zeros: 2"), std::string::npos);
+}
+
+TEST(LogHistogramTest, QuantileOrdersOfMagnitude) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(1e-3);
+  for (int i = 0; i < 100; ++i) h.add(1e3);
+  const double median_low = h.quantile(0.25);
+  const double median_high = h.quantile(0.75);
+  EXPECT_LT(median_low, 1.0);
+  EXPECT_GT(median_high, 1.0);
+}
+
+}  // namespace
+}  // namespace idseval::util

@@ -1,0 +1,105 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace idseval::util {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  SpscRing<int> exact(64);
+  EXPECT_EQ(exact.capacity(), 64u);
+}
+
+TEST(SpscRingTest, PushPopSingle) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.try_push(42));
+  EXPECT_EQ(ring.size(), 1u);
+  const auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, PopEmptyFails) {
+  SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRingTest, PushFullFails) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // tail drop — back-pressure signal
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) ring.try_push(i);
+  for (int i = 0; i < 8; ++i) {
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRingTest, WrapsAround) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRingTest, MovesNonCopyableTypes) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+// Concurrency invariant: every pushed item is popped exactly once, in
+// order, with no losses and no duplications — under real threads.
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  constexpr std::uint64_t kItems = 500000;
+  SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_next = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    while (received < kItems) {
+      if (auto v = ring.try_pop()) {
+        if (*v != expected_next) ordered = false;
+        ++expected_next;
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!ring.try_push(i)) {
+      // spin: consumer will drain
+    }
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace idseval::util

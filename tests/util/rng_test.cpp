@@ -1,0 +1,209 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace idseval::util {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, Reproducible) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformU64Inclusive) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_u64(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values occur
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);  // mean = 1/rate
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(5.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ParetoMinimum) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+  }
+}
+
+TEST(RngTest, ParetoMeanMatchesFormula) {
+  Rng rng(12);
+  const double xm = 2.0;
+  const double alpha = 3.0;  // finite variance
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(xm, alpha);
+  EXPECT_NEAR(sum / n, xm * alpha / (alpha - 1.0), 0.05);
+}
+
+TEST(RngTest, ZipfInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.zipf(10, 1.2), 10u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(14);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(8, 1.2)];
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[0], counts[7]);
+  // Rank 0 should hold a plurality well above uniform (12.5%).
+  EXPECT_GT(counts[0], 50000 / 4);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(15);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(16);
+  for (const double mean : {0.5, 4.0, 60.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.02);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.fork(1);
+  // The child and a fresh parent continuation should not be identical.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next() == parent.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Hash64Test, StableAndDistinct) {
+  EXPECT_EQ(hash64("sensor"), hash64("sensor"));
+  EXPECT_NE(hash64("sensor"), hash64("Sensor"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+}  // namespace
+}  // namespace idseval::util

@@ -1,0 +1,181 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace idseval::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(EwmaTest, SeedsWithFirstValue) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, MovesTowardNewValues) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(EwmaBaselineTest, ZeroScoreBeforeSeeding) {
+  EwmaBaseline b(0.1);
+  EXPECT_EQ(b.zscore(100.0), 0.0);
+}
+
+TEST(EwmaBaselineTest, ConstantBaselineFlagsDeviation) {
+  EwmaBaseline b(0.1);
+  for (int i = 0; i < 100; ++i) b.add(50.0);
+  EXPECT_NEAR(b.mean(), 50.0, 1e-6);
+  // 100 is far from a constant 50 baseline.
+  EXPECT_GT(b.zscore(100.0), 10.0);
+  EXPECT_LT(b.zscore(0.0), -10.0);
+  // A value on the baseline scores ~0.
+  EXPECT_NEAR(b.zscore(50.0), 0.0, 1e-6);
+}
+
+TEST(EwmaBaselineTest, MinStddevFloorsScore) {
+  EwmaBaseline b(0.1);
+  for (int i = 0; i < 100; ++i) b.add(3.0);
+  // Without a floor one extra unit is a huge z; with floor 1.0 it is ~1.
+  EXPECT_NEAR(b.zscore(4.0, 1.0), 1.0, 0.05);
+}
+
+TEST(EwmaBaselineTest, NoisyBaselineGivesSaneZ) {
+  Rng rng(9);
+  EwmaBaseline b(0.05);
+  for (int i = 0; i < 5000; ++i) b.add(rng.normal(100.0, 10.0));
+  EXPECT_NEAR(b.mean(), 100.0, 3.0);
+  const double z = b.zscore(150.0);
+  EXPECT_GT(z, 3.0);
+  EXPECT_LT(z, 8.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
+}
+
+TEST(ReservoirTest, RetainsAllWhenUnderCapacity) {
+  Reservoir r(100);
+  for (int i = 0; i < 50; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.samples().size(), 50u);
+  EXPECT_EQ(r.seen(), 50u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Reservoir r(64);
+  for (int i = 0; i < 10000; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.samples().size(), 64u);
+  EXPECT_EQ(r.seen(), 10000u);
+}
+
+TEST(ReservoirTest, SampleIsRepresentative) {
+  Reservoir r(2000, 3);
+  for (int i = 0; i < 100000; ++i) r.add(static_cast<double>(i % 1000));
+  // Median of the uniform 0..999 stream should be near 500.
+  EXPECT_NEAR(r.percentile(50.0), 500.0, 60.0);
+}
+
+}  // namespace
+}  // namespace idseval::util

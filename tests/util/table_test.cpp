@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace idseval::util {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsMismatchedAligns) {
+  EXPECT_THROW(TextTable({"a", "b"}, {Align::kLeft}),
+               std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsWrongRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"Name", "Score"});
+  t.add_row({"alpha", "3"});
+  t.add_row({"beta", "14"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("14"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnWidthsAccommodateLongestCell) {
+  TextTable t({"H"});
+  t.add_row({"a very long cell value"});
+  const std::string out = t.render();
+  // Every line between rules should have the same length.
+  std::size_t expected = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::string line = out.substr(pos, eol - pos);
+    if (!line.empty()) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, TitleAppearsFirst) {
+  TextTable t({"a"});
+  t.set_title("My Table");
+  t.add_row({"x"});
+  EXPECT_EQ(t.render().rfind("My Table", 0), 0u);
+}
+
+TEST(TextTableTest, RightAlignment) {
+  TextTable t({"num"}, {Align::kRight});
+  t.add_row({"7"});
+  const std::string out = t.render();
+  // Right-aligned single char in a 3-wide column: "|   7 |"
+  EXPECT_NE(out.find("|   7 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleInsertsSeparator) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // 4 rules total: top, under header, mid, bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FmtTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(FmtTest, FmtSi) {
+  EXPECT_EQ(fmt_si(1234.0, 2), "1.23k");
+  EXPECT_EQ(fmt_si(2500000.0, 1), "2.5M");
+  EXPECT_EQ(fmt_si(3.5e9, 1), "3.5G");
+  EXPECT_EQ(fmt_si(999.0, 0), "999");
+}
+
+TEST(FmtTest, Cat) {
+  EXPECT_EQ(cat("x=", 3, " y=", 4.5), "x=3 y=4.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(FmtTest, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(0.125, 3), "0.125");
+  EXPECT_EQ(fmt_fixed(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace idseval::util

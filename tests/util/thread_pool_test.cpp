@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+namespace idseval::util {
+namespace {
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndexSpace) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForFromResultsAggregates) {
+  ThreadPool pool(4);
+  std::vector<long> values(10000);
+  pool.parallel_for(values.size(),
+                    [&](std::size_t i) { values[i] = static_cast<long>(i); });
+  const long sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(sum, 10000L * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace idseval::util

@@ -1,0 +1,250 @@
+// idseval command-line driver: run the methodology without writing C++.
+//
+//   idseval_cli products
+//       list the evaluated-product catalog
+//   idseval_cli catalog [substring]
+//       print metric definitions (optionally filtered by name substring)
+//   idseval_cli evaluate --product NAME [--profile P] [--sensitivity S]
+//                        [--seed N] [--load-metrics] [--notes]
+//       evaluate one product, print its scorecard
+//   idseval_cli rank [--profile P] [--weights realtime|ecommerce]
+//                    [--seed N] [--load-metrics] [--robustness]
+//       evaluate every product and print the weighted ranking
+//   idseval_cli sweep --product NAME [--profile P] [--steps N] [--seed N]
+//       Figure-4 sensitivity sweep with EER
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/sensitivity.hpp"
+#include "harness/evaluate.hpp"
+#include "harness/measure.hpp"
+#include "products/catalog.hpp"
+#include "util/table.hpp"
+
+using namespace idseval;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string positional;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& f : flags) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+  std::string opt(const std::string& name, std::string fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[name] = argv[++i];
+      } else {
+        args.flags.push_back(name);
+      }
+    } else if (args.positional.empty()) {
+      args.positional = token;
+    }
+  }
+  return args;
+}
+
+std::optional<products::ProductId> product_by_name(const std::string& name) {
+  for (const auto& model : products::product_catalog()) {
+    if (model.name == name) return model.id;
+  }
+  return std::nullopt;
+}
+
+harness::TestbedConfig make_env(const Args& args) {
+  harness::TestbedConfig env;
+  env.profile = traffic::profile_by_name(args.opt("profile", "rt_cluster"));
+  env.seed = static_cast<std::uint64_t>(
+      std::stoull(args.opt("seed", "42")));
+  return env;
+}
+
+int cmd_products() {
+  util::TextTable table({"Product", "Class", "Description"},
+                        {util::Align::kLeft, util::Align::kLeft,
+                         util::Align::kLeft});
+  for (const auto& model : products::product_catalog()) {
+    table.add_row({model.name,
+                   model.deploys_host_agents ? "host/hybrid" : "network",
+                   model.description});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_catalog(const Args& args) {
+  for (const core::Metric& m : core::metric_catalog()) {
+    if (!args.positional.empty() &&
+        m.name.find(args.positional) == std::string::npos) {
+      continue;
+    }
+    std::printf("%s\n", core::render_metric_definition(m.id).c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto id = product_by_name(args.opt("product", ""));
+  if (!id) {
+    std::fprintf(stderr, "unknown --product (see 'idseval_cli products')\n");
+    return 2;
+  }
+  const harness::TestbedConfig env = make_env(args);
+  harness::EvaluationOptions options;
+  options.sensitivity = std::stod(args.opt("sensitivity", "0.5"));
+  options.include_load_metrics = args.has_flag("load-metrics");
+
+  const auto& model = products::product(*id);
+  std::printf("evaluating %s on profile '%s' (seed %llu)...\n\n",
+              model.name.c_str(), env.profile.name.c_str(),
+              static_cast<unsigned long long>(env.seed));
+  const harness::Evaluation eval =
+      harness::evaluate_product(env, model, options);
+
+  const harness::RunResult& run = eval.measured.detection_run;
+  std::printf("transactions=%zu attacks=%zu detected=%zu "
+              "false-alarms=%zu missed=%zu\n",
+              run.transactions, run.attacks, run.true_detections,
+              run.false_alarms, run.missed_attacks);
+  std::printf("FP=%.5f FN=%.5f timeliness=%.2fs peak-streams=%zu\n\n",
+              run.fp_ratio, run.fn_ratio, run.timeliness_mean_sec,
+              run.peak_concurrent_streams);
+
+  const bool notes = args.has_flag("notes");
+  const core::Scorecard cards[] = {eval.card};
+  std::printf("%s\n", core::render_metric_table(
+                          "Logistical", core::table1_logistical_metrics(),
+                          cards, notes)
+                          .c_str());
+  std::printf("%s\n",
+              core::render_metric_table(
+                  "Architectural", core::table2_architectural_metrics(),
+                  cards, notes)
+                  .c_str());
+  std::printf("%s\n", core::render_metric_table(
+                          "Performance", core::table3_performance_metrics(),
+                          cards, notes)
+                          .c_str());
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  const harness::TestbedConfig env = make_env(args);
+  harness::EvaluationOptions options;
+  options.sensitivity = std::stod(args.opt("sensitivity", "0.5"));
+  options.include_load_metrics = args.has_flag("load-metrics");
+
+  std::vector<core::Scorecard> cards;
+  for (const auto& model : products::product_catalog()) {
+    std::printf("evaluating %s...\n", model.name.c_str());
+    cards.push_back(harness::evaluate_product(env, model, options).card);
+  }
+
+  const std::string profile = args.opt("weights", "realtime");
+  const core::WeightSet weights =
+      profile == "ecommerce"
+          ? core::ecommerce_requirements().derive_weights()
+          : core::realtime_distributed_requirements().derive_weights();
+  std::printf("\n%s\n",
+              core::render_weighted_summary(
+                  "Ranking (" + profile + " requirement profile)", cards,
+                  weights)
+                  .c_str());
+  if (args.has_flag("robustness")) {
+    std::printf("%s\n",
+                core::render_weight_robustness(cards, weights).c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto id = product_by_name(args.opt("product", ""));
+  if (!id) {
+    std::fprintf(stderr, "unknown --product (see 'idseval_cli products')\n");
+    return 2;
+  }
+  const harness::TestbedConfig env = make_env(args);
+  const int steps = std::stoi(args.opt("steps", "11"));
+  std::vector<double> sensitivities;
+  for (int i = 0; i < steps; ++i) {
+    sensitivities.push_back(static_cast<double>(i) /
+                            std::max(1, steps - 1));
+  }
+  const auto sweep = harness::sensitivity_sweep(
+      env, products::product(*id), sensitivities, 4);
+
+  util::TextTable table({"Sensitivity", "Type I (% benign)",
+                         "Type II (% attacks)"},
+                        {util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  table.set_title(products::to_string(*id) + " on " + env.profile.name);
+  for (const auto& p : sweep) {
+    table.add_row({util::fmt_double(p.sensitivity, 2),
+                   util::fmt_double(p.fp_percent_of_benign, 2),
+                   util::fmt_double(p.fn_percent_of_attacks, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto eer = harness::equal_error_rate(sweep);
+  if (eer.found) {
+    std::printf("Equal Error Rate: %.2f%% at sensitivity %.3f\n",
+                eer.error_percent, eer.sensitivity);
+  } else {
+    std::printf("no Type I / Type II crossing in [0,1]\n");
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: idseval_cli <command> [options]\n"
+      "  products                                list evaluated products\n"
+      "  catalog [substring]                     metric definitions\n"
+      "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
+      "           [--seed N] [--load-metrics] [--notes]\n"
+      "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
+      "       [--load-metrics] [--robustness]\n"
+      "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
+      "profiles: rt_cluster, ecommerce, office, random_flood\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "products") return cmd_products();
+    if (args.command == "catalog") return cmd_catalog(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "rank") return cmd_rank(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
