@@ -1,0 +1,196 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "harness/measure.hpp"
+#include "util/table.hpp"
+
+namespace idseval::campaign {
+
+namespace {
+
+std::string fmt_mean_sd(const util::RunningStats& s, int precision = 2) {
+  return util::fmt_double(s.mean(), precision) + " ±" +
+         util::fmt_double(dispersion(s), precision);
+}
+
+std::string csv_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct CsvQuantity {
+  const char* name;
+  util::RunningStats GroupStats::* member;
+};
+
+constexpr CsvQuantity kCsvQuantities[] = {
+    {"score_total", &GroupStats::score_total},
+    {"score_logistical", &GroupStats::score_logistical},
+    {"score_architectural", &GroupStats::score_architectural},
+    {"score_performance", &GroupStats::score_performance},
+    {"fp_percent", &GroupStats::fp_percent},
+    {"fn_percent", &GroupStats::fn_percent},
+    {"timeliness_sec", &GroupStats::timeliness_sec},
+    {"offered_pps", &GroupStats::offered_pps},
+    {"processed_pps", &GroupStats::processed_pps},
+    {"zero_loss_pps", &GroupStats::zero_loss_pps},
+    {"system_throughput_pps", &GroupStats::system_throughput_pps},
+    {"induced_latency_sec", &GroupStats::induced_latency_sec},
+};
+
+}  // namespace
+
+double dispersion(const util::RunningStats& s) {
+  return s.count() > 1 ? std::sqrt(s.sample_variance()) : 0.0;
+}
+
+CampaignAggregate aggregate(
+    const CampaignSpec& spec,
+    const std::map<std::size_t, CellResult>& results) {
+  CampaignAggregate agg;
+
+  // (product, profile, replicate) -> sensitivity sweep for the EER pass.
+  std::map<std::tuple<std::string, std::string, std::size_t>,
+           std::vector<harness::ErrorRatePoint>>
+      sweeps;
+
+  for (const auto& [index, result] : results) {
+    if (!result.ok) {
+      ++agg.failed_cells;
+      continue;
+    }
+    ++agg.ok_cells;
+    const std::string product = products::product(result.cell.product).name;
+    GroupStats& g = agg.groups[{product, result.cell.profile,
+                                result.cell.sensitivity}];
+    g.score_total.add(result.score_total);
+    g.score_logistical.add(result.score_logistical);
+    g.score_architectural.add(result.score_architectural);
+    g.score_performance.add(result.score_performance);
+    g.fp_percent.add(result.fp_percent_of_benign);
+    g.fn_percent.add(result.fn_percent_of_attacks);
+    g.timeliness_sec.add(result.timeliness_sec);
+    g.offered_pps.add(result.offered_pps);
+    g.processed_pps.add(result.processed_pps);
+    g.zero_loss_pps.add(result.zero_loss_pps);
+    g.system_throughput_pps.add(result.system_throughput_pps);
+    g.induced_latency_sec.add(result.induced_latency_sec);
+
+    harness::ErrorRatePoint point;
+    point.sensitivity = result.cell.sensitivity;
+    point.fp_ratio = result.fp_ratio;
+    point.fn_ratio = result.fn_ratio;
+    point.fp_percent_of_benign = result.fp_percent_of_benign;
+    point.fn_percent_of_attacks = result.fn_percent_of_attacks;
+    sweeps[{product, result.cell.profile, result.cell.replicate}]
+        .push_back(point);
+  }
+
+  if (spec.sensitivities.size() >= 2) {
+    for (auto& [key, sweep] : sweeps) {
+      if (sweep.size() < 2) continue;
+      std::sort(sweep.begin(), sweep.end(),
+                [](const auto& a, const auto& b) {
+                  return a.sensitivity < b.sensitivity;
+                });
+      EerStats& e =
+          agg.eer[{std::get<0>(key), std::get<1>(key)}];
+      const harness::EqualErrorRate eer = harness::equal_error_rate(sweep);
+      if (eer.found) {
+        e.error_percent.add(eer.error_percent);
+        e.sensitivity.add(eer.sensitivity);
+      } else {
+        ++e.replicates_without_crossing;
+      }
+    }
+  }
+  return agg;
+}
+
+std::string render_summary(const CampaignSpec& spec,
+                           const CampaignAggregate& agg) {
+  util::TextTable table(
+      {"Product", "Profile", "Sens", "N", "Total", "Logist", "Archit",
+       "Perf", "FP %", "FN %", "Timel s"},
+      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight});
+  table.set_title("Campaign '" + spec.name + "' — " + spec.weights +
+                  " weights, mean ± stddev over seed replicates");
+  std::string last_product;
+  for (const auto& [key, g] : agg.groups) {
+    if (!last_product.empty() && key.product != last_product) {
+      table.add_rule();
+    }
+    last_product = key.product;
+    table.add_row({key.product, key.profile,
+                   util::fmt_double(key.sensitivity, 2),
+                   std::to_string(g.score_total.count()),
+                   fmt_mean_sd(g.score_total), fmt_mean_sd(g.score_logistical),
+                   fmt_mean_sd(g.score_architectural),
+                   fmt_mean_sd(g.score_performance),
+                   fmt_mean_sd(g.fp_percent), fmt_mean_sd(g.fn_percent),
+                   fmt_mean_sd(g.timeliness_sec)});
+  }
+  std::string out = table.render();
+  if (agg.failed_cells > 0) {
+    out += "!! " + std::to_string(agg.failed_cells) +
+           " cell(s) failed and are excluded from the statistics\n";
+  }
+  return out;
+}
+
+std::string render_eer_summary(const CampaignSpec& spec,
+                               const CampaignAggregate& agg) {
+  if (spec.sensitivities.size() < 2 || agg.eer.empty()) return "";
+  util::TextTable table({"Product", "Profile", "N", "EER %", "EER min",
+                         "EER max", "at sens", "no-cross"},
+                        {util::Align::kLeft, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  table.set_title(
+      "Equal Error Rate across the campaign sensitivity grid (per "
+      "replicate)");
+  for (const auto& [key, e] : agg.eer) {
+    table.add_row({key.first, key.second,
+                   std::to_string(e.error_percent.count()),
+                   fmt_mean_sd(e.error_percent),
+                   util::fmt_double(e.error_percent.min(), 2),
+                   util::fmt_double(e.error_percent.max(), 2),
+                   fmt_mean_sd(e.sensitivity),
+                   std::to_string(e.replicates_without_crossing)});
+  }
+  return table.render();
+}
+
+std::string to_csv(const CampaignSpec& spec, const CampaignAggregate& agg) {
+  (void)spec;
+  std::ostringstream out;
+  out << "product,profile,sensitivity,replicates";
+  for (const auto& q : kCsvQuantities) {
+    out << ',' << q.name << "_mean," << q.name << "_min," << q.name
+        << "_max," << q.name << "_stddev";
+  }
+  out << '\n';
+  for (const auto& [key, g] : agg.groups) {
+    out << key.product << ',' << key.profile << ','
+        << csv_number(key.sensitivity) << ',' << g.score_total.count();
+    for (const auto& q : kCsvQuantities) {
+      const util::RunningStats& s = g.*(q.member);
+      out << ',' << csv_number(s.mean()) << ',' << csv_number(s.min())
+          << ',' << csv_number(s.max()) << ',' << csv_number(dispersion(s));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace idseval::campaign

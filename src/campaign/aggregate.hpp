@@ -1,0 +1,85 @@
+// Campaign aggregation: collapses seed replicates into dispersion
+// statistics per (product, profile, sensitivity) group. Single-run IDS
+// evaluations are exactly what recent surveys fault; a campaign reports
+// mean/min/max/stddev of the weighted class scores and the Table-3
+// measurements, plus a per-(product, profile) EER computed across the
+// campaign's own sensitivity grid — replication and variance for free
+// once the grid exists.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
+#include "util/stats.hpp"
+
+namespace idseval::campaign {
+
+/// Aggregation group: one (product, profile, sensitivity) point, the
+/// statistics running over its seed replicates.
+struct GroupKey {
+  std::string product;
+  std::string profile;
+  double sensitivity = 0.0;
+
+  bool operator<(const GroupKey& other) const {
+    if (product != other.product) return product < other.product;
+    if (profile != other.profile) return profile < other.profile;
+    return sensitivity < other.sensitivity;
+  }
+};
+
+struct GroupStats {
+  util::RunningStats score_total;
+  util::RunningStats score_logistical;
+  util::RunningStats score_architectural;
+  util::RunningStats score_performance;
+  util::RunningStats fp_percent;
+  util::RunningStats fn_percent;
+  util::RunningStats timeliness_sec;
+  util::RunningStats offered_pps;
+  util::RunningStats processed_pps;
+  util::RunningStats zero_loss_pps;
+  util::RunningStats system_throughput_pps;
+  util::RunningStats induced_latency_sec;
+};
+
+/// EER dispersion for one (product, profile): the equal error rate is
+/// computed per replicate across the campaign's sensitivity axis (needs
+/// >= 2 sensitivities and a Type I / Type II crossing to contribute).
+struct EerStats {
+  util::RunningStats error_percent;
+  util::RunningStats sensitivity;
+  std::size_t replicates_without_crossing = 0;
+};
+
+struct CampaignAggregate {
+  std::map<GroupKey, GroupStats> groups;
+  std::map<std::pair<std::string, std::string>, EerStats> eer;  ///< (product, profile)
+  std::size_t ok_cells = 0;
+  std::size_t failed_cells = 0;
+};
+
+/// Folds every ok cell into its group; failed cells are only counted.
+CampaignAggregate aggregate(const CampaignSpec& spec,
+                            const std::map<std::size_t, CellResult>& results);
+
+/// Replicate-dispersion sample stddev (n-1); 0 for fewer than 2 samples.
+double dispersion(const util::RunningStats& s);
+
+/// Renders the per-group score/measurement table (mean ± stddev columns)
+/// through util::TextTable.
+std::string render_summary(const CampaignSpec& spec,
+                           const CampaignAggregate& agg);
+
+/// Renders the per-(product, profile) EER table; empty string when the
+/// spec has fewer than 2 sensitivities (no curve to cross).
+std::string render_eer_summary(const CampaignSpec& spec,
+                               const CampaignAggregate& agg);
+
+/// CSV export: one row per group, header included, mean/min/max/stddev
+/// for every aggregated quantity.
+std::string to_csv(const CampaignSpec& spec, const CampaignAggregate& agg);
+
+}  // namespace idseval::campaign

@@ -1,0 +1,153 @@
+#include "campaign/scheduler.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "campaign/store.hpp"
+#include "harness/evaluate.hpp"
+#include "netsim/sim_time.hpp"
+#include "traffic/profile.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace idseval::campaign {
+
+std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(spec.cell_count());
+  std::size_t index = 0;
+  for (const auto product : spec.products) {
+    for (const auto& profile : spec.profiles) {
+      for (const double sensitivity : spec.sensitivities) {
+        for (std::size_t rep = 0; rep < spec.replicates; ++rep) {
+          CampaignCell cell;
+          cell.index = index;
+          cell.product = product;
+          cell.profile = profile;
+          cell.sensitivity = sensitivity;
+          cell.replicate = rep;
+          cell.seed = util::derive_seed(spec.base_seed, index);
+          cells.push_back(std::move(cell));
+          ++index;
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell) {
+  harness::TestbedConfig env;
+  env.profile = traffic::profile_by_name(cell.profile);
+  env.internal_hosts = spec.internal_hosts;
+  env.external_hosts = spec.external_hosts;
+  env.warmup = netsim::SimTime::from_sec(spec.warmup_sec);
+  env.measure = netsim::SimTime::from_sec(spec.measure_sec);
+  env.seed = cell.seed;
+
+  harness::EvaluationOptions options;
+  options.sensitivity = cell.sensitivity;
+  options.attacks_per_kind = spec.attacks_per_kind;
+  options.include_load_metrics = spec.load_metrics;
+
+  const harness::Evaluation eval =
+      harness::evaluate_product(env, products::product(cell.product),
+                                options);
+
+  CellResult result;
+  result.cell = cell;
+  result.ok = true;
+
+  const core::WeightedScores scores =
+      core::weighted_scores(eval.card, spec.weight_set());
+  result.score_logistical = scores.logistical;
+  result.score_architectural = scores.architectural;
+  result.score_performance = scores.performance;
+  result.score_total = scores.total();
+
+  const harness::RunResult& run = eval.measured.detection_run;
+  result.fp_ratio = run.fp_ratio;
+  result.fn_ratio = run.fn_ratio;
+  const std::size_t benign = run.transactions - run.attacks;
+  result.fp_percent_of_benign =
+      benign > 0 ? 100.0 * static_cast<double>(run.false_alarms) /
+                       static_cast<double>(benign)
+                 : 0.0;
+  result.fn_percent_of_attacks =
+      run.attacks > 0 ? 100.0 * static_cast<double>(run.missed_attacks) /
+                            static_cast<double>(run.attacks)
+                      : 0.0;
+  result.timeliness_sec = run.timeliness_mean_sec;
+  result.offered_pps = run.offered_pps;
+  result.processed_pps = run.processed_pps;
+
+  if (spec.load_metrics) {
+    result.zero_loss_pps = eval.measured.zero_loss_pps;
+    result.system_throughput_pps = eval.measured.system_throughput_pps;
+    result.induced_latency_sec = eval.measured.induced_latency_sec;
+  }
+  return result;
+}
+
+RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
+                      const RunOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::vector<CampaignCell> cells = expand_cells(spec);
+
+  std::vector<const CampaignCell*> pending;
+  pending.reserve(cells.size());
+  for (const auto& cell : cells) {
+    if (!store.has_ok(cell.index)) pending.push_back(&cell);
+  }
+
+  RunStats stats;
+  stats.total_cells = cells.size();
+  stats.skipped = cells.size() - pending.size();
+
+  const auto runner = options.runner
+                          ? options.runner
+                          : [](const CampaignSpec& s, const CampaignCell& c) {
+                              return run_cell(s, c);
+                            };
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  util::ThreadPool pool(options.jobs);
+  pool.parallel_for(pending.size(), [&](std::size_t i) {
+    const CampaignCell& cell = *pending[i];
+    const auto cell_started = std::chrono::steady_clock::now();
+    CellResult result;
+    try {
+      result = runner(spec, cell);
+    } catch (const std::exception& e) {
+      result = CellResult{};
+      result.cell = cell;
+      result.ok = false;
+      result.error = e.what();
+    } catch (...) {
+      result = CellResult{};
+      result.cell = cell;
+      result.ok = false;
+      result.error = "unknown error";
+    }
+    result.wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cell_started)
+            .count();
+    store.append(result);
+    std::scoped_lock lock(progress_mutex);
+    ++done;
+    if (!result.ok) ++failed;
+    if (options.on_cell) options.on_cell(result, done, pending.size());
+  });
+
+  stats.executed = done;
+  stats.failed = failed;
+  stats.wall_sec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  return stats;
+}
+
+}  // namespace idseval::campaign

@@ -1,0 +1,99 @@
+// Campaign scheduler: expands a CampaignSpec into concrete cells, runs
+// them across a util::ThreadPool, and records every outcome in a
+// ResultStore. Each cell's seed is derived from (campaign seed, cell
+// index) alone, so the numbers a cell produces are byte-identical
+// whether the grid runs on one worker or sixteen, in order or shuffled.
+// One throwing cell is recorded as failed and the campaign carries on —
+// a 10'000-cell overnight run must not die at cell 9'999.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace idseval::campaign {
+
+class ResultStore;
+
+/// One point of the campaign grid.
+struct CampaignCell {
+  std::size_t index = 0;           ///< Position in expansion order.
+  products::ProductId product = products::ProductId::kSentryNid;
+  std::string profile;
+  double sensitivity = 0.5;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;          ///< derive_seed(spec.base_seed, index).
+};
+
+/// Everything one cell evaluation yields. Wall time is tracked for
+/// progress reporting and the bench but is NOT persisted — store rows
+/// must be identical across runs and worker counts.
+struct CellResult {
+  CampaignCell cell;
+  bool ok = false;
+  std::string error;               ///< Exception message when !ok.
+  double wall_sec = 0.0;           ///< Not persisted (see above).
+
+  // Figure-5 weighted class scores under the spec's weight profile.
+  double score_logistical = 0.0;
+  double score_architectural = 0.0;
+  double score_performance = 0.0;
+  double score_total = 0.0;
+
+  // Detection-run measurements (Figure 3 / Figure 4 inputs).
+  double fp_ratio = 0.0;               ///< |D-A|/|T|
+  double fn_ratio = 0.0;               ///< |A-D-P|/|T|
+  double fp_percent_of_benign = 0.0;
+  double fn_percent_of_attacks = 0.0;
+  double timeliness_sec = 0.0;
+
+  // Table-3 load measurements (zero unless spec.load_metrics).
+  double offered_pps = 0.0;
+  double processed_pps = 0.0;
+  double zero_loss_pps = 0.0;
+  double system_throughput_pps = 0.0;
+  double induced_latency_sec = 0.0;
+};
+
+/// Expands the spec's grid in canonical order: products (outer) ×
+/// profiles × sensitivities × replicates (inner), with per-cell seeds
+/// already derived.
+std::vector<CampaignCell> expand_cells(const CampaignSpec& spec);
+
+/// Evaluates one cell: builds the testbed environment, runs the full
+/// evaluate_product methodology, scores the card under the spec's weight
+/// profile. Throws whatever the harness throws — failure isolation is
+/// the scheduler's job.
+CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell);
+
+struct RunOptions {
+  std::size_t jobs = 1;            ///< 0 selects hardware concurrency.
+  /// Progress hook, invoked (serialized) after each cell is stored;
+  /// `done` counts cells finished this run, `total` the cells this run
+  /// set out to execute (i.e. excluding resumed-over cells).
+  std::function<void(const CellResult&, std::size_t done,
+                     std::size_t total)>
+      on_cell;
+  /// Test hook: replaces run_cell as the per-cell evaluator.
+  std::function<CellResult(const CampaignSpec&, const CampaignCell&)>
+      runner;
+};
+
+struct RunStats {
+  std::size_t total_cells = 0;     ///< Grid size.
+  std::size_t skipped = 0;         ///< Already ok in the store (resume).
+  std::size_t executed = 0;        ///< Run this time.
+  std::size_t failed = 0;          ///< Of executed, recorded as failed.
+  double wall_sec = 0.0;           ///< Whole-run wall clock.
+};
+
+/// Runs every cell of the spec that the store does not already hold an
+/// ok result for. Failed cells are appended to the store with ok=false
+/// and counted, never rethrown.
+RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
+                      const RunOptions& options = {});
+
+}  // namespace idseval::campaign

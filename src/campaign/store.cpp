@@ -1,0 +1,360 @@
+#include "campaign/store.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace idseval::campaign {
+
+namespace {
+
+constexpr const char* kFormat = "idseval-campaign-v1";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal parser for the flat one-line objects this store writes:
+/// string, number, and bool values only. Yields raw value tokens;
+/// strings are unescaped.
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  std::size_t pos = 0;
+  const auto fail = [&](const char* why) {
+    throw std::invalid_argument(std::string("campaign store: ") + why +
+                                ": " + line);
+  };
+  const auto skip_ws = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+  const auto parse_string = [&]() -> std::string {
+    if (line[pos] != '"') fail("expected string");
+    ++pos;
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+      char c = line[pos++];
+      if (c == '\\') {
+        if (pos >= line.size()) fail("bad escape");
+        const char esc = line[pos++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > line.size()) fail("bad \\u escape");
+            c = static_cast<char>(
+                std::strtoul(line.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      }
+      out += c;
+    }
+    if (pos >= line.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  };
+
+  skip_ws();
+  if (pos >= line.size() || line[pos] != '{') fail("expected object");
+  ++pos;
+  skip_ws();
+  if (pos < line.size() && line[pos] == '}') return fields;
+  for (;;) {
+    skip_ws();
+    const std::string key = parse_string();
+    skip_ws();
+    if (pos >= line.size() || line[pos] != ':') fail("expected colon");
+    ++pos;
+    skip_ws();
+    if (pos >= line.size()) fail("truncated value");
+    if (line[pos] == '"') {
+      fields[key] = parse_string();
+    } else {
+      const std::size_t start = pos;
+      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
+        ++pos;
+      }
+      std::string token = line.substr(start, pos - start);
+      while (!token.empty() &&
+             std::isspace(static_cast<unsigned char>(token.back()))) {
+        token.pop_back();
+      }
+      if (token.empty()) fail("empty value");
+      fields[key] = token;
+    }
+    skip_ws();
+    if (pos >= line.size()) fail("truncated object");
+    if (line[pos] == '}') break;
+    if (line[pos] != ',') fail("expected comma");
+    ++pos;
+  }
+  return fields;
+}
+
+const std::string& field(const std::map<std::string, std::string>& fields,
+                         const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    throw std::invalid_argument("campaign store: missing field: " + key);
+  }
+  return it->second;
+}
+
+double field_double(const std::map<std::string, std::string>& fields,
+                    const std::string& key) {
+  const std::string& token = field(fields, key);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    throw std::invalid_argument("campaign store: bad number for " + key +
+                                ": " + token);
+  }
+  return v;
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& fields,
+                        const std::string& key) {
+  const std::string& token = field(fields, key);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    throw std::invalid_argument("campaign store: bad integer for " + key +
+                                ": " + token);
+  }
+  return v;
+}
+
+std::string manifest_line(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out << "{\"type\":\"manifest\",\"format\":\"" << kFormat
+      << "\",\"name\":\"" << json_escape(spec.name)
+      << "\",\"fingerprint\":\"" << std::hex << spec.fingerprint()
+      << std::dec << "\",\"cells\":" << spec.cell_count() << "}";
+  return out.str();
+}
+
+void check_manifest(const std::string& line, const CampaignSpec& spec,
+                    const std::string& path) {
+  const auto fields = parse_flat_json(line);
+  if (field(fields, "type") != "manifest" ||
+      field(fields, "format") != kFormat) {
+    throw std::invalid_argument("campaign store: " + path +
+                                " is not an idseval campaign store");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(spec.fingerprint()));
+  if (field(fields, "fingerprint") != buf) {
+    throw std::invalid_argument(
+        "campaign store: " + path +
+        " was written for a different spec (fingerprint mismatch); "
+        "refusing to resume into it");
+  }
+}
+
+std::map<std::size_t, CellResult> load_rows(std::istream& in,
+                                            const CampaignSpec& spec,
+                                            const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("campaign store: " + path + " is empty");
+  }
+  check_manifest(line, spec, path);
+  std::map<std::size_t, CellResult> results;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const CellResult result = deserialize_cell(line);
+    // Later rows win: a resumed run re-records previously failed cells.
+    results.insert_or_assign(result.cell.index, result);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::string serialize_cell(const CellResult& r) {
+  std::ostringstream out;
+  out << "{\"type\":\"cell\",\"index\":" << r.cell.index << ",\"product\":\""
+      << json_escape(products::product(r.cell.product).name)
+      << "\",\"profile\":\"" << json_escape(r.cell.profile)
+      << "\",\"sensitivity\":" << fmt_exact(r.cell.sensitivity)
+      << ",\"replicate\":" << r.cell.replicate << ",\"seed\":" << r.cell.seed
+      << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"error\":\""
+      << json_escape(r.error) << "\",\"score_logistical\":"
+      << fmt_exact(r.score_logistical) << ",\"score_architectural\":"
+      << fmt_exact(r.score_architectural) << ",\"score_performance\":"
+      << fmt_exact(r.score_performance) << ",\"score_total\":"
+      << fmt_exact(r.score_total) << ",\"fp_ratio\":" << fmt_exact(r.fp_ratio)
+      << ",\"fn_ratio\":" << fmt_exact(r.fn_ratio)
+      << ",\"fp_percent_of_benign\":" << fmt_exact(r.fp_percent_of_benign)
+      << ",\"fn_percent_of_attacks\":" << fmt_exact(r.fn_percent_of_attacks)
+      << ",\"timeliness_sec\":" << fmt_exact(r.timeliness_sec)
+      << ",\"offered_pps\":" << fmt_exact(r.offered_pps)
+      << ",\"processed_pps\":" << fmt_exact(r.processed_pps)
+      << ",\"zero_loss_pps\":" << fmt_exact(r.zero_loss_pps)
+      << ",\"system_throughput_pps\":" << fmt_exact(r.system_throughput_pps)
+      << ",\"induced_latency_sec\":" << fmt_exact(r.induced_latency_sec)
+      << "}";
+  return out.str();
+}
+
+CellResult deserialize_cell(const std::string& line) {
+  const auto fields = parse_flat_json(line);
+  if (field(fields, "type") != "cell") {
+    throw std::invalid_argument("campaign store: not a cell row: " + line);
+  }
+  CellResult r;
+  r.cell.index = static_cast<std::size_t>(field_u64(fields, "index"));
+  {
+    const std::string& name = field(fields, "product");
+    bool found = false;
+    for (const auto& model : products::product_catalog()) {
+      if (model.name == name) {
+        r.cell.product = model.id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("campaign store: unknown product: " +
+                                  name);
+    }
+  }
+  r.cell.profile = field(fields, "profile");
+  r.cell.sensitivity = field_double(fields, "sensitivity");
+  r.cell.replicate = static_cast<std::size_t>(field_u64(fields, "replicate"));
+  r.cell.seed = field_u64(fields, "seed");
+  {
+    const std::string& ok = field(fields, "ok");
+    if (ok != "true" && ok != "false") {
+      throw std::invalid_argument("campaign store: bad ok flag: " + ok);
+    }
+    r.ok = ok == "true";
+  }
+  r.error = field(fields, "error");
+  r.score_logistical = field_double(fields, "score_logistical");
+  r.score_architectural = field_double(fields, "score_architectural");
+  r.score_performance = field_double(fields, "score_performance");
+  r.score_total = field_double(fields, "score_total");
+  r.fp_ratio = field_double(fields, "fp_ratio");
+  r.fn_ratio = field_double(fields, "fn_ratio");
+  r.fp_percent_of_benign = field_double(fields, "fp_percent_of_benign");
+  r.fn_percent_of_attacks = field_double(fields, "fn_percent_of_attacks");
+  r.timeliness_sec = field_double(fields, "timeliness_sec");
+  r.offered_pps = field_double(fields, "offered_pps");
+  r.processed_pps = field_double(fields, "processed_pps");
+  r.zero_loss_pps = field_double(fields, "zero_loss_pps");
+  r.system_throughput_pps = field_double(fields, "system_throughput_pps");
+  r.induced_latency_sec = field_double(fields, "induced_latency_sec");
+  return r;
+}
+
+ResultStore::ResultStore(std::string path, const CampaignSpec& spec,
+                         bool fresh)
+    : path_(std::move(path)) {
+  bool exists = false;
+  if (!fresh) {
+    std::ifstream in(path_);
+    if (in.good()) {
+      exists = true;
+      results_ = load_rows(in, spec, path_);
+    }
+  }
+  file_ = std::fopen(path_.c_str(), exists ? "ab" : "wb");
+  if (!file_) {
+    throw std::runtime_error("campaign store: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  if (!exists) {
+    const std::string manifest = manifest_line(spec);
+    std::fprintf(file_, "%s\n", manifest.c_str());
+    std::fflush(file_);
+  }
+}
+
+ResultStore::~ResultStore() {
+  if (file_) std::fclose(file_);
+}
+
+bool ResultStore::has_ok(std::size_t index) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = results_.find(index);
+  return it != results_.end() && it->second.ok;
+}
+
+std::size_t ResultStore::ok_count() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [index, result] : results_) {
+    if (result.ok) ++n;
+  }
+  return n;
+}
+
+std::size_t ResultStore::failed_count() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [index, result] : results_) {
+    if (!result.ok) ++n;
+  }
+  return n;
+}
+
+void ResultStore::append(const CellResult& result) {
+  const std::string line = serialize_cell(result);
+  std::scoped_lock lock(mutex_);
+  std::fprintf(file_, "%s\n", line.c_str());
+  std::fflush(file_);
+  results_.insert_or_assign(result.cell.index, result);
+}
+
+std::map<std::size_t, CellResult> ResultStore::load(
+    const std::string& path, const CampaignSpec& spec) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("campaign store: cannot read " + path);
+  }
+  return load_rows(in, spec, path);
+}
+
+}  // namespace idseval::campaign

@@ -159,4 +159,11 @@ std::uint64_t hash64(std::string_view s) noexcept {
   return h;
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // index + 1 keeps index 0 from collapsing to SplitMix64(base), whose
+  // first output is also what Rng(base) seeds itself from.
+  SplitMix64 sm(base ^ ((index + 1) * 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
 }  // namespace idseval::util

@@ -96,4 +96,11 @@ class Rng {
 /// seeds from names so adding a component does not perturb others.
 std::uint64_t hash64(std::string_view s) noexcept;
 
+/// Derives the seed for the `index`-th unit of work under a base seed
+/// (SplitMix64 over base and index). Constant-time in `index`, so the
+/// seed for cell k is the same whether cells run in order, shuffled, or
+/// across any number of workers — campaign results depend only on
+/// (base, index), never on scheduling.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
 }  // namespace idseval::util

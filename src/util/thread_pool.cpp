@@ -55,17 +55,35 @@ void ThreadPool::parallel_for(std::size_t n,
   // Chunk the index space so tiny bodies do not drown in queue overhead.
   const std::size_t chunks = std::min(n, thread_count() * 4);
   const std::size_t per = (n + chunks - 1) / chunks;
+  // Chunks trap their own exceptions instead of throwing through the
+  // packaged_task future: rethrowing from the first future.get() would
+  // unwind the caller while other chunks still hold the reference to
+  // `fn`. Every chunk must finish before the first exception resurfaces.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = c * per;
     const std::size_t hi = std::min(n, lo + per);
     if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    futures.push_back(submit([lo, hi, &fn, &first_error, &error_mutex,
+                              &failed] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          fn(i);
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
     }));
   }
   for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::wait_idle() {

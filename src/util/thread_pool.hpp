@@ -43,6 +43,10 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// If any invocation throws, remaining indices may be skipped, every
+  /// worker is still drained before returning (no task outlives the call
+  /// or touches `fn` after it unwinds), and the first exception observed
+  /// is rethrown to the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Blocks until the queue is empty and all workers are idle.

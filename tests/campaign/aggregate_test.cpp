@@ -1,0 +1,168 @@
+#include "campaign/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace idseval::campaign {
+namespace {
+
+CampaignSpec two_sens_spec() {
+  CampaignSpec spec;
+  spec.name = "agg-test";
+  spec.products = {products::ProductId::kSentryNid};
+  spec.profiles = {"rt_cluster"};
+  spec.sensitivities = {0.2, 0.8};
+  spec.replicates = 3;
+  return spec;
+}
+
+CellResult make_cell(std::size_t index, double sensitivity,
+                     std::size_t replicate, double total, double fp,
+                     double fn) {
+  CellResult r;
+  r.cell.index = index;
+  r.cell.product = products::ProductId::kSentryNid;
+  r.cell.profile = "rt_cluster";
+  r.cell.sensitivity = sensitivity;
+  r.cell.replicate = replicate;
+  r.ok = true;
+  r.score_total = total;
+  r.score_logistical = total / 2.0;
+  r.score_architectural = total / 4.0;
+  r.score_performance = total / 4.0;
+  r.fp_percent_of_benign = fp;
+  r.fn_percent_of_attacks = fn;
+  r.timeliness_sec = 0.3;
+  return r;
+}
+
+TEST(AggregateTest, GroupsByProductProfileSensitivity) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  // sensitivity 0.2: totals 100, 110, 120 -> mean 110, sample sd 10
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 30.0);
+  results[1] = make_cell(1, 0.2, 1, 110.0, 2.0, 28.0);
+  results[2] = make_cell(2, 0.2, 2, 120.0, 3.0, 26.0);
+  // sensitivity 0.8
+  results[3] = make_cell(3, 0.8, 0, 90.0, 20.0, 5.0);
+  results[4] = make_cell(4, 0.8, 1, 90.0, 22.0, 4.0);
+  results[5] = make_cell(5, 0.8, 2, 90.0, 24.0, 3.0);
+
+  const CampaignAggregate agg = aggregate(spec, results);
+  EXPECT_EQ(agg.ok_cells, 6u);
+  EXPECT_EQ(agg.failed_cells, 0u);
+  ASSERT_EQ(agg.groups.size(), 2u);
+
+  const GroupStats& low = agg.groups.at({"SentryNID", "rt_cluster", 0.2});
+  EXPECT_EQ(low.score_total.count(), 3u);
+  EXPECT_DOUBLE_EQ(low.score_total.mean(), 110.0);
+  EXPECT_DOUBLE_EQ(low.score_total.min(), 100.0);
+  EXPECT_DOUBLE_EQ(low.score_total.max(), 120.0);
+  EXPECT_NEAR(dispersion(low.score_total), 10.0, 1e-9);
+
+  const GroupStats& high = agg.groups.at({"SentryNID", "rt_cluster", 0.8});
+  EXPECT_DOUBLE_EQ(high.score_total.mean(), 90.0);
+  EXPECT_DOUBLE_EQ(dispersion(high.score_total), 0.0);
+}
+
+TEST(AggregateTest, FailedCellsAreCountedNotAggregated) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 30.0);
+  CellResult failed;
+  failed.cell.index = 1;
+  failed.cell.product = products::ProductId::kSentryNid;
+  failed.cell.profile = "rt_cluster";
+  failed.cell.sensitivity = 0.2;
+  failed.ok = false;
+  failed.error = "boom";
+  results[1] = failed;
+
+  const CampaignAggregate agg = aggregate(spec, results);
+  EXPECT_EQ(agg.ok_cells, 1u);
+  EXPECT_EQ(agg.failed_cells, 1u);
+  EXPECT_EQ(agg.groups.at({"SentryNID", "rt_cluster", 0.2})
+                .score_total.count(),
+            1u);
+  const std::string summary = render_summary(spec, agg);
+  EXPECT_NE(summary.find("1 cell(s) failed"), std::string::npos);
+}
+
+TEST(AggregateTest, EerComputedPerReplicateAcrossSensitivities) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  // Replicate 0: FP rises 1 -> 21, FN falls 21 -> 1: crossing at 11.
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 21.0);
+  results[1] = make_cell(1, 0.8, 0, 100.0, 21.0, 1.0);
+  // Replicate 1: crossing at 16.
+  results[2] = make_cell(2, 0.2, 1, 100.0, 6.0, 26.0);
+  results[3] = make_cell(3, 0.8, 1, 100.0, 26.0, 6.0);
+
+  const CampaignAggregate agg = aggregate(spec, results);
+  ASSERT_EQ(agg.eer.size(), 1u);
+  const EerStats& e = agg.eer.at({"SentryNID", "rt_cluster"});
+  EXPECT_EQ(e.error_percent.count(), 2u);
+  EXPECT_NEAR(e.error_percent.mean(), 13.5, 1e-9);
+  EXPECT_EQ(e.replicates_without_crossing, 0u);
+  EXPECT_FALSE(render_eer_summary(spec, agg).empty());
+}
+
+TEST(AggregateTest, NoEerWithSingleSensitivity) {
+  CampaignSpec spec = two_sens_spec();
+  spec.sensitivities = {0.5};
+  std::map<std::size_t, CellResult> results;
+  results[0] = make_cell(0, 0.5, 0, 100.0, 1.0, 30.0);
+  const CampaignAggregate agg = aggregate(spec, results);
+  EXPECT_TRUE(agg.eer.empty());
+  EXPECT_TRUE(render_eer_summary(spec, agg).empty());
+}
+
+TEST(AggregateTest, CsvHasHeaderAndOneRowPerGroup) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 30.0);
+  results[1] = make_cell(1, 0.8, 0, 90.0, 20.0, 5.0);
+  const CampaignAggregate agg = aggregate(spec, results);
+  const std::string csv = to_csv(spec, agg);
+
+  std::istringstream in(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("product,profile,sensitivity,replicates", 0), 0u);
+  EXPECT_NE(header.find("score_total_mean"), std::string::npos);
+  EXPECT_NE(header.find("score_total_stddev"), std::string::npos);
+  EXPECT_NE(header.find("fn_percent_max"), std::string::npos);
+  std::string line;
+  std::size_t rows = 0;
+  std::size_t header_cols =
+      static_cast<std::size_t>(
+          std::count(header.begin(), header.end(), ',')) +
+      1;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(line.begin(), line.end(), ',')) +
+                  1,
+              header_cols);
+  }
+  EXPECT_EQ(rows, agg.groups.size());
+}
+
+TEST(AggregateTest, SummaryRendersEveryGroupRow) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 30.0);
+  results[1] = make_cell(1, 0.8, 0, 90.0, 20.0, 5.0);
+  const std::string summary =
+      render_summary(spec, aggregate(spec, results));
+  EXPECT_NE(summary.find("SentryNID"), std::string::npos);
+  EXPECT_NE(summary.find("0.20"), std::string::npos);
+  EXPECT_NE(summary.find("0.80"), std::string::npos);
+  EXPECT_NE(summary.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idseval::campaign

@@ -55,6 +55,39 @@ TEST(ScorecardPersistenceTest, RejectsBadInput) {
       std::invalid_argument);  // out-of-range discrete score
 }
 
+TEST(ScorecardPersistenceTest, FullCatalogByteIdenticalRoundTrip) {
+  // Every metric in the catalog scored with a note: serialize ->
+  // deserialize -> serialize must reproduce the bytes exactly, so
+  // version-controlled scorecards do not churn on re-save.
+  util::Rng rng(4242);
+  Scorecard card("FullCatalog");
+  for (const Metric& m : metric_catalog()) {
+    card.set(m.id, Score(static_cast<int>(rng.uniform_u64(0, 4))),
+             "evidence | for " + m.name);
+  }
+  EXPECT_EQ(card.size(), metric_catalog().size());
+  const std::string first = serialize_scorecard(card);
+  const Scorecard reloaded = deserialize_scorecard(first);
+  EXPECT_EQ(reloaded.size(), card.size());
+  EXPECT_EQ(serialize_scorecard(reloaded), first);
+}
+
+TEST(WeightsPersistenceTest, FullCatalogByteIdenticalRoundTrip) {
+  // Weight values representable at the serializer's precision (halves,
+  // including negative "counterproductive feature" weights) must
+  // round-trip byte-identically alongside the scorecard.
+  WeightSet weights;
+  double w = -4.0;
+  for (const Metric& m : metric_catalog()) {
+    weights.set(m.id, w);
+    w += 0.5;
+  }
+  const std::string first = serialize_weights(weights);
+  const WeightSet reloaded = deserialize_weights(first);
+  EXPECT_EQ(reloaded.weights().size(), metric_catalog().size());
+  EXPECT_EQ(serialize_weights(reloaded), first);
+}
+
 TEST(WeightsPersistenceTest, RoundTrip) {
   WeightSet weights;
   weights.set(MetricId::kTimeliness, 6.5);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace idseval::util {
@@ -84,6 +85,55 @@ TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
     }
   }  // destructor joins
   EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives and stays usable.
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForEveryChunkThrowingYieldsOneException) {
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    pool.parallel_for(64, [](std::size_t) -> void {
+      throw std::invalid_argument("each");
+    });
+  } catch (const std::invalid_argument&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForDrainsAllWorkBeforeRethrowing) {
+  // Regression: parallel_for used to rethrow from the first future while
+  // other chunks were still running against the caller's (about to be
+  // destroyed) closure. After the fix, no invocation may happen once the
+  // call has returned.
+  ThreadPool pool(4);
+  std::atomic<bool> returned{false};
+  std::atomic<int> late_calls{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk dies fast");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (returned.load()) ++late_calls;
+    });
+  } catch (const std::runtime_error&) {
+  }
+  returned.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(late_calls.load(), 0);
 }
 
 TEST(ThreadPoolTest, ParallelForFromResultsAggregates) {

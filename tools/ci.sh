@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command CI: build the plain and sanitizer presets, run ctest under
+# both. A sanitizer run is exactly:  tools/ci.sh asan-ubsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j"${jobs}"
+  ctest --preset "${preset}" -j"${jobs}"
+done

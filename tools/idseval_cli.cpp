@@ -8,23 +8,33 @@
 //                        [--seed N] [--load-metrics] [--notes]
 //       evaluate one product, print its scorecard
 //   idseval_cli rank [--profile P] [--weights realtime|ecommerce]
-//                    [--seed N] [--load-metrics] [--robustness]
+//                    [--seed N] [--jobs N] [--load-metrics] [--robustness]
 //       evaluate every product and print the weighted ranking
 //   idseval_cli sweep --product NAME [--profile P] [--steps N] [--seed N]
 //       Figure-4 sensitivity sweep with EER
+//   idseval_cli campaign --spec FILE [--jobs N] [--resume] [--out DIR]
+//       run a multi-seed evaluation grid, aggregate with dispersion
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/aggregate.hpp"
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
 #include "core/report.hpp"
 #include "core/sensitivity.hpp"
 #include "harness/evaluate.hpp"
 #include "harness/measure.hpp"
 #include "products/catalog.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace idseval;
 
@@ -157,10 +167,25 @@ int cmd_rank(const Args& args) {
   options.sensitivity = std::stod(args.opt("sensitivity", "0.5"));
   options.include_load_metrics = args.has_flag("load-metrics");
 
+  // --jobs N spreads the per-product evaluations over the thread pool;
+  // each evaluation is deterministic on its own, so the ranking is
+  // identical at any job count.
+  const std::size_t jobs = static_cast<std::size_t>(
+      std::stoull(args.opt("jobs", "1")));
+  const auto& catalog = products::product_catalog();
+  std::vector<std::optional<core::Scorecard>> slots(catalog.size());
+  {
+    util::ThreadPool pool(jobs);
+    pool.parallel_for(catalog.size(), [&](std::size_t i) {
+      slots[i].emplace(
+          harness::evaluate_product(env, catalog[i], options).card);
+    });
+  }
   std::vector<core::Scorecard> cards;
-  for (const auto& model : products::product_catalog()) {
-    std::printf("evaluating %s...\n", model.name.c_str());
-    cards.push_back(harness::evaluate_product(env, model, options).card);
+  cards.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    std::printf("evaluated %s\n", catalog[i].name.c_str());
+    cards.push_back(std::move(*slots[i]));
   }
 
   const std::string profile = args.opt("weights", "realtime");
@@ -217,6 +242,82 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  const std::string spec_path = args.opt("spec", "");
+  if (spec_path.empty()) {
+    std::fprintf(stderr, "campaign: --spec FILE is required\n");
+    return 2;
+  }
+  std::ifstream in(spec_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "campaign: cannot read spec file %s\n",
+                 spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const campaign::CampaignSpec spec =
+      campaign::CampaignSpec::parse(text.str());
+
+  const std::filesystem::path out_dir = args.opt("out", "campaign-out");
+  std::filesystem::create_directories(out_dir);
+  const std::string store_path = (out_dir / (spec.name + ".jsonl")).string();
+  const bool resume = args.has_flag("resume");
+
+  campaign::ResultStore store(store_path, spec, /*fresh=*/!resume);
+  std::printf("campaign '%s': %zu cells (%zu products x %zu profiles x "
+              "%zu sensitivities x %zu replicates)\n",
+              spec.name.c_str(), spec.cell_count(), spec.products.size(),
+              spec.profiles.size(), spec.sensitivities.size(),
+              spec.replicates);
+  if (resume && store.ok_count() > 0) {
+    std::printf("resuming: %zu cell(s) already complete in %s\n",
+                store.ok_count(), store_path.c_str());
+  }
+
+  campaign::RunOptions run_options;
+  run_options.jobs = static_cast<std::size_t>(
+      std::stoull(args.opt("jobs", "1")));
+  run_options.on_cell = [](const campaign::CellResult& r, std::size_t done,
+                           std::size_t total) {
+    std::printf("[%zu/%zu] %-10s %-12s s=%.2f rep=%zu %6.2fs %s%s\n", done,
+                total, products::product(r.cell.product).name.c_str(),
+                r.cell.profile.c_str(), r.cell.sensitivity,
+                r.cell.replicate, r.wall_sec,
+                r.ok ? "ok" : "FAILED: ", r.ok ? "" : r.error.c_str());
+    std::fflush(stdout);
+  };
+  const campaign::RunStats stats =
+      campaign::run_campaign(spec, store, run_options);
+  std::printf("\n%zu cells: %zu skipped (resumed), %zu executed, "
+              "%zu failed, %.2fs wall (%.2f cells/sec)\n\n",
+              stats.total_cells, stats.skipped, stats.executed,
+              stats.failed,
+              stats.wall_sec,
+              stats.wall_sec > 0.0
+                  ? static_cast<double>(stats.executed) / stats.wall_sec
+                  : 0.0);
+
+  const campaign::CampaignAggregate agg =
+      campaign::aggregate(spec, store.results());
+  const std::string summary = campaign::render_summary(spec, agg);
+  const std::string eer = campaign::render_eer_summary(spec, agg);
+  std::printf("%s\n", summary.c_str());
+  if (!eer.empty()) std::printf("%s\n", eer.c_str());
+
+  const std::string csv_path = (out_dir / (spec.name + ".csv")).string();
+  std::ofstream csv(csv_path);
+  csv << campaign::to_csv(spec, agg);
+  const std::string summary_path =
+      (out_dir / (spec.name + ".txt")).string();
+  std::ofstream txt(summary_path);
+  txt << summary;
+  if (!eer.empty()) txt << "\n" << eer;
+  std::printf("results: %s\naggregate: %s, %s\n", store_path.c_str(),
+              csv_path.c_str(), summary_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -226,8 +327,9 @@ int usage() {
       "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
       "           [--seed N] [--load-metrics] [--notes]\n"
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
-      "       [--load-metrics] [--robustness]\n"
+      "       [--jobs N] [--load-metrics] [--robustness]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
+      "  campaign --spec FILE [--jobs N] [--resume] [--out DIR]\n"
       "profiles: rt_cluster, ecommerce, office, random_flood\n");
   return 2;
 }
@@ -242,6 +344,7 @@ int main(int argc, char** argv) {
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "rank") return cmd_rank(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "campaign") return cmd_campaign(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
