@@ -5,6 +5,7 @@
 // (serialization in the store, lock contention, chunking) are visible.
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "campaign/aggregate.hpp"
@@ -12,6 +13,7 @@
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
 #include "bench_common.hpp"
+#include "telemetry/trace.hpp"
 #include "util/table.hpp"
 
 using namespace idseval;
@@ -67,6 +69,40 @@ int main() {
   std::printf(
       "\nSpeedup is bounded by physical cores; on a 1-core container the\n"
       "column stays ~1.0 by construction, not by scheduler overhead.\n");
+
+  // Tracing overhead: the same grid with and without a --trace sink.
+  // Telemetry registries are always on; a trace sink only adds JSON
+  // rendering + buffered writes at cell boundaries, so the overhead
+  // budget is < 3%.
+  std::printf("\ntracing overhead (jobs=2, same 64-cell grid):\n");
+  double plain_wall = 0.0;
+  double traced_wall = 0.0;
+  for (const bool traced : {false, true}) {
+    const std::string tag = traced ? "traced" : "plain";
+    const std::string path =
+        (dir / ("bench64_" + tag + ".jsonl")).string();
+    campaign::ResultStore store(path, spec, /*fresh=*/true);
+    campaign::RunOptions options;
+    options.jobs = 2;
+    telemetry::Registry aggregate;
+    std::unique_ptr<telemetry::TraceSink> sink;
+    if (traced) {
+      sink = std::make_unique<telemetry::TraceSink>(
+          (dir / "bench64_trace.jsonl").string());
+      options.telemetry = &aggregate;
+      options.trace = sink.get();
+    }
+    const campaign::RunStats stats =
+        campaign::run_campaign(spec, store, options);
+    if (sink) sink->close();
+    (traced ? traced_wall : plain_wall) = stats.wall_sec;
+    std::printf("  %-6s %6.2fs%s\n", tag.c_str(), stats.wall_sec,
+                traced ? "" : "  (baseline)");
+  }
+  if (plain_wall > 0.0) {
+    std::printf("  overhead: %+.2f%% (budget < 3%%)\n",
+                100.0 * (traced_wall - plain_wall) / plain_wall);
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

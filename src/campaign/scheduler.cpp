@@ -1,7 +1,10 @@
 #include "campaign/scheduler.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <mutex>
+#include <sstream>
 
 #include "campaign/store.hpp"
 #include "harness/evaluate.hpp"
@@ -86,8 +89,31 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell) {
     result.system_throughput_pps = eval.measured.system_throughput_pps;
     result.induced_latency_sec = eval.measured.induced_latency_sec;
   }
+  result.telemetry = eval.measured.detection_telemetry;
   return result;
 }
+
+namespace {
+
+std::string cell_trace_event(const CellResult& result,
+                             const telemetry::Registry& registry) {
+  char sens[64];
+  std::snprintf(sens, sizeof(sens), "%.17g", result.cell.sensitivity);
+  std::ostringstream out;
+  out << "{\"type\":\"cell\",\"index\":" << result.cell.index
+      << ",\"product\":\""
+      << telemetry::json_escape(products::product(result.cell.product).name)
+      << "\",\"profile\":\"" << telemetry::json_escape(result.cell.profile)
+      << "\",\"sensitivity\":" << sens
+      << ",\"replicate\":" << result.cell.replicate
+      << ",\"seed\":" << result.cell.seed
+      << ",\"ok\":" << (result.ok ? "true" : "false") << ",\"error\":\""
+      << telemetry::json_escape(result.error)
+      << "\",\"telemetry\":" << telemetry::to_json(registry) << "}";
+  return out.str();
+}
+
+}  // namespace
 
 RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
                       const RunOptions& options) {
@@ -113,23 +139,32 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
   std::mutex progress_mutex;
   std::size_t done = 0;
   std::size_t failed = 0;
+  // One registry per pending cell, created unconditionally (recording is
+  // cheap and keeps results byte-identical with tracing on or off) and
+  // merged into the aggregate in cell-index order after the pool drains.
+  std::vector<std::unique_ptr<telemetry::Registry>> cell_regs(
+      pending.size());
   util::ThreadPool pool(options.jobs);
   pool.parallel_for(pending.size(), [&](std::size_t i) {
     const CampaignCell& cell = *pending[i];
     const auto cell_started = std::chrono::steady_clock::now();
+    cell_regs[i] = std::make_unique<telemetry::Registry>();
     CellResult result;
-    try {
-      result = runner(spec, cell);
-    } catch (const std::exception& e) {
-      result = CellResult{};
-      result.cell = cell;
-      result.ok = false;
-      result.error = e.what();
-    } catch (...) {
-      result = CellResult{};
-      result.cell = cell;
-      result.ok = false;
-      result.error = "unknown error";
+    {
+      telemetry::ScopedRegistry scope(cell_regs[i].get());
+      try {
+        result = runner(spec, cell);
+      } catch (const std::exception& e) {
+        result = CellResult{};
+        result.cell = cell;
+        result.ok = false;
+        result.error = e.what();
+      } catch (...) {
+        result = CellResult{};
+        result.cell = cell;
+        result.ok = false;
+        result.error = "unknown error";
+      }
     }
     result.wall_sec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -139,8 +174,24 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
     std::scoped_lock lock(progress_mutex);
     ++done;
     if (!result.ok) ++failed;
+    if (options.telemetry) {
+      // Wall clock goes only into the aggregate (progress/bench view),
+      // never into rows — rows must not depend on machine speed.
+      options.telemetry->latency(telemetry::names::kCampaignCellWall)
+          .record(result.wall_sec);
+    }
+    if (options.trace) {
+      options.trace->emit(cell_trace_event(result, *cell_regs[i]));
+      options.trace->flush();
+    }
     if (options.on_cell) options.on_cell(result, done, pending.size());
   });
+
+  if (options.telemetry) {
+    for (const auto& reg : cell_regs) {
+      if (reg) options.telemetry->merge(*reg);
+    }
+  }
 
   stats.executed = done;
   stats.failed = failed;

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace idseval::campaign {
 
@@ -56,6 +58,11 @@ struct CellResult {
   double zero_loss_pps = 0.0;
   double system_throughput_pps = 0.0;
   double induced_latency_sec = 0.0;
+
+  /// Per-stage telemetry from the cell's detection run. Derived from
+  /// simulation time only, so it is persisted with the row and stays
+  /// byte-identical across worker counts and trace settings.
+  telemetry::PipelineSnapshot telemetry;
 };
 
 /// Expands the spec's grid in canonical order: products (outer) ×
@@ -80,6 +87,15 @@ struct RunOptions {
   /// Test hook: replaces run_cell as the per-cell evaluator.
   std::function<CellResult(const CampaignSpec&, const CampaignCell&)>
       runner;
+  /// When set, every executed cell's telemetry registry is merged into
+  /// this aggregate after the pool drains — in cell-index order, so the
+  /// aggregate is independent of worker count. Wall-clock cell times are
+  /// additionally recorded here under names::kCampaignCellWall.
+  telemetry::Registry* telemetry = nullptr;
+  /// When set, one JSONL event per executed cell (cell identity, outcome
+  /// and the cell's full telemetry registry) is emitted and the sink is
+  /// flushed at each cell boundary.
+  telemetry::TraceSink* trace = nullptr;
 };
 
 struct RunStats {

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
+
 namespace idseval::campaign {
 
 namespace {
@@ -43,9 +45,10 @@ std::string fmt_exact(double v) {
   return buf;
 }
 
-/// Minimal parser for the flat one-line objects this store writes:
-/// string, number, and bool values only. Yields raw value tokens;
-/// strings are unescaped.
+/// Minimal parser for the one-line objects this store writes: string,
+/// number, and bool values, plus nested objects which are captured as
+/// raw balanced-brace tokens (re-parse them with this same function).
+/// Strings are unescaped; other values stay raw tokens.
 std::map<std::string, std::string> parse_flat_json(const std::string& line) {
   std::map<std::string, std::string> fields;
   std::size_t pos = 0;
@@ -107,6 +110,33 @@ std::map<std::string, std::string> parse_flat_json(const std::string& line) {
     if (pos >= line.size()) fail("truncated value");
     if (line[pos] == '"') {
       fields[key] = parse_string();
+    } else if (line[pos] == '{') {
+      const std::size_t start = pos;
+      int depth = 0;
+      bool in_string = false;
+      while (pos < line.size()) {
+        const char c = line[pos];
+        if (in_string) {
+          if (c == '\\') {
+            ++pos;  // skip the escaped character
+          } else if (c == '"') {
+            in_string = false;
+          }
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+          if (depth == 0) {
+            ++pos;
+            break;
+          }
+        }
+        ++pos;
+      }
+      if (depth != 0) fail("unbalanced nested object");
+      fields[key] = line.substr(start, pos - start);
     } else {
       const std::size_t start = pos;
       while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
@@ -162,6 +192,36 @@ std::uint64_t field_u64(const std::map<std::string, std::string>& fields,
                                 ": " + token);
   }
   return v;
+}
+
+telemetry::StageSummary parse_stage(const std::string& token) {
+  const auto f = parse_flat_json(token);
+  telemetry::StageSummary s;
+  s.count = field_u64(f, "count");
+  s.mean_sec = field_double(f, "mean_sec");
+  s.p99_sec = field_double(f, "p99_sec");
+  s.max_sec = field_double(f, "max_sec");
+  return s;
+}
+
+telemetry::PipelineSnapshot parse_snapshot(const std::string& token) {
+  const auto f = parse_flat_json(token);
+  telemetry::PipelineSnapshot s;
+  s.tapped = field_u64(f, "tapped");
+  s.filtered = field_u64(f, "filtered");
+  s.lb_offered = field_u64(f, "lb_offered");
+  s.lb_dropped = field_u64(f, "lb_dropped");
+  s.sensor_offered = field_u64(f, "sensor_offered");
+  s.sensor_dropped = field_u64(f, "sensor_dropped");
+  s.detections = field_u64(f, "detections");
+  s.reports = field_u64(f, "reports");
+  s.alerts = field_u64(f, "alerts");
+  s.blocks = field_u64(f, "blocks");
+  s.lb_wait = parse_stage(field(f, "lb_wait"));
+  s.sensor_service = parse_stage(field(f, "sensor_service"));
+  s.analyzer_batch = parse_stage(field(f, "analyzer_batch"));
+  s.monitor_alert = parse_stage(field(f, "monitor_alert"));
+  return s;
 }
 
 std::string manifest_line(const CampaignSpec& spec) {
@@ -234,7 +294,7 @@ std::string serialize_cell(const CellResult& r) {
       << ",\"zero_loss_pps\":" << fmt_exact(r.zero_loss_pps)
       << ",\"system_throughput_pps\":" << fmt_exact(r.system_throughput_pps)
       << ",\"induced_latency_sec\":" << fmt_exact(r.induced_latency_sec)
-      << "}";
+      << ",\"telemetry\":" << telemetry::to_json(r.telemetry) << "}";
   return out.str();
 }
 
@@ -286,6 +346,12 @@ CellResult deserialize_cell(const std::string& line) {
   r.zero_loss_pps = field_double(fields, "zero_loss_pps");
   r.system_throughput_pps = field_double(fields, "system_throughput_pps");
   r.induced_latency_sec = field_double(fields, "induced_latency_sec");
+  // Stores written before the telemetry field existed still load; their
+  // rows simply carry an all-zero snapshot.
+  const auto telemetry_it = fields.find("telemetry");
+  if (telemetry_it != fields.end()) {
+    r.telemetry = parse_snapshot(telemetry_it->second);
+  }
   return r;
 }
 

@@ -57,9 +57,11 @@ std::optional<double> winner_flip_scale(std::span<const Scorecard> cards,
     const double gap = winner_total - challenger_total;  // >= 0
     const double slope = w * du;  // challenger gain per unit k
     if (slope == 0.0) continue;   // parallel: never crosses
+    // gap == 0 with a non-zero slope is an exact tie: the crossing sits
+    // at k = 1 and any perturbation of this weight flips the winner —
+    // the most fragile case, so it must be reported, not skipped.
     const double k = 1.0 + gap / slope;
     if (k < 0.0 || k > max_scale) continue;
-    if (gap == 0.0) continue;  // already tied; any perturbation flips
     // Prefer the k closest to 1 (smallest relative change).
     if (!best || std::abs(std::log(std::max(k, 1e-9))) <
                      std::abs(std::log(std::max(*best, 1e-9)))) {

@@ -32,6 +32,11 @@ Evaluation evaluate_product(const TestbedConfig& env,
         env.internal_hosts);
     m.detection_run = bed.run(scenario);
   }
+  // Snapshot stage telemetry now: the load probes below rebuild testbeds
+  // and would fold their traffic into the same per-thread registry.
+  if (const telemetry::Registry* reg = telemetry::current()) {
+    m.detection_telemetry = telemetry::snapshot_pipeline(*reg);
+  }
   const RunResult& run = m.detection_run;
   const double attack_share =
       run.transactions > 0

@@ -10,6 +10,7 @@
 #include "harness/measure.hpp"
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::harness {
 
@@ -29,6 +30,10 @@ struct Measurements {
   double system_throughput_pps = 0.0;
   std::optional<double> lethal_dose_pps;
   double induced_latency_sec = 0.0;
+  /// Per-stage telemetry snapshot taken right after the detection run,
+  /// before the load probes disturb the stage stats. All zeros when no
+  /// telemetry::Registry was installed on the evaluating thread.
+  telemetry::PipelineSnapshot detection_telemetry;
 };
 
 struct Evaluation {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace idseval::harness {
@@ -24,6 +25,7 @@ TestbedConfig probe_config(const TestbedConfig& base, double rate_scale) {
 LoadPoint probe(const TestbedConfig& base,
                 const products::ProductModel& model, double sensitivity,
                 double rate_scale) {
+  telemetry::count(telemetry::names::kHarnessProbes);
   Testbed bed(probe_config(base, rate_scale), &model, sensitivity);
   const RunResult r = bed.run_clean();
   LoadPoint p;

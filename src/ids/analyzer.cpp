@@ -9,7 +9,12 @@ namespace idseval::ids {
 using netsim::SimTime;
 
 Analyzer::Analyzer(netsim::Simulator& sim, AnalyzerConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      tele_reports_(
+          telemetry::counter_handle(telemetry::names::kAnalyzerReports)),
+      tele_batch_(
+          telemetry::latency_handle(telemetry::names::kAnalyzerBatch)) {}
 
 void Analyzer::submit(const Detection& detection) {
   ++stats_.detections_in;
@@ -19,6 +24,9 @@ void Analyzer::submit(const Detection& detection) {
       config_.ops_per_detection / std::max(1.0, config_.ops_per_sec));
   const SimTime start = std::max(arrive, busy_until_);
   busy_until_ = start + service;
+  // Batch latency: detection hand-off to analysis completion (transfer
+  // hop + queueing behind earlier detections + this service slot).
+  telemetry::record(tele_batch_, (busy_until_ - sim_.now()).sec());
   sim_.schedule_at(busy_until_,
                    [this, detection] { analyze(detection); });
 }
@@ -69,6 +77,7 @@ void Analyzer::analyze(const Detection& detection) {
   }
 
   ++stats_.reports_out;
+  telemetry::bump(tele_reports_);
   if (on_report_) on_report_(report);
 }
 

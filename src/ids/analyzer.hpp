@@ -13,6 +13,7 @@
 
 #include "ids/alert.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -55,7 +56,11 @@ class Analyzer {
 
   const AnalyzerConfig& config() const noexcept { return config_; }
   const AnalyzerStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = AnalyzerStats{}; }
+  void reset_stats() noexcept {
+    stats_ = AnalyzerStats{};
+    telemetry::reset(tele_reports_);
+    telemetry::reset(tele_batch_);
+  }
 
  private:
   void analyze(const Detection& detection);
@@ -75,6 +80,8 @@ class Analyzer {
   netsim::SimTime busy_until_;
   std::unordered_map<std::uint64_t, FlowState> flows_;
   std::unordered_map<std::uint32_t, OffenderState> offenders_;
+  telemetry::Counter* tele_reports_;
+  telemetry::LatencyStat* tele_batch_;
 };
 
 }  // namespace idseval::ids

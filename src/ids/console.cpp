@@ -22,7 +22,15 @@ std::string to_string(ReactionAction a) {
 
 ManagementConsole::ManagementConsole(netsim::Simulator& sim,
                                      ConsoleConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      tele_blocks_(
+          telemetry::counter_handle(telemetry::names::kConsoleBlocks)) {}
+
+void ManagementConsole::reset_stats() noexcept {
+  stats_ = ConsoleStats{};
+  telemetry::reset(tele_blocks_);
+}
 
 void ManagementConsole::on_alert(const Alert& alert) {
   ++stats_.alerts_in;
@@ -56,6 +64,7 @@ void ManagementConsole::react(const Alert& alert, ReactionAction action) {
       }
       blocked_.push_back(offender);
       ++stats_.blocks_issued;
+      telemetry::bump(tele_blocks_);
       block_events_.push_back(
           BlockEvent{offender, sim_.now() + config_.reaction_delay});
       sim_.schedule_in(config_.reaction_delay, [this, offender] {

@@ -15,6 +15,7 @@
 #include "ids/alert.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/switch.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -80,6 +81,11 @@ class ManagementConsole {
     return block_events_;
   }
 
+  /// Zeroes the per-window reaction counters. The block list and block
+  /// events stay: they describe actuator state already pushed to the
+  /// switch, not window-scoped measurements.
+  void reset_stats() noexcept;
+
  private:
   void react(const Alert& alert, ReactionAction action);
 
@@ -89,6 +95,7 @@ class ManagementConsole {
   ConsoleStats stats_;
   std::vector<netsim::Ipv4> blocked_;
   std::vector<BlockEvent> block_events_;
+  telemetry::Counter* tele_blocks_;
 };
 
 /// A sensible default policy: critical threats block at the firewall,

@@ -41,7 +41,11 @@ LoadBalancer::LoadBalancer(netsim::Simulator& sim, LoadBalancerConfig config,
                            std::size_t sensor_count)
     : sim_(sim),
       config_(std::move(config)),
-      sensor_count_(std::max<std::size_t>(1, sensor_count)) {
+      sensor_count_(std::max<std::size_t>(1, sensor_count)),
+      tele_offered_(telemetry::counter_handle(telemetry::names::kLbOffered)),
+      tele_dropped_(telemetry::counter_handle(telemetry::names::kLbDropped)),
+      tele_queue_wait_(
+          telemetry::latency_handle(telemetry::names::kLbQueueWait)) {
   stats_.per_sensor.assign(sensor_count_, 0);
 }
 
@@ -86,12 +90,17 @@ std::size_t LoadBalancer::route(const Packet& packet) {
 
 void LoadBalancer::ingest(const Packet& packet) {
   ++stats_.offered;
+  telemetry::bump(tele_offered_);
   if (queued_ >= config_.queue_capacity) {
     ++stats_.dropped;
+    telemetry::bump(tele_dropped_);
     return;
   }
   ++queued_;
   const SimTime start = std::max(sim_.now(), busy_until_);
+  // Queue wait: how long the packet sits behind earlier work before its
+  // own service slot starts.
+  telemetry::record(tele_queue_wait_, (start - sim_.now()).sec());
   busy_until_ = start + service_time();
   sim_.schedule_at(busy_until_, [this, packet] {
     --queued_;
@@ -105,6 +114,9 @@ void LoadBalancer::ingest(const Packet& packet) {
 void LoadBalancer::reset_stats() {
   stats_ = LoadBalancerStats{};
   stats_.per_sensor.assign(sensor_count_, 0);
+  telemetry::reset(tele_offered_);
+  telemetry::reset(tele_dropped_);
+  telemetry::reset(tele_queue_wait_);
 }
 
 }  // namespace idseval::ids

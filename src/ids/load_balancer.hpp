@@ -14,6 +14,7 @@
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -89,6 +90,9 @@ class LoadBalancer {
   netsim::SimTime busy_until_;
   std::size_t queued_ = 0;
   std::unordered_map<std::uint64_t, std::size_t> flow_pin_;
+  telemetry::Counter* tele_offered_;
+  telemetry::Counter* tele_dropped_;
+  telemetry::LatencyStat* tele_queue_wait_;
 };
 
 }  // namespace idseval::ids

@@ -10,7 +10,12 @@
 namespace idseval::ids {
 
 Monitor::Monitor(netsim::Simulator& sim, MonitorConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      tele_alerts_(
+          telemetry::counter_handle(telemetry::names::kMonitorAlerts)),
+      tele_alert_latency_(telemetry::latency_handle(
+          telemetry::names::kMonitorAlertLatency)) {}
 
 void Monitor::submit(const ThreatReport& report) {
   ++stats_.reports_in;
@@ -41,6 +46,11 @@ void Monitor::submit(const ThreatReport& report) {
 
   sim_.schedule_at(alert.raised, [this, alert] {
     ++stats_.alerts_raised;
+    telemetry::bump(tele_alerts_);
+    // Operator-visible alert latency: intrusion detection timestamp to
+    // the moment the alert reaches the operator (Timeliness tail).
+    telemetry::record(tele_alert_latency_,
+                      (sim_.now() - alert.detected).sec());
     log_.push_back(alert);
     if (on_alert_) on_alert_(alert);
   });
@@ -125,6 +135,8 @@ void Monitor::clear() {
   alerted_flows_.clear();
   alerted_severity_.clear();
   stats_ = MonitorStats{};
+  telemetry::reset(tele_alerts_);
+  telemetry::reset(tele_alert_latency_);
 }
 
 }  // namespace idseval::ids

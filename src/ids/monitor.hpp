@@ -14,6 +14,7 @@
 
 #include "ids/alert.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -79,6 +80,8 @@ class Monitor {
   /// already-alerted flow is raised again, lower/equal ones are duplicate.
   std::unordered_map<std::uint64_t, int> alerted_severity_;
   std::uint64_t next_alert_id_ = 0;
+  telemetry::Counter* tele_alerts_;
+  telemetry::LatencyStat* tele_alert_latency_;
 };
 
 }  // namespace idseval::ids

@@ -65,7 +65,13 @@ std::vector<std::string> Pipeline::validate(const PipelineConfig& config) {
 
 Pipeline::Pipeline(netsim::Simulator& sim, netsim::Network& net,
                    PipelineConfig config)
-    : sim_(sim), net_(net), config_(std::move(config)) {
+    : sim_(sim),
+      net_(net),
+      config_(std::move(config)),
+      tele_tapped_(
+          telemetry::counter_handle(telemetry::names::kPipelineTapped)),
+      tele_filtered_(
+          telemetry::counter_handle(telemetry::names::kPipelineFiltered)) {
   const auto violations = validate(config_);
   if (!violations.empty()) {
     std::string msg = "Pipeline config invalid:";
@@ -158,9 +164,11 @@ void Pipeline::feed(const Packet& packet) {
   if (!config_.tap_filter.empty() &&
       !config_.tap_filter.selects(packet)) {
     ++packets_filtered_;
+    telemetry::bump(tele_filtered_);
     return;
   }
   ++packets_tapped_;
+  telemetry::bump(tele_tapped_);
   if (sensors_.empty()) return;
   if (lb_) {
     lb_->ingest(packet);
@@ -273,11 +281,17 @@ PipelineTotals Pipeline::totals() const {
 void Pipeline::reset_counters() {
   packets_tapped_ = 0;
   packets_filtered_ = 0;
+  telemetry::reset(tele_tapped_);
+  telemetry::reset(tele_filtered_);
   for (auto& s : sensors_) s->reset_stats();
   for (auto& a : agents_) a->sensor().reset_stats();
   if (lb_) lb_->reset_stats();
   for (auto& a : analyzers_) a->reset_stats();
   monitor_->clear();
+  // The console's reaction counters are window-scoped measurements too:
+  // leaving them running would bleed warmup reactions into the measured
+  // window (they were previously never cleared).
+  if (console_) console_->reset_stats();
 }
 
 }  // namespace idseval::ids

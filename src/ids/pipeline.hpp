@@ -19,6 +19,7 @@
 #include "ids/sensor.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -166,6 +167,8 @@ class Pipeline {
   std::uint64_t packets_tapped_ = 0;
   std::uint64_t packets_filtered_ = 0;
   bool attached_ = false;
+  telemetry::Counter* tele_tapped_;
+  telemetry::Counter* tele_filtered_;
 };
 
 }  // namespace idseval::ids

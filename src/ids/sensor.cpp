@@ -20,7 +20,16 @@ std::string to_string(RecoveryPolicy p) {
 }
 
 Sensor::Sensor(netsim::Simulator& sim, SensorConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      tele_offered_(
+          telemetry::counter_handle(telemetry::names::kSensorOffered)),
+      tele_dropped_(
+          telemetry::counter_handle(telemetry::names::kSensorDropped)),
+      tele_detections_(
+          telemetry::counter_handle(telemetry::names::kSensorDetections)),
+      tele_service_(
+          telemetry::latency_handle(telemetry::names::kSensorService)) {}
 
 void Sensor::set_signature_engine(std::unique_ptr<SignatureEngine> engine) {
   signature_ = std::move(engine);
@@ -40,14 +49,25 @@ SimTime Sensor::backlog() const noexcept {
   return busy_until_ > now ? busy_until_ - now : SimTime::zero();
 }
 
+void Sensor::reset_stats() noexcept {
+  stats_ = SensorStats{};
+  telemetry::reset(tele_offered_);
+  telemetry::reset(tele_dropped_);
+  telemetry::reset(tele_detections_);
+  telemetry::reset(tele_service_);
+}
+
 void Sensor::ingest(const Packet& packet) {
   ++stats_.offered;
+  telemetry::bump(tele_offered_);
   if (failed_) {
     ++stats_.dropped_failed;
+    telemetry::bump(tele_dropped_);
     return;
   }
   if (queued_ >= config_.queue_capacity) {
     ++stats_.dropped_queue;
+    telemetry::bump(tele_dropped_);
     // Persistent tail-dropping with a saturated backlog is the overload
     // condition that can kill the sensor outright ("network lethal dose").
     if (backlog() > config_.overload_tolerance) fail_now();
@@ -64,6 +84,10 @@ void Sensor::ingest(const Packet& packet) {
   const SimTime start = std::max(sim_.now(), busy_until_);
   busy_until_ = start + service;
   ++queued_;
+  // Ingest-to-detection-ready latency: the engines run at completion
+  // time, so queue wait + service is exactly how long detection lags
+  // the packet's arrival at this sensor.
+  telemetry::record(tele_service_, (busy_until_ - sim_.now()).sec());
 
   sim_.schedule_at(busy_until_, [this, packet] { complete(packet); });
 }
@@ -73,6 +97,7 @@ void Sensor::complete(const Packet& packet) {
   if (failed_) {
     // Work in flight when the sensor died is lost.
     ++stats_.dropped_failed;
+    telemetry::bump(tele_dropped_);
     return;
   }
   ++stats_.processed;
@@ -82,6 +107,7 @@ void Sensor::complete(const Packet& packet) {
   if (anomaly_) anomaly_->process(packet, sim_.now(), detections);
 
   stats_.detections += detections.size();
+  telemetry::bump(tele_detections_, detections.size());
   if (on_detection_) {
     for (const Detection& d : detections) on_detection_(d);
   }

@@ -20,6 +20,7 @@
 #include "netsim/host.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::ids {
 
@@ -102,7 +103,7 @@ class Sensor {
   std::size_t queue_depth() const noexcept { return queued_; }
   /// Current backlog: how far busy_until_ lies beyond now.
   netsim::SimTime backlog() const noexcept;
-  void reset_stats() noexcept { stats_ = SensorStats{}; }
+  void reset_stats() noexcept;
 
  private:
   void complete(const netsim::Packet& packet);
@@ -121,6 +122,10 @@ class Sensor {
   std::size_t queued_ = 0;
   netsim::SimTime busy_until_;
   bool failed_ = false;
+  telemetry::Counter* tele_offered_;
+  telemetry::Counter* tele_dropped_;
+  telemetry::Counter* tele_detections_;
+  telemetry::LatencyStat* tele_service_;
 };
 
 }  // namespace idseval::ids

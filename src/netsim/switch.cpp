@@ -5,7 +5,14 @@
 namespace idseval::netsim {
 
 Switch::Switch(Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+    : sim_(sim),
+      name_(std::move(name)),
+      tele_mirrored_(telemetry::counter_handle(
+          telemetry::names::kSwitchMirrored)),
+      tele_forwarded_(telemetry::counter_handle(
+          telemetry::names::kSwitchForwarded)),
+      tele_blocked_(telemetry::counter_handle(
+          telemetry::names::kSwitchBlocked)) {}
 
 void Switch::attach(Ipv4 addr, Link* egress) {
   routes_[addr.value()] = egress;
@@ -14,12 +21,14 @@ void Switch::attach(Ipv4 addr, Link* egress) {
 void Switch::receive(const Packet& packet) {
   if (blocked_.contains(packet.tuple.src_ip.value())) {
     ++stats_.blocked;
+    telemetry::bump(tele_blocked_);
     return;
   }
   // Mirrors observe traffic as it traverses the switch, before any
   // in-line device: a SPAN copy is taken at the ingress ASIC.
   for (const auto& mirror : mirrors_) {
     ++stats_.mirrored;
+    telemetry::bump(tele_mirrored_);
     mirror(packet);
   }
   if (inline_hook_) {
@@ -36,6 +45,7 @@ void Switch::forward(const Packet& packet) {
     return;
   }
   ++stats_.forwarded;
+  telemetry::bump(tele_forwarded_);
   it->second->send(packet);
 }
 

@@ -15,6 +15,7 @@
 #include "netsim/link.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::netsim {
 
@@ -65,6 +66,11 @@ class Switch {
   std::vector<MirrorFn> mirrors_;
   InlineFn inline_hook_;
   SwitchStats stats_;
+  // Whole-run telemetry (the switch is network infrastructure, never
+  // reset between measurement windows).
+  telemetry::Counter* tele_mirrored_;
+  telemetry::Counter* tele_forwarded_;
+  telemetry::Counter* tele_blocked_;
 };
 
 }  // namespace idseval::netsim

@@ -1,0 +1,155 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace idseval::telemetry {
+
+namespace {
+
+thread_local Registry* g_current = nullptr;
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+LatencyStat& Registry::latency(std::string_view name) {
+  const auto it = latencies_.find(name);
+  if (it != latencies_.end()) return it->second;
+  return latencies_.emplace(std::string(name), LatencyStat{}).first->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const LatencyStat* Registry::find_latency(
+    std::string_view name) const noexcept {
+  const auto it = latencies_.find(name);
+  return it == latencies_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).increment(c.value());
+  }
+  for (const auto& [name, l] : other.latencies_) {
+    latency(name).merge(l);
+  }
+}
+
+void Registry::reset() noexcept {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, l] : latencies_) l.reset();
+}
+
+Registry* current() noexcept { return g_current; }
+
+ScopedRegistry::ScopedRegistry(Registry* registry) noexcept
+    : previous_(g_current) {
+  g_current = registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { g_current = previous_; }
+
+Counter* counter_handle(std::string_view name) {
+  Registry* r = current();
+  return r == nullptr ? nullptr : &r->counter(name);
+}
+
+LatencyStat* latency_handle(std::string_view name) {
+  Registry* r = current();
+  return r == nullptr ? nullptr : &r->latency(name);
+}
+
+void count(std::string_view name, std::uint64_t n) {
+  Registry* r = current();
+  if (r != nullptr) r->counter(name).increment(n);
+}
+
+StageSummary summarize(const LatencyStat& stat) noexcept {
+  StageSummary s;
+  s.count = stat.stats().count();
+  s.mean_sec = stat.stats().mean();
+  s.max_sec = stat.stats().max();
+  // The log2 histogram estimates quantiles at bucket midpoints, which
+  // can exceed the true maximum; clamp so p99 <= max always holds.
+  s.p99_sec = std::min(stat.histogram().quantile(0.99), s.max_sec);
+  return s;
+}
+
+PipelineSnapshot snapshot_pipeline(const Registry& registry) {
+  PipelineSnapshot snap;
+  const auto counter_value = [&registry](std::string_view name) {
+    const Counter* c = registry.find_counter(name);
+    return c == nullptr ? std::uint64_t{0} : c->value();
+  };
+  const auto stage = [&registry](std::string_view name) {
+    const LatencyStat* l = registry.find_latency(name);
+    return l == nullptr ? StageSummary{} : summarize(*l);
+  };
+  snap.tapped = counter_value(names::kPipelineTapped);
+  snap.filtered = counter_value(names::kPipelineFiltered);
+  snap.lb_offered = counter_value(names::kLbOffered);
+  snap.lb_dropped = counter_value(names::kLbDropped);
+  snap.sensor_offered = counter_value(names::kSensorOffered);
+  snap.sensor_dropped = counter_value(names::kSensorDropped);
+  snap.detections = counter_value(names::kSensorDetections);
+  snap.reports = counter_value(names::kAnalyzerReports);
+  snap.alerts = counter_value(names::kMonitorAlerts);
+  snap.blocks = counter_value(names::kConsoleBlocks);
+  snap.lb_wait = stage(names::kLbQueueWait);
+  snap.sensor_service = stage(names::kSensorService);
+  snap.analyzer_batch = stage(names::kAnalyzerBatch);
+  snap.monitor_alert = stage(names::kMonitorAlertLatency);
+  return snap;
+}
+
+std::string fmt_duration(double seconds) {
+  const double a = std::abs(seconds);
+  if (a == 0.0) return "0";
+  if (a < 1e-6) return util::fmt_fixed(seconds * 1e9, 1) + "ns";
+  if (a < 1e-3) return util::fmt_fixed(seconds * 1e6, 1) + "us";
+  if (a < 1.0) return util::fmt_fixed(seconds * 1e3, 2) + "ms";
+  return util::fmt_fixed(seconds, 3) + "s";
+}
+
+std::string render_telemetry(const PipelineSnapshot& snap) {
+  std::string out = "=== Pipeline telemetry (measurement window) ===\n";
+  out += util::cat("tapped=", snap.tapped, " filtered=", snap.filtered,
+                   " lb_offered=", snap.lb_offered,
+                   " lb_dropped=", snap.lb_dropped,
+                   " sensor_offered=", snap.sensor_offered,
+                   " sensor_dropped=", snap.sensor_dropped, "\n");
+  out += util::cat("detections=", snap.detections,
+                   " reports=", snap.reports, " alerts=", snap.alerts,
+                   " blocks=", snap.blocks, "\n");
+
+  util::TextTable table({"Stage", "Events", "Mean", "p99", "Max"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  const auto add = [&table](std::string_view name,
+                            const StageSummary& stage) {
+    table.add_row({std::string(name), std::to_string(stage.count),
+                   stage.count ? fmt_duration(stage.mean_sec) : "-",
+                   stage.count ? fmt_duration(stage.p99_sec) : "-",
+                   stage.count ? fmt_duration(stage.max_sec) : "-"});
+  };
+  add(names::kLbQueueWait, snap.lb_wait);
+  add(names::kSensorService, snap.sensor_service);
+  add(names::kAnalyzerBatch, snap.analyzer_batch);
+  add(names::kMonitorAlertLatency, snap.monitor_alert);
+  out += table.render();
+  return out;
+}
+
+}  // namespace idseval::telemetry

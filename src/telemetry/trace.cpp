@@ -1,0 +1,316 @@
+#include "telemetry/trace.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace idseval::telemetry {
+
+TraceSink::TraceSink(std::string path, std::size_t capacity_lines)
+    : path_(std::move(path)), capacity_(capacity_lines) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("telemetry trace: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  buffer_.reserve(capacity_);
+}
+
+TraceSink::~TraceSink() { close(); }
+
+void TraceSink::emit(std::string line) noexcept {
+  std::scoped_lock lock(mutex_);
+  if (closed_ || buffer_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  buffer_.push_back(std::move(line));
+  ++emitted_;
+}
+
+void TraceSink::flush_locked() {
+  for (const std::string& line : buffer_) {
+    std::fprintf(file_, "%s\n", line.c_str());
+  }
+  buffer_.clear();
+  std::fflush(file_);
+}
+
+void TraceSink::flush() {
+  std::scoped_lock lock(mutex_);
+  if (closed_) return;
+  flush_locked();
+}
+
+void TraceSink::close() {
+  std::scoped_lock lock(mutex_);
+  if (closed_) return;
+  flush_locked();
+  std::fprintf(file_,
+               "{\"type\":\"trace_summary\",\"emitted\":%llu,"
+               "\"dropped\":%llu}\n",
+               static_cast<unsigned long long>(emitted_),
+               static_cast<unsigned long long>(dropped_));
+  std::fclose(file_);
+  file_ = nullptr;
+  closed_ = true;
+}
+
+std::uint64_t TraceSink::emitted() const noexcept {
+  std::scoped_lock lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t TraceSink::dropped() const noexcept {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const StageSummary& stage) {
+  std::ostringstream out;
+  out << "{\"count\":" << stage.count
+      << ",\"mean_sec\":" << fmt_exact(stage.mean_sec)
+      << ",\"p99_sec\":" << fmt_exact(stage.p99_sec)
+      << ",\"max_sec\":" << fmt_exact(stage.max_sec) << "}";
+  return out.str();
+}
+
+std::string to_json(const PipelineSnapshot& s) {
+  std::ostringstream out;
+  out << "{\"tapped\":" << s.tapped << ",\"filtered\":" << s.filtered
+      << ",\"lb_offered\":" << s.lb_offered
+      << ",\"lb_dropped\":" << s.lb_dropped
+      << ",\"sensor_offered\":" << s.sensor_offered
+      << ",\"sensor_dropped\":" << s.sensor_dropped
+      << ",\"detections\":" << s.detections << ",\"reports\":" << s.reports
+      << ",\"alerts\":" << s.alerts << ",\"blocks\":" << s.blocks
+      << ",\"lb_wait\":" << to_json(s.lb_wait)
+      << ",\"sensor_service\":" << to_json(s.sensor_service)
+      << ",\"analyzer_batch\":" << to_json(s.analyzer_batch)
+      << ",\"monitor_alert\":" << to_json(s.monitor_alert) << "}";
+  return out.str();
+}
+
+std::string to_json(const Registry& registry) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << counter.value();
+  }
+  out << "},\"stages\":{";
+  first = true;
+  for (const auto& [name, stat] : registry.latencies()) {
+    if (!first) out << ",";
+    first = false;
+    const util::RunningStats& stats = stat.stats();
+    const util::LogHistogram& hist = stat.histogram();
+    out << "\"" << json_escape(name) << "\":{\"count\":" << stats.count()
+        << ",\"mean_sec\":" << fmt_exact(stats.mean())
+        << ",\"min_sec\":" << fmt_exact(stats.min())
+        << ",\"max_sec\":" << fmt_exact(stats.max())
+        << ",\"p50_sec\":" << fmt_exact(hist.quantile(0.50))
+        << ",\"p99_sec\":" << fmt_exact(hist.quantile(0.99));
+    // Log2 buckets keyed by exponent: value counts in [2^e, 2^(e+1)).
+    out << ",\"zeros\":" << hist.zeros() << ",\"log2_buckets\":{";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < hist.buckets(); ++i) {
+      const std::uint64_t count = hist.bucket_count(i);
+      if (count == 0) continue;
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "\"" << util::LogHistogram::min_exp() + static_cast<int>(i)
+          << "\":" << count;
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+namespace {
+
+/// Recursive-descent JSON checker (structure only, no value capture).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool check() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      if (peek() != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      if (peek() != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          if (pos_ + 4 >= text_.size()) return false;
+          for (int i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    // Require at least one digit (and not "-" / "." alone).
+    for (std::size_t i = start; i < pos_; ++i) {
+      if (std::isdigit(static_cast<unsigned char>(text_[i]))) return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool validate_json_line(std::string_view line) {
+  return JsonChecker(line).check();
+}
+
+}  // namespace idseval::telemetry

@@ -1,0 +1,76 @@
+// JSONL event-trace sink for telemetry, plus the JSON serialization the
+// campaign store and the trace share. The sink buffers whole lines in
+// memory and only touches the file at explicit flush points (cell
+// boundaries, close), so tracing adds no I/O inside timed regions; when
+// the bounded buffer fills, lines are dropped and counted rather than
+// blocking — the drop counter is written into the trace_summary footer
+// so a distorted trace is self-incriminating.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace idseval::telemetry {
+
+class TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error if
+  /// the file cannot be opened. `capacity_lines` bounds the in-memory
+  /// buffer between flushes.
+  explicit TraceSink(std::string path, std::size_t capacity_lines = 4096);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Buffers one JSON line (no trailing newline). Never performs file
+  /// I/O; drops the line (and counts the drop) when the buffer is full.
+  /// Thread-safe.
+  void emit(std::string line) noexcept;
+
+  /// Writes buffered lines to the file. Call at work-unit boundaries
+  /// (between campaign cells), never inside a timed region.
+  void flush();
+
+  /// Flushes, writes the trace_summary footer, and closes the file.
+  /// Idempotent; also invoked by the destructor.
+  void close();
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t emitted() const noexcept;
+  std::uint64_t dropped() const noexcept;
+
+ private:
+  void flush_locked();
+
+  std::string path_;
+  std::size_t capacity_;
+  std::FILE* file_ = nullptr;
+  mutable std::mutex mutex_;
+  std::vector<std::string> buffer_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+/// JSON string escaping shared by trace events.
+std::string json_escape(std::string_view s);
+
+/// Deterministic serializations (fixed key order, %.17g doubles).
+std::string to_json(const StageSummary& stage);
+std::string to_json(const PipelineSnapshot& snapshot);
+/// Full registry dump including per-stage log2 histogram buckets — the
+/// trace-side view ("per-stage latency histograms").
+std::string to_json(const Registry& registry);
+
+/// Strict single-line JSON validator for trace-checking: accepts one
+/// complete JSON value (object/array/string/number/bool/null) with
+/// nothing but whitespace after it.
+bool validate_json_line(std::string_view line);
+
+}  // namespace idseval::telemetry

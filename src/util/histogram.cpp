@@ -91,6 +91,14 @@ void LogHistogram::add(double x) noexcept {
   ++counts_[static_cast<std::size_t>(exp - kMinExp)];
 }
 
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  zeros_ += other.zeros_;
+}
+
 double LogHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -44,9 +44,20 @@ class LogHistogram {
   LogHistogram();
 
   void add(double x) noexcept;
+  /// Element-wise accumulation of another histogram (fixed bucket
+  /// layout, so merging is exact and order-independent).
+  void merge(const LogHistogram& other) noexcept;
   std::uint64_t count() const noexcept { return total_; }
   double quantile(double q) const noexcept;
   std::string render(std::size_t width = 50) const;
+
+  /// Bucket introspection for serialization: bucket i covers
+  /// [2^(min_exp()+i), 2^(min_exp()+i+1)).
+  static constexpr int min_exp() noexcept { return kMinExp; }
+  static constexpr int max_exp() noexcept { return kMaxExp; }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t zeros() const noexcept { return zeros_; }
 
  private:
   static constexpr int kMinExp = -30;  // 2^-30 ~ 1e-9

@@ -82,17 +82,41 @@ Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
   samples_.reserve(capacity);
 }
 
+std::uint64_t Reservoir::next_u64() noexcept {
+  // xorshift64* — cheap, local, and with well-mixed high bits (the
+  // multiply matters: bounded() consumes the draw from the top down).
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_ * 0x2545F4914F6CDD1DULL;
+}
+
+std::uint64_t Reservoir::bounded(std::uint64_t range) noexcept {
+  // Lemire's multiply-shift with rejection: x*range >> 64 is uniform in
+  // [0, range) once draws landing in the biased low fringe (fewer than
+  // 2^64 mod range of them) are rejected. A plain `x % range` keeps that
+  // fringe and systematically favours low slots.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * range;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * range;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
 void Reservoir::add(double x) noexcept {
   ++seen_;
   if (samples_.size() < capacity_) {
     samples_.push_back(x);
     return;
   }
-  // xorshift64 for the replacement decision — cheap and local.
-  rng_state_ ^= rng_state_ << 13;
-  rng_state_ ^= rng_state_ >> 7;
-  rng_state_ ^= rng_state_ << 17;
-  const std::uint64_t slot = rng_state_ % seen_;
+  const std::uint64_t slot = bounded(seen_);
   if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = x;
 }
 

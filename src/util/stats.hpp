@@ -110,6 +110,10 @@ class Reservoir {
   double percentile(double p) const;
 
  private:
+  std::uint64_t next_u64() noexcept;
+  /// Unbiased draw in [0, range) via Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t range) noexcept;
+
   std::size_t capacity_;
   std::uint64_t seen_ = 0;
   std::uint64_t rng_state_;

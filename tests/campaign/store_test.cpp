@@ -80,6 +80,62 @@ TEST(CellSerializationTest, RoundTripsExactly) {
   }
 }
 
+TEST(CellSerializationTest, TelemetrySnapshotRoundTripsExactly) {
+  CellResult r = sample_result(2, true);
+  r.telemetry.tapped = 1234;
+  r.telemetry.filtered = 7;
+  r.telemetry.lb_offered = 1200;
+  r.telemetry.lb_dropped = 3;
+  r.telemetry.sensor_offered = 1197;
+  r.telemetry.sensor_dropped = 11;
+  r.telemetry.detections = 42;
+  r.telemetry.reports = 40;
+  r.telemetry.alerts = 17;
+  r.telemetry.blocks = 2;
+  r.telemetry.lb_wait = {1200, 1.5e-6, 4.0e-6, 7.25e-6};
+  r.telemetry.sensor_service = {1197, 2.75e-5, 9.5e-5, 1.25e-4};
+  r.telemetry.analyzer_batch = {40, 5.0e-4, 1.5e-3, 2.0e-3};
+  r.telemetry.monitor_alert = {17, 0.0125, 0.055, 0.0625};
+
+  const CellResult copy = deserialize_cell(serialize_cell(r));
+  EXPECT_EQ(copy.telemetry.tapped, 1234u);
+  EXPECT_EQ(copy.telemetry.filtered, 7u);
+  EXPECT_EQ(copy.telemetry.lb_offered, 1200u);
+  EXPECT_EQ(copy.telemetry.lb_dropped, 3u);
+  EXPECT_EQ(copy.telemetry.sensor_offered, 1197u);
+  EXPECT_EQ(copy.telemetry.sensor_dropped, 11u);
+  EXPECT_EQ(copy.telemetry.detections, 42u);
+  EXPECT_EQ(copy.telemetry.reports, 40u);
+  EXPECT_EQ(copy.telemetry.alerts, 17u);
+  EXPECT_EQ(copy.telemetry.blocks, 2u);
+  EXPECT_EQ(copy.telemetry.sensor_service.count, 1197u);
+  EXPECT_DOUBLE_EQ(copy.telemetry.sensor_service.mean_sec, 2.75e-5);
+  EXPECT_DOUBLE_EQ(copy.telemetry.sensor_service.p99_sec, 9.5e-5);
+  EXPECT_DOUBLE_EQ(copy.telemetry.sensor_service.max_sec, 1.25e-4);
+  EXPECT_EQ(copy.telemetry.monitor_alert.count, 17u);
+  EXPECT_DOUBLE_EQ(copy.telemetry.monitor_alert.max_sec, 0.0625);
+  // Re-serializing the parsed copy reproduces the bytes, nested object
+  // included.
+  EXPECT_EQ(serialize_cell(copy), serialize_cell(r));
+}
+
+TEST(CellSerializationTest, RowsWithoutTelemetryLoadWithZeros) {
+  // Stores written before the telemetry field existed must still load:
+  // strip the field (it is the last one in the row) and expect an
+  // all-zero snapshot instead of a parse error.
+  const CellResult original = sample_result(1, true);
+  const std::string line = serialize_cell(original);
+  const std::size_t at = line.find(",\"telemetry\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::string old_format = line.substr(0, at) + "}";
+  const CellResult copy = deserialize_cell(old_format);
+  EXPECT_EQ(copy.cell.index, original.cell.index);
+  EXPECT_DOUBLE_EQ(copy.score_total, original.score_total);
+  EXPECT_EQ(copy.telemetry.tapped, 0u);
+  EXPECT_EQ(copy.telemetry.sensor_service.count, 0u);
+  EXPECT_TRUE(copy.telemetry.empty());
+}
+
 TEST(CellSerializationTest, WallTimeIsNotPersisted) {
   CellResult r = sample_result(0, true);
   r.wall_sec = 1.0;

@@ -151,5 +151,35 @@ TEST(WeightRobustnessTest, FlipScaleVerifiedByPerturbation) {
   }
 }
 
+TEST(WinnerFlipTest, ExactTieReportsUnitScaleAsFragile) {
+  // A and B tie exactly (totals 6 vs 6 with unit weights) but differ on
+  // both metrics, so any perturbation of either weight flips the winner.
+  // The crossing sits at k = 1.0; it used to be skipped (gap == 0
+  // challengers were dropped), hiding the most fragile decision of all.
+  Scorecard a("A");
+  a.set(MetricId::kTimeliness, Score(4));
+  a.set(MetricId::kThreeYearCostOfOwnership, Score(2));
+  Scorecard b("B");
+  b.set(MetricId::kTimeliness, Score(2));
+  b.set(MetricId::kThreeYearCostOfOwnership, Score(4));
+  const std::vector<Scorecard> cards = {a, b};
+  WeightSet w;
+  w.set(MetricId::kTimeliness, 1.0);
+  w.set(MetricId::kThreeYearCostOfOwnership, 1.0);
+
+  for (const MetricId metric :
+       {MetricId::kTimeliness, MetricId::kThreeYearCostOfOwnership}) {
+    const auto flip = winner_flip_scale(cards, w, metric);
+    ASSERT_TRUE(flip.has_value()) << to_string(metric);
+    EXPECT_DOUBLE_EQ(*flip, 1.0) << to_string(metric);
+  }
+
+  // k = 1.0 has zero log-distance from the baseline: the report must
+  // call it out as FRAGILE.
+  const std::string report = render_weight_robustness(cards, w);
+  EXPECT_NE(report.find("1.00x"), std::string::npos) << report;
+  EXPECT_NE(report.find("FRAGILE"), std::string::npos) << report;
+}
+
 }  // namespace
 }  // namespace idseval::core

@@ -1,0 +1,154 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace idseval::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceSinkTest, WritesLinesAndFooter) {
+  const std::string path = temp_path("idseval_trace_basic.jsonl");
+  {
+    TraceSink sink(path);
+    sink.emit("{\"type\":\"a\"}");
+    sink.emit("{\"type\":\"b\"}");
+    sink.close();
+    EXPECT_EQ(sink.emitted(), 2u);
+    EXPECT_EQ(sink.dropped(), 0u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"type\":\"a\"}");
+  EXPECT_EQ(lines[1], "{\"type\":\"b\"}");
+  EXPECT_EQ(lines[2],
+            "{\"type\":\"trace_summary\",\"emitted\":2,\"dropped\":0}");
+  for (const auto& line : lines) {
+    EXPECT_TRUE(validate_json_line(line)) << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, DropsWhenBufferFullAndCountsDrops) {
+  const std::string path = temp_path("idseval_trace_drops.jsonl");
+  {
+    TraceSink sink(path, /*capacity_lines=*/2);
+    sink.emit("{\"n\":1}");
+    sink.emit("{\"n\":2}");
+    sink.emit("{\"n\":3}");  // buffer full: dropped
+    EXPECT_EQ(sink.emitted(), 2u);
+    EXPECT_EQ(sink.dropped(), 1u);
+    sink.flush();
+    sink.emit("{\"n\":4}");  // room again after flush
+    sink.close();
+    EXPECT_EQ(sink.emitted(), 3u);
+    EXPECT_EQ(sink.dropped(), 1u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines.back(),
+            "{\"type\":\"trace_summary\",\"emitted\":3,\"dropped\":1}");
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, CloseIsIdempotentAndEmitAfterCloseDrops) {
+  const std::string path = temp_path("idseval_trace_close.jsonl");
+  TraceSink sink(path);
+  sink.emit("{}");
+  sink.close();
+  sink.close();
+  sink.emit("{}");  // after close: counted as a drop, file untouched
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_EQ(read_lines(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, ThrowsWhenPathUnwritable) {
+  EXPECT_THROW(TraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceJsonTest, StageSummaryRoundTripsKeys) {
+  StageSummary s;
+  s.count = 4;
+  s.mean_sec = 0.125;
+  s.p99_sec = 0.25;
+  s.max_sec = 0.5;
+  const std::string json = to_json(s);
+  EXPECT_EQ(json,
+            "{\"count\":4,\"mean_sec\":0.125,\"p99_sec\":0.25,"
+            "\"max_sec\":0.5}");
+  EXPECT_TRUE(validate_json_line(json));
+}
+
+TEST(TraceJsonTest, SnapshotSerializesAllStages) {
+  PipelineSnapshot snap;
+  snap.tapped = 10;
+  snap.sensor_offered = 9;
+  snap.sensor_service.count = 9;
+  const std::string json = to_json(snap);
+  EXPECT_TRUE(validate_json_line(json));
+  EXPECT_NE(json.find("\"tapped\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"lb_wait\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"monitor_alert\":{"), std::string::npos);
+}
+
+TEST(TraceJsonTest, RegistryDumpIncludesHistogramBuckets) {
+  Registry reg;
+  reg.counter("stage.events").increment(12);
+  LatencyStat& l = reg.latency("stage.wait");
+  l.record(1e-3);
+  l.record(2e-3);
+  l.record(0.0);
+  const std::string json = to_json(reg);
+  EXPECT_TRUE(validate_json_line(json));
+  EXPECT_NE(json.find("\"stage.events\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"log2_buckets\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"zeros\":1"), std::string::npos);
+  // 1e-3 lands in the 2^-10 bucket ([0.977ms, 1.95ms)).
+  EXPECT_NE(json.find("\"-10\":1"), std::string::npos);
+}
+
+TEST(TraceJsonTest, EscapesControlCharactersAndQuotes) {
+  const std::string escaped = json_escape("a\"b\\c\nd");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd");
+}
+
+TEST(ValidateJsonLineTest, AcceptsCompleteValues) {
+  EXPECT_TRUE(validate_json_line("{}"));
+  EXPECT_TRUE(validate_json_line("{\"a\":[1,2.5,-3e-2],\"b\":null}"));
+  EXPECT_TRUE(validate_json_line("  {\"x\":\"y\\u00e9\"}  "));
+  EXPECT_TRUE(validate_json_line("true"));
+  EXPECT_TRUE(validate_json_line("-0.5"));
+}
+
+TEST(ValidateJsonLineTest, RejectsMalformedInput) {
+  EXPECT_FALSE(validate_json_line(""));
+  EXPECT_FALSE(validate_json_line("{"));
+  EXPECT_FALSE(validate_json_line("{\"a\":}"));
+  EXPECT_FALSE(validate_json_line("{\"a\":1,}"));
+  EXPECT_FALSE(validate_json_line("{\"a\":1} trailing"));
+  EXPECT_FALSE(validate_json_line("{\"a\":\"unterminated}"));
+  EXPECT_FALSE(validate_json_line("{\"a\":01x}"));
+  EXPECT_FALSE(validate_json_line("nulL"));
+  EXPECT_FALSE(validate_json_line("{\"a\":\"bad\\q\"}"));
+}
+
+}  // namespace
+}  // namespace idseval::telemetry

@@ -66,6 +66,28 @@ TEST(LogHistogramTest, CountsAndZeros) {
   EXPECT_NE(out.find("zeros: 2"), std::string::npos);
 }
 
+TEST(LogHistogramTest, MergeCombinesBucketsZerosAndTotals) {
+  LogHistogram a;
+  LogHistogram b;
+  a.add(1e-3);
+  a.add(0.0);
+  b.add(1e-3);
+  b.add(1e3);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.zeros(), 2u);
+  // 1e-3 -> exponent -10 bucket; both samples land there after merge.
+  EXPECT_EQ(a.bucket_count(
+                static_cast<std::size_t>(-10 - LogHistogram::min_exp())),
+            2u);
+  // The merged distribution spans both modes.
+  EXPECT_LT(a.quantile(0.3), 1.0);
+  EXPECT_GT(a.quantile(0.95), 1.0);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 3u);
+}
+
 TEST(LogHistogramTest, QuantileOrdersOfMagnitude) {
   LogHistogram h;
   for (int i = 0; i < 100; ++i) h.add(1e-3);

@@ -177,5 +177,26 @@ TEST(ReservoirTest, SampleIsRepresentative) {
   EXPECT_NEAR(r.percentile(50.0), 500.0, 60.0);
 }
 
+TEST(ReservoirTest, ReplacementSlotIsUnbiased) {
+  // A capacity-1 reservoir over a 3-element stream must keep each
+  // element with probability 1/3. A modulo-based slot draw (the old
+  // implementation) is biased toward low slots; Lemire's rejection draw
+  // is exactly uniform. 30k independent reservoirs put each count at
+  // 10000 +- ~450 (5 sigma of a Binomial(30000, 1/3)).
+  constexpr int kTrials = 30000;
+  int kept[3] = {0, 0, 0};
+  for (int t = 0; t < kTrials; ++t) {
+    Reservoir r(1, static_cast<std::uint64_t>(t) + 1);
+    r.add(0.0);
+    r.add(1.0);
+    r.add(2.0);
+    ASSERT_EQ(r.samples().size(), 1u);
+    ++kept[static_cast<int>(r.samples()[0])];
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(kept[i], kTrials / 3, 450) << "element " << i;
+  }
+}
+
 }  // namespace
 }  // namespace idseval::util

@@ -17,3 +17,20 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j"${jobs}"
   ctest --preset "${preset}" -j"${jobs}"
 done
+
+# Traced-campaign smoke test under the sanitizer build: the example CI
+# campaign must produce a well-formed JSONL trace with zero buffer drops
+# (trace-check exits non-zero otherwise).
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "asan-ubsan" ]; then
+    echo "==== traced campaign (${preset}) ===="
+    out_dir=$(mktemp -d)
+    trap 'rm -rf "${out_dir}"' EXIT
+    "build-${preset}/tools/idseval_cli" campaign \
+      --spec examples/campaign_ci.spec --jobs 2 \
+      --out "${out_dir}" --trace "${out_dir}/trace.jsonl"
+    "build-${preset}/tools/idseval_cli" trace-check "${out_dir}/trace.jsonl"
+    rm -rf "${out_dir}"
+    trap - EXIT
+  fi
+done

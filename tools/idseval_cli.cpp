@@ -14,11 +14,17 @@
 //       Figure-4 sensitivity sweep with EER
 //   idseval_cli campaign --spec FILE [--jobs N] [--resume] [--out DIR]
 //       run a multi-seed evaluation grid, aggregate with dispersion
+//   idseval_cli trace-check FILE
+//       validate a --trace JSONL file (well-formed, zero dropped events)
+//
+// evaluate, rank, and campaign accept --trace FILE to write a JSONL
+// event trace of the run's pipeline telemetry.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,6 +39,8 @@
 #include "harness/evaluate.hpp"
 #include "harness/measure.hpp"
 #include "products/catalog.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,6 +92,20 @@ std::optional<products::ProductId> product_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// Opens the --trace sink when requested; nullptr otherwise.
+std::unique_ptr<telemetry::TraceSink> open_trace(const Args& args) {
+  const std::string path = args.opt("trace", "");
+  if (path.empty()) return nullptr;
+  return std::make_unique<telemetry::TraceSink>(path);
+}
+
+void report_trace(const telemetry::TraceSink& trace) {
+  std::printf("trace: %s (%llu events, %llu dropped)\n",
+              trace.path().c_str(),
+              static_cast<unsigned long long>(trace.emitted()),
+              static_cast<unsigned long long>(trace.dropped()));
+}
+
 harness::TestbedConfig make_env(const Args& args) {
   harness::TestbedConfig env;
   env.profile = traffic::profile_by_name(args.opt("profile", "rt_cluster"));
@@ -131,8 +153,12 @@ int cmd_evaluate(const Args& args) {
   std::printf("evaluating %s on profile '%s' (seed %llu)...\n\n",
               model.name.c_str(), env.profile.name.c_str(),
               static_cast<unsigned long long>(env.seed));
-  const harness::Evaluation eval =
-      harness::evaluate_product(env, model, options);
+  auto trace = open_trace(args);
+  telemetry::Registry registry;
+  const harness::Evaluation eval = [&] {
+    telemetry::ScopedRegistry scope(&registry);
+    return harness::evaluate_product(env, model, options);
+  }();
 
   const harness::RunResult& run = eval.measured.detection_run;
   std::printf("transactions=%zu attacks=%zu detected=%zu "
@@ -158,6 +184,21 @@ int cmd_evaluate(const Args& args) {
                           "Performance", core::table3_performance_metrics(),
                           cards, notes)
                           .c_str());
+  std::printf(
+      "%s\n",
+      telemetry::render_telemetry(eval.measured.detection_telemetry)
+          .c_str());
+  if (trace) {
+    std::ostringstream event;
+    event << "{\"type\":\"evaluation\",\"product\":\""
+          << telemetry::json_escape(model.name) << "\",\"profile\":\""
+          << telemetry::json_escape(env.profile.name)
+          << "\",\"seed\":" << env.seed
+          << ",\"telemetry\":" << telemetry::to_json(registry) << "}";
+    trace->emit(event.str());
+    trace->close();
+    report_trace(*trace);
+  }
   return 0;
 }
 
@@ -173,13 +214,30 @@ int cmd_rank(const Args& args) {
   const std::size_t jobs = static_cast<std::size_t>(
       std::stoull(args.opt("jobs", "1")));
   const auto& catalog = products::product_catalog();
+  auto trace = open_trace(args);
   std::vector<std::optional<core::Scorecard>> slots(catalog.size());
+  // One registry per product so the telemetry of concurrent evaluations
+  // stays separated; trace events are emitted in catalog order below.
+  std::vector<telemetry::Registry> registries(catalog.size());
   {
     util::ThreadPool pool(jobs);
     pool.parallel_for(catalog.size(), [&](std::size_t i) {
+      telemetry::ScopedRegistry scope(&registries[i]);
       slots[i].emplace(
           harness::evaluate_product(env, catalog[i], options).card);
     });
+  }
+  if (trace) {
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      std::ostringstream event;
+      event << "{\"type\":\"evaluation\",\"product\":\""
+            << telemetry::json_escape(catalog[i].name)
+            << "\",\"profile\":\""
+            << telemetry::json_escape(env.profile.name)
+            << "\",\"seed\":" << env.seed << ",\"telemetry\":"
+            << telemetry::to_json(registries[i]) << "}";
+      trace->emit(event.str());
+    }
   }
   std::vector<core::Scorecard> cards;
   cards.reserve(slots.size());
@@ -201,6 +259,10 @@ int cmd_rank(const Args& args) {
   if (args.has_flag("robustness")) {
     std::printf("%s\n",
                 core::render_weight_robustness(cards, weights).c_str());
+  }
+  if (trace) {
+    trace->close();
+    report_trace(*trace);
   }
   return 0;
 }
@@ -275,9 +337,22 @@ int cmd_campaign(const Args& args) {
                 store.ok_count(), store_path.c_str());
   }
 
+  auto trace = open_trace(args);
+  telemetry::Registry aggregate_telemetry;
+
   campaign::RunOptions run_options;
   run_options.jobs = static_cast<std::size_t>(
       std::stoull(args.opt("jobs", "1")));
+  run_options.telemetry = &aggregate_telemetry;
+  run_options.trace = trace.get();
+  if (trace) {
+    std::ostringstream event;
+    event << "{\"type\":\"campaign_begin\",\"name\":\""
+          << telemetry::json_escape(spec.name)
+          << "\",\"cells\":" << spec.cell_count()
+          << ",\"jobs\":" << run_options.jobs << "}";
+    trace->emit(event.str());
+  }
   run_options.on_cell = [](const campaign::CellResult& r, std::size_t done,
                            std::size_t total) {
     std::printf("[%zu/%zu] %-10s %-12s s=%.2f rep=%zu %6.2fs %s%s\n", done,
@@ -305,6 +380,24 @@ int cmd_campaign(const Args& args) {
   std::printf("%s\n", summary.c_str());
   if (!eer.empty()) std::printf("%s\n", eer.c_str());
 
+  // Aggregate pipeline telemetry across this run's executed cells. The
+  // snapshot is simulation-time-only, so it (and the .txt file) stays
+  // byte-identical across worker counts; wall-clock cell times go to
+  // stdout only.
+  const std::string telemetry_section = telemetry::render_telemetry(
+      telemetry::snapshot_pipeline(aggregate_telemetry));
+  std::printf("%s\n", telemetry_section.c_str());
+  if (const telemetry::LatencyStat* wall = aggregate_telemetry.find_latency(
+          telemetry::names::kCampaignCellWall);
+      wall != nullptr && wall->stats().count() > 0) {
+    std::printf("cell wall clock: mean %s  p99 %s  max %s\n",
+                telemetry::fmt_duration(wall->stats().mean()).c_str(),
+                telemetry::fmt_duration(
+                    wall->histogram().quantile(0.99))
+                    .c_str(),
+                telemetry::fmt_duration(wall->stats().max()).c_str());
+  }
+
   const std::string csv_path = (out_dir / (spec.name + ".csv")).string();
   std::ofstream csv(csv_path);
   csv << campaign::to_csv(spec, agg);
@@ -313,8 +406,97 @@ int cmd_campaign(const Args& args) {
   std::ofstream txt(summary_path);
   txt << summary;
   if (!eer.empty()) txt << "\n" << eer;
+  txt << "\n" << telemetry_section;
   std::printf("results: %s\naggregate: %s, %s\n", store_path.c_str(),
               csv_path.c_str(), summary_path.c_str());
+  if (trace) {
+    std::ostringstream event;
+    event << "{\"type\":\"campaign_end\",\"name\":\""
+          << telemetry::json_escape(spec.name)
+          << "\",\"executed\":" << stats.executed
+          << ",\"failed\":" << stats.failed << ",\"telemetry\":"
+          << telemetry::to_json(aggregate_telemetry) << "}";
+    trace->emit(event.str());
+    trace->close();
+    report_trace(*trace);
+    if (trace->dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace buffer dropped %llu event(s)\n",
+                   static_cast<unsigned long long>(trace->dropped()));
+    }
+  }
+  return 0;
+}
+
+int cmd_trace_check(const Args& args) {
+  const std::string path =
+      args.positional.empty() ? args.opt("file", "") : args.positional;
+  if (path.empty()) {
+    std::fprintf(stderr, "trace-check: FILE is required\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace-check: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t events = 0;
+  bool saw_summary = false;
+  unsigned long long emitted = 0;
+  unsigned long long dropped = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.empty()) {
+      std::fprintf(stderr, "trace-check: line %zu is empty\n", lines);
+      return 1;
+    }
+    if (!telemetry::validate_json_line(line)) {
+      std::fprintf(stderr, "trace-check: line %zu is not valid JSON\n",
+                   lines);
+      return 1;
+    }
+    if (saw_summary) {
+      std::fprintf(stderr,
+                   "trace-check: line %zu follows the trace_summary "
+                   "footer\n",
+                   lines);
+      return 1;
+    }
+    unsigned long long e = 0;
+    unsigned long long d = 0;
+    if (std::sscanf(line.c_str(),
+                    "{\"type\":\"trace_summary\",\"emitted\":%llu"
+                    ",\"dropped\":%llu}",
+                    &e, &d) == 2) {
+      saw_summary = true;
+      emitted = e;
+      dropped = d;
+    } else {
+      ++events;
+    }
+  }
+  if (!saw_summary) {
+    std::fprintf(stderr,
+                 "trace-check: no trace_summary footer (truncated "
+                 "trace?)\n");
+    return 1;
+  }
+  if (emitted != events) {
+    std::fprintf(stderr,
+                 "trace-check: footer claims %llu emitted events but "
+                 "%zu are present\n",
+                 emitted, events);
+    return 1;
+  }
+  if (dropped != 0) {
+    std::fprintf(stderr, "trace-check: %llu event(s) were dropped\n",
+                 dropped);
+    return 1;
+  }
+  std::printf("trace-check: %s ok (%zu events, 0 dropped)\n", path.c_str(),
+              events);
   return 0;
 }
 
@@ -325,11 +507,13 @@ int usage() {
       "  products                                list evaluated products\n"
       "  catalog [substring]                     metric definitions\n"
       "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
-      "           [--seed N] [--load-metrics] [--notes]\n"
+      "           [--seed N] [--load-metrics] [--notes] [--trace FILE]\n"
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
-      "       [--jobs N] [--load-metrics] [--robustness]\n"
+      "       [--jobs N] [--load-metrics] [--robustness] [--trace FILE]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
       "  campaign --spec FILE [--jobs N] [--resume] [--out DIR]\n"
+      "           [--trace FILE]\n"
+      "  trace-check FILE                        validate a trace file\n"
       "profiles: rt_cluster, ecommerce, office, random_flood\n");
   return 2;
 }
@@ -345,6 +529,7 @@ int main(int argc, char** argv) {
     if (args.command == "rank") return cmd_rank(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "campaign") return cmd_campaign(args);
+    if (args.command == "trace-check") return cmd_trace_check(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
