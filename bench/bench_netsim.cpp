@@ -1,0 +1,217 @@
+// Event-core throughput benchmark (events/sec) with a pinned pre-change
+// baseline. Two workloads:
+//
+//   churn    — 64 self-rescheduling 64-byte timers, pure scheduler churn;
+//              isolates InlineCallback + the vector-backed event heap.
+//   testbed  — a full GuardSecure testbed run at 6x load; measures the
+//              whole emission/delivery/analysis path including pooled
+//              payloads.
+//
+// The "baseline" constants below were measured at the commit immediately
+// before the allocation-free event core landed (std::function queue,
+// per-packet payload synthesis), same container, -O3 -DNDEBUG, 1 CPU.
+// The bench prints current/baseline speedups, checks the hot path took
+// zero callback heap fallbacks, and writes a JSON report for CI to
+// archive.
+//
+// Usage: bench_netsim [--smoke] [--out FILE]
+//   --smoke  short run (CI): fewer events, one repetition, same checks.
+//   --out    JSON report path (default BENCH_netsim.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attack/scenario.hpp"
+#include "harness/testbed.hpp"
+#include "netsim/simulator.hpp"
+#include "products/catalog.hpp"
+#include "traffic/profile.hpp"
+#include "util/rng.hpp"
+
+using idseval::netsim::SimTime;
+using idseval::netsim::Simulator;
+
+namespace {
+
+// Pre-change reference throughput (see header comment).
+constexpr double kBaselineChurnEventsPerSec = 6926170.0;
+constexpr double kBaselineTestbedEventsPerSec = 772274.0;
+constexpr double kBaselineTestbedPacketsPerSec = 109673.0;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// 64-byte self-rescheduling timer: the capture shape of the simulator's
+// hot callbacks (a couple of pointers plus a small record).
+struct ChurnTimer {
+  Simulator* sim;
+  std::uint64_t target;
+  std::uint64_t id;
+  std::uint64_t pad[5];
+
+  void operator()() const {
+    if (sim->executed() >= target) return;
+    sim->schedule_in(SimTime::from_us(1.0 + static_cast<double>(id % 7)),
+                     ChurnTimer{*this});
+  }
+};
+static_assert(sizeof(ChurnTimer) == 64);
+
+struct ChurnResult {
+  double events_per_sec = 0.0;
+  std::uint64_t fallbacks = 0;
+};
+
+ChurnResult churn_run(std::uint64_t total_events) {
+  Simulator sim;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    sim.schedule_in(SimTime::from_us(static_cast<double>(i)),
+                    ChurnTimer{&sim, total_events, i, {}});
+  }
+  const double t0 = now_sec();
+  sim.run_until(SimTime::max());
+  const double dt = now_sec() - t0;
+  return ChurnResult{static_cast<double>(sim.executed()) / dt,
+                     sim.alloc_fallbacks()};
+}
+
+struct TestbedResult {
+  double events_per_sec = 0.0;
+  double packets_per_sec = 0.0;
+  std::uint64_t fallbacks = 0;
+};
+
+TestbedResult testbed_run(double measure_sec) {
+  idseval::harness::TestbedConfig cfg;
+  cfg.profile = idseval::traffic::rt_cluster_profile();
+  cfg.internal_hosts = 8;
+  cfg.external_hosts = 4;
+  cfg.seed = 42;
+  cfg.rate_scale = 6.0;
+  cfg.warmup = SimTime::from_sec(3);
+  cfg.measure = SimTime::from_sec(measure_sec);
+  cfg.drain = SimTime::from_sec(2);
+  const auto& model =
+      idseval::products::product(idseval::products::ProductId::kGuardSecure);
+  idseval::harness::Testbed bed(cfg, &model, 0.5);
+  std::uint64_t packets = 0;
+  bed.net().lan_switch().add_mirror(
+      [&packets](const idseval::netsim::Packet&) { ++packets; });
+  const auto scenario = idseval::attack::Scenario::mixed(
+      1, SimTime::zero(), cfg.measure * 0.9,
+      idseval::util::hash64("bench") ^ cfg.seed, cfg.external_hosts,
+      cfg.internal_hosts);
+  const double t0 = now_sec();
+  (void)bed.run(scenario);
+  const double dt = now_sec() - t0;
+  return TestbedResult{static_cast<double>(bed.sim().executed()) / dt,
+                       static_cast<double>(packets) / dt,
+                       bed.sim().alloc_fallbacks()};
+}
+
+bool write_report(const std::string& path, const ChurnResult& churn,
+                  const TestbedResult& bed, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_netsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"baseline\": {\n");
+  std::fprintf(f, "    \"churn_events_per_sec\": %.0f,\n",
+               kBaselineChurnEventsPerSec);
+  std::fprintf(f, "    \"testbed_events_per_sec\": %.0f,\n",
+               kBaselineTestbedEventsPerSec);
+  std::fprintf(f, "    \"testbed_packets_per_sec\": %.0f\n",
+               kBaselineTestbedPacketsPerSec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"current\": {\n");
+  std::fprintf(f, "    \"churn_events_per_sec\": %.0f,\n",
+               churn.events_per_sec);
+  std::fprintf(f, "    \"testbed_events_per_sec\": %.0f,\n",
+               bed.events_per_sec);
+  std::fprintf(f, "    \"testbed_packets_per_sec\": %.0f\n",
+               bed.packets_per_sec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup\": {\n");
+  std::fprintf(f, "    \"churn\": %.3f,\n",
+               churn.events_per_sec / kBaselineChurnEventsPerSec);
+  std::fprintf(f, "    \"testbed_events\": %.3f,\n",
+               bed.events_per_sec / kBaselineTestbedEventsPerSec);
+  std::fprintf(f, "    \"testbed_packets\": %.3f\n",
+               bed.packets_per_sec / kBaselineTestbedPacketsPerSec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"callback_heap_fallbacks\": %llu\n",
+               static_cast<unsigned long long>(churn.fallbacks +
+                                               bed.fallbacks));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_netsim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_netsim [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::uint64_t churn_events = smoke ? 200000 : 2000000;
+  const int reps = smoke ? 1 : 3;
+  const double measure_sec = smoke ? 3.0 : 12.0;
+
+  (void)churn_run(churn_events / 10);  // warm-up
+  ChurnResult churn;
+  for (int i = 0; i < reps; ++i) {
+    const ChurnResult r = churn_run(churn_events);
+    if (r.events_per_sec > churn.events_per_sec) churn = r;
+  }
+  std::printf("churn:   %12.0f events/sec  (baseline %.0f, %.2fx)\n",
+              churn.events_per_sec, kBaselineChurnEventsPerSec,
+              churn.events_per_sec / kBaselineChurnEventsPerSec);
+
+  TestbedResult bed;
+  for (int i = 0; i < reps; ++i) {
+    const TestbedResult r = testbed_run(measure_sec);
+    if (r.events_per_sec > bed.events_per_sec) bed = r;
+  }
+  std::printf("testbed: %12.0f events/sec  (baseline %.0f, %.2fx)\n",
+              bed.events_per_sec, kBaselineTestbedEventsPerSec,
+              bed.events_per_sec / kBaselineTestbedEventsPerSec);
+  std::printf("testbed: %12.0f packets/sec (baseline %.0f, %.2fx)\n",
+              bed.packets_per_sec, kBaselineTestbedPacketsPerSec,
+              bed.packets_per_sec / kBaselineTestbedPacketsPerSec);
+
+  const std::uint64_t fallbacks = churn.fallbacks + bed.fallbacks;
+  std::printf("callback heap fallbacks: %llu\n",
+              static_cast<unsigned long long>(fallbacks));
+
+  if (!write_report(out, churn, bed, smoke)) return 1;
+  std::printf("report: %s\n", out.c_str());
+
+  // The default-profile hot path must never spill a callback to the
+  // heap — that regression is deterministic, so the bench enforces it.
+  if (fallbacks != 0) {
+    std::fprintf(stderr,
+                 "bench_netsim: FAIL — %llu callback(s) exceeded the "
+                 "inline buffer on the default profile\n",
+                 static_cast<unsigned long long>(fallbacks));
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "attack/patterns.hpp"
 #include "traffic/payload.hpp"
@@ -15,13 +16,22 @@ using netsim::Packet;
 using netsim::Protocol;
 using netsim::SimTime;
 using netsim::TcpFlags;
+using traffic::PayloadPool;
 using util::cat;
 namespace ports = netsim::ports;
 
 AttackEmitter::AttackEmitter(netsim::Simulator& sim, netsim::Network& net,
                              traffic::TransactionLedger& ledger,
-                             std::uint64_t seed)
-    : sim_(sim), net_(net), ledger_(ledger), rng_(seed) {}
+                             std::uint64_t seed, traffic::PayloadPool* pool)
+    : sim_(sim),
+      net_(net),
+      ledger_(ledger),
+      rng_(seed),
+      owned_pool_(pool == nullptr
+                      ? std::make_unique<PayloadPool>(
+                            seed ^ util::hash64("attack-payloads"))
+                      : nullptr),
+      pool_(pool == nullptr ? owned_pool_.get() : pool) {}
 
 std::uint64_t AttackEmitter::launch(AttackKind kind, Ipv4 attacker,
                                     Ipv4 victim, SimTime when) {
@@ -61,12 +71,14 @@ std::uint64_t AttackEmitter::open_transaction(AttackKind kind,
 }
 
 void AttackEmitter::send_at(SimTime when, std::uint64_t flow_id,
-                            FiveTuple tuple, std::string payload,
+                            FiveTuple tuple, PayloadPool::Ref payload,
                             TcpFlags flags, std::uint32_t seq) {
-  sim_.schedule_at(when, [this, flow_id, tuple, payload = std::move(payload),
-                          flags, seq] {
+  sim_.schedule_at(when, [this, flow_id, tuple,
+                          payload = std::move(payload), flags,
+                          seq]() mutable {
     Packet p = netsim::make_packet(sim_.next_packet_id(), flow_id,
-                                   sim_.now(), tuple, payload, flags);
+                                   sim_.now(), tuple, std::move(payload),
+                                   flags);
     p.seq = seq;
     net_.send(p);
     ++stats_.packets_emitted;
@@ -93,7 +105,7 @@ std::uint64_t AttackEmitter::emit_port_scan(Ipv4 a, Ipv4 v, SimTime t) {
     tuple.dst_port = static_cast<std::uint16_t>(start_port + i);
     TcpFlags syn;
     syn.syn = true;
-    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(i));
+    send_at(when, flow, tuple, nullptr, syn, static_cast<std::uint32_t>(i));
     when += SimTime::from_ms(rng_.uniform(0.2, 1.5));
   }
   return flow;
@@ -116,7 +128,7 @@ std::uint64_t AttackEmitter::emit_syn_flood(Ipv4 a, Ipv4 v, SimTime t) {
         static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
     TcpFlags syn;
     syn.syn = true;
-    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(i));
+    send_at(when, flow, tuple, nullptr, syn, static_cast<std::uint32_t>(i));
     when += SimTime::from_us(rng_.uniform(50.0, 400.0));
   }
   return flow;
@@ -136,16 +148,22 @@ std::uint64_t AttackEmitter::emit_brute_force(Ipv4 a, Ipv4 v, SimTime t) {
   SimTime when = t;
   TcpFlags syn;
   syn.syn = true;
-  send_at(when, flow, tuple, "", syn, 0);
+  send_at(when, flow, tuple, nullptr, syn, 0);
   for (int i = 0; i < attempts; ++i) {
     when += SimTime::from_ms(rng_.uniform(40.0, 160.0));
     TcpFlags ack;
     ack.ack = true;
-    // Each attempt carries the canonical failure banner the server echoes.
+    // Each attempt carries the canonical failure banner the server
+    // echoes; only the rejected password varies across pool variants.
     send_at(when, flow, tuple,
-            cat(patterns::kRootLogin, "\r\nPassword: ",
-                traffic::random_printable(8, rng_), "\r\n",
-                patterns::kLoginFailed, "\r\n"),
+            pool_->attack("brute.banner",
+                          [](util::Rng& rng) {
+                            return cat(patterns::kRootLogin,
+                                       "\r\nPassword: ",
+                                       traffic::random_printable(8, rng),
+                                       "\r\n", patterns::kLoginFailed,
+                                       "\r\n");
+                          }),
             ack, static_cast<std::uint32_t>(i + 1));
   }
   return flow;
@@ -161,29 +179,43 @@ std::uint64_t AttackEmitter::emit_web_exploit(Ipv4 a, Ipv4 v, SimTime t) {
   const std::uint64_t flow =
       open_transaction(AttackKind::kWebExploit, tuple, t);
 
+  // The instance-level decisions (which exploit, whether a shellcode
+  // header rides along) stay on the emitter's rng; the pool caches one
+  // variant cycle per decision combination.
   const bool traversal = rng_.chance(0.5);
-  const std::string exploit_path =
-      traversal ? std::string(patterns::kDirTraversal)
-                : std::string(patterns::kCmdExe);
-  std::string payload =
-      cat("GET ", exploit_path, " HTTP/1.0\r\nHost: ",
-          traffic::random_hostname(rng_), "\r\nUser-Agent: Mozilla/4.0\r\n");
-  if (rng_.chance(0.5)) {
-    payload += cat("X-Data: ", patterns::kNopSled, patterns::kShellInvoke,
-                   " exec\r\n");
-  }
-  payload += "\r\n";
+  const bool shell_header = rng_.chance(0.5);
+  const char* family = traversal
+                           ? (shell_header ? "web.traversal.shell"
+                                           : "web.traversal")
+                           : (shell_header ? "web.cmdexe.shell"
+                                           : "web.cmdexe");
+  PayloadPool::Ref payload = pool_->attack(
+      family, [traversal, shell_header](util::Rng& rng) {
+        const std::string exploit_path =
+            traversal ? std::string(patterns::kDirTraversal)
+                      : std::string(patterns::kCmdExe);
+        std::string req =
+            cat("GET ", exploit_path, " HTTP/1.0\r\nHost: ",
+                traffic::random_hostname(rng),
+                "\r\nUser-Agent: Mozilla/4.0\r\n");
+        if (shell_header) {
+          req += cat("X-Data: ", patterns::kNopSled,
+                     patterns::kShellInvoke, " exec\r\n");
+        }
+        req += "\r\n";
+        return req;
+      });
 
   TcpFlags syn;
   syn.syn = true;
-  send_at(t, flow, tuple, "", syn, 0);
+  send_at(t, flow, tuple, nullptr, syn, 0);
   TcpFlags ack;
   ack.ack = true;
   send_at(t + SimTime::from_ms(2), flow, tuple, std::move(payload), ack, 1);
   TcpFlags fin;
   fin.fin = true;
   fin.ack = true;
-  send_at(t + SimTime::from_ms(6), flow, tuple, "", fin, 2);
+  send_at(t + SimTime::from_ms(6), flow, tuple, nullptr, fin, 2);
   return flow;
 }
 
@@ -196,17 +228,19 @@ std::uint64_t AttackEmitter::emit_smtp_worm(Ipv4 a, Ipv4 v, SimTime t) {
   tuple.proto = Protocol::kTcp;
   const std::uint64_t flow = open_transaction(AttackKind::kSmtpWorm, tuple, t);
 
-  std::string payload = cat(
-      "HELO ", traffic::random_hostname(rng_), "\r\nMAIL FROM:<",
-      traffic::random_username(rng_), "@infected.example>\r\nRCPT TO:<",
-      traffic::random_username(rng_), "@victim.example>\r\nDATA\r\n",
-      patterns::kWormSubject, "\r\nContent-Disposition: attachment; ",
-      patterns::kWormAttachment, "\r\n\r\n",
-      traffic::random_printable(800, rng_), "\r\n.\r\n");
+  PayloadPool::Ref payload = pool_->attack("smtp.worm", [](util::Rng& rng) {
+    return cat("HELO ", traffic::random_hostname(rng), "\r\nMAIL FROM:<",
+               traffic::random_username(rng),
+               "@infected.example>\r\nRCPT TO:<",
+               traffic::random_username(rng), "@victim.example>\r\nDATA\r\n",
+               patterns::kWormSubject, "\r\nContent-Disposition: attachment; ",
+               patterns::kWormAttachment, "\r\n\r\n",
+               traffic::random_printable(800, rng), "\r\n.\r\n");
+  });
 
   TcpFlags syn;
   syn.syn = true;
-  send_at(t, flow, tuple, "", syn, 0);
+  send_at(t, flow, tuple, nullptr, syn, 0);
   TcpFlags ack;
   ack.ack = true;
   send_at(t + SimTime::from_ms(3), flow, tuple, std::move(payload), ack, 1);
@@ -226,17 +260,24 @@ std::uint64_t AttackEmitter::emit_novel_exploit(Ipv4 a, Ipv4 v, SimTime t) {
   const std::uint64_t flow =
       open_transaction(AttackKind::kNovelExploit, tuple, t);
 
-  std::string payload =
-      cat(patterns::kNovelMarker, " ",
-          traffic::random_printable(1100, rng_));
   TcpFlags syn;
   syn.syn = true;
-  send_at(t, flow, tuple, "", syn, 0);
+  send_at(t, flow, tuple, nullptr, syn, 0);
   TcpFlags ack;
   ack.ack = true;
-  send_at(t + SimTime::from_ms(1), flow, tuple, std::move(payload), ack, 1);
+  send_at(t + SimTime::from_ms(1), flow, tuple,
+          pool_->attack("novel.head",
+                        [](util::Rng& rng) {
+                          return cat(patterns::kNovelMarker, " ",
+                                     traffic::random_printable(1100, rng));
+                        }),
+          ack, 1);
   send_at(t + SimTime::from_ms(2), flow, tuple,
-          traffic::random_printable(1200, rng_), ack, 2);
+          pool_->attack("novel.body",
+                        [](util::Rng& rng) {
+                          return traffic::random_printable(1200, rng);
+                        }),
+          ack, 2);
   return flow;
 }
 
@@ -254,12 +295,18 @@ std::uint64_t AttackEmitter::emit_dns_tunnel(Ipv4 a, Ipv4 v, SimTime t) {
   for (int i = 0; i < queries; ++i) {
     // Exfiltrated data chunked into absurdly long hex labels — textbook
     // tunneling over a protocol firewalls wave through (§2).
-    std::string hexdata;
-    static constexpr char kHex[] = "0123456789abcdef";
-    for (int j = 0; j < 48; ++j) hexdata += kHex[rng_.index(16)];
     send_at(when, flow, tuple,
-            cat("QUERY TXT ", hexdata, ".", hexdata.substr(0, 24),
-                ".exfil.example ID=", rng_.uniform_u64(0, 65535)),
+            pool_->attack(
+                "dns.tunnel",
+                [](util::Rng& rng) {
+                  std::string hexdata;
+                  static constexpr char kHex[] = "0123456789abcdef";
+                  for (int j = 0; j < 48; ++j) hexdata += kHex[rng.index(16)];
+                  return cat("QUERY TXT ", hexdata, ".",
+                             hexdata.substr(0, 24),
+                             ".exfil.example ID=",
+                             rng.uniform_u64(0, 65535));
+                }),
             TcpFlags{}, static_cast<std::uint32_t>(i));
     when += SimTime::from_ms(rng_.uniform(20.0, 120.0));
   }
@@ -287,13 +334,21 @@ std::uint64_t AttackEmitter::emit_insider(Ipv4 a, Ipv4 v, SimTime t) {
     tuple.dst_port = port;
     TcpFlags syn;
     syn.syn = true;
-    send_at(when, flow, tuple, "", syn, static_cast<std::uint32_t>(seq++));
+    send_at(when, flow, tuple, nullptr, syn,
+            static_cast<std::uint32_t>(seq++));
     when += SimTime::from_ms(rng_.uniform(100.0, 400.0));
     TcpFlags ack;
     ack.ack = true;
     send_at(when, flow, tuple,
-            cat("login: ", traffic::random_username(rng_), "\r\n$ cat /etc/",
-                rng_.chance(0.5) ? "shadow" : "hosts.equiv", "\r\n"),
+            pool_->attack("insider.cmd",
+                          [](util::Rng& rng) {
+                            return cat("login: ",
+                                       traffic::random_username(rng),
+                                       "\r\n$ cat /etc/",
+                                       rng.chance(0.5) ? "shadow"
+                                                       : "hosts.equiv",
+                                       "\r\n");
+                          }),
             ack, static_cast<std::uint32_t>(seq++));
     when += SimTime::from_ms(rng_.uniform(200.0, 800.0));
   }
@@ -306,7 +361,8 @@ std::uint64_t AttackEmitter::emit_evasive_exploit(Ipv4 a, Ipv4 v,
   // fragmented so every signature pattern straddles a packet boundary
   // (classic Ptacek-Newsham stream-level evasion). A per-packet matcher
   // sees only halves of each pattern; only a sensor that reassembles the
-  // flow's byte stream sees the exploit.
+  // flow's byte stream sees the exploit. Fragments of one variant are
+  // interned together so they always reassemble into a coherent request.
   FiveTuple tuple;
   tuple.src_ip = a;
   tuple.dst_ip = v;
@@ -316,35 +372,43 @@ std::uint64_t AttackEmitter::emit_evasive_exploit(Ipv4 a, Ipv4 v,
   const std::uint64_t flow =
       open_transaction(AttackKind::kEvasiveExploit, tuple, t);
 
-  const std::string request =
-      cat("GET ", patterns::kDirTraversal, " HTTP/1.0\r\nHost: ",
-          traffic::random_hostname(rng_), "\r\nX-Data: ",
-          patterns::kNopSled, patterns::kShellInvoke, " exec\r\n\r\n");
+  const PayloadPool::Refs& fragments = pool_->attack_family(
+      "evasive.fragments", [](util::Rng& rng) {
+        const std::string request =
+            cat("GET ", patterns::kDirTraversal, " HTTP/1.0\r\nHost: ",
+                traffic::random_hostname(rng), "\r\nX-Data: ",
+                patterns::kNopSled, patterns::kShellInvoke, " exec\r\n\r\n");
+        // Split so each fragment ends mid-pattern: cut inside
+        // "/../../etc/..." and inside the NOP sled. Fragment boundaries
+        // are chosen relative to the known pattern offsets, exactly as an
+        // evasion tool would.
+        const std::size_t cut1 = request.find(patterns::kDirTraversal) + 6;
+        const std::size_t cut2 = request.find(patterns::kNopSled) + 2;
+        const std::size_t cut3 = request.find(patterns::kShellInvoke) + 4;
+        std::vector<std::string> pieces;
+        std::size_t prev = 0;
+        for (const std::size_t cut : {cut1, cut2, cut3, request.size()}) {
+          pieces.push_back(request.substr(prev, cut - prev));
+          prev = cut;
+        }
+        return pieces;
+      });
 
   TcpFlags syn;
   syn.syn = true;
-  send_at(t, flow, tuple, "", syn, 0);
+  send_at(t, flow, tuple, nullptr, syn, 0);
   TcpFlags ack;
   ack.ack = true;
-  // Split so each fragment ends mid-pattern: cut inside "/../../etc/..."
-  // and inside the NOP sled. Fragment boundaries are chosen relative to
-  // the known pattern offsets, exactly as an evasion tool would.
-  const std::size_t cut1 = request.find(patterns::kDirTraversal) + 6;
-  const std::size_t cut2 = request.find(patterns::kNopSled) + 2;
-  const std::size_t cut3 = request.find(patterns::kShellInvoke) + 4;
   std::uint32_t seq = 1;
   SimTime when = t + SimTime::from_ms(1);
-  std::size_t prev = 0;
-  for (const std::size_t cut : {cut1, cut2, cut3, request.size()}) {
-    send_at(when, flow, tuple, request.substr(prev, cut - prev), ack,
-            seq++);
-    prev = cut;
+  for (const PayloadPool::Ref& fragment : fragments) {
+    send_at(when, flow, tuple, fragment, ack, seq++);
     when += SimTime::from_ms(rng_.uniform(1.0, 4.0));
   }
   TcpFlags fin;
   fin.fin = true;
   fin.ack = true;
-  send_at(when, flow, tuple, "", fin, seq);
+  send_at(when, flow, tuple, nullptr, fin, seq);
   return flow;
 }
 

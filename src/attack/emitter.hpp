@@ -6,10 +6,13 @@
 
 #include <cstdint>
 
+#include <memory>
+
 #include "attack/kind.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "traffic/ledger.hpp"
+#include "traffic/payload_pool.hpp"
 #include "util/rng.hpp"
 
 namespace idseval::attack {
@@ -21,8 +24,13 @@ struct EmitStats {
 
 class AttackEmitter {
  public:
+  /// `pool` may be shared with the background generator of the same
+  /// simulation; when null the emitter owns a private pool derived from
+  /// `seed`. Attack payloads are interned per content family, so the
+  /// published signature bytes each family carries survive pooling.
   AttackEmitter(netsim::Simulator& sim, netsim::Network& net,
-                traffic::TransactionLedger& ledger, std::uint64_t seed);
+                traffic::TransactionLedger& ledger, std::uint64_t seed,
+                traffic::PayloadPool* pool = nullptr);
 
   /// Schedules one attack instance starting at `when` from `attacker`
   /// against `victim`. Returns the flow id of the attack's primary
@@ -57,15 +65,18 @@ class AttackEmitter {
   std::uint64_t open_transaction(AttackKind kind,
                                  const netsim::FiveTuple& tuple,
                                  netsim::SimTime when);
-  /// Schedules a single packet emission at `when`.
+  /// Schedules a single packet emission at `when`. A null payload sends
+  /// a pure-control packet (SYN/FIN probes).
   void send_at(netsim::SimTime when, std::uint64_t flow_id,
-               netsim::FiveTuple tuple, std::string payload,
+               netsim::FiveTuple tuple, traffic::PayloadPool::Ref payload,
                netsim::TcpFlags flags, std::uint32_t seq);
 
   netsim::Simulator& sim_;
   netsim::Network& net_;
   traffic::TransactionLedger& ledger_;
   util::Rng rng_;
+  std::unique_ptr<traffic::PayloadPool> owned_pool_;
+  traffic::PayloadPool* pool_;
   EmitStats stats_;
 };
 

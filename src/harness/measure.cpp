@@ -106,15 +106,18 @@ double measure_system_throughput_pps(const TestbedConfig& base,
   // ladder of loads up to the overload scale and keep the best sustained
   // processing rate — a single overload probe would report the *post-
   // collapse* rate for products whose sensors die past their lethal dose.
-  double best = 0.0;
-  for (double scale : {overload_scale / 8.0, overload_scale / 4.0,
-                       overload_scale / 3.0, overload_scale * 0.4,
-                       overload_scale / 2.0, overload_scale * 0.75,
-                       overload_scale}) {
-    const LoadPoint p = probe(base, model, sensitivity, scale);
-    best = std::max(best, p.processed_pps);
-  }
-  return best;
+  // Each rung is an independent simulation, so the ladder fans out across
+  // the thread pool like load_sweep does.
+  const std::vector<double> ladder = {
+      overload_scale / 8.0, overload_scale / 4.0, overload_scale / 3.0,
+      overload_scale * 0.4, overload_scale / 2.0, overload_scale * 0.75,
+      overload_scale};
+  std::vector<double> processed(ladder.size(), 0.0);
+  util::ThreadPool pool;
+  pool.parallel_for(ladder.size(), [&](std::size_t i) {
+    processed[i] = probe(base, model, sensitivity, ladder[i]).processed_pps;
+  });
+  return *std::max_element(processed.begin(), processed.end());
 }
 
 std::optional<double> measure_lethal_dose_pps(

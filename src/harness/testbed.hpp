@@ -21,7 +21,9 @@
 #include "traffic/flowgen.hpp"
 #include "netsim/stream.hpp"
 #include "traffic/ledger.hpp"
+#include "traffic/payload_pool.hpp"
 #include "traffic/profile.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace idseval::harness {
@@ -150,6 +152,9 @@ class Testbed {
   netsim::Simulator sim_;
   std::unique_ptr<netsim::Network> net_;
   std::unique_ptr<ids::Pipeline> pipeline_;
+  /// One pool per simulation, shared by background and attack traffic;
+  /// declared before its users so it outlives them.
+  std::unique_ptr<traffic::PayloadPool> payload_pool_;
   std::unique_ptr<traffic::FlowGenerator> flowgen_;
   std::unique_ptr<attack::AttackEmitter> emitter_;
   traffic::TransactionLedger ledger_;
@@ -158,6 +163,7 @@ class Testbed {
   std::vector<netsim::Ipv4> internal_;
   std::vector<netsim::Ipv4> external_;
   util::RunningStats delivery_latency_;   ///< Production path, seconds.
+  util::LogHistogram delivery_latency_hist_;  ///< For the real p99.
 };
 
 }  // namespace idseval::harness

@@ -27,8 +27,12 @@ void Analyzer::submit(const Detection& detection) {
   // Batch latency: detection hand-off to analysis completion (transfer
   // hop + queueing behind earlier detections + this service slot).
   telemetry::record(tele_batch_, (busy_until_ - sim_.now()).sec());
+  // Init-capture so the stored copy is non-const: a plain [detection]
+  // copy of a const& parameter makes the closure member const Detection,
+  // whose "move" is a throwing string copy — which disqualifies the
+  // closure from the simulator's inline callback buffer.
   sim_.schedule_at(busy_until_,
-                   [this, detection] { analyze(detection); });
+                   [this, detection = detection] { analyze(detection); });
 }
 
 void Analyzer::analyze(const Detection& detection) {

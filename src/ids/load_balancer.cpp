@@ -102,7 +102,7 @@ void LoadBalancer::ingest(const Packet& packet) {
   // own service slot starts.
   telemetry::record(tele_queue_wait_, (start - sim_.now()).sec());
   busy_until_ = start + service_time();
-  sim_.schedule_at(busy_until_, [this, packet] {
+  sim_.schedule_at(busy_until_, [this, packet = packet] {
     --queued_;
     const std::size_t idx = route(packet);
     ++stats_.forwarded;

@@ -196,7 +196,7 @@ void Pipeline::attach(const std::vector<netsim::Ipv4>& agent_hosts) {
         feed(p);
         const netsim::SimTime delay =
             lb_->config().inline_latency + lb_->service_time();
-        sim_.schedule_in(delay, [p, fwd] { fwd(p); });
+        sim_.schedule_in(delay, [p = p, fwd] { fwd(p); });
       });
     } else {
       sw.add_mirror([this](const Packet& p) { feed(p); });

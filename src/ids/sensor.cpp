@@ -89,7 +89,8 @@ void Sensor::ingest(const Packet& packet) {
   // the packet's arrival at this sensor.
   telemetry::record(tele_service_, (busy_until_ - sim_.now()).sec());
 
-  sim_.schedule_at(busy_until_, [this, packet] { complete(packet); });
+  sim_.schedule_at(busy_until_,
+                   [this, packet = packet] { complete(packet); });
 }
 
 void Sensor::complete(const Packet& packet) {

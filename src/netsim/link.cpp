@@ -39,8 +39,10 @@ bool Link::send(const Packet& packet) {
   // The slot frees when serialization finishes (propagation does not hold
   // buffer space); delivery happens one propagation delay later.
   sim_.schedule_at(tx_done, [this] { --queued_; });
-  // Copy the packet into the closure; payload is shared, headers are small.
-  sim_.schedule_at(arrival, [this, packet] {
+  // Copy the packet into the closure; payload is shared, headers are
+  // small. Init-capture keeps the stored copy non-const so queue moves
+  // are true moves (a const shared_ptr "move" is an atomic refcount op).
+  sim_.schedule_at(arrival, [this, packet = packet] {
     ++stats_.delivered_packets;
     stats_.delivered_bytes += packet.wire_bytes();
     if (deliver_) deliver_(packet);

@@ -34,4 +34,20 @@ Packet make_packet(std::uint64_t id, std::uint64_t flow_id, SimTime created,
   return p;
 }
 
+Packet make_packet(std::uint64_t id, std::uint64_t flow_id, SimTime created,
+                   const FiveTuple& tuple,
+                   std::shared_ptr<const std::string> payload,
+                   TcpFlags flags) {
+  Packet p;
+  p.id = id;
+  p.flow_id = flow_id;
+  p.created = created;
+  p.tuple = tuple;
+  p.flags = flags;
+  if (payload != nullptr && !payload->empty()) {
+    p.payload = std::move(payload);
+  }
+  return p;
+}
+
 }  // namespace idseval::netsim

@@ -56,4 +56,12 @@ Packet make_packet(std::uint64_t id, std::uint64_t flow_id, SimTime created,
                    const FiveTuple& tuple, std::string payload,
                    TcpFlags flags = {});
 
+/// Allocation-free variant: attaches an already-interned payload (e.g.
+/// from traffic::PayloadPool) without copying the bytes. A null or empty
+/// payload yields a pure-control packet.
+Packet make_packet(std::uint64_t id, std::uint64_t flow_id, SimTime created,
+                   const FiveTuple& tuple,
+                   std::shared_ptr<const std::string> payload,
+                   TcpFlags flags = {});
+
 }  // namespace idseval::netsim

@@ -1,12 +1,42 @@
 #include "netsim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace idseval::netsim {
 
+namespace {
+// Enough for the default testbed profiles (peak pending events in a
+// campaign cell sit in the low thousands); one reallocation ladder at
+// startup, then steady-state pushes reuse the storage.
+constexpr std::size_t kInitialEventCapacity = 4096;
+}  // namespace
+
+Simulator::Simulator()
+    : tele_fallbacks_(telemetry::counter_handle(
+          telemetry::names::kSimCallbackFallbacks)) {
+  heap_.reserve(kInitialEventCapacity);
+  slab_.reserve(kInitialEventCapacity);
+  free_slots_.reserve(kInitialEventCapacity);
+}
+
 void Simulator::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, ++seq_, std::move(cb)});
+  if (cb.on_heap()) {
+    ++alloc_fallbacks_;
+    telemetry::bump(tele_fallbacks_);
+  }
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(cb));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(cb);
+  }
+  heap_.push_back(Event{when, ++seq_, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Simulator::schedule_in(SimTime delay, Callback cb) {
@@ -18,25 +48,28 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   while (step(deadline)) ++ran;
   // If we stopped because the next event is past the deadline, advance
   // time to the deadline so subsequent scheduling is relative to it.
-  if (!queue_.empty() && queue_.top().when > deadline && now_ < deadline) {
+  if (!heap_.empty() && heap_.front().when > deadline && now_ < deadline) {
     now_ = deadline;
   }
-  if (queue_.empty() && now_ < deadline && deadline < SimTime::max()) {
+  if (heap_.empty() && now_ < deadline && deadline < SimTime::max()) {
     now_ = deadline;
   }
   return ran;
 }
 
 bool Simulator::step(SimTime deadline) {
-  if (queue_.empty()) return false;
-  if (queue_.top().when > deadline) return false;
-  // priority_queue::top() is const; move via const_cast is the standard
-  // idiom-free workaround — copy the callback instead to stay clean.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  if (heap_.front().when > deadline) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event ev = heap_.back();
+  heap_.pop_back();
+  // Move the callback out and recycle its slot before invoking, so
+  // events the callback schedules can reuse it immediately.
+  Callback cb = std::move(slab_[ev.slot]);
+  free_slots_.push_back(ev.slot);
   now_ = ev.when;
   ++executed_;
-  ev.cb();
+  cb();
   return true;
 }
 

@@ -143,6 +143,10 @@ void count(std::string_view name, std::uint64_t n = 1);
 // reset_stats(); switch.* counters are whole-run (the switch belongs to
 // the network, not the IDS, and is never reset between windows).
 namespace names {
+inline constexpr std::string_view kSimCallbackFallbacks =
+    "sim.callback_fallbacks";
+inline constexpr std::string_view kPayloadPoolHits = "payload.pool_hits";
+inline constexpr std::string_view kPayloadPoolMisses = "payload.pool_misses";
 inline constexpr std::string_view kSwitchMirrored = "switch.mirrored";
 inline constexpr std::string_view kSwitchForwarded = "switch.forwarded";
 inline constexpr std::string_view kSwitchBlocked = "switch.blocked";

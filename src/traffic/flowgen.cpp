@@ -13,12 +13,18 @@ using netsim::SimTime;
 
 FlowGenerator::FlowGenerator(netsim::Simulator& sim, netsim::Network& net,
                              TransactionLedger* ledger,
-                             EnvironmentProfile profile, std::uint64_t seed)
+                             EnvironmentProfile profile, std::uint64_t seed,
+                             PayloadPool* pool)
     : sim_(sim),
       net_(net),
       ledger_(ledger),
       profile_(std::move(profile)),
-      rng_(seed) {
+      rng_(seed),
+      owned_pool_(pool == nullptr
+                      ? std::make_unique<PayloadPool>(
+                            seed ^ util::hash64("flowgen-payloads"))
+                      : nullptr),
+      pool_(pool == nullptr ? owned_pool_.get() : pool) {
   mix_weights_.reserve(profile_.mix.size());
   for (const auto& share : profile_.mix) {
     mix_weights_.push_back(share.weight);
@@ -102,6 +108,25 @@ Ipv4 FlowGenerator::pick_destination(Ipv4 source) {
   return pick();
 }
 
+FlowGenerator::FlowHandle FlowGenerator::alloc_flow_state() {
+  if (free_head_ != kNilHandle) {
+    const FlowHandle handle = free_head_;
+    free_head_ = slab_[handle].next_free;
+    slab_[handle].next_free = kNilHandle;
+    ++live_flows_;
+    return handle;
+  }
+  slab_.emplace_back();
+  ++live_flows_;
+  return static_cast<FlowHandle>(slab_.size() - 1);
+}
+
+void FlowGenerator::release_flow_state(FlowHandle handle) {
+  slab_[handle].next_free = free_head_;
+  free_head_ = handle;
+  --live_flows_;
+}
+
 void FlowGenerator::launch_flow() {
   const auto& share = profile_.mix[rng_.weighted_index(mix_weights_)];
 
@@ -125,15 +150,20 @@ void FlowGenerator::launch_flow() {
     ledger_->begin(flow_id, tuple, sim_.now(), /*is_attack=*/false);
   }
   ++stats_.flows_started;
-  emit_flow_packet(flow_id, tuple, share.kind, 0, packets,
-                   profile_.mean_pkt_interval_ms);
+
+  const FlowHandle handle = alloc_flow_state();
+  FlowState& st = slab_[handle];
+  st.tuple = tuple;
+  st.flow_id = flow_id;
+  st.interval_ms = profile_.mean_pkt_interval_ms;
+  st.seq = 0;
+  st.remaining = packets;
+  st.kind = share.kind;
+  step_flow(handle);
 }
 
-void FlowGenerator::emit_flow_packet(std::uint64_t flow_id, FiveTuple tuple,
-                                     PayloadKind kind, std::uint32_t seq,
-                                     std::uint32_t remaining,
-                                     double interval_ms) {
-  if (remaining == 0) return;
+void FlowGenerator::step_flow(FlowHandle handle) {
+  FlowState& st = slab_[handle];
 
   const double jitter = std::max(
       16.0, rng_.normal(profile_.mean_payload_bytes,
@@ -141,29 +171,32 @@ void FlowGenerator::emit_flow_packet(std::uint64_t flow_id, FiveTuple tuple,
   const auto payload_len =
       static_cast<std::size_t>(std::min(jitter, 1400.0));
 
-  Packet p = netsim::make_packet(sim_.next_packet_id(), flow_id, sim_.now(),
-                                 tuple, synthesize(kind, payload_len, rng_));
-  p.seq = seq;
-  if (tuple.proto == Protocol::kTcp) {
-    p.flags.syn = (seq == 0);
-    p.flags.ack = (seq != 0);
-    p.flags.fin = (remaining == 1);
+  Packet p = netsim::make_packet(sim_.next_packet_id(), st.flow_id,
+                                 sim_.now(), st.tuple,
+                                 pool_->background(st.kind, payload_len));
+  p.seq = st.seq;
+  if (st.tuple.proto == Protocol::kTcp) {
+    p.flags.syn = (st.seq == 0);
+    p.flags.ack = (st.seq != 0);
+    p.flags.fin = (st.remaining == 1);
   }
 
   net_.send(p);
   ++stats_.packets_emitted;
   stats_.bytes_emitted += p.wire_bytes();
-  if (ledger_ != nullptr) ledger_->touch(flow_id, sim_.now(), p.wire_bytes());
+  if (ledger_ != nullptr) {
+    ledger_->touch(st.flow_id, sim_.now(), p.wire_bytes());
+  }
 
-  if (remaining > 1) {
+  if (st.remaining > 1) {
+    ++st.seq;
+    --st.remaining;
     const double gap_ms =
-        rng_.exponential(1.0 / std::max(1e-3, interval_ms));
+        rng_.exponential(1.0 / std::max(1e-3, st.interval_ms));
     sim_.schedule_in(SimTime::from_ms(gap_ms),
-                     [this, flow_id, tuple, kind, seq, remaining,
-                      interval_ms] {
-                       emit_flow_packet(flow_id, tuple, kind, seq + 1,
-                                        remaining - 1, interval_ms);
-                     });
+                     [this, handle] { step_flow(handle); });
+  } else {
+    release_flow_state(handle);
   }
 }
 

@@ -1,0 +1,143 @@
+// Small-buffer-optimized, move-only callable for the simulator hot path.
+// std::function's inline buffer (16 bytes on mainstream libstdc++) is too
+// small for the event captures the testbed schedules — a {this, Packet}
+// pair is ~80 bytes — so every scheduled event heap-allocates twice: once
+// when the closure is built and once when priority_queue::top() is copied
+// out. InlineCallback stores captures up to kInlineBytes in place and is
+// move-only, so the event queue never allocates or copies closures in
+// steady state. Oversized or over-aligned captures fall back to a single
+// heap cell; on_heap() lets the scheduler count those fallbacks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#ifdef IDSEVAL_DEBUG_CALLBACK_FALLBACKS
+#include <cstdio>
+#include <typeinfo>
+#endif
+
+namespace idseval::util {
+
+class InlineCallback {
+ public:
+  /// Inline capture capacity. Sized to hold the largest hot-path closure
+  /// (an Alert plus a this-pointer) with headroom; anything larger is a
+  /// cold path and may take the heap fallback.
+  static constexpr std::size_t kInlineBytes = 128;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>();
+    } else {
+      // Define IDSEVAL_DEBUG_CALLBACK_FALLBACKS to print the closure type
+      // and the disqualifying property at every heap fallback site.
+#ifdef IDSEVAL_DEBUG_CALLBACK_FALLBACKS
+      std::fprintf(stderr, "fallback: %s size=%zu align=%zu nothrow=%d\n",
+                   typeid(D).name(), sizeof(D), alignof(D),
+                   (int)std::is_nothrow_move_constructible_v<D>);
+#endif
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &heap_ops<D>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the capture did not fit inline and lives in a heap cell.
+  bool on_heap() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+  /// Whether a callable of type F would be stored inline.
+  template <typename F>
+  static constexpr bool fits_inline() noexcept {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    /// Move-constructs the callable from src into dst, destroying src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static const Ops& inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* buf) { (*std::launder(static_cast<D*>(buf)))(); },
+        [](void* dst, void* src) noexcept {
+          D* from = std::launder(static_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* buf) noexcept { std::launder(static_cast<D*>(buf))->~D(); },
+        /*heap=*/false};
+    return ops;
+  }
+
+  template <typename D>
+  static const Ops& heap_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* buf) { (**std::launder(static_cast<D**>(buf)))(); },
+        [](void* dst, void* src) noexcept {
+          D** from = std::launder(static_cast<D**>(src));
+          ::new (dst) D*(*from);
+        },
+        [](void* buf) noexcept {
+          delete *std::launder(static_cast<D**>(buf));
+        },
+        /*heap=*/true};
+    return ops;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace idseval::util

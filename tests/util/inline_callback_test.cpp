@@ -1,0 +1,160 @@
+#include "util/inline_callback.hpp"
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace idseval::util {
+namespace {
+
+TEST(InlineCallbackTest, DefaultConstructedIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.on_heap());
+}
+
+TEST(InlineCallbackTest, InvokesSmallLambdaInline) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.on_heap());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, TypicalEventCapturesStayInline) {
+  // The hot captures in the simulator: {this, 8-byte handle} and
+  // {this, ~72-byte packet}. Both must fit the inline buffer — the
+  // benchmark's zero-fallback acceptance criterion depends on it.
+  struct FakePacket {
+    std::uint64_t id, flow;
+    std::array<std::byte, 56> rest;
+  };
+  static_assert(InlineCallback::fits_inline<void (*)()>());
+  int* self = nullptr;
+  std::uint32_t handle = 7;
+  auto continuation = [self, handle] { (void)self; (void)handle; };
+  static_assert(InlineCallback::fits_inline<decltype(continuation)>());
+  FakePacket p{};
+  auto delivery = [self, p] { (void)self; (void)p; };
+  static_assert(InlineCallback::fits_inline<decltype(delivery)>());
+
+  InlineCallback cb(std::move(delivery));
+  EXPECT_FALSE(cb.on_heap());
+}
+
+TEST(InlineCallbackTest, OversizedCaptureFallsBackToHeap) {
+  std::array<std::byte, InlineCallback::kInlineBytes + 64> big{};
+  auto fat = [big] { (void)big; };
+  static_assert(!InlineCallback::fits_inline<decltype(fat)>());
+
+  int hits = 0;
+  std::array<std::byte, InlineCallback::kInlineBytes + 64> payload{};
+  InlineCallback cb([payload, &hits] {
+    (void)payload;
+    ++hits;
+  });
+  EXPECT_TRUE(cb.on_heap());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, MoveTransfersInlineTarget) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersHeapTarget) {
+  int hits = 0;
+  std::array<std::byte, InlineCallback::kInlineBytes + 8> payload{};
+  InlineCallback a([payload, &hits] {
+    (void)payload;
+    ++hits;
+  });
+  ASSERT_TRUE(a.on_heap());
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.on_heap());
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, DestroysCapturedStateExactlyOnce) {
+  // shared_ptr use_count tracks live copies of the capture across
+  // construction, two moves, and destruction.
+  auto token = std::make_shared<int>(42);
+  ASSERT_EQ(token.use_count(), 1);
+  {
+    InlineCallback a([token] { (void)token; });
+    EXPECT_EQ(token.use_count(), 2);
+    InlineCallback b(std::move(a));
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    InlineCallback c;
+    c = std::move(b);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallbackTest, DestroysHeapCapturedStateExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  std::array<std::byte, InlineCallback::kInlineBytes + 8> pad{};
+  {
+    InlineCallback a([token, pad] {
+      (void)token;
+      (void)pad;
+    });
+    ASSERT_TRUE(a.on_heap());
+    EXPECT_EQ(token.use_count(), 2);
+    InlineCallback b(std::move(a));
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallbackTest, ResetReleasesTarget) {
+  auto token = std::make_shared<int>(1);
+  InlineCallback cb([token] { (void)token; });
+  EXPECT_EQ(token.use_count(), 2);
+  cb.reset();
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallbackTest, ReassignmentReplacesTarget) {
+  auto first = std::make_shared<int>(1);
+  int hits = 0;
+  InlineCallback cb([first] { (void)first; });
+  EXPECT_EQ(first.use_count(), 2);
+  cb = InlineCallback([&hits] { ++hits; });
+  EXPECT_EQ(first.use_count(), 1);  // old capture destroyed
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, MutableLambdaStatePersistsAcrossCalls) {
+  int observed = 0;
+  InlineCallback cb([n = 0, &observed]() mutable { observed = ++n; });
+  cb();
+  cb();
+  cb();
+  EXPECT_EQ(observed, 3);
+}
+
+}  // namespace
+}  // namespace idseval::util

@@ -18,6 +18,16 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -j"${jobs}"
 done
 
+# Event-core benchmark smoke under the Release preset: checks the
+# zero-heap-fallback invariant and archives the throughput report next to
+# the build tree. Skipped when only specific presets were requested.
+if [ $# -eq 0 ]; then
+  echo "==== bench smoke (release) ===="
+  cmake --preset release
+  cmake --build --preset release -j"${jobs}" --target bench_netsim
+  build-release/bench/bench_netsim --smoke --out BENCH_netsim.json
+fi
+
 # Traced-campaign smoke test under the sanitizer build: the example CI
 # campaign must produce a well-formed JSONL trace with zero buffer drops
 # (trace-check exits non-zero otherwise).
