@@ -22,9 +22,16 @@ TestbedConfig probe_config(const TestbedConfig& base, double rate_scale) {
   return cfg;
 }
 
+/// `reg` is the registry this probe's telemetry lands in. Non-null:
+/// installed for the probe's simulation (kept isolated from the ambient
+/// thread registry). Null: the ambient registry is left in place —
+/// legacy behaviour, and a no-op on pool workers, which never inherit
+/// one.
 LoadPoint probe(const TestbedConfig& base,
                 const products::ProductModel& model, double sensitivity,
-                double rate_scale) {
+                double rate_scale, telemetry::Registry* reg = nullptr) {
+  telemetry::ScopedRegistry scope(reg != nullptr ? reg
+                                                 : telemetry::current());
   telemetry::count(telemetry::names::kHarnessProbes);
   Testbed bed(probe_config(base, rate_scale), &model, sensitivity);
   const RunResult r = bed.run_clean();
@@ -43,26 +50,36 @@ LoadPoint probe(const TestbedConfig& base,
 std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
                                   const products::ProductModel& model,
                                   double sensitivity,
-                                  const std::vector<double>& rate_scales) {
+                                  const std::vector<double>& rate_scales,
+                                  telemetry::Registry* probe_telemetry) {
   std::vector<LoadPoint> points(rate_scales.size());
+  // Pool workers have no thread-local registry, so each probe records
+  // into its own slot; merging in index order keeps the accumulated
+  // result independent of worker count and completion order.
+  std::vector<telemetry::Registry> regs(
+      probe_telemetry != nullptr ? rate_scales.size() : 0);
   util::ThreadPool pool;
   pool.parallel_for(rate_scales.size(), [&](std::size_t i) {
-    points[i] = probe(base, model, sensitivity, rate_scales[i]);
+    points[i] = probe(base, model, sensitivity, rate_scales[i],
+                      regs.empty() ? nullptr : &regs[i]);
   });
+  for (const telemetry::Registry& r : regs) probe_telemetry->merge(r);
   return points;
 }
 
 double measure_zero_loss_pps(const TestbedConfig& base,
                              const products::ProductModel& model,
                              double sensitivity, double max_scale,
-                             double loss_epsilon, int iterations) {
+                             double loss_epsilon, int iterations,
+                             telemetry::Registry* probe_telemetry) {
   // Establish a bracket: grow until loss appears (or max_scale reached).
   double lo = 0.0;        // highest scale with zero loss
   double lo_pps = 0.0;
   double hi = 0.0;        // lowest scale with loss (0 = none found)
   double scale = 1.0;
   while (scale <= max_scale) {
-    const LoadPoint p = probe(base, model, sensitivity, scale);
+    const LoadPoint p =
+        probe(base, model, sensitivity, scale, probe_telemetry);
     if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
       lo = scale;
       lo_pps = p.offered_pps;
@@ -76,7 +93,8 @@ double measure_zero_loss_pps(const TestbedConfig& base,
     // The doubling bracket stopped short of max_scale; probe it directly
     // so fast products are measured at the full range, not at the last
     // power of two.
-    const LoadPoint p = probe(base, model, sensitivity, max_scale);
+    const LoadPoint p =
+        probe(base, model, sensitivity, max_scale, probe_telemetry);
     if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
       return p.offered_pps;
     }
@@ -87,7 +105,8 @@ double measure_zero_loss_pps(const TestbedConfig& base,
   // Bisection refines the knee.
   for (int i = 0; i < iterations; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const LoadPoint p = probe(base, model, sensitivity, mid);
+    const LoadPoint p =
+        probe(base, model, sensitivity, mid, probe_telemetry);
     if (p.loss_ratio <= loss_epsilon && p.failures == 0) {
       lo = mid;
       lo_pps = p.offered_pps;
@@ -101,7 +120,8 @@ double measure_zero_loss_pps(const TestbedConfig& base,
 double measure_system_throughput_pps(const TestbedConfig& base,
                                      const products::ProductModel& model,
                                      double sensitivity,
-                                     double overload_scale) {
+                                     double overload_scale,
+                                     telemetry::Registry* probe_telemetry) {
   // "Maximal data input rate that can be processed successfully": probe a
   // ladder of loads up to the overload scale and keep the best sustained
   // processing rate — a single overload probe would report the *post-
@@ -113,18 +133,25 @@ double measure_system_throughput_pps(const TestbedConfig& base,
       overload_scale * 0.4, overload_scale / 2.0, overload_scale * 0.75,
       overload_scale};
   std::vector<double> processed(ladder.size(), 0.0);
+  std::vector<telemetry::Registry> regs(
+      probe_telemetry != nullptr ? ladder.size() : 0);
   util::ThreadPool pool;
   pool.parallel_for(ladder.size(), [&](std::size_t i) {
-    processed[i] = probe(base, model, sensitivity, ladder[i]).processed_pps;
+    processed[i] = probe(base, model, sensitivity, ladder[i],
+                         regs.empty() ? nullptr : &regs[i])
+                       .processed_pps;
   });
+  for (const telemetry::Registry& r : regs) probe_telemetry->merge(r);
   return *std::max_element(processed.begin(), processed.end());
 }
 
 std::optional<double> measure_lethal_dose_pps(
     const TestbedConfig& base, const products::ProductModel& model,
-    double sensitivity, double max_scale) {
+    double sensitivity, double max_scale,
+    telemetry::Registry* probe_telemetry) {
   for (double scale = 2.0; scale <= max_scale; scale *= 1.6) {
-    const LoadPoint p = probe(base, model, sensitivity, scale);
+    const LoadPoint p =
+        probe(base, model, sensitivity, scale, probe_telemetry);
     if (p.failures > 0) return p.offered_pps;
   }
   return std::nullopt;
@@ -132,12 +159,17 @@ std::optional<double> measure_lethal_dose_pps(
 
 double measure_induced_latency_sec(const TestbedConfig& base,
                                    const products::ProductModel& model,
-                                   double sensitivity) {
+                                   double sensitivity,
+                                   telemetry::Registry* probe_telemetry) {
   TestbedConfig cfg = base;
   cfg.warmup = SimTime::from_sec(5);
   cfg.measure = SimTime::from_sec(20);
   cfg.drain = SimTime::from_sec(2);
 
+  telemetry::ScopedRegistry scope(
+      probe_telemetry != nullptr ? probe_telemetry : telemetry::current());
+  // Two probe simulations: the product run and the no-IDS baseline.
+  telemetry::count(telemetry::names::kHarnessProbes, 2);
   Testbed with_ids(cfg, &model, sensitivity);
   const RunResult a = with_ids.run_clean();
   Testbed baseline(cfg, nullptr, sensitivity);

@@ -8,6 +8,7 @@
 
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
+#include "telemetry/registry.hpp"
 
 namespace idseval::harness {
 
@@ -21,11 +22,19 @@ struct LoadPoint {
   std::uint64_t failures = 0;
 };
 
+/// Each load measurement optionally accumulates the telemetry its probe
+/// simulations generate into `probe_telemetry` (counters merged, latency
+/// stats pooled; merge order is deterministic — probe order for
+/// sequential searches, index order for parallel ladders). Probe-run
+/// stage telemetry no longer leaks into the ambient thread registry when
+/// an accumulator is supplied; with nullptr the legacy ambient behaviour
+/// is kept.
+
 /// Runs the profile at each rate scale (attack-free), short windows.
-std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
-                                  const products::ProductModel& model,
-                                  double sensitivity,
-                                  const std::vector<double>& rate_scales);
+std::vector<LoadPoint> load_sweep(
+    const TestbedConfig& base, const products::ProductModel& model,
+    double sensitivity, const std::vector<double>& rate_scales,
+    telemetry::Registry* probe_telemetry = nullptr);
 
 /// Maximal Throughput with Zero Loss: the highest *network traffic
 /// level* (offered packets/sec — Table 3's "observed level of traffic")
@@ -34,27 +43,29 @@ std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
 double measure_zero_loss_pps(const TestbedConfig& base,
                              const products::ProductModel& model,
                              double sensitivity, double max_scale = 64.0,
-                             double loss_epsilon = 1e-4, int iterations = 7);
+                             double loss_epsilon = 1e-4, int iterations = 7,
+                             telemetry::Registry* probe_telemetry = nullptr);
 
 /// System Throughput (packets/sec the IDS processes successfully at
 /// saturation): processed rate under a deliberately overloading offer.
-double measure_system_throughput_pps(const TestbedConfig& base,
-                                     const products::ProductModel& model,
-                                     double sensitivity,
-                                     double overload_scale = 48.0);
+double measure_system_throughput_pps(
+    const TestbedConfig& base, const products::ProductModel& model,
+    double sensitivity, double overload_scale = 48.0,
+    telemetry::Registry* probe_telemetry = nullptr);
 
 /// Network Lethal Dose: lowest offered pps that trips a sensor failure,
 /// searched over geometrically increasing load; nullopt if no failure up
 /// to max_scale (scores the "never failed" anchor).
 std::optional<double> measure_lethal_dose_pps(
     const TestbedConfig& base, const products::ProductModel& model,
-    double sensitivity, double max_scale = 96.0);
+    double sensitivity, double max_scale = 96.0,
+    telemetry::Registry* probe_telemetry = nullptr);
 
 /// Induced Traffic Latency (seconds added to production delivery):
 /// latency with the product attached minus the no-IDS baseline.
-double measure_induced_latency_sec(const TestbedConfig& base,
-                                   const products::ProductModel& model,
-                                   double sensitivity);
+double measure_induced_latency_sec(
+    const TestbedConfig& base, const products::ProductModel& model,
+    double sensitivity, telemetry::Registry* probe_telemetry = nullptr);
 
 /// One sensitivity point of the Figure 4 error-rate sweep.
 struct ErrorRatePoint {

@@ -18,6 +18,20 @@ Analyzer::Analyzer(netsim::Simulator& sim, AnalyzerConfig config)
 
 void Analyzer::submit(const Detection& detection) {
   ++stats_.detections_in;
+  schedule_analysis(detection);
+}
+
+void Analyzer::submit_batch(const Detection* detections, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    submit(*detections);
+    return;
+  }
+  stats_.detections_in += count;
+  for (std::size_t i = 0; i < count; ++i) schedule_analysis(detections[i]);
+}
+
+void Analyzer::schedule_analysis(const Detection& detection) {
   // Transfer (if remote) then queue behind earlier analysis work.
   const SimTime arrive = sim_.now() + config_.transfer_delay;
   const SimTime service = SimTime::from_sec(

@@ -53,6 +53,10 @@ class Analyzer {
 
   /// Receives a detection from a sensor (already timestamped by it).
   void submit(const Detection& detection);
+  /// Receives every detection one sensor completion produced, in engine
+  /// order; the detections_in bump is hoisted to once per batch. A
+  /// single-detection batch takes the exact legacy submit() path.
+  void submit_batch(const Detection* detections, std::size_t count);
 
   const AnalyzerConfig& config() const noexcept { return config_; }
   const AnalyzerStats& stats() const noexcept { return stats_; }
@@ -63,6 +67,7 @@ class Analyzer {
   }
 
  private:
+  void schedule_analysis(const Detection& detection);
   void analyze(const Detection& detection);
 
   struct FlowState {

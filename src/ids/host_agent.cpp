@@ -78,7 +78,9 @@ void HostAgent::set_on_detection(DetectionFn fn) {
 void HostAgent::attach() {
   if (attached_) return;
   attached_ = true;
-  host_.add_receiver([this](const Packet& packet) { observe(packet); });
+  host_.add_receiver_batch([this](const Packet* packets, std::size_t n) {
+    observe_batch(packets, n);
+  });
 }
 
 void HostAgent::observe(const Packet& packet) {
@@ -87,6 +89,27 @@ void HostAgent::observe(const Packet& packet) {
   const double log_ops = logging_ops_per_packet(config_.logging);
   if (log_ops > 0.0) host_.charge_ops(log_ops, /*ids_work=*/true);
   sensor_->ingest(packet);
+}
+
+void HostAgent::observe_batch(const Packet* packets, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    observe(*packets);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (packets[i].tuple.dst_port == kMgmtPort) {
+      // Mgmt traffic splits the batch; take the exact per-packet path.
+      for (std::size_t j = 0; j < count; ++j) observe(packets[j]);
+      return;
+    }
+  }
+  const double log_ops = logging_ops_per_packet(config_.logging);
+  if (log_ops > 0.0) {
+    host_.charge_ops(log_ops * static_cast<double>(count),
+                     /*ids_work=*/true);
+  }
+  sensor_->ingest_batch(packets, count);
 }
 
 }  // namespace idseval::ids

@@ -78,6 +78,10 @@ class HostAgent {
 
  private:
   void observe(const netsim::Packet& packet);
+  /// Same-tick delivery batch off the host downlink: logging ops are
+  /// charged once for the whole batch and the inner sensor gets one
+  /// batched ingest. Falls back per packet around mgmt-port traffic.
+  void observe_batch(const netsim::Packet* packets, std::size_t count);
 
   netsim::Simulator& sim_;
   netsim::Network& net_;

@@ -96,6 +96,10 @@ void LoadBalancer::ingest(const Packet& packet) {
     telemetry::bump(tele_dropped_);
     return;
   }
+  enqueue_service(packet);
+}
+
+void LoadBalancer::enqueue_service(const Packet& packet) {
   ++queued_;
   const SimTime start = std::max(sim_.now(), busy_until_);
   // Queue wait: how long the packet sits behind earlier work before its
@@ -109,6 +113,28 @@ void LoadBalancer::ingest(const Packet& packet) {
     ++stats_.per_sensor[idx];
     if (forward_) forward_(idx, packet);
   });
+}
+
+void LoadBalancer::ingest_batch(const Packet* packets, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    ingest(*packets);
+    return;
+  }
+  stats_.offered += count;
+  telemetry::bump(tele_offered_, count);
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (queued_ >= config_.queue_capacity) {
+      ++dropped;
+      continue;
+    }
+    enqueue_service(packets[i]);
+  }
+  if (dropped != 0) {
+    stats_.dropped += dropped;
+    telemetry::bump(tele_dropped_, dropped);
+  }
 }
 
 void LoadBalancer::reset_stats() {

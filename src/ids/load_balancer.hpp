@@ -68,6 +68,10 @@ class LoadBalancer {
   }
 
   void ingest(const netsim::Packet& packet);
+  /// Ingests a same-tick batch in order; offered/dropped stats and
+  /// telemetry bumps are hoisted to once per batch. A single-packet
+  /// batch takes the exact legacy ingest() path.
+  void ingest_batch(const netsim::Packet* packets, std::size_t count);
 
   /// Service time for one packet — also the latency an in-line deployment
   /// adds to production traffic.
@@ -80,6 +84,7 @@ class LoadBalancer {
 
  private:
   std::size_t route(const netsim::Packet& packet);
+  void enqueue_service(const netsim::Packet& packet);
 
   netsim::Simulator& sim_;
   LoadBalancerConfig config_;

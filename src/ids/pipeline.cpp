@@ -102,6 +102,7 @@ Pipeline::Pipeline(netsim::Simulator& sim, netsim::Network& net,
   for (std::size_t i = 0; i < config_.sensor_count; ++i) {
     SensorConfig sc = config_.sensor;
     sc.name = util::cat(config_.sensor.name, i);
+    sc.telemetry_scope = util::cat("sensor.", i);
     auto sensor = std::make_unique<Sensor>(sim_, sc);
     if (config_.signature_engine) {
       sensor->set_signature_engine(std::make_unique<SignatureEngine>(
@@ -115,8 +116,9 @@ Pipeline::Pipeline(netsim::Simulator& sim, netsim::Network& net,
       sensor->set_anomaly_engine(std::make_unique<AnomalyEngine>(opts));
     }
     const std::size_t idx = i;
-    sensor->set_on_detection([this, idx](const Detection& d) {
-      analyzer_for(idx).submit(d);
+    sensor->set_on_detections([this, idx](const Detection* d,
+                                          std::size_t n) {
+      analyzer_for(idx).submit_batch(d, n);
     });
     sensor->set_on_failure([this](const std::string& name,
                                   netsim::SimTime when, bool failed) {
@@ -159,6 +161,13 @@ void Pipeline::dispatch_to_sensor(std::size_t index, const Packet& packet) {
   sensors_[index]->ingest(packet);
 }
 
+std::size_t Pipeline::sensor_index_for(const Packet& packet) const {
+  // No LB: static placement by destination (sensors in separate subnets).
+  return sensors_.size() == 1
+             ? 0
+             : packet.tuple.dst_ip.value() % sensors_.size();
+}
+
 void Pipeline::feed(const Packet& packet) {
   if (packet.tuple.dst_port == kMgmtPort) return;  // own reports
   if (!config_.tap_filter.empty() &&
@@ -174,12 +183,58 @@ void Pipeline::feed(const Packet& packet) {
     lb_->ingest(packet);
     return;
   }
-  // No LB: static placement by destination (sensors in separate subnets).
-  const std::size_t idx =
-      sensors_.size() == 1
-          ? 0
-          : packet.tuple.dst_ip.value() % sensors_.size();
-  dispatch_to_sensor(idx, packet);
+  dispatch_to_sensor(sensor_index_for(packet), packet);
+}
+
+void Pipeline::feed_batch(const Packet* packets, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    feed(*packets);
+    return;
+  }
+  const bool filtering = !config_.tap_filter.empty();
+  std::uint64_t tapped = 0;
+  std::uint64_t filtered = 0;
+  std::size_t i = 0;
+  while (i < count) {
+    const Packet& p = packets[i];
+    if (p.tuple.dst_port == kMgmtPort) {  // own reports
+      ++i;
+      continue;
+    }
+    if (filtering && !config_.tap_filter.selects(p)) {
+      ++filtered;
+      ++i;
+      continue;
+    }
+    if (sensors_.empty()) {
+      ++tapped;
+      ++i;
+      continue;
+    }
+    // Extend a contiguous run of selected packets bound for one sink so
+    // the run rides a single batched ingest.
+    const std::size_t sink = lb_ ? 0 : sensor_index_for(p);
+    std::size_t j = i + 1;
+    while (j < count) {
+      const Packet& q = packets[j];
+      if (q.tuple.dst_port == kMgmtPort) break;
+      if (filtering && !config_.tap_filter.selects(q)) break;
+      if (!lb_ && sensor_index_for(q) != sink) break;
+      ++j;
+    }
+    tapped += j - i;
+    if (lb_) {
+      lb_->ingest_batch(packets + i, j - i);
+    } else {
+      sensors_[sink]->ingest_batch(packets + i, j - i);
+    }
+    i = j;
+  }
+  packets_tapped_ += tapped;
+  packets_filtered_ += filtered;
+  if (tapped != 0) telemetry::bump(tele_tapped_, tapped);
+  if (filtered != 0) telemetry::bump(tele_filtered_, filtered);
 }
 
 void Pipeline::attach(const std::vector<netsim::Ipv4>& agent_hosts) {
@@ -199,7 +254,8 @@ void Pipeline::attach(const std::vector<netsim::Ipv4>& agent_hosts) {
         sim_.schedule_in(delay, [p = p, fwd] { fwd(p); });
       });
     } else {
-      sw.add_mirror([this](const Packet& p) { feed(p); });
+      sw.add_mirror_batch(
+          [this](const Packet* p, std::size_t n) { feed_batch(p, n); });
     }
   }
 
@@ -217,8 +273,10 @@ void Pipeline::attach(const std::vector<netsim::Ipv4>& agent_hosts) {
         // collection point (reports from that host stay local).
         ac.report_sink = agent_hosts[0];
       }
+      SensorConfig agent_sc = config_.agent_sensor;
+      agent_sc.telemetry_scope = util::cat("agent.", i);
       auto agent = std::make_unique<HostAgent>(sim_, net_, *host, ac,
-                                               config_.agent_sensor);
+                                               agent_sc);
       if (config_.signature_engine) {
         agent->set_signature_engine(std::make_unique<SignatureEngine>(
             config_.rules,

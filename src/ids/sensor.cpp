@@ -29,7 +29,19 @@ Sensor::Sensor(netsim::Simulator& sim, SensorConfig config)
       tele_detections_(
           telemetry::counter_handle(telemetry::names::kSensorDetections)),
       tele_service_(
-          telemetry::latency_handle(telemetry::names::kSensorService)) {}
+          telemetry::latency_handle(telemetry::names::kSensorService)) {
+  if (!config_.telemetry_scope.empty()) {
+    const std::string& scope = config_.telemetry_scope;
+    scoped_offered_ =
+        telemetry::counter_handle(telemetry::scoped_name(scope, "offered"));
+    scoped_dropped_ =
+        telemetry::counter_handle(telemetry::scoped_name(scope, "dropped"));
+    scoped_detections_ = telemetry::counter_handle(
+        telemetry::scoped_name(scope, "detections"));
+    scoped_service_ =
+        telemetry::latency_handle(telemetry::scoped_name(scope, "service"));
+  }
+}
 
 void Sensor::set_signature_engine(std::unique_ptr<SignatureEngine> engine) {
   signature_ = std::move(engine);
@@ -55,19 +67,26 @@ void Sensor::reset_stats() noexcept {
   telemetry::reset(tele_dropped_);
   telemetry::reset(tele_detections_);
   telemetry::reset(tele_service_);
+  telemetry::reset(scoped_offered_);
+  telemetry::reset(scoped_dropped_);
+  telemetry::reset(scoped_detections_);
+  telemetry::reset(scoped_service_);
 }
 
 void Sensor::ingest(const Packet& packet) {
   ++stats_.offered;
   telemetry::bump(tele_offered_);
+  telemetry::bump(scoped_offered_);
   if (failed_) {
     ++stats_.dropped_failed;
     telemetry::bump(tele_dropped_);
+    telemetry::bump(scoped_dropped_);
     return;
   }
   if (queued_ >= config_.queue_capacity) {
     ++stats_.dropped_queue;
     telemetry::bump(tele_dropped_);
+    telemetry::bump(scoped_dropped_);
     // Persistent tail-dropping with a saturated backlog is the overload
     // condition that can kill the sensor outright ("network lethal dose").
     if (backlog() > config_.overload_tolerance) fail_now();
@@ -79,6 +98,10 @@ void Sensor::ingest(const Packet& packet) {
   if (anomaly_) ops += anomaly_->scan_cost_ops(packet);
   if (host_ != nullptr) host_->charge_ops(ops, /*ids_work=*/true);
 
+  enqueue_service(packet, ops);
+}
+
+void Sensor::enqueue_service(const Packet& packet, double ops) {
   const SimTime service =
       SimTime::from_sec(ops / std::max(1.0, config_.ops_per_sec));
   const SimTime start = std::max(sim_.now(), busy_until_);
@@ -88,9 +111,53 @@ void Sensor::ingest(const Packet& packet) {
   // time, so queue wait + service is exactly how long detection lags
   // the packet's arrival at this sensor.
   telemetry::record(tele_service_, (busy_until_ - sim_.now()).sec());
+  telemetry::record(scoped_service_, (busy_until_ - sim_.now()).sec());
 
   sim_.schedule_at(busy_until_,
                    [this, packet = packet] { complete(packet); });
+}
+
+void Sensor::ingest_batch(const Packet* packets, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    ingest(*packets);
+    return;
+  }
+  stats_.offered += count;
+  telemetry::bump(tele_offered_, count);
+  telemetry::bump(scoped_offered_, count);
+
+  std::uint64_t dropped = 0;
+  double host_ops = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Packet& packet = packets[i];
+    if (failed_) {
+      // A mid-batch failure (capacity trip below) drops the remainder of
+      // the batch exactly as the per-packet path would.
+      ++stats_.dropped_failed;
+      ++dropped;
+      continue;
+    }
+    if (queued_ >= config_.queue_capacity) {
+      ++stats_.dropped_queue;
+      ++dropped;
+      if (backlog() > config_.overload_tolerance) fail_now();
+      continue;
+    }
+    double ops = config_.base_ops_per_packet;
+    if (signature_) ops += signature_->scan_cost_ops(packet);
+    if (anomaly_) ops += anomaly_->scan_cost_ops(packet);
+    host_ops += ops;
+    enqueue_service(packet, ops);
+  }
+  if (dropped != 0) {
+    telemetry::bump(tele_dropped_, dropped);
+    telemetry::bump(scoped_dropped_, dropped);
+  }
+  // One accumulated charge instead of per-packet host bookkeeping.
+  if (host_ != nullptr && host_ops != 0.0) {
+    host_->charge_ops(host_ops, /*ids_work=*/true);
+  }
 }
 
 void Sensor::complete(const Packet& packet) {
@@ -99,6 +166,7 @@ void Sensor::complete(const Packet& packet) {
     // Work in flight when the sensor died is lost.
     ++stats_.dropped_failed;
     telemetry::bump(tele_dropped_);
+    telemetry::bump(scoped_dropped_);
     return;
   }
   ++stats_.processed;
@@ -109,7 +177,10 @@ void Sensor::complete(const Packet& packet) {
 
   stats_.detections += detections.size();
   telemetry::bump(tele_detections_, detections.size());
-  if (on_detection_) {
+  telemetry::bump(scoped_detections_, detections.size());
+  if (on_detections_ && !detections.empty()) {
+    on_detections_(detections.data(), detections.size());
+  } else if (on_detection_) {
     for (const Detection& d : detections) on_detection_(d);
   }
 }

@@ -50,6 +50,11 @@ struct SensorConfig {
   RecoveryPolicy recovery = RecoveryPolicy::kAppRestart;
   netsim::SimTime reboot_delay = netsim::SimTime::from_sec(45);
   netsim::SimTime restart_delay = netsim::SimTime::from_sec(2);
+  /// When set (e.g. "sensor.0"), the sensor additionally bumps
+  /// per-instance stage counters/latencies ("sensor.0.offered", ...)
+  /// beside the aggregate sensor.* names, so overload profiles can
+  /// localize which sensor saturates first.
+  std::string telemetry_scope;
 };
 
 struct SensorStats {
@@ -71,6 +76,10 @@ struct SensorStats {
 class Sensor {
  public:
   using DetectionFn = std::function<void(const Detection&)>;
+  /// Batch detection sink: every detection one packet produced, in engine
+  /// order. Preferred over DetectionFn when both are set.
+  using DetectionBatchFn =
+      std::function<void(const Detection*, std::size_t)>;
   /// Invoked when the sensor fails / recovers (Error Reporting metric:
   /// only kAppRestart reports through this channel in real time).
   using FailureFn = std::function<void(const std::string& sensor,
@@ -90,10 +99,17 @@ class Sensor {
   void bind_host(netsim::Host* host) noexcept { host_ = host; }
 
   void set_on_detection(DetectionFn fn) { on_detection_ = std::move(fn); }
+  void set_on_detections(DetectionBatchFn fn) {
+    on_detections_ = std::move(fn);
+  }
   void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
 
   /// Ingests one packet at simulation time `now`.
   void ingest(const netsim::Packet& packet);
+  /// Ingests a same-tick batch in order; stats/telemetry bumps and host
+  /// op charges are hoisted to once per batch. A single-packet batch
+  /// takes the exact legacy ingest() path.
+  void ingest_batch(const netsim::Packet* packets, std::size_t count);
 
   void set_sensitivity(double s) noexcept;
 
@@ -106,6 +122,7 @@ class Sensor {
   void reset_stats() noexcept;
 
  private:
+  void enqueue_service(const netsim::Packet& packet, double ops);
   void complete(const netsim::Packet& packet);
   void fail_now();
 
@@ -116,6 +133,7 @@ class Sensor {
   netsim::Host* host_ = nullptr;
 
   DetectionFn on_detection_;
+  DetectionBatchFn on_detections_;
   FailureFn on_failure_;
 
   SensorStats stats_;
@@ -126,6 +144,11 @@ class Sensor {
   telemetry::Counter* tele_dropped_;
   telemetry::Counter* tele_detections_;
   telemetry::LatencyStat* tele_service_;
+  // Per-instance handles (null unless config_.telemetry_scope is set).
+  telemetry::Counter* scoped_offered_ = nullptr;
+  telemetry::Counter* scoped_dropped_ = nullptr;
+  telemetry::Counter* scoped_detections_ = nullptr;
+  telemetry::LatencyStat* scoped_service_ = nullptr;
 };
 
 }  // namespace idseval::ids

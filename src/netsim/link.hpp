@@ -3,11 +3,21 @@
 // metrics become observable: induced latency, loss under load, and the
 // saturation behaviour behind "maximal throughput with zero loss" and
 // "network lethal dose" (Table 3).
+//
+// Delivery is batched: packets whose last bit arrives at the far end on
+// the same simulation tick form one DeliveryGroup and are delivered by a
+// single scheduled event (the FIFO transmitter makes arrival times
+// monotone, so a group is always a contiguous run of the in-flight
+// queue). Queue-slot release is lazy — tx-done times drain whenever the
+// depth is next observed — so a packet costs one scheduled event, not
+// three.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
@@ -34,6 +44,10 @@ struct LinkStats {
 class Link {
  public:
   using DeliverFn = std::function<void(const Packet&)>;
+  /// Batch delivery: a contiguous run of packets that all arrived on the
+  /// same tick, in FIFO order. Preferred over DeliverFn when both are
+  /// set; single-packet arrivals come through with count == 1.
+  using DeliverBatchFn = std::function<void(const Packet*, std::size_t)>;
 
   Link(Simulator& sim, std::string name, double bandwidth_bps,
        SimTime latency, std::size_t queue_capacity_packets);
@@ -42,18 +56,38 @@ class Link {
   bool send(const Packet& packet);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_deliver_batch(DeliverBatchFn fn) {
+    deliver_batch_ = std::move(fn);
+  }
+
+  /// When disabled, every packet gets its own delivery group and event
+  /// even at identical arrival ticks — the single-packet reference path
+  /// that batch-equivalence tests and benches compare against.
+  void set_coalescing(bool enabled) noexcept { coalesce_ = enabled; }
+  bool coalescing() const noexcept { return coalesce_; }
 
   const std::string& name() const noexcept { return name_; }
   double bandwidth_bps() const noexcept { return bandwidth_bps_; }
   SimTime latency() const noexcept { return latency_; }
   const LinkStats& stats() const noexcept { return stats_; }
-  std::size_t queue_depth() const noexcept { return queued_; }
+  /// Packets queued or in serialization right now (slots whose tx-done
+  /// time has passed are counted as released even if not yet drained).
+  std::size_t queue_depth() const noexcept;
   void reset_stats() noexcept { stats_ = LinkStats{}; }
 
   /// Serialization delay for a packet of `bytes` at this bandwidth.
   SimTime serialization_delay(std::uint32_t bytes) const noexcept;
 
  private:
+  void deliver_group();
+  void release_elapsed_slots() noexcept;
+
+  /// Packets sharing one arrival tick, delivered by a single event.
+  struct DeliveryGroup {
+    SimTime when;
+    std::uint32_t count = 0;
+  };
+
   Simulator& sim_;
   std::string name_;
   double bandwidth_bps_;
@@ -61,9 +95,16 @@ class Link {
   std::size_t queue_capacity_;
 
   DeliverFn deliver_;
+  DeliverBatchFn deliver_batch_;
   LinkStats stats_;
   std::size_t queued_ = 0;      ///< Packets queued or in serialization.
   SimTime busy_until_;          ///< When the transmitter frees up.
+  bool coalesce_ = true;
+
+  std::deque<Packet> in_flight_;       ///< FIFO toward delivery.
+  std::deque<DeliveryGroup> groups_;   ///< Arrival ticks are monotone.
+  std::deque<SimTime> slot_release_;   ///< Pending tx-done times (lazy).
+  std::vector<Packet> batch_scratch_;  ///< Contiguous view for batches.
 };
 
 }  // namespace idseval::netsim

@@ -20,8 +20,12 @@ Host* Network::attach(const std::string& name, Ipv4 addr,
                                       spec.bandwidth_bps, spec.latency,
                                       spec.queue_capacity);
   Host* host = a.host.get();
-  a.uplink->set_deliver([this](const Packet& p) { switch_.receive(p); });
-  a.downlink->set_deliver([host](const Packet& p) { host->deliver(p); });
+  a.uplink->set_deliver_batch([this](const Packet* p, std::size_t n) {
+    switch_.receive_batch(p, n);
+  });
+  a.downlink->set_deliver_batch([host](const Packet* p, std::size_t n) {
+    host->deliver_batch(p, n);
+  });
   switch_.attach(addr, a.downlink.get());
   attachments_.emplace(addr.value(), std::move(a));
   host_order_.push_back(host);
@@ -88,6 +92,13 @@ void Network::reset_link_stats() {
   for (auto& [addr, a] : attachments_) {
     a.uplink->reset_stats();
     a.downlink->reset_stats();
+  }
+}
+
+void Network::set_delivery_coalescing(bool enabled) {
+  for (auto& [addr, a] : attachments_) {
+    a.uplink->set_coalescing(enabled);
+    a.downlink->set_coalescing(enabled);
   }
 }
 

@@ -19,7 +19,7 @@ void Switch::attach(Ipv4 addr, Link* egress) {
 }
 
 void Switch::receive(const Packet& packet) {
-  if (blocked_.contains(packet.tuple.src_ip.value())) {
+  if (!blocked_.empty() && blocked_.contains(packet.tuple.src_ip.value())) {
     ++stats_.blocked;
     telemetry::bump(tele_blocked_);
     return;
@@ -29,12 +29,52 @@ void Switch::receive(const Packet& packet) {
   for (const auto& mirror : mirrors_) {
     ++stats_.mirrored;
     telemetry::bump(tele_mirrored_);
-    mirror(packet);
+    if (mirror.batch) {
+      mirror.batch(&packet, 1);
+    } else {
+      mirror.each(packet);
+    }
   }
   if (inline_hook_) {
     inline_hook_(packet, [this](const Packet& p) { forward(p); });
   } else {
     forward(packet);
+  }
+}
+
+void Switch::receive_batch(const Packet* packets, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    receive(*packets);
+    return;
+  }
+  if (!blocked_.empty()) {
+    // Block-list filtering can split the batch; fall back to the exact
+    // per-packet path so blocked/mirrored ordering stays identical.
+    for (std::size_t i = 0; i < count; ++i) receive(packets[i]);
+    return;
+  }
+  // Hoisted: one stats/telemetry update for the whole fan-out.
+  const std::uint64_t mirror_copies =
+      static_cast<std::uint64_t>(mirrors_.size()) *
+      static_cast<std::uint64_t>(count);
+  if (mirror_copies != 0) {
+    stats_.mirrored += mirror_copies;
+    telemetry::bump(tele_mirrored_, mirror_copies);
+  }
+  for (const auto& mirror : mirrors_) {
+    if (mirror.batch) {
+      mirror.batch(packets, count);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) mirror.each(packets[i]);
+    }
+  }
+  if (inline_hook_) {
+    for (std::size_t i = 0; i < count; ++i) {
+      inline_hook_(packets[i], [this](const Packet& p) { forward(p); });
+    }
+  } else {
+    forward_batch(packets, count);
   }
 }
 
@@ -49,7 +89,40 @@ void Switch::forward(const Packet& packet) {
   it->second->send(packet);
 }
 
-void Switch::add_mirror(MirrorFn fn) { mirrors_.push_back(std::move(fn)); }
+void Switch::forward_batch(const Packet* packets, std::size_t count) {
+  // Same-tick batches overwhelmingly share one destination (they came off
+  // one uplink); cache the last route to skip repeat hash lookups.
+  std::uint32_t cached_dst = 0;
+  Link* cached_link = nullptr;
+  bool cache_valid = false;
+  std::uint64_t forwarded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Packet& packet = packets[i];
+    const std::uint32_t dst = packet.tuple.dst_ip.value();
+    if (!cache_valid || dst != cached_dst) {
+      const auto it = routes_.find(dst);
+      cached_dst = dst;
+      cached_link = (it == routes_.end()) ? nullptr : it->second;
+      cache_valid = true;
+    }
+    if (cached_link == nullptr) {
+      ++stats_.no_route;
+      continue;
+    }
+    ++forwarded;
+    cached_link->send(packet);
+  }
+  stats_.forwarded += forwarded;
+  telemetry::bump(tele_forwarded_, forwarded);
+}
+
+void Switch::add_mirror(MirrorFn fn) {
+  mirrors_.push_back(MirrorEntry{std::move(fn), nullptr});
+}
+
+void Switch::add_mirror_batch(MirrorBatchFn fn) {
+  mirrors_.push_back(MirrorEntry{nullptr, std::move(fn)});
+}
 
 void Switch::block_source(Ipv4 addr) { blocked_.insert(addr.value()); }
 

@@ -29,6 +29,8 @@ struct SwitchStats {
 class Switch {
  public:
   using MirrorFn = std::function<void(const Packet&)>;
+  /// Batch SPAN mirror: observes a same-tick arrival batch in one call.
+  using MirrorBatchFn = std::function<void(const Packet*, std::size_t)>;
   /// In-line hook: receives the packet and a continuation that resumes
   /// normal forwarding; the hook may delay, drop, or forward immediately.
   using InlineFn =
@@ -41,9 +43,15 @@ class Switch {
 
   /// Ingress entry point: called when a packet arrives at the switch.
   void receive(const Packet& packet);
+  /// Batched ingress: a same-tick arrival run from one uplink, in FIFO
+  /// order. Mirror fan-out and stats/telemetry updates happen once per
+  /// batch; a single-packet batch takes the exact legacy receive() path.
+  void receive_batch(const Packet* packets, std::size_t count);
 
-  /// SPAN: every forwarded packet is also copied to each mirror.
+  /// SPAN: every forwarded packet is also copied to each mirror. Batch
+  /// and per-packet mirrors share one registration order.
   void add_mirror(MirrorFn fn);
+  void add_mirror_batch(MirrorBatchFn fn);
   /// Installs / clears the in-line device hook.
   void set_inline_hook(InlineFn fn) { inline_hook_ = std::move(fn); }
 
@@ -58,12 +66,20 @@ class Switch {
 
  private:
   void forward(const Packet& packet);
+  void forward_batch(const Packet* packets, std::size_t count);
+
+  /// Exactly one of the two callbacks is set per entry; the vector keeps
+  /// the combined registration order mirrors fire in.
+  struct MirrorEntry {
+    MirrorFn each;
+    MirrorBatchFn batch;
+  };
 
   Simulator& sim_;
   std::string name_;
   std::unordered_map<std::uint32_t, Link*> routes_;
   std::unordered_set<std::uint32_t> blocked_;
-  std::vector<MirrorFn> mirrors_;
+  std::vector<MirrorEntry> mirrors_;
   InlineFn inline_hook_;
   SwitchStats stats_;
   // Whole-run telemetry (the switch is network infrastructure, never

@@ -70,6 +70,16 @@ LatencyStat* latency_handle(std::string_view name) {
   return r == nullptr ? nullptr : &r->latency(name);
 }
 
+std::string scoped_name(std::string_view scope, std::string_view stage) {
+  if (scope.empty()) return {};
+  std::string out;
+  out.reserve(scope.size() + 1 + stage.size());
+  out.append(scope);
+  out.push_back('.');
+  out.append(stage);
+  return out;
+}
+
 void count(std::string_view name, std::uint64_t n) {
   Registry* r = current();
   if (r != nullptr) r->counter(name).increment(n);

@@ -120,6 +120,11 @@ class ScopedRegistry {
 Counter* counter_handle(std::string_view name);
 LatencyStat* latency_handle(std::string_view name);
 
+/// Builds per-instance stage names like "sensor.0.offered" from a scope
+/// ("sensor.0") and a stage suffix ("offered"). Empty scope → empty
+/// result, so callers can gate scoped handles on the scope being set.
+std::string scoped_name(std::string_view scope, std::string_view stage);
+
 inline void bump(Counter* c, std::uint64_t n = 1) noexcept {
   if (c != nullptr) c->increment(n);
 }

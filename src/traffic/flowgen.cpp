@@ -146,8 +146,9 @@ void FlowGenerator::launch_flow() {
       std::clamp(rng_.pareto(std::max(1.0, xm), alpha), 1.0, 10000.0));
 
   const std::uint64_t flow_id = sim_.next_flow_id();
+  Transaction* txn = nullptr;
   if (ledger_ != nullptr) {
-    ledger_->begin(flow_id, tuple, sim_.now(), /*is_attack=*/false);
+    txn = &ledger_->begin(flow_id, tuple, sim_.now(), /*is_attack=*/false);
   }
   ++stats_.flows_started;
 
@@ -155,6 +156,7 @@ void FlowGenerator::launch_flow() {
   FlowState& st = slab_[handle];
   st.tuple = tuple;
   st.flow_id = flow_id;
+  st.txn = txn;
   st.interval_ms = profile_.mean_pkt_interval_ms;
   st.seq = 0;
   st.remaining = packets;
@@ -184,8 +186,8 @@ void FlowGenerator::step_flow(FlowHandle handle) {
   net_.send(p);
   ++stats_.packets_emitted;
   stats_.bytes_emitted += p.wire_bytes();
-  if (ledger_ != nullptr) {
-    ledger_->touch(st.flow_id, sim_.now(), p.wire_bytes());
+  if (st.txn != nullptr) {
+    TransactionLedger::touch(*st.txn, sim_.now(), p.wire_bytes());
   }
 
   if (st.remaining > 1) {
@@ -197,6 +199,42 @@ void FlowGenerator::step_flow(FlowHandle handle) {
                      [this, handle] { step_flow(handle); });
   } else {
     release_flow_state(handle);
+  }
+}
+
+void FlowGenerator::emit_burst(Ipv4 src, Ipv4 dst, std::uint16_t dst_port,
+                               std::uint32_t count,
+                               std::size_t payload_bytes) {
+  if (count == 0) return;
+  FiveTuple tuple;
+  tuple.src_ip = src;
+  tuple.dst_ip = dst;
+  tuple.src_port =
+      static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535));
+  tuple.dst_port = dst_port;
+  tuple.proto = Protocol::kTcp;
+
+  const std::uint64_t flow_id = sim_.next_flow_id();
+  Transaction* txn = nullptr;
+  if (ledger_ != nullptr) {
+    txn = &ledger_->begin(flow_id, tuple, sim_.now(), /*is_attack=*/false);
+  }
+  ++stats_.flows_started;
+
+  for (std::uint32_t seq = 0; seq < count; ++seq) {
+    Packet p = netsim::make_packet(
+        sim_.next_packet_id(), flow_id, sim_.now(), tuple,
+        pool_->background(PayloadKind::kRandom, payload_bytes));
+    p.seq = seq;
+    p.flags.syn = (seq == 0);
+    p.flags.ack = (seq != 0);
+    p.flags.fin = (seq + 1 == count);
+    net_.send(p);
+    ++stats_.packets_emitted;
+    stats_.bytes_emitted += p.wire_bytes();
+    if (txn != nullptr) {
+      TransactionLedger::touch(*txn, sim_.now(), p.wire_bytes());
+    }
   }
 }
 

@@ -53,6 +53,14 @@ class FlowGenerator {
   /// finish their remaining packets).
   void start(netsim::SimTime until);
 
+  /// Emits `count` back-to-back packets of one flow right now (no pacing
+  /// gaps), producing a same-tick arrival train on zero-bandwidth links —
+  /// the worst-case fan-out that batched delivery coalesces. Intended for
+  /// benches/tests; ledger and stats accounting match paced emission.
+  void emit_burst(netsim::Ipv4 src, netsim::Ipv4 dst,
+                  std::uint16_t dst_port, std::uint32_t count,
+                  std::size_t payload_bytes);
+
   const FlowGenStats& stats() const noexcept { return stats_; }
   const EnvironmentProfile& profile() const noexcept { return profile_; }
   const PayloadPool& payload_pool() const noexcept { return *pool_; }
@@ -71,6 +79,9 @@ class FlowGenerator {
   struct FlowState {
     netsim::FiveTuple tuple;
     std::uint64_t flow_id = 0;
+    /// Cached ledger record (node-based map => pointer-stable); skips the
+    /// per-packet hash lookup on the emit path. Null when no ledger.
+    Transaction* txn = nullptr;
     double interval_ms = 0.0;
     std::uint32_t seq = 0;
     std::uint32_t remaining = 0;

@@ -39,6 +39,14 @@ class TransactionLedger {
   /// Accounts one emitted packet against the transaction.
   void touch(std::uint64_t flow_id, netsim::SimTime when,
              std::uint64_t bytes);
+  /// Hash-free variant for hot emit loops: `by_flow_` is node-based, so
+  /// the Transaction& from begin() stays valid and callers may cache it.
+  static void touch(Transaction& txn, netsim::SimTime when,
+                    std::uint64_t bytes) noexcept {
+    ++txn.packets;
+    txn.bytes += bytes;
+    if (when > txn.end) txn.end = when;
+  }
 
   const Transaction* find(std::uint64_t flow_id) const;
   bool is_attack(std::uint64_t flow_id) const;

@@ -120,10 +120,11 @@ void hash_result(StreamHash& sh, const RunResult& r) {
   }
 }
 
-std::uint64_t golden_run_hash() {
+std::uint64_t golden_run_hash(bool coalesce_delivery = true) {
   const TestbedConfig cfg = golden_config();
   const auto& model = products::product(products::ProductId::kGuardSecure);
   Testbed bed(cfg, &model, 0.5);
+  bed.net().set_delivery_coalescing(coalesce_delivery);
   StreamHash sh;
   bed.net().lan_switch().add_mirror(
       [&sh](const netsim::Packet& p) { hash_packet(sh, p); });
@@ -147,6 +148,13 @@ TEST(DeterminismTest, GoldenRunMatchesStoredHash) {
 
 TEST(DeterminismTest, BackToBackRunsAreIdentical) {
   EXPECT_EQ(golden_run_hash(), golden_run_hash());
+}
+
+TEST(DeterminismTest, CoalescingOffReproducesTheGoldenHash) {
+  // The batched delivery path must be an optimization, not a behavior
+  // change: forcing every packet into its own delivery group (the
+  // single-packet reference path) replays the exact same bytes.
+  EXPECT_EQ(golden_run_hash(/*coalesce_delivery=*/false), kGoldenHash);
 }
 
 }  // namespace

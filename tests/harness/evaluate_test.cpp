@@ -116,6 +116,14 @@ TEST(EvaluateTest, WithLoadMetricsScoresThroughputFamily) {
   }
   EXPECT_GT(eval.measured.zero_loss_pps, 0.0);
   EXPECT_GT(eval.measured.system_throughput_pps, 0.0);
+  // Every probe simulation the searches ran is accounted in the
+  // accumulated load-probe telemetry.
+  ASSERT_FALSE(eval.measured.load_probe_telemetry.empty());
+  const telemetry::Counter* probes =
+      eval.measured.load_probe_telemetry.find_counter(
+          telemetry::names::kHarnessProbes);
+  ASSERT_NE(probes, nullptr);
+  EXPECT_GT(probes->value(), 0u);
 }
 
 }  // namespace

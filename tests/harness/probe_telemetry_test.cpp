@@ -1,0 +1,92 @@
+// Probe-telemetry accumulation (harness.probes and load-probe stage
+// counters): every load measurement that is handed a Registry must
+// record one harness.probes bump per probe simulation and fold the
+// probes' stage telemetry into the accumulator — including probes that
+// ran on thread-pool workers, which never inherit an ambient registry.
+#include "harness/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/evaluate.hpp"
+#include "telemetry/registry.hpp"
+
+namespace idseval::harness {
+namespace {
+
+using netsim::SimTime;
+
+TestbedConfig tiny_env() {
+  TestbedConfig env;
+  env.profile = traffic::rt_cluster_profile();
+  env.internal_hosts = 4;
+  env.external_hosts = 2;
+  env.seed = 23;
+  env.warmup = SimTime::from_sec(4);
+  env.measure = SimTime::from_sec(8);
+  env.drain = SimTime::from_sec(2);
+  return env;
+}
+
+std::uint64_t probes(const telemetry::Registry& reg) {
+  const telemetry::Counter* c =
+      reg.find_counter(telemetry::names::kHarnessProbes);
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(ProbeTelemetryTest, LoadSweepCountsOneProbePerRatePoint) {
+  const auto& model = products::product(products::ProductId::kSentryNid);
+  telemetry::Registry reg;
+  const auto points =
+      load_sweep(tiny_env(), model, 0.5, {1.0, 2.0, 4.0}, &reg);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(probes(reg), 3u);
+  // Pool workers have no ambient registry; the accumulator must still
+  // have received the probes' stage traffic.
+  const telemetry::Counter* offered =
+      reg.find_counter(telemetry::names::kSensorOffered);
+  ASSERT_NE(offered, nullptr);
+  EXPECT_GT(offered->value(), 0u);
+}
+
+TEST(ProbeTelemetryTest, InducedLatencyCountsBothSimulations) {
+  const auto& model = products::product(products::ProductId::kSentryNid);
+  telemetry::Registry reg;
+  const double latency =
+      measure_induced_latency_sec(tiny_env(), model, 0.5, &reg);
+  EXPECT_GE(latency, 0.0);
+  // Product run plus no-IDS baseline.
+  EXPECT_EQ(probes(reg), 2u);
+}
+
+TEST(ProbeTelemetryTest, LethalDoseSearchAccumulatesSequentially) {
+  const auto& model = products::product(products::ProductId::kSentryNid);
+  telemetry::Registry reg;
+  // Scales 2.0 and 3.2 fit under max_scale 4.0: two probes.
+  const auto dose = measure_lethal_dose_pps(tiny_env(), model, 0.5,
+                                            /*max_scale=*/4.0, &reg);
+  EXPECT_FALSE(dose.has_value());
+  EXPECT_EQ(probes(reg), 2u);
+}
+
+TEST(ProbeTelemetryTest, NullAccumulatorKeepsAmbientBehaviour) {
+  const auto& model = products::product(products::ProductId::kSentryNid);
+  telemetry::Registry ambient;
+  telemetry::ScopedRegistry scope(&ambient);
+  // Sequential search with no accumulator records into the ambient
+  // registry, exactly as before the accumulator existed.
+  (void)measure_lethal_dose_pps(tiny_env(), model, 0.5, /*max_scale=*/4.0,
+                                nullptr);
+  EXPECT_EQ(probes(ambient), 2u);
+}
+
+TEST(ProbeTelemetryTest, SkippedLoadMetricsLeaveRegistryEmpty) {
+  const auto& model = products::product(products::ProductId::kSentryNid);
+  EvaluationOptions options;
+  options.attacks_per_kind = 1;
+  options.include_load_metrics = false;
+  const Evaluation eval = evaluate_product(tiny_env(), model, options);
+  EXPECT_TRUE(eval.measured.load_probe_telemetry.empty());
+}
+
+}  // namespace
+}  // namespace idseval::harness

@@ -196,6 +196,18 @@ int cmd_evaluate(const Args& args) {
           << "\",\"seed\":" << env.seed
           << ",\"telemetry\":" << telemetry::to_json(registry) << "}";
     trace->emit(event.str());
+    // The load probes run in their own registry (harness.probes and the
+    // per-stage probe telemetry), separate from the detection window.
+    if (!eval.measured.load_probe_telemetry.empty()) {
+      std::ostringstream probes;
+      probes << "{\"type\":\"load_probes\",\"product\":\""
+             << telemetry::json_escape(model.name) << "\",\"profile\":\""
+             << telemetry::json_escape(env.profile.name)
+             << "\",\"seed\":" << env.seed << ",\"telemetry\":"
+             << telemetry::to_json(eval.measured.load_probe_telemetry)
+             << "}";
+      trace->emit(probes.str());
+    }
     trace->close();
     report_trace(*trace);
   }
@@ -215,7 +227,9 @@ int cmd_rank(const Args& args) {
       std::stoull(args.opt("jobs", "1")));
   const auto& catalog = products::product_catalog();
   auto trace = open_trace(args);
-  std::vector<std::optional<core::Scorecard>> slots(catalog.size());
+  // Full evaluations (not just cards) so the load-probe registries are
+  // still around for the trace events below.
+  std::vector<std::optional<harness::Evaluation>> slots(catalog.size());
   // One registry per product so the telemetry of concurrent evaluations
   // stays separated; trace events are emitted in catalog order below.
   std::vector<telemetry::Registry> registries(catalog.size());
@@ -223,8 +237,7 @@ int cmd_rank(const Args& args) {
     util::ThreadPool pool(jobs);
     pool.parallel_for(catalog.size(), [&](std::size_t i) {
       telemetry::ScopedRegistry scope(&registries[i]);
-      slots[i].emplace(
-          harness::evaluate_product(env, catalog[i], options).card);
+      slots[i].emplace(harness::evaluate_product(env, catalog[i], options));
     });
   }
   if (trace) {
@@ -237,13 +250,25 @@ int cmd_rank(const Args& args) {
             << "\",\"seed\":" << env.seed << ",\"telemetry\":"
             << telemetry::to_json(registries[i]) << "}";
       trace->emit(event.str());
+      const telemetry::Registry& probes =
+          slots[i]->measured.load_probe_telemetry;
+      if (!probes.empty()) {
+        std::ostringstream probe_event;
+        probe_event << "{\"type\":\"load_probes\",\"product\":\""
+                    << telemetry::json_escape(catalog[i].name)
+                    << "\",\"profile\":\""
+                    << telemetry::json_escape(env.profile.name)
+                    << "\",\"seed\":" << env.seed << ",\"telemetry\":"
+                    << telemetry::to_json(probes) << "}";
+        trace->emit(probe_event.str());
+      }
     }
   }
   std::vector<core::Scorecard> cards;
   cards.reserve(slots.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
     std::printf("evaluated %s\n", catalog[i].name.c_str());
-    cards.push_back(std::move(*slots[i]));
+    cards.push_back(std::move(slots[i]->card));
   }
 
   const std::string profile = args.opt("weights", "realtime");
