@@ -10,6 +10,11 @@
 //              with delivery coalescing on and once forced off: isolates
 //              the batched-delivery win (one event per (link, tick)
 //              instead of one per packet) from the rest of the pipeline.
+//   trace    — producer-side cost of the trace sink: batches of events
+//              with simulated work between them, once with the sync
+//              (cell-boundary-flush) writer and once with the background
+//              writer thread; checks the background writer does not add
+//              producer-visible time and that both files are identical.
 //
 // The "baseline" constants below were measured at the commit immediately
 // before the allocation-free event core landed (std::function queue,
@@ -27,9 +32,12 @@
 //   --smoke  short run (CI): fewer events, one repetition, same checks.
 //   --out    JSON report path (default BENCH_netsim.json).
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "attack/scenario.hpp"
@@ -37,6 +45,8 @@
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "products/catalog.hpp"
+#include "results/doc.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/flowgen.hpp"
 #include "traffic/ledger.hpp"
 #include "traffic/profile.hpp"
@@ -207,73 +217,181 @@ FanoutResult fanout_run(bool coalesce, int bursts,
                       sim.alloc_fallbacks()};
 }
 
+struct TraceOverheadResult {
+  double sync_producer_sec = 0.0;        ///< emit+flush time, sync sink.
+  double background_producer_sec = 0.0;  ///< emit+flush time, bg sink.
+  std::uint64_t events = 0;
+  bool files_identical = false;
+};
+
+/// Burns roughly `sec` of wall clock standing in for a cell simulation
+/// between trace batches (the window the background writer drains in).
+void burn(double sec) {
+  const double until = now_sec() + sec;
+  volatile std::uint64_t sink = 0;
+  while (now_sec() < until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + 1;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Producer-side cost of tracing, shaped like a campaign cell: `batch`
+/// events emitted over the cell's lifetime (interleaved with simulated
+/// work), then one flush at the cell boundary. Only the time spent
+/// inside emit()/flush()/close() counts — that is the time the sim
+/// thread loses to tracing. The sync writer performs all file I/O
+/// inside the boundary flush; the background writer drains during the
+/// work windows, so its producer-visible time must not exceed the sync
+/// writer's.
+double trace_producer_run(const std::string& path, bool background,
+                          int batches, int batch,
+                          const std::string& line) {
+  idseval::telemetry::TraceSink sink(path, 1u << 16, background);
+  double spent = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    for (int burst = 0; burst < batch; burst += 50) {
+      double t0 = now_sec();
+      for (int i = 0; i < 50; ++i) sink.emit(line);
+      spent += now_sec() - t0;
+      burn(0.0002);  // sim work between event bursts inside the cell
+    }
+    const double t0 = now_sec();
+    sink.flush();  // cell boundary
+    spent += now_sec() - t0;
+  }
+  const double t0 = now_sec();
+  sink.close();
+  spent += now_sec() - t0;
+  return spent;
+}
+
+TraceOverheadResult trace_overhead_run(const std::string& out_base,
+                                       bool smoke) {
+  const int batches = smoke ? 10 : 50;
+  const int batch = smoke ? 1000 : 2000;
+  // A representative event line: the pre-rendered Doc shape producers
+  // enqueue (rendering cost is identical in both modes and excluded).
+  idseval::results::Doc event = idseval::results::Doc::object();
+  event.set("type", "cell")
+      .set("index", 17)
+      .set("product", "GuardSecure")
+      .set("profile", "rt_cluster")
+      .set("ok", true)
+      .set("mean_sec", 0.0012345);
+  const std::string line = idseval::results::to_json(event);
+
+  const std::string sync_path = out_base + ".trace_sync.jsonl";
+  const std::string bg_path = out_base + ".trace_bg.jsonl";
+  TraceOverheadResult r;
+  r.events = static_cast<std::uint64_t>(batches) *
+             static_cast<std::uint64_t>(batch);
+  r.sync_producer_sec =
+      trace_producer_run(sync_path, /*background=*/false, batches, batch,
+                         line);
+  r.background_producer_sec =
+      trace_producer_run(bg_path, /*background=*/true, batches, batch,
+                         line);
+  r.files_identical = slurp(sync_path) == slurp(bg_path);
+  std::remove(sync_path.c_str());
+  std::remove(bg_path.c_str());
+  return r;
+}
+
+idseval::results::Doc speed_doc(double v) {
+  // Keep the report readable: ratios to 3 decimals via a decimal string
+  // round-trip would change the type, so round the double itself.
+  return idseval::results::Doc(std::round(v * 1000.0) / 1000.0);
+}
+
 bool write_report(const std::string& path, const ChurnResult& churn,
                   const TestbedResult& bed, const FanoutResult& fan_on,
-                  const FanoutResult& fan_off, bool smoke) {
+                  const FanoutResult& fan_off,
+                  const TraceOverheadResult& trace, bool smoke) {
+  using idseval::results::Doc;
+  Doc report = Doc::object();
+  report.set("smoke", smoke);
+
+  Doc baseline = Doc::object();
+  baseline.set("churn_events_per_sec", kBaselineChurnEventsPerSec)
+      .set("testbed_events_per_sec", kBaselineTestbedEventsPerSec)
+      .set("testbed_packets_per_sec", kBaselineTestbedPacketsPerSec);
+  report.set("baseline", std::move(baseline));
+
+  Doc prior = Doc::object();
+  prior.set("churn_events_per_sec", kPriorChurnEventsPerSec)
+      .set("testbed_events_per_sec", kPriorTestbedEventsPerSec)
+      .set("testbed_packets_per_sec", kPriorTestbedPacketsPerSec)
+      .set("note",
+           "pre-batching event core; lazy slot release folded ~2 of ~7 "
+           "events/packet, so compare packets/sec across that change, "
+           "not events/sec");
+  report.set("prior", std::move(prior));
+
+  Doc current = Doc::object();
+  current.set("churn_events_per_sec", std::round(churn.events_per_sec))
+      .set("testbed_events_per_sec", std::round(bed.events_per_sec))
+      .set("testbed_packets_per_sec", std::round(bed.packets_per_sec));
+  report.set("current", std::move(current));
+
+  Doc speedup = Doc::object();
+  speedup
+      .set("churn",
+           speed_doc(churn.events_per_sec / kBaselineChurnEventsPerSec))
+      .set("testbed_events",
+           speed_doc(bed.events_per_sec / kBaselineTestbedEventsPerSec))
+      .set("testbed_packets",
+           speed_doc(bed.packets_per_sec / kBaselineTestbedPacketsPerSec))
+      .set("testbed_packets_vs_prior",
+           speed_doc(bed.packets_per_sec / kPriorTestbedPacketsPerSec));
+  report.set("speedup", std::move(speedup));
+
+  Doc fanout = Doc::object();
+  fanout
+      .set("coalesced_packets_per_sec",
+           std::round(fan_on.packets_per_sec))
+      .set("per_packet_packets_per_sec",
+           std::round(fan_off.packets_per_sec))
+      .set("coalesced_events", fan_on.events)
+      .set("per_packet_events", fan_off.events)
+      .set("speedup",
+           speed_doc(fan_on.packets_per_sec / fan_off.packets_per_sec))
+      .set("event_reduction",
+           speed_doc(static_cast<double>(fan_off.events) /
+                     static_cast<double>(fan_on.events)));
+  report.set("fanout", std::move(fanout));
+
+  Doc trace_overhead = Doc::object();
+  trace_overhead.set("events", trace.events)
+      .set("sync_producer_sec",
+           std::round(trace.sync_producer_sec * 1e6) / 1e6)
+      .set("background_producer_sec",
+           std::round(trace.background_producer_sec * 1e6) / 1e6)
+      .set("producer_time_ratio",
+           speed_doc(trace.sync_producer_sec > 0.0
+                         ? trace.background_producer_sec /
+                               trace.sync_producer_sec
+                         : 0.0))
+      .set("files_identical", trace.files_identical);
+  report.set("trace_overhead", std::move(trace_overhead));
+
+  report.set("callback_heap_fallbacks",
+             churn.fallbacks + bed.fallbacks + fan_on.fallbacks +
+                 fan_off.fallbacks);
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_netsim: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f, "  \"baseline\": {\n");
-  std::fprintf(f, "    \"churn_events_per_sec\": %.0f,\n",
-               kBaselineChurnEventsPerSec);
-  std::fprintf(f, "    \"testbed_events_per_sec\": %.0f,\n",
-               kBaselineTestbedEventsPerSec);
-  std::fprintf(f, "    \"testbed_packets_per_sec\": %.0f\n",
-               kBaselineTestbedPacketsPerSec);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"prior\": {\n");
-  std::fprintf(f, "    \"churn_events_per_sec\": %.0f,\n",
-               kPriorChurnEventsPerSec);
-  std::fprintf(f, "    \"testbed_events_per_sec\": %.0f,\n",
-               kPriorTestbedEventsPerSec);
-  std::fprintf(f, "    \"testbed_packets_per_sec\": %.0f,\n",
-               kPriorTestbedPacketsPerSec);
-  std::fprintf(f, "    \"note\": \"pre-batching event core; lazy slot "
-               "release folded ~2 of ~7 events/packet, so compare "
-               "packets/sec across that change, not events/sec\"\n");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"current\": {\n");
-  std::fprintf(f, "    \"churn_events_per_sec\": %.0f,\n",
-               churn.events_per_sec);
-  std::fprintf(f, "    \"testbed_events_per_sec\": %.0f,\n",
-               bed.events_per_sec);
-  std::fprintf(f, "    \"testbed_packets_per_sec\": %.0f\n",
-               bed.packets_per_sec);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup\": {\n");
-  std::fprintf(f, "    \"churn\": %.3f,\n",
-               churn.events_per_sec / kBaselineChurnEventsPerSec);
-  std::fprintf(f, "    \"testbed_events\": %.3f,\n",
-               bed.events_per_sec / kBaselineTestbedEventsPerSec);
-  std::fprintf(f, "    \"testbed_packets\": %.3f,\n",
-               bed.packets_per_sec / kBaselineTestbedPacketsPerSec);
-  std::fprintf(f, "    \"testbed_packets_vs_prior\": %.3f\n",
-               bed.packets_per_sec / kPriorTestbedPacketsPerSec);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"fanout\": {\n");
-  std::fprintf(f, "    \"coalesced_packets_per_sec\": %.0f,\n",
-               fan_on.packets_per_sec);
-  std::fprintf(f, "    \"per_packet_packets_per_sec\": %.0f,\n",
-               fan_off.packets_per_sec);
-  std::fprintf(f, "    \"coalesced_events\": %llu,\n",
-               static_cast<unsigned long long>(fan_on.events));
-  std::fprintf(f, "    \"per_packet_events\": %llu,\n",
-               static_cast<unsigned long long>(fan_off.events));
-  std::fprintf(f, "    \"speedup\": %.3f,\n",
-               fan_on.packets_per_sec / fan_off.packets_per_sec);
-  std::fprintf(f, "    \"event_reduction\": %.3f\n",
-               static_cast<double>(fan_off.events) /
-                   static_cast<double>(fan_on.events));
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"callback_heap_fallbacks\": %llu\n",
-               static_cast<unsigned long long>(
-                   churn.fallbacks + bed.fallbacks + fan_on.fallbacks +
-                   fan_off.fallbacks));
-  std::fprintf(f, "}\n");
+  const std::string text = idseval::results::to_json_pretty(report);
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   return true;
 }
@@ -337,13 +455,38 @@ int main(int argc, char** argv) {
               static_cast<double>(fan_off.events) /
                   static_cast<double>(fan_on.events));
 
+  const TraceOverheadResult trace = trace_overhead_run(out, smoke);
+  std::printf("trace:   %12.6f s producer time sync, %.6f s background "
+              "(%llu events, files %s)\n",
+              trace.sync_producer_sec, trace.background_producer_sec,
+              static_cast<unsigned long long>(trace.events),
+              trace.files_identical ? "identical" : "DIFFER");
+
   const std::uint64_t fallbacks = churn.fallbacks + bed.fallbacks +
                                   fan_on.fallbacks + fan_off.fallbacks;
   std::printf("callback heap fallbacks: %llu\n",
               static_cast<unsigned long long>(fallbacks));
 
-  if (!write_report(out, churn, bed, fan_on, fan_off, smoke)) return 1;
+  if (!write_report(out, churn, bed, fan_on, fan_off, trace, smoke)) {
+    return 1;
+  }
   std::printf("report: %s\n", out.c_str());
+
+  // Byte-identity between writer modes is deterministic (one FIFO feeds
+  // both), so it hard-fails everywhere; the timing comparison is noisy
+  // on shared CI hardware and stays warn-only.
+  if (!trace.files_identical) {
+    std::fprintf(stderr,
+                 "bench_netsim: FAIL — background and sync trace files "
+                 "differ\n");
+    return 1;
+  }
+  if (trace.background_producer_sec > trace.sync_producer_sec * 1.5) {
+    std::fprintf(stderr,
+                 "bench_netsim: warning — background writer producer "
+                 "time %.6fs exceeds sync %.6fs\n",
+                 trace.background_producer_sec, trace.sync_producer_sec);
+  }
 
   // Smoke-mode regression floor for CI: a real throughput collapse shows
   // up even in the short run. Only meaningful on optimized builds; under

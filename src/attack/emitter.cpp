@@ -120,6 +120,13 @@ std::uint64_t AttackEmitter::emit_syn_flood(Ipv4 a, Ipv4 v, SimTime t) {
   const std::uint64_t flow = open_transaction(AttackKind::kSynFlood, base, t);
 
   const int bursts = static_cast<int>(rng_.uniform_u64(400, 900));
+  // With flood_train_ > 1, consecutive packets share one tick and the
+  // inter-packet gap is drawn only at train boundaries (scaled by the
+  // train length so the mean offered rate is unchanged) — the flood then
+  // arrives as the same-tick delivery groups the batched fan-out path
+  // coalesces. flood_train_ == 1 reproduces the legacy emission exactly,
+  // including the RNG draw sequence.
+  const std::uint32_t train = flood_train_;
   SimTime when = t;
   for (int i = 0; i < bursts; ++i) {
     FiveTuple tuple = base;
@@ -129,7 +136,9 @@ std::uint64_t AttackEmitter::emit_syn_flood(Ipv4 a, Ipv4 v, SimTime t) {
     TcpFlags syn;
     syn.syn = true;
     send_at(when, flow, tuple, nullptr, syn, static_cast<std::uint32_t>(i));
-    when += SimTime::from_us(rng_.uniform(50.0, 400.0));
+    if ((static_cast<std::uint32_t>(i) + 1) % train == 0) {
+      when += SimTime::from_us(rng_.uniform(50.0, 400.0) * train);
+    }
   }
   return flow;
 }

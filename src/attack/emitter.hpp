@@ -39,6 +39,16 @@ class AttackEmitter {
   std::uint64_t launch(AttackKind kind, netsim::Ipv4 attacker,
                        netsim::Ipv4 victim, netsim::SimTime when);
 
+  /// Flood kinds emit same-tick trains of `len` packets (gaps drawn at
+  /// train boundaries and scaled by `len`, keeping the mean rate), so
+  /// floods land on the coalesced same-tick delivery path the way
+  /// emit_burst-style bulk traffic does. Default 1 = the legacy
+  /// packet-per-tick emission (identical RNG draw sequence).
+  void set_flood_train(std::uint32_t len) noexcept {
+    flood_train_ = len == 0 ? 1 : len;
+  }
+  std::uint32_t flood_train() const noexcept { return flood_train_; }
+
   const EmitStats& stats() const noexcept { return stats_; }
 
  private:
@@ -78,6 +88,7 @@ class AttackEmitter {
   std::unique_ptr<traffic::PayloadPool> owned_pool_;
   traffic::PayloadPool* pool_;
   EmitStats stats_;
+  std::uint32_t flood_train_ = 1;
 };
 
 }  // namespace idseval::attack

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <sstream>
 #include <tuple>
 
 #include "harness/measure.hpp"
+#include "results/csv.hpp"
+#include "results/table.hpp"
 #include "util/table.hpp"
 
 namespace idseval::campaign {
@@ -16,12 +16,6 @@ namespace {
 std::string fmt_mean_sd(const util::RunningStats& s, int precision = 2) {
   return util::fmt_double(s.mean(), precision) + " ±" +
          util::fmt_double(dispersion(s), precision);
-}
-
-std::string csv_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
 }
 
 struct CsvQuantity {
@@ -115,31 +109,29 @@ CampaignAggregate aggregate(
 
 std::string render_summary(const CampaignSpec& spec,
                            const CampaignAggregate& agg) {
-  util::TextTable table(
+  results::TableBuilder table(
       {"Product", "Profile", "Sens", "N", "Total", "Logist", "Archit",
        "Perf", "FP %", "FN %", "Timel s"},
-      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight});
-  table.set_title("Campaign '" + spec.name + "' — " + spec.weights +
-                  " weights, mean ± stddev over seed replicates");
+      {"left", "left", "right", "right", "right", "right", "right", "right",
+       "right", "right", "right"});
+  table.title("Campaign '" + spec.name + "' — " + spec.weights +
+              " weights, mean ± stddev over seed replicates");
   std::string last_product;
   for (const auto& [key, g] : agg.groups) {
     if (!last_product.empty() && key.product != last_product) {
-      table.add_rule();
+      table.rule();
     }
     last_product = key.product;
-    table.add_row({key.product, key.profile,
-                   util::fmt_double(key.sensitivity, 2),
-                   std::to_string(g.score_total.count()),
-                   fmt_mean_sd(g.score_total), fmt_mean_sd(g.score_logistical),
-                   fmt_mean_sd(g.score_architectural),
-                   fmt_mean_sd(g.score_performance),
-                   fmt_mean_sd(g.fp_percent), fmt_mean_sd(g.fn_percent),
-                   fmt_mean_sd(g.timeliness_sec)});
+    table.row({key.product, key.profile,
+               util::fmt_double(key.sensitivity, 2),
+               std::to_string(g.score_total.count()),
+               fmt_mean_sd(g.score_total), fmt_mean_sd(g.score_logistical),
+               fmt_mean_sd(g.score_architectural),
+               fmt_mean_sd(g.score_performance),
+               fmt_mean_sd(g.fp_percent), fmt_mean_sd(g.fn_percent),
+               fmt_mean_sd(g.timeliness_sec)});
   }
-  std::string out = table.render();
+  std::string out = results::render_table_text(table.build());
   if (agg.failed_cells > 0) {
     out += "!! " + std::to_string(agg.failed_cells) +
            " cell(s) failed and are excluded from the statistics\n";
@@ -150,47 +142,72 @@ std::string render_summary(const CampaignSpec& spec,
 std::string render_eer_summary(const CampaignSpec& spec,
                                const CampaignAggregate& agg) {
   if (spec.sensitivities.size() < 2 || agg.eer.empty()) return "";
-  util::TextTable table({"Product", "Profile", "N", "EER %", "EER min",
-                         "EER max", "at sens", "no-cross"},
-                        {util::Align::kLeft, util::Align::kLeft,
-                         util::Align::kRight, util::Align::kRight,
-                         util::Align::kRight, util::Align::kRight,
-                         util::Align::kRight, util::Align::kRight});
-  table.set_title(
+  results::TableBuilder table({"Product", "Profile", "N", "EER %", "EER min",
+                               "EER max", "at sens", "no-cross"},
+                              {"left", "left", "right", "right", "right",
+                               "right", "right", "right"});
+  table.title(
       "Equal Error Rate across the campaign sensitivity grid (per "
       "replicate)");
   for (const auto& [key, e] : agg.eer) {
-    table.add_row({key.first, key.second,
-                   std::to_string(e.error_percent.count()),
-                   fmt_mean_sd(e.error_percent),
-                   util::fmt_double(e.error_percent.min(), 2),
-                   util::fmt_double(e.error_percent.max(), 2),
-                   fmt_mean_sd(e.sensitivity),
-                   std::to_string(e.replicates_without_crossing)});
+    table.row({key.first, key.second,
+               std::to_string(e.error_percent.count()),
+               fmt_mean_sd(e.error_percent),
+               util::fmt_double(e.error_percent.min(), 2),
+               util::fmt_double(e.error_percent.max(), 2),
+               fmt_mean_sd(e.sensitivity),
+               std::to_string(e.replicates_without_crossing)});
   }
-  return table.render();
+  return results::render_table_text(table.build());
 }
 
 std::string to_csv(const CampaignSpec& spec, const CampaignAggregate& agg) {
   (void)spec;
-  std::ostringstream out;
-  out << "product,profile,sensitivity,replicates";
+  std::vector<std::string> columns = {"product", "profile", "sensitivity",
+                                      "replicates"};
   for (const auto& q : kCsvQuantities) {
-    out << ',' << q.name << "_mean," << q.name << "_min," << q.name
-        << "_max," << q.name << "_stddev";
+    columns.push_back(std::string(q.name) + "_mean");
+    columns.push_back(std::string(q.name) + "_min");
+    columns.push_back(std::string(q.name) + "_max");
+    columns.push_back(std::string(q.name) + "_stddev");
   }
-  out << '\n';
+  results::Csv csv(std::move(columns));
   for (const auto& [key, g] : agg.groups) {
-    out << key.product << ',' << key.profile << ','
-        << csv_number(key.sensitivity) << ',' << g.score_total.count();
+    std::vector<results::Doc> row = {key.product, key.profile,
+                                     key.sensitivity,
+                                     g.score_total.count()};
     for (const auto& q : kCsvQuantities) {
       const util::RunningStats& s = g.*(q.member);
-      out << ',' << csv_number(s.mean()) << ',' << csv_number(s.min())
-          << ',' << csv_number(s.max()) << ',' << csv_number(dispersion(s));
+      row.emplace_back(s.mean());
+      row.emplace_back(s.min());
+      row.emplace_back(s.max());
+      row.emplace_back(dispersion(s));
     }
-    out << '\n';
+    csv.add_row(std::move(row));
   }
-  return out.str();
+  return results::to_csv(csv);
+}
+
+std::string stages_to_csv(const CampaignSpec& spec,
+                          const std::map<std::size_t, CellResult>& results) {
+  (void)spec;
+  results::Csv csv({"cell_index", "product", "profile", "sensitivity",
+                    "replicate", "seed", "stage", "events", "mean_sec",
+                    "p99_sec", "max_sec"});
+  const auto stage_row = [&csv](const CellResult& r, const char* stage,
+                                const telemetry::StageSummary& s) {
+    csv.add_row({r.cell.index, products::product(r.cell.product).name,
+                 r.cell.profile, r.cell.sensitivity, r.cell.replicate,
+                 r.cell.seed, stage, s.count, s.mean_sec, s.p99_sec,
+                 s.max_sec});
+  };
+  for (const auto& [index, r] : results) {
+    stage_row(r, "lb_wait", r.telemetry.lb_wait);
+    stage_row(r, "sensor_service", r.telemetry.sensor_service);
+    stage_row(r, "analyzer_batch", r.telemetry.analyzer_batch);
+    stage_row(r, "monitor_alert", r.telemetry.monitor_alert);
+  }
+  return results::to_csv(csv);
 }
 
 }  // namespace idseval::campaign

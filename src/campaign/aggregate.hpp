@@ -82,4 +82,13 @@ std::string render_eer_summary(const CampaignSpec& spec,
 /// for every aggregated quantity.
 std::string to_csv(const CampaignSpec& spec, const CampaignAggregate& agg);
 
+/// Columnar per-stage latency export across the sensitivity axis: one
+/// row per (cell, pipeline stage) — four stage rows per cell, failed
+/// cells included with their all-zero snapshots — with columns
+/// cell_index,product,profile,sensitivity,replicate,seed,stage,events,
+/// mean_sec,p99_sec,max_sec. Row count is therefore always
+/// 4 * results.size(), which CI checks after a traced campaign.
+std::string stages_to_csv(const CampaignSpec& spec,
+                          const std::map<std::size_t, CellResult>& results);
+
 }  // namespace idseval::campaign

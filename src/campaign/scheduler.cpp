@@ -1,13 +1,12 @@
 #include "campaign/scheduler.hpp"
 
 #include <chrono>
-#include <cstdio>
 #include <memory>
 #include <mutex>
-#include <sstream>
 
 #include "campaign/store.hpp"
 #include "harness/evaluate.hpp"
+#include "results/doc.hpp"
 #include "netsim/sim_time.hpp"
 #include "traffic/profile.hpp"
 #include "util/rng.hpp"
@@ -39,7 +38,8 @@ std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
   return cells;
 }
 
-CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell) {
+CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
+                    harness::RunContext& ctx) {
   harness::TestbedConfig env;
   env.profile = traffic::profile_by_name(cell.profile);
   env.internal_hosts = spec.internal_hosts;
@@ -55,7 +55,7 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell) {
 
   const harness::Evaluation eval =
       harness::evaluate_product(env, products::product(cell.product),
-                                options);
+                                options, &ctx);
 
   CellResult result;
   result.cell = cell;
@@ -95,22 +95,20 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell) {
 
 namespace {
 
-std::string cell_trace_event(const CellResult& result,
-                             const telemetry::Registry& registry) {
-  char sens[64];
-  std::snprintf(sens, sizeof(sens), "%.17g", result.cell.sensitivity);
-  std::ostringstream out;
-  out << "{\"type\":\"cell\",\"index\":" << result.cell.index
-      << ",\"product\":\""
-      << telemetry::json_escape(products::product(result.cell.product).name)
-      << "\",\"profile\":\"" << telemetry::json_escape(result.cell.profile)
-      << "\",\"sensitivity\":" << sens
-      << ",\"replicate\":" << result.cell.replicate
-      << ",\"seed\":" << result.cell.seed
-      << ",\"ok\":" << (result.ok ? "true" : "false") << ",\"error\":\""
-      << telemetry::json_escape(result.error)
-      << "\",\"telemetry\":" << telemetry::to_json(registry) << "}";
-  return out.str();
+results::Doc cell_trace_event(const CellResult& result,
+                              const telemetry::Registry& registry) {
+  results::Doc event = results::Doc::object();
+  event.set("type", "cell")
+      .set("index", result.cell.index)
+      .set("product", products::product(result.cell.product).name)
+      .set("profile", result.cell.profile)
+      .set("sensitivity", result.cell.sensitivity)
+      .set("replicate", result.cell.replicate)
+      .set("seed", result.cell.seed)
+      .set("ok", result.ok)
+      .set("error", result.error)
+      .set("telemetry", telemetry::to_doc(registry));
+  return event;
 }
 
 }  // namespace
@@ -130,30 +128,31 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
   stats.total_cells = cells.size();
   stats.skipped = cells.size() - pending.size();
 
-  const auto runner = options.runner
-                          ? options.runner
-                          : [](const CampaignSpec& s, const CampaignCell& c) {
-                              return run_cell(s, c);
-                            };
+  const auto runner =
+      options.runner
+          ? options.runner
+          : [](const CampaignSpec& s, const CampaignCell& c,
+               harness::RunContext& ctx) { return run_cell(s, c, ctx); };
 
   std::mutex progress_mutex;
   std::size_t done = 0;
   std::size_t failed = 0;
-  // One registry per pending cell, created unconditionally (recording is
-  // cheap and keeps results byte-identical with tracing on or off) and
-  // merged into the aggregate in cell-index order after the pool drains.
-  std::vector<std::unique_ptr<telemetry::Registry>> cell_regs(
+  // One RunContext per pending cell, created unconditionally (recording
+  // is cheap and keeps results byte-identical with tracing on or off)
+  // and merged into the aggregate in cell-index order after the pool
+  // drains. Every context shares the campaign's trace sink.
+  std::vector<std::unique_ptr<harness::RunContext>> cell_ctxs(
       pending.size());
   util::ThreadPool pool(options.jobs);
   pool.parallel_for(pending.size(), [&](std::size_t i) {
     const CampaignCell& cell = *pending[i];
     const auto cell_started = std::chrono::steady_clock::now();
-    cell_regs[i] = std::make_unique<telemetry::Registry>();
+    cell_ctxs[i] = std::make_unique<harness::RunContext>(options.trace);
     CellResult result;
     {
-      telemetry::ScopedRegistry scope(cell_regs[i].get());
+      harness::RunContext::Scope scope(*cell_ctxs[i]);
       try {
-        result = runner(spec, cell);
+        result = runner(spec, cell, *cell_ctxs[i]);
       } catch (const std::exception& e) {
         result = CellResult{};
         result.cell = cell;
@@ -181,15 +180,15 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
           .record(result.wall_sec);
     }
     if (options.trace) {
-      options.trace->emit(cell_trace_event(result, *cell_regs[i]));
+      options.trace->emit(cell_trace_event(result, cell_ctxs[i]->registry()));
       options.trace->flush();
     }
     if (options.on_cell) options.on_cell(result, done, pending.size());
   });
 
   if (options.telemetry) {
-    for (const auto& reg : cell_regs) {
-      if (reg) options.telemetry->merge(*reg);
+    for (const auto& ctx : cell_ctxs) {
+      if (ctx) options.telemetry->merge(ctx->registry());
     }
   }
 

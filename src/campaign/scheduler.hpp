@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "harness/run_context.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -71,10 +72,12 @@ struct CellResult {
 std::vector<CampaignCell> expand_cells(const CampaignSpec& spec);
 
 /// Evaluates one cell: builds the testbed environment, runs the full
-/// evaluate_product methodology, scores the card under the spec's weight
+/// evaluate_product methodology against `ctx` (the cell's telemetry
+/// registry and trace sink), scores the card under the spec's weight
 /// profile. Throws whatever the harness throws — failure isolation is
 /// the scheduler's job.
-CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell);
+CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
+                    harness::RunContext& ctx);
 
 struct RunOptions {
   std::size_t jobs = 1;            ///< 0 selects hardware concurrency.
@@ -84,8 +87,12 @@ struct RunOptions {
   std::function<void(const CellResult&, std::size_t done,
                      std::size_t total)>
       on_cell;
-  /// Test hook: replaces run_cell as the per-cell evaluator.
-  std::function<CellResult(const CampaignSpec&, const CampaignCell&)>
+  /// Test hook: replaces run_cell as the per-cell evaluator. The
+  /// scheduler hands every cell its own RunContext (installed as the
+  /// worker thread's ambient registry for the call) so per-cell
+  /// telemetry stays isolated and mergeable in index order.
+  std::function<CellResult(const CampaignSpec&, const CampaignCell&,
+                           harness::RunContext&)>
       runner;
   /// When set, every executed cell's telemetry registry is merged into
   /// this aggregate after the pool drains — in cell-index order, so the

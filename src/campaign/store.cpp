@@ -1,13 +1,12 @@
 #include "campaign/store.hpp"
 
-#include <cctype>
 #include <cerrno>
-#include <cstdlib>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
+#include "results/doc.hpp"
 #include "telemetry/trace.hpp"
 
 namespace idseval::campaign {
@@ -16,235 +15,89 @@ namespace {
 
 constexpr const char* kFormat = "idseval-campaign-v1";
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string fmt_exact(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
+std::string fingerprint_hex(const CampaignSpec& spec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(spec.fingerprint()));
   return buf;
 }
 
-/// Minimal parser for the one-line objects this store writes: string,
-/// number, and bool values, plus nested objects which are captured as
-/// raw balanced-brace tokens (re-parse them with this same function).
-/// Strings are unescaped; other values stay raw tokens.
-std::map<std::string, std::string> parse_flat_json(const std::string& line) {
-  std::map<std::string, std::string> fields;
-  std::size_t pos = 0;
-  const auto fail = [&](const char* why) {
-    throw std::invalid_argument(std::string("campaign store: ") + why +
+results::Doc parse_line(const std::string& line) {
+  try {
+    return results::parse_json(line);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("campaign store: ") + e.what() +
                                 ": " + line);
-  };
-  const auto skip_ws = [&] {
-    while (pos < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[pos]))) {
-      ++pos;
-    }
-  };
-  const auto parse_string = [&]() -> std::string {
-    if (line[pos] != '"') fail("expected string");
-    ++pos;
-    std::string out;
-    while (pos < line.size() && line[pos] != '"') {
-      char c = line[pos++];
-      if (c == '\\') {
-        if (pos >= line.size()) fail("bad escape");
-        const char esc = line[pos++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos + 4 > line.size()) fail("bad \\u escape");
-            c = static_cast<char>(
-                std::strtoul(line.substr(pos, 4).c_str(), nullptr, 16));
-            pos += 4;
-            break;
-          }
-          default: fail("bad escape");
-        }
-      }
-      out += c;
-    }
-    if (pos >= line.size()) fail("unterminated string");
-    ++pos;  // closing quote
-    return out;
-  };
-
-  skip_ws();
-  if (pos >= line.size() || line[pos] != '{') fail("expected object");
-  ++pos;
-  skip_ws();
-  if (pos < line.size() && line[pos] == '}') return fields;
-  for (;;) {
-    skip_ws();
-    const std::string key = parse_string();
-    skip_ws();
-    if (pos >= line.size() || line[pos] != ':') fail("expected colon");
-    ++pos;
-    skip_ws();
-    if (pos >= line.size()) fail("truncated value");
-    if (line[pos] == '"') {
-      fields[key] = parse_string();
-    } else if (line[pos] == '{') {
-      const std::size_t start = pos;
-      int depth = 0;
-      bool in_string = false;
-      while (pos < line.size()) {
-        const char c = line[pos];
-        if (in_string) {
-          if (c == '\\') {
-            ++pos;  // skip the escaped character
-          } else if (c == '"') {
-            in_string = false;
-          }
-        } else if (c == '"') {
-          in_string = true;
-        } else if (c == '{') {
-          ++depth;
-        } else if (c == '}') {
-          --depth;
-          if (depth == 0) {
-            ++pos;
-            break;
-          }
-        }
-        ++pos;
-      }
-      if (depth != 0) fail("unbalanced nested object");
-      fields[key] = line.substr(start, pos - start);
-    } else {
-      const std::size_t start = pos;
-      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
-        ++pos;
-      }
-      std::string token = line.substr(start, pos - start);
-      while (!token.empty() &&
-             std::isspace(static_cast<unsigned char>(token.back()))) {
-        token.pop_back();
-      }
-      if (token.empty()) fail("empty value");
-      fields[key] = token;
-    }
-    skip_ws();
-    if (pos >= line.size()) fail("truncated object");
-    if (line[pos] == '}') break;
-    if (line[pos] != ',') fail("expected comma");
-    ++pos;
   }
-  return fields;
 }
 
-const std::string& field(const std::map<std::string, std::string>& fields,
-                         const std::string& key) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) {
-    throw std::invalid_argument("campaign store: missing field: " + key);
+const results::Doc& member(const results::Doc& doc, const char* key) {
+  const results::Doc* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string("campaign store: missing field: ") +
+                                key);
   }
-  return it->second;
+  return *v;
 }
 
-double field_double(const std::map<std::string, std::string>& fields,
-                    const std::string& key) {
-  const std::string& token = field(fields, key);
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(token.c_str(), &end);
-  if (errno != 0 || end == token.c_str() || *end != '\0') {
-    throw std::invalid_argument("campaign store: bad number for " + key +
-                                ": " + token);
+std::string field_string(const results::Doc& doc, const char* key) {
+  const results::Doc& v = member(doc, key);
+  if (!v.is_string()) {
+    throw std::invalid_argument(std::string("campaign store: ") + key +
+                                " is not a string");
   }
-  return v;
+  return v.as_string();
 }
 
-std::uint64_t field_u64(const std::map<std::string, std::string>& fields,
-                        const std::string& key) {
-  const std::string& token = field(fields, key);
-  char* end = nullptr;
-  errno = 0;
-  const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
-  if (errno != 0 || end == token.c_str() || *end != '\0') {
-    throw std::invalid_argument("campaign store: bad integer for " + key +
-                                ": " + token);
+double field_double(const results::Doc& doc, const char* key) {
+  const results::Doc& v = member(doc, key);
+  if (!v.is_number()) {
+    throw std::invalid_argument(std::string("campaign store: ") + key +
+                                " is not a number");
   }
-  return v;
+  return v.as_double();
 }
 
-telemetry::StageSummary parse_stage(const std::string& token) {
-  const auto f = parse_flat_json(token);
-  telemetry::StageSummary s;
-  s.count = field_u64(f, "count");
-  s.mean_sec = field_double(f, "mean_sec");
-  s.p99_sec = field_double(f, "p99_sec");
-  s.max_sec = field_double(f, "max_sec");
-  return s;
+std::uint64_t field_u64(const results::Doc& doc, const char* key) {
+  const results::Doc& v = member(doc, key);
+  if (!v.is_number()) {
+    throw std::invalid_argument(std::string("campaign store: ") + key +
+                                " is not an integer");
+  }
+  return v.as_u64();
 }
 
-telemetry::PipelineSnapshot parse_snapshot(const std::string& token) {
-  const auto f = parse_flat_json(token);
-  telemetry::PipelineSnapshot s;
-  s.tapped = field_u64(f, "tapped");
-  s.filtered = field_u64(f, "filtered");
-  s.lb_offered = field_u64(f, "lb_offered");
-  s.lb_dropped = field_u64(f, "lb_dropped");
-  s.sensor_offered = field_u64(f, "sensor_offered");
-  s.sensor_dropped = field_u64(f, "sensor_dropped");
-  s.detections = field_u64(f, "detections");
-  s.reports = field_u64(f, "reports");
-  s.alerts = field_u64(f, "alerts");
-  s.blocks = field_u64(f, "blocks");
-  s.lb_wait = parse_stage(field(f, "lb_wait"));
-  s.sensor_service = parse_stage(field(f, "sensor_service"));
-  s.analyzer_batch = parse_stage(field(f, "analyzer_batch"));
-  s.monitor_alert = parse_stage(field(f, "monitor_alert"));
-  return s;
+bool field_bool(const results::Doc& doc, const char* key) {
+  const results::Doc& v = member(doc, key);
+  if (!v.is_bool()) {
+    throw std::invalid_argument(std::string("campaign store: bad flag: ") +
+                                key);
+  }
+  return v.as_bool();
 }
 
 std::string manifest_line(const CampaignSpec& spec) {
-  std::ostringstream out;
-  out << "{\"type\":\"manifest\",\"format\":\"" << kFormat
-      << "\",\"name\":\"" << json_escape(spec.name)
-      << "\",\"fingerprint\":\"" << std::hex << spec.fingerprint()
-      << std::dec << "\",\"cells\":" << spec.cell_count() << "}";
-  return out.str();
+  results::Doc doc = results::Doc::object();
+  doc.set("type", "manifest")
+      .set("format", kFormat)
+      .set("name", spec.name)
+      .set("fingerprint", fingerprint_hex(spec))
+      .set("cells", spec.cell_count());
+  return results::to_json(doc);
 }
 
 void check_manifest(const std::string& line, const CampaignSpec& spec,
                     const std::string& path) {
-  const auto fields = parse_flat_json(line);
-  if (field(fields, "type") != "manifest" ||
-      field(fields, "format") != kFormat) {
+  const results::Doc doc = parse_line(line);
+  const results::Doc* type = doc.find("type");
+  const results::Doc* format = doc.find("format");
+  if (type == nullptr || !type->is_string() ||
+      type->as_string() != "manifest" || format == nullptr ||
+      !format->is_string() || format->as_string() != kFormat) {
     throw std::invalid_argument("campaign store: " + path +
                                 " is not an idseval campaign store");
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%llx",
-                static_cast<unsigned long long>(spec.fingerprint()));
-  if (field(fields, "fingerprint") != buf) {
+  if (field_string(doc, "fingerprint") != fingerprint_hex(spec)) {
     throw std::invalid_argument(
         "campaign store: " + path +
         " was written for a different spec (fingerprint mismatch); "
@@ -272,41 +125,48 @@ std::map<std::size_t, CellResult> load_rows(std::istream& in,
 
 }  // namespace
 
+results::Doc cell_to_doc(const CellResult& r) {
+  results::Doc doc = results::Doc::object();
+  doc.set("type", "cell")
+      .set("index", r.cell.index)
+      .set("product", products::product(r.cell.product).name)
+      .set("profile", r.cell.profile)
+      .set("sensitivity", r.cell.sensitivity)
+      .set("replicate", r.cell.replicate)
+      .set("seed", r.cell.seed)
+      .set("ok", r.ok)
+      .set("error", r.error)
+      .set("score_logistical", r.score_logistical)
+      .set("score_architectural", r.score_architectural)
+      .set("score_performance", r.score_performance)
+      .set("score_total", r.score_total)
+      .set("fp_ratio", r.fp_ratio)
+      .set("fn_ratio", r.fn_ratio)
+      .set("fp_percent_of_benign", r.fp_percent_of_benign)
+      .set("fn_percent_of_attacks", r.fn_percent_of_attacks)
+      .set("timeliness_sec", r.timeliness_sec)
+      .set("offered_pps", r.offered_pps)
+      .set("processed_pps", r.processed_pps)
+      .set("zero_loss_pps", r.zero_loss_pps)
+      .set("system_throughput_pps", r.system_throughput_pps)
+      .set("induced_latency_sec", r.induced_latency_sec)
+      .set("telemetry", telemetry::to_doc(r.telemetry));
+  return doc;
+}
+
 std::string serialize_cell(const CellResult& r) {
-  std::ostringstream out;
-  out << "{\"type\":\"cell\",\"index\":" << r.cell.index << ",\"product\":\""
-      << json_escape(products::product(r.cell.product).name)
-      << "\",\"profile\":\"" << json_escape(r.cell.profile)
-      << "\",\"sensitivity\":" << fmt_exact(r.cell.sensitivity)
-      << ",\"replicate\":" << r.cell.replicate << ",\"seed\":" << r.cell.seed
-      << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"error\":\""
-      << json_escape(r.error) << "\",\"score_logistical\":"
-      << fmt_exact(r.score_logistical) << ",\"score_architectural\":"
-      << fmt_exact(r.score_architectural) << ",\"score_performance\":"
-      << fmt_exact(r.score_performance) << ",\"score_total\":"
-      << fmt_exact(r.score_total) << ",\"fp_ratio\":" << fmt_exact(r.fp_ratio)
-      << ",\"fn_ratio\":" << fmt_exact(r.fn_ratio)
-      << ",\"fp_percent_of_benign\":" << fmt_exact(r.fp_percent_of_benign)
-      << ",\"fn_percent_of_attacks\":" << fmt_exact(r.fn_percent_of_attacks)
-      << ",\"timeliness_sec\":" << fmt_exact(r.timeliness_sec)
-      << ",\"offered_pps\":" << fmt_exact(r.offered_pps)
-      << ",\"processed_pps\":" << fmt_exact(r.processed_pps)
-      << ",\"zero_loss_pps\":" << fmt_exact(r.zero_loss_pps)
-      << ",\"system_throughput_pps\":" << fmt_exact(r.system_throughput_pps)
-      << ",\"induced_latency_sec\":" << fmt_exact(r.induced_latency_sec)
-      << ",\"telemetry\":" << telemetry::to_json(r.telemetry) << "}";
-  return out.str();
+  return results::to_json(cell_to_doc(r));
 }
 
 CellResult deserialize_cell(const std::string& line) {
-  const auto fields = parse_flat_json(line);
-  if (field(fields, "type") != "cell") {
+  const results::Doc doc = parse_line(line);
+  if (!doc.is_object() || field_string(doc, "type") != "cell") {
     throw std::invalid_argument("campaign store: not a cell row: " + line);
   }
   CellResult r;
-  r.cell.index = static_cast<std::size_t>(field_u64(fields, "index"));
+  r.cell.index = static_cast<std::size_t>(field_u64(doc, "index"));
   {
-    const std::string& name = field(fields, "product");
+    const std::string name = field_string(doc, "product");
     bool found = false;
     for (const auto& model : products::product_catalog()) {
       if (model.name == name) {
@@ -320,37 +180,34 @@ CellResult deserialize_cell(const std::string& line) {
                                   name);
     }
   }
-  r.cell.profile = field(fields, "profile");
-  r.cell.sensitivity = field_double(fields, "sensitivity");
-  r.cell.replicate = static_cast<std::size_t>(field_u64(fields, "replicate"));
-  r.cell.seed = field_u64(fields, "seed");
-  {
-    const std::string& ok = field(fields, "ok");
-    if (ok != "true" && ok != "false") {
-      throw std::invalid_argument("campaign store: bad ok flag: " + ok);
-    }
-    r.ok = ok == "true";
-  }
-  r.error = field(fields, "error");
-  r.score_logistical = field_double(fields, "score_logistical");
-  r.score_architectural = field_double(fields, "score_architectural");
-  r.score_performance = field_double(fields, "score_performance");
-  r.score_total = field_double(fields, "score_total");
-  r.fp_ratio = field_double(fields, "fp_ratio");
-  r.fn_ratio = field_double(fields, "fn_ratio");
-  r.fp_percent_of_benign = field_double(fields, "fp_percent_of_benign");
-  r.fn_percent_of_attacks = field_double(fields, "fn_percent_of_attacks");
-  r.timeliness_sec = field_double(fields, "timeliness_sec");
-  r.offered_pps = field_double(fields, "offered_pps");
-  r.processed_pps = field_double(fields, "processed_pps");
-  r.zero_loss_pps = field_double(fields, "zero_loss_pps");
-  r.system_throughput_pps = field_double(fields, "system_throughput_pps");
-  r.induced_latency_sec = field_double(fields, "induced_latency_sec");
+  r.cell.profile = field_string(doc, "profile");
+  r.cell.sensitivity = field_double(doc, "sensitivity");
+  r.cell.replicate = static_cast<std::size_t>(field_u64(doc, "replicate"));
+  r.cell.seed = field_u64(doc, "seed");
+  r.ok = field_bool(doc, "ok");
+  r.error = field_string(doc, "error");
+  r.score_logistical = field_double(doc, "score_logistical");
+  r.score_architectural = field_double(doc, "score_architectural");
+  r.score_performance = field_double(doc, "score_performance");
+  r.score_total = field_double(doc, "score_total");
+  r.fp_ratio = field_double(doc, "fp_ratio");
+  r.fn_ratio = field_double(doc, "fn_ratio");
+  r.fp_percent_of_benign = field_double(doc, "fp_percent_of_benign");
+  r.fn_percent_of_attacks = field_double(doc, "fn_percent_of_attacks");
+  r.timeliness_sec = field_double(doc, "timeliness_sec");
+  r.offered_pps = field_double(doc, "offered_pps");
+  r.processed_pps = field_double(doc, "processed_pps");
+  r.zero_loss_pps = field_double(doc, "zero_loss_pps");
+  r.system_throughput_pps = field_double(doc, "system_throughput_pps");
+  r.induced_latency_sec = field_double(doc, "induced_latency_sec");
   // Stores written before the telemetry field existed still load; their
   // rows simply carry an all-zero snapshot.
-  const auto telemetry_it = fields.find("telemetry");
-  if (telemetry_it != fields.end()) {
-    r.telemetry = parse_snapshot(telemetry_it->second);
+  if (const results::Doc* snap = doc.find("telemetry")) {
+    try {
+      r.telemetry = telemetry::snapshot_from_doc(*snap);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("campaign store: ") + e.what());
+    }
   }
   return r;
 }

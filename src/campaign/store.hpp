@@ -15,9 +15,13 @@
 
 #include "campaign/scheduler.hpp"
 #include "campaign/spec.hpp"
+#include "results/doc.hpp"
 
 namespace idseval::campaign {
 
+/// One cell result as a results::Doc (the row shape serialize_cell
+/// writes): fixed key order, nested telemetry snapshot object.
+results::Doc cell_to_doc(const CellResult& result);
 /// Serializes one cell result as a single JSON line (no trailing
 /// newline). Deterministic: fixed key order, %.17g doubles.
 std::string serialize_cell(const CellResult& result);

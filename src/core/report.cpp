@@ -2,48 +2,54 @@
 
 #include <algorithm>
 
+#include "results/table.hpp"
 #include "util/strfmt.hpp"
 #include "util/table.hpp"
 
 namespace idseval::core {
 
-using util::Align;
-using util::TextTable;
-
-std::string render_metric_table(std::string title,
-                                std::span<const MetricId> metrics,
-                                std::span<const Scorecard> cards,
-                                bool show_notes) {
-  std::vector<std::string> headers = {"Metric"};
-  std::vector<Align> aligns = {Align::kLeft};
+results::Doc metric_table_doc(std::string title,
+                              std::span<const MetricId> metrics,
+                              std::span<const Scorecard> cards,
+                              bool show_notes) {
+  std::vector<std::string> columns = {"Metric"};
+  std::vector<std::string> aligns = {"left"};
   for (const Scorecard& card : cards) {
-    headers.push_back(card.product());
-    aligns.push_back(Align::kRight);
+    columns.push_back(card.product());
+    aligns.push_back("right");
   }
-  TextTable table(std::move(headers), std::move(aligns));
-  table.set_title(std::move(title));
+  results::TableBuilder table(std::move(columns), std::move(aligns));
+  table.title(std::move(title));
 
   for (const MetricId id : metrics) {
-    std::vector<std::string> row = {to_string(id)};
+    std::vector<results::Doc> row = {to_string(id)};
     for (const Scorecard& card : cards) {
       if (const auto s = card.score(id)) {
         std::string cell = std::to_string(s->value());
         if (show_notes && !card.at(id).note.empty()) {
           cell += " (" + card.at(id).note + ")";
         }
-        row.push_back(std::move(cell));
+        row.emplace_back(std::move(cell));
       } else {
-        row.push_back("-");
+        row.emplace_back("-");
       }
     }
-    table.add_row(std::move(row));
+    table.row(std::move(row));
   }
-  return table.render();
+  return table.build();
 }
 
-std::string render_weighted_summary(std::string title,
-                                    std::span<const Scorecard> cards,
-                                    const WeightSet& weights) {
+std::string render_metric_table(std::string title,
+                                std::span<const MetricId> metrics,
+                                std::span<const Scorecard> cards,
+                                bool show_notes) {
+  return results::render_table_text(
+      metric_table_doc(std::move(title), metrics, cards, show_notes));
+}
+
+results::Doc weighted_summary_doc(std::string title,
+                                  std::span<const Scorecard> cards,
+                                  const WeightSet& weights) {
   struct RankedRow {
     const Scorecard* card;
     WeightedScores scores;
@@ -57,30 +63,37 @@ std::string render_weighted_summary(std::string title,
               return a.scores.total() > b.scores.total();
             });
 
-  TextTable table({"Rank", "Product", "S1 (Logistical)",
-                   "S2 (Architectural)", "S3 (Performance)", "Total"},
-                  {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
-                   Align::kRight, Align::kRight});
-  table.set_title(std::move(title));
+  results::TableBuilder table(
+      {"Rank", "Product", "S1 (Logistical)", "S2 (Architectural)",
+       "S3 (Performance)", "Total"},
+      {"right", "left", "right", "right", "right", "right"});
+  table.title(std::move(title));
   int rank = 0;
   for (const RankedRow& row : rows) {
-    table.add_row({std::to_string(++rank), row.card->product(),
-                   util::fmt_double(row.scores.logistical, 1),
-                   util::fmt_double(row.scores.architectural, 1),
-                   util::fmt_double(row.scores.performance, 1),
-                   util::fmt_double(row.scores.total(), 1)});
+    table.row({std::to_string(++rank), row.card->product(),
+               util::fmt_double(row.scores.logistical, 1),
+               util::fmt_double(row.scores.architectural, 1),
+               util::fmt_double(row.scores.performance, 1),
+               util::fmt_double(row.scores.total(), 1)});
   }
-  return table.render();
+  return table.build();
+}
+
+std::string render_weighted_summary(std::string title,
+                                    std::span<const Scorecard> cards,
+                                    const WeightSet& weights) {
+  return results::render_table_text(
+      weighted_summary_doc(std::move(title), cards, weights));
 }
 
 std::string render_requirement_mapping(const RequirementMapper& mapper,
                                        double base, double step) {
   std::string out;
   {
-    TextTable table({"Rank", "Requirement", "Weight", "Contributes to"},
-                    {Align::kRight, Align::kLeft, Align::kRight,
-                     Align::kLeft});
-    table.set_title("Requirements (least to most important)");
+    results::TableBuilder table(
+        {"Rank", "Requirement", "Weight", "Contributes to"},
+        {"right", "left", "right", "left"});
+    table.title("Requirements (least to most important)");
     const auto weights = mapper.requirement_weights(base, step);
     for (std::size_t i = 0; i < mapper.requirements().size(); ++i) {
       const Requirement& r = mapper.requirements()[i];
@@ -89,21 +102,21 @@ std::string render_requirement_mapping(const RequirementMapper& mapper,
         if (!targets.empty()) targets += ", ";
         targets += to_string(id);
       }
-      table.add_row({std::to_string(r.importance_rank), r.statement,
-                     util::fmt_double(weights[i], 1), targets});
+      table.row({std::to_string(r.importance_rank), r.statement,
+                 util::fmt_double(weights[i], 1), targets});
     }
-    out += table.render();
+    out += results::render_table_text(table.build());
   }
   {
     const WeightSet weights = mapper.derive_weights(base, step);
-    TextTable table({"Metric", "Derived weight"},
-                    {Align::kLeft, Align::kRight});
-    table.set_title("Derived metric weights (sum over contributing "
-                    "requirements)");
+    results::TableBuilder table({"Metric", "Derived weight"},
+                                {"left", "right"});
+    table.title("Derived metric weights (sum over contributing "
+                "requirements)");
     for (const auto& [id, w] : weights.weights()) {
-      table.add_row({to_string(id), util::fmt_double(w, 1)});
+      table.row({to_string(id), util::fmt_double(w, 1)});
     }
-    out += table.render();
+    out += results::render_table_text(table.build());
   }
   return out;
 }

@@ -10,8 +10,18 @@
 
 #include "core/requirement.hpp"
 #include "core/scorecard.hpp"
+#include "results/table.hpp"
 
 namespace idseval::core {
+
+/// One class-table as a results::Doc table document (see
+/// results/table.hpp): rows are `metrics`, columns are products. The
+/// same document renders to text (render_metric_table) or CSV
+/// (results::table_to_csv).
+results::Doc metric_table_doc(std::string title,
+                              std::span<const MetricId> metrics,
+                              std::span<const Scorecard> cards,
+                              bool show_notes = false);
 
 /// Renders one class-table: rows are `metrics`, columns are products;
 /// cells show the discrete score (and the note when `show_notes`).
@@ -19,6 +29,11 @@ std::string render_metric_table(std::string title,
                                 std::span<const MetricId> metrics,
                                 std::span<const Scorecard> cards,
                                 bool show_notes = false);
+
+/// The Figure 5 summary as a table document, ranked by total.
+results::Doc weighted_summary_doc(std::string title,
+                                  std::span<const Scorecard> cards,
+                                  const WeightSet& weights);
 
 /// Renders the Figure 5 summary: S_1..S_3 and the total per product,
 /// ranked by total (descending).

@@ -18,7 +18,14 @@ using util::fmt_si;
 
 Evaluation evaluate_product(const TestbedConfig& env,
                             const products::ProductModel& model,
-                            const EvaluationOptions& options) {
+                            const EvaluationOptions& options,
+                            RunContext* ctx) {
+  // With a context, its registry becomes the thread-ambient recording
+  // target for the whole evaluation; without one, whatever the caller
+  // installed (possibly nothing) stays in effect.
+  std::optional<RunContext::Scope> scope;
+  if (ctx != nullptr) scope.emplace(*ctx);
+
   Evaluation eval{products::facts_scorecard(model), {}};
   core::Scorecard& card = eval.card;
   Measurements& m = eval.measured;
@@ -95,10 +102,11 @@ Evaluation evaluate_product(const TestbedConfig& env,
 
   // --- Load metrics ---------------------------------------------------------
   if (options.include_load_metrics) {
-    // All probe simulations accumulate into one registry so the probe
-    // stages are reportable (and traceable) separately from the
-    // detection window's snapshot above.
-    telemetry::Registry& probes = m.load_probe_telemetry;
+    // All probe simulations accumulate into one context bound to the
+    // measurements' registry, so the probe stages are reportable (and
+    // traceable) separately from the detection window's snapshot above.
+    RunContext probes(&m.load_probe_telemetry,
+                      ctx != nullptr ? ctx->trace() : nullptr);
     m.zero_loss_pps = measure_zero_loss_pps(env, model,
                                             options.sensitivity,
                                             /*max_scale=*/96.0,

@@ -8,9 +8,9 @@
 
 #include "core/scorecard.hpp"
 #include "harness/measure.hpp"
+#include "harness/run_context.hpp"
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
-#include "telemetry/registry.hpp"
 
 namespace idseval::harness {
 
@@ -46,9 +46,15 @@ struct Evaluation {
   Measurements measured;
 };
 
-/// Evaluates one product in the given environment.
+/// Evaluates one product in the given environment. With a `ctx`, the
+/// detection window records into ctx->registry() (installed as the
+/// evaluating thread's ambient registry for the call) and load probes
+/// accumulate into Measurements::load_probe_telemetry sharing ctx's
+/// trace sink; with nullptr the legacy ambient-registry behaviour is
+/// kept (whatever ScopedRegistry the caller installed, if any).
 Evaluation evaluate_product(const TestbedConfig& env,
                             const products::ProductModel& model,
-                            const EvaluationOptions& options = {});
+                            const EvaluationOptions& options = {},
+                            RunContext* ctx = nullptr);
 
 }  // namespace idseval::harness

@@ -27,14 +27,7 @@ TestbedConfig probe_config(const TestbedConfig& base, double rate_scale) {
 /// thread registry). Null: the ambient registry is left in place —
 /// legacy behaviour, and a no-op on pool workers, which never inherit
 /// one.
-LoadPoint probe(const TestbedConfig& base,
-                const products::ProductModel& model, double sensitivity,
-                double rate_scale, telemetry::Registry* reg = nullptr) {
-  telemetry::ScopedRegistry scope(reg != nullptr ? reg
-                                                 : telemetry::current());
-  telemetry::count(telemetry::names::kHarnessProbes);
-  Testbed bed(probe_config(base, rate_scale), &model, sensitivity);
-  const RunResult r = bed.run_clean();
+LoadPoint point_from(const RunResult& r, double rate_scale) {
   LoadPoint p;
   p.rate_scale = rate_scale;
   p.offered_pps = r.offered_pps;
@@ -45,13 +38,47 @@ LoadPoint probe(const TestbedConfig& base,
   return p;
 }
 
+LoadPoint probe(const TestbedConfig& base,
+                const products::ProductModel& model, double sensitivity,
+                double rate_scale, telemetry::Registry* reg = nullptr) {
+  telemetry::ScopedRegistry scope(reg != nullptr ? reg
+                                                 : telemetry::current());
+  telemetry::count(telemetry::names::kHarnessProbes);
+  Testbed bed(probe_config(base, rate_scale), &model, sensitivity);
+  return point_from(bed.run_clean(), rate_scale);
+}
+
+/// Lethal-dose probe: scaled background load plus a SYN-flood scenario
+/// whose packets arrive in same-tick trains (kLethalDoseFloodTrain), so
+/// the dose search drives the coalesced fan-out path deliberately rather
+/// than relying on background traffic alone to overwhelm sensors.
+LoadPoint probe_flood(const TestbedConfig& base,
+                      const products::ProductModel& model,
+                      double sensitivity, double rate_scale,
+                      telemetry::Registry* reg = nullptr) {
+  telemetry::ScopedRegistry scope(reg != nullptr ? reg
+                                                 : telemetry::current());
+  telemetry::count(telemetry::names::kHarnessProbes);
+  TestbedConfig cfg = probe_config(base, rate_scale);
+  cfg.flood_train = kLethalDoseFloodTrain;
+  Testbed bed(cfg, &model, sensitivity);
+  const auto scenario = attack::Scenario::of_kinds(
+      {attack::AttackKind::kSynFlood}, /*per_kind=*/2,
+      netsim::SimTime::zero(), cfg.measure * 0.9,
+      util::hash64("lethal-dose") ^ base.seed, base.external_hosts,
+      base.internal_hosts);
+  return point_from(bed.run(scenario), rate_scale);
+}
+
 }  // namespace
 
 std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
                                   const products::ProductModel& model,
                                   double sensitivity,
                                   const std::vector<double>& rate_scales,
-                                  telemetry::Registry* probe_telemetry) {
+                                  RunContext* probes) {
+  telemetry::Registry* probe_telemetry =
+      probes != nullptr ? &probes->registry() : nullptr;
   std::vector<LoadPoint> points(rate_scales.size());
   // Pool workers have no thread-local registry, so each probe records
   // into its own slot; merging in index order keeps the accumulated
@@ -71,7 +98,9 @@ double measure_zero_loss_pps(const TestbedConfig& base,
                              const products::ProductModel& model,
                              double sensitivity, double max_scale,
                              double loss_epsilon, int iterations,
-                             telemetry::Registry* probe_telemetry) {
+                             RunContext* probes) {
+  telemetry::Registry* probe_telemetry =
+      probes != nullptr ? &probes->registry() : nullptr;
   // Establish a bracket: grow until loss appears (or max_scale reached).
   double lo = 0.0;        // highest scale with zero loss
   double lo_pps = 0.0;
@@ -121,7 +150,9 @@ double measure_system_throughput_pps(const TestbedConfig& base,
                                      const products::ProductModel& model,
                                      double sensitivity,
                                      double overload_scale,
-                                     telemetry::Registry* probe_telemetry) {
+                                     RunContext* probes) {
+  telemetry::Registry* probe_telemetry =
+      probes != nullptr ? &probes->registry() : nullptr;
   // "Maximal data input rate that can be processed successfully": probe a
   // ladder of loads up to the overload scale and keep the best sustained
   // processing rate — a single overload probe would report the *post-
@@ -147,11 +178,12 @@ double measure_system_throughput_pps(const TestbedConfig& base,
 
 std::optional<double> measure_lethal_dose_pps(
     const TestbedConfig& base, const products::ProductModel& model,
-    double sensitivity, double max_scale,
-    telemetry::Registry* probe_telemetry) {
+    double sensitivity, double max_scale, RunContext* probes) {
+  telemetry::Registry* probe_telemetry =
+      probes != nullptr ? &probes->registry() : nullptr;
   for (double scale = 2.0; scale <= max_scale; scale *= 1.6) {
     const LoadPoint p =
-        probe(base, model, sensitivity, scale, probe_telemetry);
+        probe_flood(base, model, sensitivity, scale, probe_telemetry);
     if (p.failures > 0) return p.offered_pps;
   }
   return std::nullopt;
@@ -159,8 +191,9 @@ std::optional<double> measure_lethal_dose_pps(
 
 double measure_induced_latency_sec(const TestbedConfig& base,
                                    const products::ProductModel& model,
-                                   double sensitivity,
-                                   telemetry::Registry* probe_telemetry) {
+                                   double sensitivity, RunContext* probes) {
+  telemetry::Registry* probe_telemetry =
+      probes != nullptr ? &probes->registry() : nullptr;
   TestbedConfig cfg = base;
   cfg.warmup = SimTime::from_sec(5);
   cfg.measure = SimTime::from_sec(20);

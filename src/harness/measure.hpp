@@ -6,9 +6,9 @@
 #include <optional>
 #include <vector>
 
+#include "harness/run_context.hpp"
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
-#include "telemetry/registry.hpp"
 
 namespace idseval::harness {
 
@@ -23,18 +23,24 @@ struct LoadPoint {
 };
 
 /// Each load measurement optionally accumulates the telemetry its probe
-/// simulations generate into `probe_telemetry` (counters merged, latency
-/// stats pooled; merge order is deterministic — probe order for
+/// simulations generate into `probes->registry()` (counters merged,
+/// latency stats pooled; merge order is deterministic — probe order for
 /// sequential searches, index order for parallel ladders). Probe-run
 /// stage telemetry no longer leaks into the ambient thread registry when
-/// an accumulator is supplied; with nullptr the legacy ambient behaviour
-/// is kept.
+/// a context is supplied; with nullptr the legacy ambient behaviour is
+/// kept.
 
 /// Runs the profile at each rate scale (attack-free), short windows.
 std::vector<LoadPoint> load_sweep(
     const TestbedConfig& base, const products::ProductModel& model,
     double sensitivity, const std::vector<double>& rate_scales,
-    telemetry::Registry* probe_telemetry = nullptr);
+    RunContext* probes = nullptr);
+
+/// Flood-train length used by the lethal-dose probe scenarios: bursts of
+/// this many same-tick SYN packets per attack train, exercising the
+/// coalesced same-tick fan-out path under the exact load that is meant
+/// to kill sensors.
+inline constexpr std::uint32_t kLethalDoseFloodTrain = 8;
 
 /// Maximal Throughput with Zero Loss: the highest *network traffic
 /// level* (offered packets/sec — Table 3's "observed level of traffic")
@@ -44,28 +50,31 @@ double measure_zero_loss_pps(const TestbedConfig& base,
                              const products::ProductModel& model,
                              double sensitivity, double max_scale = 64.0,
                              double loss_epsilon = 1e-4, int iterations = 7,
-                             telemetry::Registry* probe_telemetry = nullptr);
+                             RunContext* probes = nullptr);
 
 /// System Throughput (packets/sec the IDS processes successfully at
 /// saturation): processed rate under a deliberately overloading offer.
 double measure_system_throughput_pps(
     const TestbedConfig& base, const products::ProductModel& model,
     double sensitivity, double overload_scale = 48.0,
-    telemetry::Registry* probe_telemetry = nullptr);
+    RunContext* probes = nullptr);
 
 /// Network Lethal Dose: lowest offered pps that trips a sensor failure,
 /// searched over geometrically increasing load; nullopt if no failure up
-/// to max_scale (scores the "never failed" anchor).
+/// to max_scale (scores the "never failed" anchor). Probes run a
+/// SYN-flood scenario with same-tick flood trains (kLethalDoseFloodTrain)
+/// on top of the scaled background load, so the dose search stresses the
+/// batched delivery path the way a real flood does.
 std::optional<double> measure_lethal_dose_pps(
     const TestbedConfig& base, const products::ProductModel& model,
     double sensitivity, double max_scale = 96.0,
-    telemetry::Registry* probe_telemetry = nullptr);
+    RunContext* probes = nullptr);
 
 /// Induced Traffic Latency (seconds added to production delivery):
 /// latency with the product attached minus the no-IDS baseline.
 double measure_induced_latency_sec(
     const TestbedConfig& base, const products::ProductModel& model,
-    double sensitivity, telemetry::Registry* probe_telemetry = nullptr);
+    double sensitivity, RunContext* probes = nullptr);
 
 /// One sensitivity point of the Figure 4 error-rate sweep.
 struct ErrorRatePoint {

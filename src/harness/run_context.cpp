@@ -1,0 +1,33 @@
+#include "harness/run_context.hpp"
+
+namespace idseval::harness {
+
+namespace {
+
+results::Doc product_event(std::string_view type, std::string_view product,
+                           std::string_view profile, std::uint64_t seed,
+                           const telemetry::Registry& registry) {
+  results::Doc event = results::Doc::object();
+  event.set("type", type)
+      .set("product", product)
+      .set("profile", profile)
+      .set("seed", seed)
+      .set("telemetry", telemetry::to_doc(registry));
+  return event;
+}
+
+}  // namespace
+
+results::Doc evaluation_event(std::string_view product,
+                              std::string_view profile, std::uint64_t seed,
+                              const telemetry::Registry& registry) {
+  return product_event("evaluation", product, profile, seed, registry);
+}
+
+results::Doc load_probes_event(std::string_view product,
+                               std::string_view profile, std::uint64_t seed,
+                               const telemetry::Registry& registry) {
+  return product_event("load_probes", product, profile, seed, registry);
+}
+
+}  // namespace idseval::harness

@@ -71,6 +71,7 @@ void Testbed::build() {
   emitter_ = std::make_unique<attack::AttackEmitter>(
       sim_, *net_, ledger_, util::hash64("attacker") ^ config_.seed,
       payload_pool_.get());
+  emitter_->set_flood_train(config_.flood_train);
 
   // Product under test.
   if (model_ != nullptr) {

@@ -34,6 +34,9 @@ struct TestbedConfig {
   double host_cpu_ops_per_sec = 1e9;
   traffic::EnvironmentProfile profile = traffic::rt_cluster_profile();
   double rate_scale = 1.0;       ///< Load knob over the profile's rate.
+  /// Same-tick packets per flood train for attack floods (see
+  /// AttackEmitter::set_flood_train); 1 = legacy per-packet emission.
+  std::uint32_t flood_train = 1;
   std::uint64_t seed = 42;
   netsim::SimTime warmup = netsim::SimTime::from_sec(20);   ///< Learning.
   netsim::SimTime measure = netsim::SimTime::from_sec(60);  ///< Scoring.

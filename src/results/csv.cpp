@@ -1,0 +1,199 @@
+#include "results/csv.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace idseval::results {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+bool needs_quoting(std::string_view text) {
+  for (char c : text) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string render_text_cell(std::string_view text) {
+  return needs_quoting(text) ? quote(text) : std::string(text);
+}
+
+}  // namespace
+
+Csv::Csv(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) fail("Csv: column list must not be empty");
+}
+
+void Csv::add_row(std::vector<Doc> cells) {
+  if (cells.size() != columns_.size()) {
+    fail("Csv: row width " + std::to_string(cells.size()) +
+         " does not match schema width " + std::to_string(columns_.size()));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].is_scalar()) {
+      fail("Csv: column '" + columns_[i] + "' holds a non-scalar cell");
+    }
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string csv_cell(const Doc& value) {
+  switch (value.kind()) {
+    case Doc::Kind::kNull:
+      return "";
+    case Doc::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case Doc::Kind::kInt:
+      return std::to_string(value.as_i64());
+    case Doc::Kind::kUint:
+      return std::to_string(value.as_u64());
+    case Doc::Kind::kDouble:
+      return fmt_double_exact(value.as_double());
+    case Doc::Kind::kString:
+      return render_text_cell(value.as_string());
+    default:
+      fail("csv_cell: non-scalar value");
+  }
+}
+
+std::string to_csv(const Csv& csv) {
+  std::string out;
+  bool first = true;
+  for (const std::string& column : csv.columns()) {
+    if (!first) out += ',';
+    first = false;
+    out += render_text_cell(column);
+  }
+  out += '\n';
+  for (const auto& row : csv.rows()) {
+    first = true;
+    for (const Doc& cell : row) {
+      if (!first) out += ',';
+      first = false;
+      out += csv_cell(cell);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Splits one RFC 4180 record starting at `pos`; advances past the line
+// terminator. Returns false at end of input.
+bool next_record(std::string_view text, std::size_t& pos,
+                 std::vector<std::string>& fields, std::size_t row_number) {
+  fields.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started_quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field += c;
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started_quoted) {
+      in_quotes = true;
+      field_started_quoted = true;
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      field_started_quoted = false;
+      ++pos;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      ++pos;
+      if (c == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+      fields.push_back(std::move(field));
+      return true;
+    }
+    if (c == '"') {
+      fail("check_csv: stray quote in unquoted field at row " +
+           std::to_string(row_number));
+    }
+    field += c;
+    ++pos;
+  }
+  if (in_quotes) {
+    fail("check_csv: unterminated quoted field at row " +
+         std::to_string(row_number));
+  }
+  fields.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+CsvShape check_csv(std::string_view text) {
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  if (!next_record(text, pos, fields, 1)) {
+    fail("check_csv: empty input");
+  }
+  CsvShape shape;
+  for (std::string& column : fields) {
+    if (column.empty()) fail("check_csv: empty column name in header");
+    shape.columns.push_back(std::move(column));
+  }
+  std::size_t row_number = 1;
+  while (next_record(text, pos, fields, row_number + 1)) {
+    ++row_number;
+    if (fields.size() == 1 && fields[0].empty()) {
+      fail("check_csv: blank row " + std::to_string(row_number));
+    }
+    if (fields.size() != shape.columns.size()) {
+      fail("check_csv: row " + std::to_string(row_number) + " has " +
+           std::to_string(fields.size()) + " fields, header has " +
+           std::to_string(shape.columns.size()));
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].empty()) continue;
+      // Any field strtod consumes completely is numeric — this is what
+      // catches a stray "nan"/"inf" leaking into an export.
+      char* end = nullptr;
+      const double v = std::strtod(fields[i].c_str(), &end);
+      if (end && *end == '\0' && !std::isfinite(v)) {
+        fail("check_csv: non-finite value '" + fields[i] + "' in column '" +
+             shape.columns[i] + "' at row " + std::to_string(row_number));
+      }
+    }
+    ++shape.data_rows;
+  }
+  return shape;
+}
+
+}  // namespace idseval::results

@@ -1,0 +1,55 @@
+// Schema-checked columnar writer over Doc scalars. A Csv is declared
+// with a fixed column list; every row must match that width and hold
+// only scalar Docs — mismatches throw at build time instead of
+// producing a ragged file a plotting script chokes on later.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "results/doc.hpp"
+
+namespace idseval::results {
+
+class Csv {
+ public:
+  /// Throws std::invalid_argument on an empty column list.
+  explicit Csv(std::vector<std::string> columns);
+
+  /// Appends one row; throws std::invalid_argument when the row width
+  /// does not match the declared columns or a cell is an array/object.
+  void add_row(std::vector<Doc> cells);
+
+  const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  const std::vector<std::vector<Doc>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Doc>> rows_;
+};
+
+/// One cell in RFC 4180 form: quoted (with doubled quotes) only when the
+/// text contains a comma, quote, or newline; numbers via the same exact
+/// formatting as the JSON writer, null as the empty cell.
+std::string csv_cell(const Doc& value);
+
+/// Renders header + rows, "\n" line endings, trailing newline.
+std::string to_csv(const Csv& csv);
+
+struct CsvShape {
+  std::vector<std::string> columns;
+  std::size_t data_rows = 0;
+};
+
+/// Structural validation of CSV text (the `trace-check --csv` engine):
+/// parses RFC 4180 quoting, requires a non-empty header, rejects ragged
+/// rows, and rejects non-finite numeric cells ("nan"/"inf" and friends).
+/// Throws std::invalid_argument with a row-annotated message.
+CsvShape check_csv(std::string_view text);
+
+}  // namespace idseval::results

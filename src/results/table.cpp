@@ -1,0 +1,159 @@
+#include "results/table.hpp"
+
+#include <stdexcept>
+
+#include "results/csv.hpp"
+#include "util/table.hpp"
+
+namespace idseval::results {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+// Text form of one table cell: strings verbatim, numbers in the shared
+// exact format, null as the empty cell.
+std::string cell_text(const Doc& cell) {
+  switch (cell.kind()) {
+    case Doc::Kind::kNull:
+      return "";
+    case Doc::Kind::kBool:
+      return cell.as_bool() ? "true" : "false";
+    case Doc::Kind::kInt:
+      return std::to_string(cell.as_i64());
+    case Doc::Kind::kUint:
+      return std::to_string(cell.as_u64());
+    case Doc::Kind::kDouble:
+      return fmt_double_exact(cell.as_double());
+    case Doc::Kind::kString:
+      return cell.as_string();
+    default:
+      fail("table cell must be a scalar");
+  }
+}
+
+bool is_rule_row(const Doc& row) {
+  if (!row.is_object()) return false;
+  const Doc* rule = row.find("rule");
+  return rule != nullptr && rule->is_bool() && rule->as_bool();
+}
+
+}  // namespace
+
+TableBuilder::TableBuilder(std::vector<std::string> columns,
+                           std::vector<std::string> aligns)
+    : width_(columns.size()) {
+  if (columns.empty()) fail("TableBuilder: column list must not be empty");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::string align = i < aligns.size() ? aligns[i] : "left";
+    if (align != "left" && align != "right") {
+      fail("TableBuilder: align must be \"left\" or \"right\"");
+    }
+    Doc column = Doc::object();
+    column.set("name", std::move(columns[i])).set("align", std::move(align));
+    columns_.push(std::move(column));
+  }
+}
+
+TableBuilder& TableBuilder::title(std::string text) {
+  title_ = std::move(text);
+  return *this;
+}
+
+TableBuilder& TableBuilder::row(std::vector<Doc> cells) {
+  if (cells.size() != width_) {
+    fail("TableBuilder: row width " + std::to_string(cells.size()) +
+         " does not match column count " + std::to_string(width_));
+  }
+  if (pending_rule_) {
+    pending_rule_ = false;
+    Doc rule = Doc::object();
+    rule.set("rule", true);
+    rows_.push(std::move(rule));
+  }
+  Doc row = Doc::array();
+  for (Doc& cell : cells) {
+    if (!cell.is_scalar()) fail("TableBuilder: cell must be a scalar");
+    row.push(std::move(cell));
+  }
+  rows_.push(std::move(row));
+  ++data_rows_;
+  return *this;
+}
+
+TableBuilder& TableBuilder::rule() {
+  pending_rule_ = true;
+  return *this;
+}
+
+Doc TableBuilder::build() const {
+  Doc table = Doc::object();
+  if (!title_.empty()) table.set("title", title_);
+  table.set("columns", columns_).set("rows", rows_);
+  return table;
+}
+
+std::string render_table_text(const Doc& table) {
+  if (!table.is_object()) fail("render_table_text: expected table object");
+  const Doc* columns = table.find("columns");
+  const Doc* rows = table.find("rows");
+  if (columns == nullptr || !columns->is_array() || columns->size() == 0) {
+    fail("render_table_text: missing columns");
+  }
+  if (rows == nullptr || !rows->is_array()) {
+    fail("render_table_text: missing rows");
+  }
+  std::vector<std::string> headers;
+  std::vector<util::Align> aligns;
+  for (const Doc& column : columns->elements()) {
+    const Doc* name = column.find("name");
+    const Doc* align = column.find("align");
+    if (name == nullptr) fail("render_table_text: column without name");
+    headers.push_back(name->as_string());
+    aligns.push_back(align != nullptr && align->as_string() == "right"
+                         ? util::Align::kRight
+                         : util::Align::kLeft);
+  }
+  util::TextTable text_table(std::move(headers), std::move(aligns));
+  if (const Doc* title = table.find("title")) {
+    text_table.set_title(title->as_string());
+  }
+  for (const Doc& row : rows->elements()) {
+    if (is_rule_row(row)) {
+      text_table.add_rule();
+      continue;
+    }
+    std::vector<std::string> cells;
+    for (const Doc& cell : row.elements()) cells.push_back(cell_text(cell));
+    text_table.add_row(std::move(cells));
+  }
+  return text_table.render();
+}
+
+std::string table_to_csv(const Doc& table) {
+  if (!table.is_object()) fail("table_to_csv: expected table object");
+  const Doc* columns = table.find("columns");
+  const Doc* rows = table.find("rows");
+  if (columns == nullptr || !columns->is_array() || columns->size() == 0) {
+    fail("table_to_csv: missing columns");
+  }
+  if (rows == nullptr || !rows->is_array()) {
+    fail("table_to_csv: missing rows");
+  }
+  std::vector<std::string> names;
+  for (const Doc& column : columns->elements()) {
+    const Doc* name = column.find("name");
+    if (name == nullptr) fail("table_to_csv: column without name");
+    names.push_back(name->as_string());
+  }
+  Csv csv(std::move(names));
+  for (const Doc& row : rows->elements()) {
+    if (is_rule_row(row)) continue;
+    csv.add_row(row.elements());
+  }
+  return to_csv(csv);
+}
+
+}  // namespace idseval::results

@@ -1,0 +1,50 @@
+// Table documents: the bridge between Doc and the human-facing text
+// renderer. Report sections are built once as a table-shaped Doc
+// ({"title","columns":[{"name","align"}],"rows":[[cells]|{"rule":true}]})
+// and then rendered to text (util::TextTable) or exported to CSV — the
+// two views share one source so they can never disagree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "results/doc.hpp"
+
+namespace idseval::results {
+
+/// Builds a table-shaped Doc incrementally; mirrors util::TextTable's
+/// surface (title, aligned headers, rows, rules) but produces data.
+class TableBuilder {
+ public:
+  /// `aligns` entries are "left" or "right"; when shorter than
+  /// `columns`, missing entries default to "left".
+  TableBuilder(std::vector<std::string> columns,
+               std::vector<std::string> aligns = {});
+
+  TableBuilder& title(std::string text);
+  /// Cells must be scalars (rendered via csv_cell for text view).
+  TableBuilder& row(std::vector<Doc> cells);
+  /// Inserts a horizontal rule before the next row.
+  TableBuilder& rule();
+
+  std::size_t row_count() const noexcept { return data_rows_; }
+  Doc build() const;
+
+ private:
+  Doc columns_ = Doc::array();
+  Doc rows_ = Doc::array();
+  std::string title_;
+  std::size_t width_;
+  std::size_t data_rows_ = 0;
+  bool pending_rule_ = false;
+};
+
+/// Renders a table Doc through util::TextTable — byte-identical to the
+/// legacy direct-TextTable render for the same content. Throws
+/// std::invalid_argument on a malformed table Doc.
+std::string render_table_text(const Doc& table);
+
+/// The same table as CSV (rules dropped, title dropped).
+std::string table_to_csv(const Doc& table);
+
+}  // namespace idseval::results

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "results/table.hpp"
 #include "util/strfmt.hpp"
-#include "util/table.hpp"
 
 namespace idseval::telemetry {
 
@@ -132,7 +132,120 @@ std::string fmt_duration(double seconds) {
   return util::fmt_fixed(seconds, 3) + "s";
 }
 
-std::string render_telemetry(const PipelineSnapshot& snap) {
+results::Doc telemetry_stage_table(const PipelineSnapshot& snap) {
+  results::TableBuilder table({"Stage", "Events", "Mean", "p99", "Max"},
+                              {"left", "right", "right", "right", "right"});
+  const auto add = [&table](std::string_view name,
+                            const StageSummary& stage) {
+    table.row({std::string(name), stage.count,
+               stage.count ? results::Doc(fmt_duration(stage.mean_sec))
+                           : results::Doc("-"),
+               stage.count ? results::Doc(fmt_duration(stage.p99_sec))
+                           : results::Doc("-"),
+               stage.count ? results::Doc(fmt_duration(stage.max_sec))
+                           : results::Doc("-")});
+  };
+  add(names::kLbQueueWait, snap.lb_wait);
+  add(names::kSensorService, snap.sensor_service);
+  add(names::kAnalyzerBatch, snap.analyzer_batch);
+  add(names::kMonitorAlertLatency, snap.monitor_alert);
+  return table.build();
+}
+
+namespace {
+
+struct InstanceKey {
+  int kind = 0;  // 0 = sensor, 1 = agent
+  std::uint64_t index = 0;
+
+  bool operator<(const InstanceKey& other) const noexcept {
+    if (kind != other.kind) return kind < other.kind;
+    return index < other.index;
+  }
+};
+
+// Splits "sensor.3.offered" into instance key + trailing stage name;
+// returns false for aggregate names like "sensor.offered".
+bool parse_scoped(std::string_view name, InstanceKey& key,
+                  std::string_view& stage) {
+  int kind = 0;
+  if (name.starts_with("sensor.")) {
+    name.remove_prefix(7);
+  } else if (name.starts_with("agent.")) {
+    name.remove_prefix(6);
+    kind = 1;
+  } else {
+    return false;
+  }
+  std::uint64_t index = 0;
+  std::size_t digits = 0;
+  while (digits < name.size() && name[digits] >= '0' && name[digits] <= '9') {
+    index = index * 10 + static_cast<std::uint64_t>(name[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits >= name.size() || name[digits] != '.') {
+    return false;
+  }
+  key.kind = kind;
+  key.index = index;
+  stage = name.substr(digits + 1);
+  return true;
+}
+
+struct InstanceRow {
+  std::uint64_t offered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t detections = 0;
+  StageSummary service;
+};
+
+}  // namespace
+
+results::Doc telemetry_instance_table(const Registry& registry) {
+  std::map<InstanceKey, InstanceRow> instances;
+  for (const auto& [name, counter] : registry.counters()) {
+    InstanceKey key;
+    std::string_view stage;
+    if (!parse_scoped(name, key, stage)) continue;
+    InstanceRow& row = instances[key];
+    if (stage == "offered") {
+      row.offered = counter.value();
+    } else if (stage == "dropped") {
+      row.dropped = counter.value();
+    } else if (stage == "detections") {
+      row.detections = counter.value();
+    }
+  }
+  for (const auto& [name, stat] : registry.latencies()) {
+    InstanceKey key;
+    std::string_view stage;
+    if (!parse_scoped(name, key, stage)) continue;
+    if (stage == "service") instances[key].service = summarize(stat);
+  }
+
+  results::TableBuilder table(
+      {"Instance", "Offered", "Dropped", "Detections", "Events", "Mean",
+       "p99", "Max"},
+      {"left", "right", "right", "right", "right", "right", "right",
+       "right"});
+  table.title("Per-instance sensors/agents");
+  for (const auto& [key, row] : instances) {
+    const StageSummary& s = row.service;
+    table.row({util::cat(key.kind == 0 ? "sensor." : "agent.", key.index),
+               row.offered, row.dropped, row.detections, s.count,
+               s.count ? results::Doc(fmt_duration(s.mean_sec))
+                       : results::Doc("-"),
+               s.count ? results::Doc(fmt_duration(s.p99_sec))
+                       : results::Doc("-"),
+               s.count ? results::Doc(fmt_duration(s.max_sec))
+                       : results::Doc("-")});
+  }
+  return table.build();
+}
+
+namespace {
+
+std::string render_counter_lines(const PipelineSnapshot& snap) {
   std::string out = "=== Pipeline telemetry (measurement window) ===\n";
   out += util::cat("tapped=", snap.tapped, " filtered=", snap.filtered,
                    " lb_offered=", snap.lb_offered,
@@ -142,23 +255,23 @@ std::string render_telemetry(const PipelineSnapshot& snap) {
   out += util::cat("detections=", snap.detections,
                    " reports=", snap.reports, " alerts=", snap.alerts,
                    " blocks=", snap.blocks, "\n");
+  return out;
+}
 
-  util::TextTable table({"Stage", "Events", "Mean", "p99", "Max"},
-                        {util::Align::kLeft, util::Align::kRight,
-                         util::Align::kRight, util::Align::kRight,
-                         util::Align::kRight});
-  const auto add = [&table](std::string_view name,
-                            const StageSummary& stage) {
-    table.add_row({std::string(name), std::to_string(stage.count),
-                   stage.count ? fmt_duration(stage.mean_sec) : "-",
-                   stage.count ? fmt_duration(stage.p99_sec) : "-",
-                   stage.count ? fmt_duration(stage.max_sec) : "-"});
-  };
-  add(names::kLbQueueWait, snap.lb_wait);
-  add(names::kSensorService, snap.sensor_service);
-  add(names::kAnalyzerBatch, snap.analyzer_batch);
-  add(names::kMonitorAlertLatency, snap.monitor_alert);
-  out += table.render();
+}  // namespace
+
+std::string render_telemetry(const PipelineSnapshot& snap) {
+  return render_counter_lines(snap) +
+         results::render_table_text(telemetry_stage_table(snap));
+}
+
+std::string render_telemetry(const PipelineSnapshot& snap,
+                             const Registry& registry) {
+  std::string out = render_telemetry(snap);
+  const results::Doc instances = telemetry_instance_table(registry);
+  if (instances.find("rows")->size() > 0) {
+    out += results::render_table_text(instances);
+  }
   return out;
 }
 

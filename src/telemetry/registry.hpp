@@ -22,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "results/doc.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
@@ -215,9 +216,23 @@ StageSummary summarize(const LatencyStat& stat) noexcept;
 /// names, so a registry that saw no traffic yields an empty snapshot).
 PipelineSnapshot snapshot_pipeline(const Registry& registry);
 
+/// Table-shaped Doc (see results/table.hpp) for the per-stage latency
+/// table — the single source the text render and CSV export share.
+results::Doc telemetry_stage_table(const PipelineSnapshot& snapshot);
+
+/// Table-shaped Doc of per-instance scoped instruments ("sensor.N.*" /
+/// "agent.N.*") found in `registry`, sensors before agents, numeric
+/// instance order. Zero data rows when the registry carries none.
+results::Doc telemetry_instance_table(const Registry& registry);
+
 /// "Pipeline telemetry" report section: counters line + per-stage
 /// latency table.
 std::string render_telemetry(const PipelineSnapshot& snapshot);
+
+/// As above, plus a per-instance sensor/agent table when `registry`
+/// carries scoped instruments.
+std::string render_telemetry(const PipelineSnapshot& snapshot,
+                             const Registry& registry);
 
 /// Human-readable duration with an adaptive unit (ns/us/ms/s).
 std::string fmt_duration(double seconds);

@@ -1,21 +1,26 @@
 #include "telemetry/trace.hpp"
 
-#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace idseval::telemetry {
 
-TraceSink::TraceSink(std::string path, std::size_t capacity_lines)
-    : path_(std::move(path)), capacity_(capacity_lines) {
+TraceSink::TraceSink(std::string path, std::size_t capacity_lines,
+                     bool background)
+    : path_(std::move(path)),
+      capacity_(capacity_lines),
+      background_(background) {
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) {
     throw std::runtime_error("telemetry trace: cannot open " + path_ + ": " +
                              std::strerror(errno));
   }
-  buffer_.reserve(capacity_);
+  if (background_) {
+    writer_ = std::thread([this] { writer_main(); });
+  }
 }
 
 TraceSink::~TraceSink() { close(); }
@@ -28,34 +33,102 @@ void TraceSink::emit(std::string line) noexcept {
   }
   buffer_.push_back(std::move(line));
   ++emitted_;
+  // No writer wake-up here: the background writer polls on a short tick
+  // (see writer_main), so the producer-side cost of an emit is one
+  // mutex'd push_back — no futex syscall per line.
 }
 
-void TraceSink::flush_locked() {
-  for (const std::string& line : buffer_) {
+void TraceSink::emit(const results::Doc& event) {
+  emit(results::to_json(event));
+}
+
+// No fflush here: stdio buffering keeps writer drain cycles cheap, and
+// durability points (flush()/close()) flush the FILE* themselves.
+void TraceSink::write_lines(const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) {
     std::fprintf(file_, "%s\n", line.c_str());
   }
-  buffer_.clear();
-  std::fflush(file_);
+}
+
+void TraceSink::writer_main() {
+  std::unique_lock lock(mutex_);
+  std::vector<std::string> batch;
+  for (;;) {
+    // Timed wait instead of producer-notified: emits stay syscall-free
+    // and the writer coalesces whatever accumulated over the tick into
+    // one drain. flush()/close() notify to cut the tick short.
+    cv_data_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return stop_ || (!paused_ && !buffer_.empty());
+    });
+    if (paused_ && !stop_) continue;
+    if (!buffer_.empty() && (stop_ || !paused_)) {
+      batch.clear();
+      // Swap, don't re-reserve: the vectors keep whatever capacity they
+      // grew organically, so steady state allocates nothing under the
+      // lock.
+      batch.swap(buffer_);
+      writer_busy_ = true;
+      lock.unlock();
+      write_lines(batch);
+      lock.lock();
+      writer_busy_ = false;
+      cv_idle_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+  }
 }
 
 void TraceSink::flush() {
-  std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
   if (closed_) return;
-  flush_locked();
+  if (!background_) {
+    write_lines(buffer_);
+    buffer_.clear();
+    std::fflush(file_);
+    return;
+  }
+  if (paused_) return;  // writer held; nothing would drain
+  cv_data_.notify_one();  // cut the writer's poll tick short
+  cv_idle_.wait(lock, [this] { return buffer_.empty() && !writer_busy_; });
+  // The writer is idle and new emits only land in the buffer, so the
+  // FILE* is quiescent: flush it from here (stdio is internally locked
+  // anyway should an emit race the drain back in).
+  std::fflush(file_);
+}
+
+void TraceSink::pause_writer() {
+  std::scoped_lock lock(mutex_);
+  paused_ = true;
+}
+
+void TraceSink::resume_writer() {
+  std::scoped_lock lock(mutex_);
+  paused_ = false;
+  cv_data_.notify_one();
 }
 
 void TraceSink::close() {
-  std::scoped_lock lock(mutex_);
-  if (closed_) return;
-  flush_locked();
-  std::fprintf(file_,
-               "{\"type\":\"trace_summary\",\"emitted\":%llu,"
-               "\"dropped\":%llu}\n",
-               static_cast<unsigned long long>(emitted_),
-               static_cast<unsigned long long>(dropped_));
+  {
+    std::scoped_lock lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    paused_ = false;
+    stop_ = true;
+    cv_data_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+  // No writer (or it has exited) and closed_ blocks new emits, so the
+  // remaining buffer is ours alone.
+  write_lines(buffer_);
+  buffer_.clear();
+  results::Doc footer = results::Doc::object();
+  footer.set("type", "trace_summary")
+      .set("emitted", emitted_)
+      .set("dropped", dropped_);
+  std::fprintf(file_, "%s\n", results::to_json(footer).c_str());
   std::fclose(file_);
   file_ = nullptr;
-  closed_ = true;
 }
 
 std::uint64_t TraceSink::emitted() const noexcept {
@@ -68,249 +141,135 @@ std::uint64_t TraceSink::dropped() const noexcept {
   return dropped_;
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+std::string json_escape(std::string_view s) { return results::json_escape(s); }
+
+results::Doc to_doc(const StageSummary& stage) {
+  results::Doc doc = results::Doc::object();
+  doc.set("count", stage.count)
+      .set("mean_sec", stage.mean_sec)
+      .set("p99_sec", stage.p99_sec)
+      .set("max_sec", stage.max_sec);
+  return doc;
 }
 
-namespace {
-
-std::string fmt_exact(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+results::Doc to_doc(const PipelineSnapshot& s) {
+  results::Doc doc = results::Doc::object();
+  doc.set("tapped", s.tapped)
+      .set("filtered", s.filtered)
+      .set("lb_offered", s.lb_offered)
+      .set("lb_dropped", s.lb_dropped)
+      .set("sensor_offered", s.sensor_offered)
+      .set("sensor_dropped", s.sensor_dropped)
+      .set("detections", s.detections)
+      .set("reports", s.reports)
+      .set("alerts", s.alerts)
+      .set("blocks", s.blocks)
+      .set("lb_wait", to_doc(s.lb_wait))
+      .set("sensor_service", to_doc(s.sensor_service))
+      .set("analyzer_batch", to_doc(s.analyzer_batch))
+      .set("monitor_alert", to_doc(s.monitor_alert));
+  return doc;
 }
 
-}  // namespace
-
-std::string to_json(const StageSummary& stage) {
-  std::ostringstream out;
-  out << "{\"count\":" << stage.count
-      << ",\"mean_sec\":" << fmt_exact(stage.mean_sec)
-      << ",\"p99_sec\":" << fmt_exact(stage.p99_sec)
-      << ",\"max_sec\":" << fmt_exact(stage.max_sec) << "}";
-  return out.str();
-}
-
-std::string to_json(const PipelineSnapshot& s) {
-  std::ostringstream out;
-  out << "{\"tapped\":" << s.tapped << ",\"filtered\":" << s.filtered
-      << ",\"lb_offered\":" << s.lb_offered
-      << ",\"lb_dropped\":" << s.lb_dropped
-      << ",\"sensor_offered\":" << s.sensor_offered
-      << ",\"sensor_dropped\":" << s.sensor_dropped
-      << ",\"detections\":" << s.detections << ",\"reports\":" << s.reports
-      << ",\"alerts\":" << s.alerts << ",\"blocks\":" << s.blocks
-      << ",\"lb_wait\":" << to_json(s.lb_wait)
-      << ",\"sensor_service\":" << to_json(s.sensor_service)
-      << ",\"analyzer_batch\":" << to_json(s.analyzer_batch)
-      << ",\"monitor_alert\":" << to_json(s.monitor_alert) << "}";
-  return out.str();
-}
-
-std::string to_json(const Registry& registry) {
-  std::ostringstream out;
-  out << "{\"counters\":{";
-  bool first = true;
+results::Doc to_doc(const Registry& registry) {
+  results::Doc counters = results::Doc::object();
   for (const auto& [name, counter] : registry.counters()) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << json_escape(name) << "\":" << counter.value();
+    counters.set(name, counter.value());
   }
-  out << "},\"stages\":{";
-  first = true;
+  results::Doc stages = results::Doc::object();
   for (const auto& [name, stat] : registry.latencies()) {
-    if (!first) out << ",";
-    first = false;
     const util::RunningStats& stats = stat.stats();
     const util::LogHistogram& hist = stat.histogram();
-    out << "\"" << json_escape(name) << "\":{\"count\":" << stats.count()
-        << ",\"mean_sec\":" << fmt_exact(stats.mean())
-        << ",\"min_sec\":" << fmt_exact(stats.min())
-        << ",\"max_sec\":" << fmt_exact(stats.max())
-        << ",\"p50_sec\":" << fmt_exact(hist.quantile(0.50))
-        << ",\"p99_sec\":" << fmt_exact(hist.quantile(0.99));
+    results::Doc stage = results::Doc::object();
+    stage.set("count", stats.count())
+        .set("mean_sec", stats.mean())
+        .set("min_sec", stats.min())
+        .set("max_sec", stats.max())
+        .set("p50_sec", hist.quantile(0.50))
+        .set("p99_sec", hist.quantile(0.99))
+        .set("zeros", hist.zeros());
     // Log2 buckets keyed by exponent: value counts in [2^e, 2^(e+1)).
-    out << ",\"zeros\":" << hist.zeros() << ",\"log2_buckets\":{";
-    bool first_bucket = true;
+    results::Doc buckets = results::Doc::object();
     for (std::size_t i = 0; i < hist.buckets(); ++i) {
       const std::uint64_t count = hist.bucket_count(i);
       if (count == 0) continue;
-      if (!first_bucket) out << ",";
-      first_bucket = false;
-      out << "\"" << util::LogHistogram::min_exp() + static_cast<int>(i)
-          << "\":" << count;
+      buckets.set(
+          std::to_string(util::LogHistogram::min_exp() + static_cast<int>(i)),
+          count);
     }
-    out << "}}";
+    stage.set("log2_buckets", std::move(buckets));
+    stages.set(name, std::move(stage));
   }
-  out << "}}";
-  return out.str();
+  results::Doc doc = results::Doc::object();
+  doc.set("counters", std::move(counters)).set("stages", std::move(stages));
+  return doc;
 }
 
 namespace {
 
-/// Recursive-descent JSON checker (structure only, no value capture).
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
+[[noreturn]] void malformed(const char* what) {
+  throw std::invalid_argument(std::string("snapshot_from_doc: ") + what);
+}
 
-  bool check() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
+std::uint64_t member_u64(const results::Doc& doc, const char* key) {
+  const results::Doc* member = doc.find(key);
+  if (member == nullptr) malformed("missing counter");
+  return member->as_u64();
+}
 
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
+double member_double(const results::Doc& doc, const char* key) {
+  const results::Doc* member = doc.find(key);
+  if (member == nullptr) malformed("missing stage field");
+  return member->as_double();
+}
 
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      if (peek() != '"' || !string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      if (peek() != ',') return false;
-      ++pos_;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      if (peek() != ',') return false;
-      ++pos_;
-    }
-  }
-
-  bool string() {
-    ++pos_;  // opening quote
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          if (pos_ + 4 >= text_.size()) return false;
-          for (int i = 1; i <= 4; ++i) {
-            if (!std::isxdigit(
-                    static_cast<unsigned char>(text_[pos_ + i]))) {
-              return false;
-            }
-          }
-          pos_ += 4;
-        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    if (peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    // Require at least one digit (and not "-" / "." alone).
-    for (std::size_t i = start; i < pos_; ++i) {
-      if (std::isdigit(static_cast<unsigned char>(text_[i]))) return true;
-    }
-    return false;
-  }
-
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+StageSummary stage_from_doc(const results::Doc& parent, const char* key) {
+  const results::Doc* doc = parent.find(key);
+  if (doc == nullptr || !doc->is_object()) malformed("missing stage");
+  StageSummary stage;
+  stage.count = member_u64(*doc, "count");
+  stage.mean_sec = member_double(*doc, "mean_sec");
+  stage.p99_sec = member_double(*doc, "p99_sec");
+  stage.max_sec = member_double(*doc, "max_sec");
+  return stage;
+}
 
 }  // namespace
 
+PipelineSnapshot snapshot_from_doc(const results::Doc& doc) {
+  if (!doc.is_object()) malformed("expected object");
+  PipelineSnapshot s;
+  s.tapped = member_u64(doc, "tapped");
+  s.filtered = member_u64(doc, "filtered");
+  s.lb_offered = member_u64(doc, "lb_offered");
+  s.lb_dropped = member_u64(doc, "lb_dropped");
+  s.sensor_offered = member_u64(doc, "sensor_offered");
+  s.sensor_dropped = member_u64(doc, "sensor_dropped");
+  s.detections = member_u64(doc, "detections");
+  s.reports = member_u64(doc, "reports");
+  s.alerts = member_u64(doc, "alerts");
+  s.blocks = member_u64(doc, "blocks");
+  s.lb_wait = stage_from_doc(doc, "lb_wait");
+  s.sensor_service = stage_from_doc(doc, "sensor_service");
+  s.analyzer_batch = stage_from_doc(doc, "analyzer_batch");
+  s.monitor_alert = stage_from_doc(doc, "monitor_alert");
+  return s;
+}
+
+std::string to_json(const StageSummary& stage) {
+  return results::to_json(to_doc(stage));
+}
+
+std::string to_json(const PipelineSnapshot& snapshot) {
+  return results::to_json(to_doc(snapshot));
+}
+
+std::string to_json(const Registry& registry) {
+  return results::to_json(to_doc(registry));
+}
+
 bool validate_json_line(std::string_view line) {
-  return JsonChecker(line).check();
+  return results::validate_json_line(line);
 }
 
 }  // namespace idseval::telemetry

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "results/csv.hpp"
+
 namespace idseval::campaign {
 namespace {
 
@@ -149,6 +151,36 @@ TEST(AggregateTest, CsvHasHeaderAndOneRowPerGroup) {
               header_cols);
   }
   EXPECT_EQ(rows, agg.groups.size());
+}
+
+TEST(AggregateTest, StagesCsvHasFourRowsPerCellIncludingFailed) {
+  const CampaignSpec spec = two_sens_spec();
+  std::map<std::size_t, CellResult> results;
+  results[0] = make_cell(0, 0.2, 0, 100.0, 1.0, 30.0);
+  results[0].telemetry.sensor_offered = 50;
+  results[0].telemetry.sensor_service = {50, 0.001, 0.002, 0.003};
+  CellResult failed;
+  failed.cell.index = 1;
+  failed.cell.product = products::ProductId::kSentryNid;
+  failed.cell.profile = "rt_cluster";
+  failed.cell.sensitivity = 0.2;
+  failed.cell.replicate = 1;
+  failed.ok = false;
+  failed.error = "boom";
+  results[1] = failed;
+
+  const std::string csv = stages_to_csv(spec, results);
+  const results::CsvShape shape = results::check_csv(csv);
+  // The row-count invariant tools/ci.sh checks: 4 stage rows per cell,
+  // failed cells included with all-zero snapshots.
+  EXPECT_EQ(shape.data_rows, 4 * results.size());
+  ASSERT_GE(shape.columns.size(), 7u);
+  EXPECT_EQ(shape.columns[0], "cell_index");
+  EXPECT_EQ(shape.columns[6], "stage");
+  EXPECT_NE(csv.find("lb_wait"), std::string::npos);
+  EXPECT_NE(csv.find("sensor_service"), std::string::npos);
+  EXPECT_NE(csv.find("analyzer_batch"), std::string::npos);
+  EXPECT_NE(csv.find("monitor_alert"), std::string::npos);
 }
 
 TEST(AggregateTest, SummaryRendersEveryGroupRow) {

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "campaign/store.hpp"
 #include "util/rng.hpp"
@@ -31,7 +33,8 @@ CampaignSpec fast_spec() {
 }
 
 /// Synthetic runner: deterministic in the cell, no simulation.
-CellResult fake_runner(const CampaignSpec&, const CampaignCell& cell) {
+CellResult fake_runner(const CampaignSpec&, const CampaignCell& cell,
+                       harness::RunContext&) {
   CellResult r;
   r.cell = cell;
   r.ok = true;
@@ -124,9 +127,10 @@ TEST(SchedulerTest, ThrowingCellIsIsolatedNotFatal) {
   ResultStore store(store_path("failing"), spec, /*fresh=*/true);
   RunOptions options;
   options.jobs = 3;
-  options.runner = [](const CampaignSpec& s, const CampaignCell& cell) {
+  options.runner = [](const CampaignSpec& s, const CampaignCell& cell,
+                      harness::RunContext& ctx) {
     if (cell.index == 2) throw std::runtime_error("sensor exploded");
-    return fake_runner(s, cell);
+    return fake_runner(s, cell, ctx);
   };
   const RunStats stats = run_campaign(spec, store, options);
   EXPECT_EQ(stats.executed, spec.cell_count());
@@ -144,9 +148,10 @@ TEST(SchedulerTest, ResumeSkipsCompletedAndRetriesFailed) {
   {
     ResultStore store(path, spec, /*fresh=*/true);
     RunOptions options;
-    options.runner = [](const CampaignSpec& s, const CampaignCell& cell) {
+    options.runner = [](const CampaignSpec& s, const CampaignCell& cell,
+                        harness::RunContext& ctx) {
       if (cell.index >= 4) throw std::runtime_error("killed");
-      return fake_runner(s, cell);
+      return fake_runner(s, cell, ctx);
     };
     const RunStats stats = run_campaign(spec, store, options);
     EXPECT_EQ(stats.failed, spec.cell_count() - 4);
@@ -156,10 +161,11 @@ TEST(SchedulerTest, ResumeSkipsCompletedAndRetriesFailed) {
   ResultStore store(path, spec, /*fresh=*/false);
   std::atomic<std::size_t> executed{0};
   RunOptions options;
-  options.runner = [&](const CampaignSpec& s, const CampaignCell& cell) {
+  options.runner = [&](const CampaignSpec& s, const CampaignCell& cell,
+                       harness::RunContext& ctx) {
     ++executed;
     EXPECT_GE(cell.index, 4u);  // completed cells must not rerun
-    return fake_runner(s, cell);
+    return fake_runner(s, cell, ctx);
   };
   const RunStats stats = run_campaign(spec, store, options);
   EXPECT_EQ(stats.skipped, 4u);
@@ -169,10 +175,43 @@ TEST(SchedulerTest, ResumeSkipsCompletedAndRetriesFailed) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
+TEST(SchedulerTest, BackgroundAndSyncTraceWritersProduceIdenticalFiles) {
+  const CampaignSpec spec = fast_spec();
+  std::string contents[2];
+  const bool background[] = {false, true};
+  for (int i = 0; i < 2; ++i) {
+    const std::string tag = background[i] ? "trace_bg" : "trace_sync";
+    const std::string trace_path = store_path(tag + "_trace");
+    {
+      ResultStore store(store_path(tag), spec, /*fresh=*/true);
+      telemetry::TraceSink trace(trace_path,
+                                 telemetry::TraceSink::kDefaultCapacity,
+                                 background[i]);
+      RunOptions options;
+      options.runner = fake_runner;
+      // Single worker: cell events enqueue in index order, so the whole
+      // file (not just a sorted view of it) must match across modes.
+      options.jobs = 1;
+      options.trace = &trace;
+      run_campaign(spec, store, options);
+      trace.close();
+      EXPECT_EQ(trace.dropped(), 0u);
+      EXPECT_EQ(trace.emitted(), spec.cell_count());
+    }
+    std::ifstream in(trace_path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    contents[i] = text.str();
+  }
+  EXPECT_FALSE(contents[0].empty());
+  EXPECT_EQ(contents[0], contents[1]);
+}
+
 TEST(SchedulerTest, RunCellProducesPlausibleScores) {
   CampaignSpec spec = fast_spec();
   const auto cells = expand_cells(spec);
-  const CellResult result = run_cell(spec, cells[0]);
+  harness::RunContext ctx;
+  const CellResult result = run_cell(spec, cells[0], ctx);
   EXPECT_TRUE(result.ok);
   EXPECT_GT(result.score_total, 0.0);
   EXPECT_DOUBLE_EQ(result.score_total,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/table.hpp"
+
 namespace idseval::core {
 namespace {
 
@@ -60,6 +62,45 @@ TEST(ReportTest, RequirementMappingRendersBothTables) {
             std::string::npos);
   EXPECT_NE(out.find("Derived metric weights"), std::string::npos);
   EXPECT_NE(out.find("Observed False Negative Ratio"), std::string::npos);
+}
+
+// Regression for the Doc-backed rewrite: the rendered report must be
+// byte-identical to the legacy renderer, which drove util::TextTable
+// directly with the same cells. Any drift in the Doc/table bridge shows
+// up here as a whitespace-exact diff.
+TEST(ReportTest, DocBackedRenderMatchesLegacyTextTableBytes) {
+  const auto cards = two_cards();
+  const MetricId metrics[] = {MetricId::kTimeliness,
+                              MetricId::kLicenseManagement,
+                              MetricId::kVisibility};
+  const std::string rendered =
+      render_metric_table("Performance metrics", metrics, cards, true);
+
+  util::TextTable legacy({"Metric", "AlphaIDS", "BetaIDS"},
+                         {util::Align::kLeft, util::Align::kRight,
+                          util::Align::kRight});
+  legacy.set_title("Performance metrics");
+  legacy.add_row({"Timeliness", "4 (0.3s)", "2 (12s)"});
+  legacy.add_row({"License Management", "1", "3"});
+  legacy.add_row({"Visibility", "-", "-"});
+  EXPECT_EQ(rendered, legacy.render());
+
+  WeightSet w;
+  w.set(MetricId::kTimeliness, 5.0);
+  w.set(MetricId::kLicenseManagement, 1.0);
+  const std::string summary =
+      render_weighted_summary("Ranking", cards, w);
+  util::TextTable legacy_summary(
+      {"Rank", "Product", "S1 (Logistical)", "S2 (Architectural)",
+       "S3 (Performance)", "Total"},
+      {util::Align::kRight, util::Align::kLeft, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight});
+  legacy_summary.set_title("Ranking");
+  // Timeliness is S3, License Management is S1: Alpha 1.0 + 20.0 = 21,
+  // Beta 3.0 + 10.0 = 13.
+  legacy_summary.add_row({"1", "AlphaIDS", "1.0", "0.0", "20.0", "21.0"});
+  legacy_summary.add_row({"2", "BetaIDS", "3.0", "0.0", "10.0", "13.0"});
+  EXPECT_EQ(summary, legacy_summary.render());
 }
 
 TEST(ReportTest, MetricDefinitionHasAnchors) {

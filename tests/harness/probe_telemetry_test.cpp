@@ -36,8 +36,9 @@ std::uint64_t probes(const telemetry::Registry& reg) {
 TEST(ProbeTelemetryTest, LoadSweepCountsOneProbePerRatePoint) {
   const auto& model = products::product(products::ProductId::kSentryNid);
   telemetry::Registry reg;
+  RunContext ctx(&reg);
   const auto points =
-      load_sweep(tiny_env(), model, 0.5, {1.0, 2.0, 4.0}, &reg);
+      load_sweep(tiny_env(), model, 0.5, {1.0, 2.0, 4.0}, &ctx);
   ASSERT_EQ(points.size(), 3u);
   EXPECT_EQ(probes(reg), 3u);
   // Pool workers have no ambient registry; the accumulator must still
@@ -51,8 +52,9 @@ TEST(ProbeTelemetryTest, LoadSweepCountsOneProbePerRatePoint) {
 TEST(ProbeTelemetryTest, InducedLatencyCountsBothSimulations) {
   const auto& model = products::product(products::ProductId::kSentryNid);
   telemetry::Registry reg;
+  RunContext ctx(&reg);
   const double latency =
-      measure_induced_latency_sec(tiny_env(), model, 0.5, &reg);
+      measure_induced_latency_sec(tiny_env(), model, 0.5, &ctx);
   EXPECT_GE(latency, 0.0);
   // Product run plus no-IDS baseline.
   EXPECT_EQ(probes(reg), 2u);
@@ -61,9 +63,10 @@ TEST(ProbeTelemetryTest, InducedLatencyCountsBothSimulations) {
 TEST(ProbeTelemetryTest, LethalDoseSearchAccumulatesSequentially) {
   const auto& model = products::product(products::ProductId::kSentryNid);
   telemetry::Registry reg;
+  RunContext ctx(&reg);
   // Scales 2.0 and 3.2 fit under max_scale 4.0: two probes.
   const auto dose = measure_lethal_dose_pps(tiny_env(), model, 0.5,
-                                            /*max_scale=*/4.0, &reg);
+                                            /*max_scale=*/4.0, &ctx);
   EXPECT_FALSE(dose.has_value());
   EXPECT_EQ(probes(reg), 2u);
 }

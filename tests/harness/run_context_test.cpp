@@ -1,0 +1,105 @@
+#include "harness/run_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace idseval::harness {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RunContextTest, OwnsARegistryByDefault) {
+  RunContext ctx;
+  ctx.registry().counter("sensor.offered").increment(3);
+  EXPECT_EQ(ctx.registry().find_counter("sensor.offered")->value(), 3u);
+  EXPECT_EQ(ctx.trace(), nullptr);
+  ctx.emit(results::Doc::object());  // no sink: must be a safe no-op
+  ctx.flush_trace();
+}
+
+TEST(RunContextTest, RecordsIntoExternalRegistryWhenGiven) {
+  telemetry::Registry external;
+  RunContext ctx(&external);
+  ctx.registry().counter("harness.probes").increment();
+  EXPECT_EQ(external.find_counter("harness.probes")->value(), 1u);
+}
+
+TEST(RunContextTest, NullExternalRegistryFallsBackToOwned) {
+  RunContext ctx(static_cast<telemetry::Registry*>(nullptr));
+  ctx.registry().counter("x").increment();
+  EXPECT_EQ(ctx.registry().find_counter("x")->value(), 1u);
+}
+
+TEST(RunContextTest, ScopeInstallsRegistryForAmbientRecording) {
+  RunContext ctx;
+  EXPECT_EQ(telemetry::current(), nullptr);
+  {
+    RunContext::Scope scope(ctx);
+    EXPECT_EQ(telemetry::current(), &ctx.registry());
+    telemetry::count("pipeline.tapped", 5);
+  }
+  EXPECT_EQ(telemetry::current(), nullptr);
+  EXPECT_EQ(ctx.registry().find_counter("pipeline.tapped")->value(), 5u);
+}
+
+TEST(RunContextTest, ScopesNestAndRestore) {
+  RunContext outer;
+  RunContext inner;
+  RunContext::Scope a(outer);
+  {
+    RunContext::Scope b(inner);
+    EXPECT_EQ(telemetry::current(), &inner.registry());
+  }
+  EXPECT_EQ(telemetry::current(), &outer.registry());
+}
+
+TEST(RunContextTest, EmitsEventsToTheTraceSink) {
+  const std::string path = temp_path("idseval_run_context_trace.jsonl");
+  {
+    telemetry::TraceSink sink(path);
+    RunContext ctx(&sink);
+    ctx.registry().counter("pipeline.tapped").increment(2);
+    ctx.emit(evaluation_event("GuardSecure", "rt_cluster", 42,
+                              ctx.registry()));
+    ctx.flush_trace();
+    sink.close();
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);  // event + trace_summary footer
+  const results::Doc event = results::parse_json(lines[0]);
+  EXPECT_EQ(event.find("type")->as_string(), "evaluation");
+  EXPECT_EQ(event.find("product")->as_string(), "GuardSecure");
+  EXPECT_EQ(event.find("profile")->as_string(), "rt_cluster");
+  EXPECT_EQ(event.find("seed")->as_u64(), 42u);
+  ASSERT_NE(event.find("telemetry"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(RunContextTest, LoadProbesEventCarriesTelemetry) {
+  telemetry::Registry reg;
+  reg.counter("harness.probes").increment(7);
+  const results::Doc event =
+      load_probes_event("NetWatch", "office", 9, reg);
+  EXPECT_EQ(event.find("type")->as_string(), "load_probes");
+  const results::Doc* telem = event.find("telemetry");
+  ASSERT_NE(telem, nullptr);
+  EXPECT_EQ(telem->find("counters")->find("harness.probes")->as_u64(), 7u);
+}
+
+}  // namespace
+}  // namespace idseval::harness

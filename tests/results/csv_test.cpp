@@ -1,0 +1,92 @@
+#include "results/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace idseval::results {
+namespace {
+
+TEST(CsvTest, RendersHeaderAndRowsWithExactNumbers) {
+  Csv csv({"product", "sensitivity", "score"});
+  csv.add_row({"GuardSecure", 0.5, 42u});
+  csv.add_row({"NetWatch", 0.25, -3});
+  EXPECT_EQ(to_csv(csv),
+            "product,sensitivity,score\n"
+            "GuardSecure,0.5,42\n"
+            "NetWatch,0.25,-3\n");
+}
+
+TEST(CsvTest, QuotesOnlyWhenRfc4180Requires) {
+  EXPECT_EQ(csv_cell(Doc("plain")), "plain");
+  EXPECT_EQ(csv_cell(Doc("with,comma")), "\"with,comma\"");
+  EXPECT_EQ(csv_cell(Doc("say \"hi\"")), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_cell(Doc("line\nbreak")), "\"line\nbreak\"");
+  EXPECT_EQ(csv_cell(Doc(nullptr)), "");
+  EXPECT_EQ(csv_cell(Doc(true)), "true");
+}
+
+TEST(CsvTest, RejectsEmptySchema) {
+  EXPECT_THROW(Csv({}), std::invalid_argument);
+}
+
+TEST(CsvTest, RejectsRowWidthMismatch) {
+  Csv csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({1}), std::invalid_argument);
+  EXPECT_THROW(csv.add_row({1, 2, 3}), std::invalid_argument);
+  csv.add_row({1, 2});
+  EXPECT_EQ(csv.rows().size(), 1u);
+}
+
+TEST(CsvTest, RejectsNonScalarCells) {
+  Csv csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({1, Doc::object()}), std::invalid_argument);
+  EXPECT_THROW(csv.add_row({Doc::array(), 2}), std::invalid_argument);
+}
+
+TEST(CheckCsvTest, ReportsShapeOfValidText) {
+  const CsvShape shape = check_csv(
+      "stage,events,mean_sec\n"
+      "lb_wait,10,0.001\n"
+      "\"sensor,service\",20,0.002\n");
+  ASSERT_EQ(shape.columns.size(), 3u);
+  EXPECT_EQ(shape.columns[0], "stage");
+  EXPECT_EQ(shape.data_rows, 2u);
+}
+
+TEST(CheckCsvTest, RejectsRaggedRows) {
+  EXPECT_THROW(check_csv("a,b\n1\n"), std::invalid_argument);
+  EXPECT_THROW(check_csv("a,b\n1,2,3\n"), std::invalid_argument);
+}
+
+TEST(CheckCsvTest, RejectsEmptyAndHeaderlessText) {
+  EXPECT_THROW(check_csv(""), std::invalid_argument);
+  EXPECT_THROW(check_csv("\n"), std::invalid_argument);
+}
+
+TEST(CheckCsvTest, RejectsNonFiniteNumericCells) {
+  // Both spellings a printf-based writer could leak: textual nan/inf and
+  // their signed/case variants all strtod to non-finite values.
+  EXPECT_THROW(check_csv("x\nnan\n"), std::invalid_argument);
+  EXPECT_THROW(check_csv("x\nNaN\n"), std::invalid_argument);
+  EXPECT_THROW(check_csv("x\ninf\n"), std::invalid_argument);
+  EXPECT_THROW(check_csv("x\n-inf\n"), std::invalid_argument);
+  EXPECT_THROW(check_csv("x\nInfinity\n"), std::invalid_argument);
+  // Words merely containing those letters are not numbers — fine.
+  const CsvShape shape = check_csv("x\ninformation\nbanana\n");
+  EXPECT_EQ(shape.data_rows, 2u);
+}
+
+TEST(CheckCsvTest, RoundTripsWriterOutput) {
+  Csv csv({"name", "value"});
+  csv.add_row({"quoted \"cell\"", 1.25});
+  csv.add_row({"comma,cell", std::numeric_limits<std::uint64_t>::max()});
+  const CsvShape shape = check_csv(to_csv(csv));
+  EXPECT_EQ(shape.columns.size(), 2u);
+  EXPECT_EQ(shape.data_rows, 2u);
+}
+
+}  // namespace
+}  // namespace idseval::results

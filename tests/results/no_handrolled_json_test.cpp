@@ -1,0 +1,72 @@
+// Guardrail for the unified results layer: every JSON artifact must be
+// built as a results::Doc and rendered by results::to_json. Hand-rolled
+// JSON in a string literal is recognizable in source text by an escaped
+// quote next to JSON punctuation — the byte sequences {\" and \": — so
+// this test walks the shipped source trees and fails on any line that
+// contains them outside src/results/ (the one place allowed to know
+// what JSON looks like).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool cpp_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+// The needles, assembled so this file would pass its own scan.
+const std::string kBrace = std::string("{") + '\\' + '"';
+const std::string kColon = std::string("\\") + '"' + ':';
+
+std::vector<std::string> scan_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> offenders;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find(kBrace) != std::string::npos ||
+        line.find(kColon) != std::string::npos) {
+      std::ostringstream msg;
+      msg << path.string() << ":" << lineno << ": " << line;
+      offenders.push_back(msg.str());
+    }
+  }
+  return offenders;
+}
+
+TEST(NoHandRolledJsonTest, ShippedSourcesBuildJsonThroughDocWriters) {
+  const fs::path root = IDSEVAL_SOURCE_DIR;
+  ASSERT_TRUE(fs::exists(root / "src")) << root;
+  const fs::path allowed = root / "src" / "results";
+  std::vector<std::string> offenders;
+  std::size_t scanned = 0;
+  for (const char* tree : {"src", "bench", "tools"}) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / tree)) {
+      if (!entry.is_regular_file() || !cpp_source(entry.path())) continue;
+      const auto rel = fs::relative(entry.path(), allowed);
+      if (!rel.empty() && rel.begin()->string() != "..") continue;
+      ++scanned;
+      const auto found = scan_file(entry.path());
+      offenders.insert(offenders.end(), found.begin(), found.end());
+    }
+  }
+  EXPECT_GT(scanned, 20u) << "source walk found suspiciously few files";
+  std::string report;
+  for (const auto& line : offenders) report += line + "\n";
+  EXPECT_TRUE(offenders.empty())
+      << "hand-rolled JSON string literals found (use results::Doc + "
+         "results::to_json instead):\n"
+      << report;
+}
+
+}  // namespace

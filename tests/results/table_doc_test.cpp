@@ -1,0 +1,72 @@
+#include "results/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace idseval::results {
+namespace {
+
+// The Doc-backed renderer must be byte-identical to driving
+// util::TextTable directly — report regressions hide in whitespace.
+TEST(TableDocTest, RenderMatchesDirectTextTableByteForByte) {
+  TableBuilder builder({"Metric", "GuardSecure", "NetWatch"},
+                       {"left", "right", "right"});
+  builder.title("Performance metrics");
+  builder.row({"Timeliness", "3 (fast)", "1"});
+  builder.rule();
+  builder.row({"Throughput", "4", "-"});
+  const std::string rendered = render_table_text(builder.build());
+
+  util::TextTable expected(
+      {"Metric", "GuardSecure", "NetWatch"},
+      {util::Align::kLeft, util::Align::kRight, util::Align::kRight});
+  expected.set_title("Performance metrics");
+  expected.add_row({"Timeliness", "3 (fast)", "1"});
+  expected.add_rule();
+  expected.add_row({"Throughput", "4", "-"});
+  EXPECT_EQ(rendered, expected.render());
+}
+
+TEST(TableDocTest, MissingAlignsDefaultToLeft) {
+  TableBuilder builder({"a", "b"});
+  builder.row({"x", "y"});
+  util::TextTable expected({"a", "b"},
+                           {util::Align::kLeft, util::Align::kLeft});
+  expected.add_row({"x", "y"});
+  EXPECT_EQ(render_table_text(builder.build()), expected.render());
+}
+
+TEST(TableDocTest, NumericCellsRenderLikeCsvCells) {
+  TableBuilder builder({"n", "v"});
+  builder.row({3u, 0.5});
+  const Doc table = builder.build();
+  EXPECT_NE(render_table_text(table).find("0.5"), std::string::npos);
+  EXPECT_EQ(table_to_csv(table), "n,v\n3,0.5\n");
+}
+
+TEST(TableDocTest, CsvViewDropsTitleAndRules) {
+  TableBuilder builder({"a", "b"});
+  builder.title("Title line");
+  builder.row({"1", "2"});
+  builder.rule();
+  builder.row({"3", "4"});
+  EXPECT_EQ(table_to_csv(builder.build()), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableDocTest, RowWidthMismatchThrows) {
+  TableBuilder builder({"a", "b"});
+  EXPECT_THROW(builder.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableDocTest, RendererRejectsMalformedTableDoc) {
+  EXPECT_THROW(render_table_text(Doc("not a table")),
+               std::invalid_argument);
+  EXPECT_THROW(render_table_text(Doc::object()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idseval::results

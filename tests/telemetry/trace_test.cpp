@@ -27,8 +27,8 @@ TEST(TraceSinkTest, WritesLinesAndFooter) {
   const std::string path = temp_path("idseval_trace_basic.jsonl");
   {
     TraceSink sink(path);
-    sink.emit("{\"type\":\"a\"}");
-    sink.emit("{\"type\":\"b\"}");
+    sink.emit(std::string("{\"type\":\"a\"}"));
+    sink.emit(std::string("{\"type\":\"b\"}"));
     sink.close();
     EXPECT_EQ(sink.emitted(), 2u);
     EXPECT_EQ(sink.dropped(), 0u);
@@ -48,14 +48,16 @@ TEST(TraceSinkTest, WritesLinesAndFooter) {
 TEST(TraceSinkTest, DropsWhenBufferFullAndCountsDrops) {
   const std::string path = temp_path("idseval_trace_drops.jsonl");
   {
-    TraceSink sink(path, /*capacity_lines=*/2);
-    sink.emit("{\"n\":1}");
-    sink.emit("{\"n\":2}");
-    sink.emit("{\"n\":3}");  // buffer full: dropped
+    // Synchronous mode: nothing drains between emits, so the drop
+    // accounting is exact.
+    TraceSink sink(path, /*capacity_lines=*/2, /*background=*/false);
+    sink.emit(std::string("{\"n\":1}"));
+    sink.emit(std::string("{\"n\":2}"));
+    sink.emit(std::string("{\"n\":3}"));  // buffer full: dropped
     EXPECT_EQ(sink.emitted(), 2u);
     EXPECT_EQ(sink.dropped(), 1u);
     sink.flush();
-    sink.emit("{\"n\":4}");  // room again after flush
+    sink.emit(std::string("{\"n\":4}"));  // room again after flush
     sink.close();
     EXPECT_EQ(sink.emitted(), 3u);
     EXPECT_EQ(sink.dropped(), 1u);
@@ -67,13 +69,65 @@ TEST(TraceSinkTest, DropsWhenBufferFullAndCountsDrops) {
   std::remove(path.c_str());
 }
 
+TEST(TraceSinkTest, BackgroundWriterCountsDropsWhilePaused) {
+  const std::string path = temp_path("idseval_trace_bg_drops.jsonl");
+  {
+    TraceSink sink(path, /*capacity_lines=*/1, /*background=*/true);
+    ASSERT_TRUE(sink.background());
+    sink.pause_writer();  // hold the writer: drops become deterministic
+    sink.emit(std::string("{\"n\":1}"));
+    sink.emit(std::string("{\"n\":2}"));  // 1-slot buffer full: dropped
+    sink.emit(std::string("{\"n\":3}"));  // dropped
+    EXPECT_EQ(sink.emitted(), 1u);
+    EXPECT_EQ(sink.dropped(), 2u);
+    sink.resume_writer();
+    sink.close();
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"n\":1}");
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"trace_summary\",\"emitted\":1,\"dropped\":2}");
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, BackgroundMatchesSynchronousByteForByte) {
+  const std::string sync_path = temp_path("idseval_trace_mode_sync.jsonl");
+  const std::string bg_path = temp_path("idseval_trace_mode_bg.jsonl");
+  const auto drive = [](TraceSink& sink) {
+    for (int i = 0; i < 100; ++i) {
+      results::Doc event = results::Doc::object();
+      event.set("type", "cell").set("index", i).set("ok", i % 3 != 0);
+      sink.emit(event);
+      if (i % 10 == 9) sink.flush();  // cell-boundary pattern
+    }
+    sink.close();
+  };
+  {
+    TraceSink sink(sync_path, TraceSink::kDefaultCapacity,
+                   /*background=*/false);
+    drive(sink);
+  }
+  {
+    TraceSink sink(bg_path, TraceSink::kDefaultCapacity,
+                   /*background=*/true);
+    drive(sink);
+  }
+  const auto sync_lines = read_lines(sync_path);
+  const auto bg_lines = read_lines(bg_path);
+  ASSERT_EQ(sync_lines.size(), 101u);
+  EXPECT_EQ(sync_lines, bg_lines);
+  std::remove(sync_path.c_str());
+  std::remove(bg_path.c_str());
+}
+
 TEST(TraceSinkTest, CloseIsIdempotentAndEmitAfterCloseDrops) {
   const std::string path = temp_path("idseval_trace_close.jsonl");
   TraceSink sink(path);
-  sink.emit("{}");
+  sink.emit(std::string("{}"));
   sink.close();
   sink.close();
-  sink.emit("{}");  // after close: counted as a drop, file untouched
+  sink.emit(std::string("{}"));  // after close: counted as drop, file kept
   EXPECT_EQ(sink.dropped(), 1u);
   EXPECT_EQ(read_lines(path).size(), 2u);
   std::remove(path.c_str());

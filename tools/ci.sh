@@ -30,7 +30,9 @@ fi
 
 # Traced-campaign smoke test under the sanitizer build: the example CI
 # campaign must produce a well-formed JSONL trace with zero buffer drops
-# (trace-check exits non-zero otherwise).
+# (trace-check exits non-zero otherwise) and a per-stage latency CSV
+# whose shape matches the grid exactly — campaign_ci.spec expands to
+# 8 cells x 4 pipeline stages = 32 data rows, with no NaN/inf cells.
 for preset in "${presets[@]}"; do
   if [ "${preset}" = "asan-ubsan" ]; then
     echo "==== traced campaign (${preset}) ===="
@@ -40,6 +42,10 @@ for preset in "${presets[@]}"; do
       --spec examples/campaign_ci.spec --jobs 2 \
       --out "${out_dir}" --trace "${out_dir}/trace.jsonl"
     "build-${preset}/tools/idseval_cli" trace-check "${out_dir}/trace.jsonl"
+    "build-${preset}/tools/idseval_cli" trace-check \
+      --csv "${out_dir}/ci_campaign_stages.csv" --expect-rows 32
+    "build-${preset}/tools/idseval_cli" trace-check \
+      --csv "${out_dir}/ci_campaign.csv"
     rm -rf "${out_dir}"
     trap - EXIT
   fi

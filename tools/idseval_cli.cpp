@@ -16,9 +16,12 @@
 //       run a multi-seed evaluation grid, aggregate with dispersion
 //   idseval_cli trace-check FILE
 //       validate a --trace JSONL file (well-formed, zero dropped events)
+//   idseval_cli trace-check --csv FILE [--expect-rows N]
+//       validate a CSV export (rectangular, finite numbers, row count)
 //
 // evaluate, rank, and campaign accept --trace FILE to write a JSONL
-// event trace of the run's pipeline telemetry.
+// event trace of the run's pipeline telemetry; --trace-sync forces the
+// synchronous (caller-thread) writer instead of the background thread.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,7 +41,11 @@
 #include "core/sensitivity.hpp"
 #include "harness/evaluate.hpp"
 #include "harness/measure.hpp"
+#include "harness/run_context.hpp"
 #include "products/catalog.hpp"
+#include "results/csv.hpp"
+#include "results/doc.hpp"
+#include "results/table.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 #include "util/table.hpp"
@@ -92,11 +99,16 @@ std::optional<products::ProductId> product_by_name(const std::string& name) {
   return std::nullopt;
 }
 
-/// Opens the --trace sink when requested; nullptr otherwise.
+/// Opens the --trace sink when requested; nullptr otherwise. The
+/// background writer thread is the default; --trace-sync keeps all file
+/// I/O on the emitting thread (the two modes produce identical files at
+/// zero drops).
 std::unique_ptr<telemetry::TraceSink> open_trace(const Args& args) {
   const std::string path = args.opt("trace", "");
   if (path.empty()) return nullptr;
-  return std::make_unique<telemetry::TraceSink>(path);
+  return std::make_unique<telemetry::TraceSink>(
+      path, telemetry::TraceSink::kDefaultCapacity,
+      /*background=*/!args.has_flag("trace-sync"));
 }
 
 void report_trace(const telemetry::TraceSink& trace) {
@@ -115,15 +127,14 @@ harness::TestbedConfig make_env(const Args& args) {
 }
 
 int cmd_products() {
-  util::TextTable table({"Product", "Class", "Description"},
-                        {util::Align::kLeft, util::Align::kLeft,
-                         util::Align::kLeft});
+  results::TableBuilder table({"Product", "Class", "Description"},
+                              {"left", "left", "left"});
   for (const auto& model : products::product_catalog()) {
-    table.add_row({model.name,
-                   model.deploys_host_agents ? "host/hybrid" : "network",
-                   model.description});
+    table.row({model.name,
+               model.deploys_host_agents ? "host/hybrid" : "network",
+               model.description});
   }
-  std::printf("%s", table.render().c_str());
+  std::printf("%s", results::render_table_text(table.build()).c_str());
   return 0;
 }
 
@@ -154,11 +165,9 @@ int cmd_evaluate(const Args& args) {
               model.name.c_str(), env.profile.name.c_str(),
               static_cast<unsigned long long>(env.seed));
   auto trace = open_trace(args);
-  telemetry::Registry registry;
-  const harness::Evaluation eval = [&] {
-    telemetry::ScopedRegistry scope(&registry);
-    return harness::evaluate_product(env, model, options);
-  }();
+  harness::RunContext ctx(trace.get());
+  const harness::Evaluation eval =
+      harness::evaluate_product(env, model, options, &ctx);
 
   const harness::RunResult& run = eval.measured.detection_run;
   std::printf("transactions=%zu attacks=%zu detected=%zu "
@@ -186,27 +195,18 @@ int cmd_evaluate(const Args& args) {
                           .c_str());
   std::printf(
       "%s\n",
-      telemetry::render_telemetry(eval.measured.detection_telemetry)
+      telemetry::render_telemetry(eval.measured.detection_telemetry,
+                                  ctx.registry())
           .c_str());
   if (trace) {
-    std::ostringstream event;
-    event << "{\"type\":\"evaluation\",\"product\":\""
-          << telemetry::json_escape(model.name) << "\",\"profile\":\""
-          << telemetry::json_escape(env.profile.name)
-          << "\",\"seed\":" << env.seed
-          << ",\"telemetry\":" << telemetry::to_json(registry) << "}";
-    trace->emit(event.str());
+    ctx.emit(harness::evaluation_event(model.name, env.profile.name,
+                                       env.seed, ctx.registry()));
     // The load probes run in their own registry (harness.probes and the
     // per-stage probe telemetry), separate from the detection window.
     if (!eval.measured.load_probe_telemetry.empty()) {
-      std::ostringstream probes;
-      probes << "{\"type\":\"load_probes\",\"product\":\""
-             << telemetry::json_escape(model.name) << "\",\"profile\":\""
-             << telemetry::json_escape(env.profile.name)
-             << "\",\"seed\":" << env.seed << ",\"telemetry\":"
-             << telemetry::to_json(eval.measured.load_probe_telemetry)
-             << "}";
-      trace->emit(probes.str());
+      ctx.emit(harness::load_probes_event(
+          model.name, env.profile.name, env.seed,
+          eval.measured.load_probe_telemetry));
     }
     trace->close();
     report_trace(*trace);
@@ -230,37 +230,29 @@ int cmd_rank(const Args& args) {
   // Full evaluations (not just cards) so the load-probe registries are
   // still around for the trace events below.
   std::vector<std::optional<harness::Evaluation>> slots(catalog.size());
-  // One registry per product so the telemetry of concurrent evaluations
+  // One context per product so the telemetry of concurrent evaluations
   // stays separated; trace events are emitted in catalog order below.
-  std::vector<telemetry::Registry> registries(catalog.size());
+  std::vector<std::unique_ptr<harness::RunContext>> ctxs(catalog.size());
+  for (auto& ctx : ctxs) {
+    ctx = std::make_unique<harness::RunContext>(trace.get());
+  }
   {
     util::ThreadPool pool(jobs);
     pool.parallel_for(catalog.size(), [&](std::size_t i) {
-      telemetry::ScopedRegistry scope(&registries[i]);
-      slots[i].emplace(harness::evaluate_product(env, catalog[i], options));
+      slots[i].emplace(harness::evaluate_product(env, catalog[i], options,
+                                                 ctxs[i].get()));
     });
   }
   if (trace) {
     for (std::size_t i = 0; i < catalog.size(); ++i) {
-      std::ostringstream event;
-      event << "{\"type\":\"evaluation\",\"product\":\""
-            << telemetry::json_escape(catalog[i].name)
-            << "\",\"profile\":\""
-            << telemetry::json_escape(env.profile.name)
-            << "\",\"seed\":" << env.seed << ",\"telemetry\":"
-            << telemetry::to_json(registries[i]) << "}";
-      trace->emit(event.str());
+      ctxs[i]->emit(harness::evaluation_event(
+          catalog[i].name, env.profile.name, env.seed,
+          ctxs[i]->registry()));
       const telemetry::Registry& probes =
           slots[i]->measured.load_probe_telemetry;
       if (!probes.empty()) {
-        std::ostringstream probe_event;
-        probe_event << "{\"type\":\"load_probes\",\"product\":\""
-                    << telemetry::json_escape(catalog[i].name)
-                    << "\",\"profile\":\""
-                    << telemetry::json_escape(env.profile.name)
-                    << "\",\"seed\":" << env.seed << ",\"telemetry\":"
-                    << telemetry::to_json(probes) << "}";
-        trace->emit(probe_event.str());
+        ctxs[i]->emit(harness::load_probes_event(
+            catalog[i].name, env.profile.name, env.seed, probes));
       }
     }
   }
@@ -308,17 +300,16 @@ int cmd_sweep(const Args& args) {
   const auto sweep = harness::sensitivity_sweep(
       env, products::product(*id), sensitivities, 4);
 
-  util::TextTable table({"Sensitivity", "Type I (% benign)",
-                         "Type II (% attacks)"},
-                        {util::Align::kRight, util::Align::kRight,
-                         util::Align::kRight});
-  table.set_title(products::to_string(*id) + " on " + env.profile.name);
+  results::TableBuilder table({"Sensitivity", "Type I (% benign)",
+                               "Type II (% attacks)"},
+                              {"right", "right", "right"});
+  table.title(products::to_string(*id) + " on " + env.profile.name);
   for (const auto& p : sweep) {
-    table.add_row({util::fmt_double(p.sensitivity, 2),
-                   util::fmt_double(p.fp_percent_of_benign, 2),
-                   util::fmt_double(p.fn_percent_of_attacks, 2)});
+    table.row({util::fmt_double(p.sensitivity, 2),
+               util::fmt_double(p.fp_percent_of_benign, 2),
+               util::fmt_double(p.fn_percent_of_attacks, 2)});
   }
-  std::printf("%s", table.render().c_str());
+  std::printf("%s", results::render_table_text(table.build()).c_str());
   const auto eer = harness::equal_error_rate(sweep);
   if (eer.found) {
     std::printf("Equal Error Rate: %.2f%% at sensitivity %.3f\n",
@@ -371,12 +362,12 @@ int cmd_campaign(const Args& args) {
   run_options.telemetry = &aggregate_telemetry;
   run_options.trace = trace.get();
   if (trace) {
-    std::ostringstream event;
-    event << "{\"type\":\"campaign_begin\",\"name\":\""
-          << telemetry::json_escape(spec.name)
-          << "\",\"cells\":" << spec.cell_count()
-          << ",\"jobs\":" << run_options.jobs << "}";
-    trace->emit(event.str());
+    results::Doc event = results::Doc::object();
+    event.set("type", "campaign_begin")
+        .set("name", spec.name)
+        .set("cells", spec.cell_count())
+        .set("jobs", run_options.jobs);
+    trace->emit(event);
   }
   run_options.on_cell = [](const campaign::CellResult& r, std::size_t done,
                            std::size_t total) {
@@ -426,22 +417,41 @@ int cmd_campaign(const Args& args) {
   const std::string csv_path = (out_dir / (spec.name + ".csv")).string();
   std::ofstream csv(csv_path);
   csv << campaign::to_csv(spec, agg);
+  // Columnar per-stage latency export: one row per (cell, stage) across
+  // the whole sensitivity grid, for latency-distribution-vs-sensitivity
+  // plots without re-parsing the JSONL store.
+  const std::string stages_path =
+      (out_dir / (spec.name + "_stages.csv")).string();
+  std::ofstream stages(stages_path);
+  stages << campaign::stages_to_csv(spec, store.results());
   const std::string summary_path =
       (out_dir / (spec.name + ".txt")).string();
   std::ofstream txt(summary_path);
   txt << summary;
   if (!eer.empty()) txt << "\n" << eer;
   txt << "\n" << telemetry_section;
-  std::printf("results: %s\naggregate: %s, %s\n", store_path.c_str(),
-              csv_path.c_str(), summary_path.c_str());
+  std::printf("results: %s\naggregate: %s, %s\nstages: %s\n",
+              store_path.c_str(), csv_path.c_str(), summary_path.c_str(),
+              stages_path.c_str());
   if (trace) {
-    std::ostringstream event;
-    event << "{\"type\":\"campaign_end\",\"name\":\""
-          << telemetry::json_escape(spec.name)
-          << "\",\"executed\":" << stats.executed
-          << ",\"failed\":" << stats.failed << ",\"telemetry\":"
-          << telemetry::to_json(aggregate_telemetry) << "}";
-    trace->emit(event.str());
+    // The trace, like the store, carries simulation-time telemetry only:
+    // the wall-clock instrument would make fixed-seed trace files differ
+    // between otherwise identical runs.
+    telemetry::Registry traced_telemetry;
+    for (const auto& [name, counter] : aggregate_telemetry.counters()) {
+      traced_telemetry.counter(name).increment(counter.value());
+    }
+    for (const auto& [name, stat] : aggregate_telemetry.latencies()) {
+      if (name == telemetry::names::kCampaignCellWall) continue;
+      traced_telemetry.latency(name).merge(stat);
+    }
+    results::Doc event = results::Doc::object();
+    event.set("type", "campaign_end")
+        .set("name", spec.name)
+        .set("executed", stats.executed)
+        .set("failed", stats.failed)
+        .set("telemetry", telemetry::to_doc(traced_telemetry));
+    trace->emit(event);
     trace->close();
     report_trace(*trace);
     if (trace->dropped() > 0) {
@@ -453,7 +463,43 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+/// --csv mode: structural validation through results::check_csv plus an
+/// optional exact data-row count (campaign stage exports have a known
+/// shape: cells x pipeline stages).
+int check_csv_file(const Args& args) {
+  const std::string path = args.opt("csv", "");
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace-check: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  results::CsvShape shape;
+  try {
+    shape = results::check_csv(text.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace-check: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::string expect = args.opt("expect-rows", "");
+  if (!expect.empty()) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::stoull(expect));
+    if (shape.data_rows != want) {
+      std::fprintf(stderr,
+                   "trace-check: %s has %zu data rows, expected %zu\n",
+                   path.c_str(), shape.data_rows, want);
+      return 1;
+    }
+  }
+  std::printf("trace-check: %s ok (%zu columns, %zu rows)\n", path.c_str(),
+              shape.columns.size(), shape.data_rows);
+  return 0;
+}
+
 int cmd_trace_check(const Args& args) {
+  if (!args.opt("csv", "").empty()) return check_csv_file(args);
   const std::string path =
       args.positional.empty() ? args.opt("file", "") : args.positional;
   if (path.empty()) {
@@ -469,15 +515,18 @@ int cmd_trace_check(const Args& args) {
   std::size_t lines = 0;
   std::size_t events = 0;
   bool saw_summary = false;
-  unsigned long long emitted = 0;
-  unsigned long long dropped = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
   while (std::getline(in, line)) {
     ++lines;
     if (line.empty()) {
       std::fprintf(stderr, "trace-check: line %zu is empty\n", lines);
       return 1;
     }
-    if (!telemetry::validate_json_line(line)) {
+    results::Doc event;
+    try {
+      event = results::parse_json(line);
+    } catch (const std::exception&) {
       std::fprintf(stderr, "trace-check: line %zu is not valid JSON\n",
                    lines);
       return 1;
@@ -489,15 +538,22 @@ int cmd_trace_check(const Args& args) {
                    lines);
       return 1;
     }
-    unsigned long long e = 0;
-    unsigned long long d = 0;
-    if (std::sscanf(line.c_str(),
-                    "{\"type\":\"trace_summary\",\"emitted\":%llu"
-                    ",\"dropped\":%llu}",
-                    &e, &d) == 2) {
+    const results::Doc* type = event.find("type");
+    if (event.is_object() && type != nullptr && type->is_string() &&
+        type->as_string() == "trace_summary") {
+      const results::Doc* e = event.find("emitted");
+      const results::Doc* d = event.find("dropped");
+      if (e == nullptr || !e->is_number() || d == nullptr ||
+          !d->is_number()) {
+        std::fprintf(stderr,
+                     "trace-check: line %zu has a malformed "
+                     "trace_summary footer\n",
+                     lines);
+        return 1;
+      }
       saw_summary = true;
-      emitted = e;
-      dropped = d;
+      emitted = e->as_u64();
+      dropped = d->as_u64();
     } else {
       ++events;
     }
@@ -512,12 +568,12 @@ int cmd_trace_check(const Args& args) {
     std::fprintf(stderr,
                  "trace-check: footer claims %llu emitted events but "
                  "%zu are present\n",
-                 emitted, events);
+                 static_cast<unsigned long long>(emitted), events);
     return 1;
   }
   if (dropped != 0) {
     std::fprintf(stderr, "trace-check: %llu event(s) were dropped\n",
-                 dropped);
+                 static_cast<unsigned long long>(dropped));
     return 1;
   }
   std::printf("trace-check: %s ok (%zu events, 0 dropped)\n", path.c_str(),
@@ -539,6 +595,9 @@ int usage() {
       "  campaign --spec FILE [--jobs N] [--resume] [--out DIR]\n"
       "           [--trace FILE]\n"
       "  trace-check FILE                        validate a trace file\n"
+      "  trace-check --csv FILE [--expect-rows N] validate a CSV export\n"
+      "--trace-sync writes trace events on the emitting thread (default\n"
+      "is a background writer thread; both produce identical files)\n"
       "profiles: rt_cluster, ecommerce, office, random_flood\n");
   return 2;
 }
