@@ -6,6 +6,14 @@
 // prefer an operating point left or right of the crossing — for
 // distributed systems, §3.3 argues for accepting extra Type I to push
 // Type II down.
+//
+// The closing section times the legacy re-simulated sweep (one testbed
+// run per grid point) against the single-pass score-ledger sweep (one
+// evidence-recorded run, every point derived offline) and reports the
+// wall-clock speedup and the EER delta between the two paths.
+#include <chrono>
+#include <cmath>
+
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -48,6 +56,45 @@ int main() {
                   "the Type I curve. Sensitivity cannot buy back attacks "
                   "this engine class cannot see.\n\n");
     }
+  }
+
+  // Re-simulated vs. single-pass wall time, one product. Both paths run
+  // serially so the ratio is simulations-avoided, not thread count; at
+  // 11 grid points the single pass should land well above 5x.
+  std::printf("--- sweep cost: re-simulated vs. single-pass ---\n");
+  const products::ProductModel& timed_model =
+      products::product(products::ProductId::kSentryNid);
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto resim =
+      harness::sensitivity_sweep(env, timed_model, sensitivities, 4);
+  const auto t1 = Clock::now();
+  const harness::SinglePassSweep single =
+      harness::single_pass_sensitivity_sweep(env, timed_model,
+                                             sensitivities, 4);
+  const auto t2 = Clock::now();
+  const double resim_sec = std::chrono::duration<double>(t1 - t0).count();
+  const double single_sec = std::chrono::duration<double>(t2 - t1).count();
+  const harness::EqualErrorRate eer_resim = harness::equal_error_rate(resim);
+  const harness::EqualErrorRate eer_single =
+      harness::equal_error_rate(single.points);
+  std::printf("re-simulated: %zu points, %.3fs wall\n", resim.size(),
+              resim_sec);
+  std::printf("single-pass:  %zu points, %.3fs wall (%zu transactions, "
+              "%llu evidence observations)\n",
+              single.points.size(), single_sec, single.roc.transactions(),
+              static_cast<unsigned long long>(single.evidence_observations));
+  std::printf("speedup: %.1fx\n",
+              single_sec > 0.0 ? resim_sec / single_sec : 0.0);
+  if (eer_resim.found && eer_single.found) {
+    std::printf("EER delta: |%.4f%% - %.4f%%| = %.4f%%\n",
+                eer_resim.error_percent, eer_single.error_percent,
+                std::fabs(eer_resim.error_percent -
+                          eer_single.error_percent));
+  } else {
+    std::printf("EER: re-simulated %s, single-pass %s\n",
+                eer_resim.found ? "found" : "no crossing",
+                eer_single.found ? "found" : "no crossing");
   }
   return 0;
 }

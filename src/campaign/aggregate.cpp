@@ -36,6 +36,8 @@ constexpr CsvQuantity kCsvQuantities[] = {
     {"zero_loss_pps", &GroupStats::zero_loss_pps},
     {"system_throughput_pps", &GroupStats::system_throughput_pps},
     {"induced_latency_sec", &GroupStats::induced_latency_sec},
+    {"unified_total_cost", &GroupStats::unified_total_cost},
+    {"unified_capability", &GroupStats::unified_capability},
 };
 
 }  // namespace
@@ -75,6 +77,8 @@ CampaignAggregate aggregate(
     g.zero_loss_pps.add(result.zero_loss_pps);
     g.system_throughput_pps.add(result.system_throughput_pps);
     g.induced_latency_sec.add(result.induced_latency_sec);
+    g.unified_total_cost.add(result.unified_total_cost);
+    g.unified_capability.add(result.unified_capability);
 
     harness::ErrorRatePoint point;
     point.sensitivity = result.cell.sensitivity;
@@ -107,13 +111,13 @@ CampaignAggregate aggregate(
   return agg;
 }
 
-std::string render_summary(const CampaignSpec& spec,
-                           const CampaignAggregate& agg) {
+results::Doc summary_table_doc(const CampaignSpec& spec,
+                               const CampaignAggregate& agg) {
   results::TableBuilder table(
       {"Product", "Profile", "Sens", "N", "Total", "Logist", "Archit",
-       "Perf", "FP %", "FN %", "Timel s"},
+       "Perf", "FP %", "FN %", "Timel s", "Capab"},
       {"left", "left", "right", "right", "right", "right", "right", "right",
-       "right", "right", "right"});
+       "right", "right", "right", "right"});
   table.title("Campaign '" + spec.name + "' — " + spec.weights +
               " weights, mean ± stddev over seed replicates");
   std::string last_product;
@@ -129,19 +133,17 @@ std::string render_summary(const CampaignSpec& spec,
                fmt_mean_sd(g.score_architectural),
                fmt_mean_sd(g.score_performance),
                fmt_mean_sd(g.fp_percent), fmt_mean_sd(g.fn_percent),
-               fmt_mean_sd(g.timeliness_sec)});
+               fmt_mean_sd(g.timeliness_sec),
+               fmt_mean_sd(g.unified_capability)});
   }
-  std::string out = results::render_table_text(table.build());
-  if (agg.failed_cells > 0) {
-    out += "!! " + std::to_string(agg.failed_cells) +
-           " cell(s) failed and are excluded from the statistics\n";
-  }
-  return out;
+  return table.build();
 }
 
-std::string render_eer_summary(const CampaignSpec& spec,
-                               const CampaignAggregate& agg) {
-  if (spec.sensitivities.size() < 2 || agg.eer.empty()) return "";
+results::Doc eer_table_doc(const CampaignSpec& spec,
+                           const CampaignAggregate& agg) {
+  if (spec.sensitivities.size() < 2 || agg.eer.empty()) {
+    return results::Doc();
+  }
   results::TableBuilder table({"Product", "Profile", "N", "EER %", "EER min",
                                "EER max", "at sens", "no-cross"},
                               {"left", "left", "right", "right", "right",
@@ -158,7 +160,24 @@ std::string render_eer_summary(const CampaignSpec& spec,
                fmt_mean_sd(e.sensitivity),
                std::to_string(e.replicates_without_crossing)});
   }
-  return results::render_table_text(table.build());
+  return table.build();
+}
+
+std::string render_summary(const CampaignSpec& spec,
+                           const CampaignAggregate& agg) {
+  std::string out = results::render_table_text(summary_table_doc(spec, agg));
+  if (agg.failed_cells > 0) {
+    out += "!! " + std::to_string(agg.failed_cells) +
+           " cell(s) failed and are excluded from the statistics\n";
+  }
+  return out;
+}
+
+std::string render_eer_summary(const CampaignSpec& spec,
+                               const CampaignAggregate& agg) {
+  const results::Doc table = eer_table_doc(spec, agg);
+  if (table.is_null()) return "";
+  return results::render_table_text(table);
 }
 
 std::string to_csv(const CampaignSpec& spec, const CampaignAggregate& agg) {

@@ -12,6 +12,7 @@
 
 #include "campaign/scheduler.hpp"
 #include "campaign/spec.hpp"
+#include "results/doc.hpp"
 #include "util/stats.hpp"
 
 namespace idseval::campaign {
@@ -43,6 +44,8 @@ struct GroupStats {
   util::RunningStats zero_loss_pps;
   util::RunningStats system_throughput_pps;
   util::RunningStats induced_latency_sec;
+  util::RunningStats unified_total_cost;
+  util::RunningStats unified_capability;
 };
 
 /// EER dispersion for one (product, profile): the equal error rate is
@@ -67,6 +70,17 @@ CampaignAggregate aggregate(const CampaignSpec& spec,
 
 /// Replicate-dispersion sample stddev (n-1); 0 for fewer than 2 samples.
 double dispersion(const util::RunningStats& s);
+
+/// The per-group score/measurement table (mean ± stddev cells, unified
+/// capability included) as a table-shaped Doc — one source for the text,
+/// CSV, and HTML/markdown renderings.
+results::Doc summary_table_doc(const CampaignSpec& spec,
+                               const CampaignAggregate& agg);
+
+/// The per-(product, profile) EER table as a table Doc; a null Doc when
+/// the spec has fewer than 2 sensitivities (no curve to cross).
+results::Doc eer_table_doc(const CampaignSpec& spec,
+                           const CampaignAggregate& agg);
 
 /// Renders the per-group score/measurement table (mean ± stddev columns)
 /// through util::TextTable.

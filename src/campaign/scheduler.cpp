@@ -89,6 +89,8 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
     result.system_throughput_pps = eval.measured.system_throughput_pps;
     result.induced_latency_sec = eval.measured.induced_latency_sec;
   }
+  result.unified_total_cost = eval.unified.total_cost;
+  result.unified_capability = eval.unified.capability;
   result.telemetry = eval.measured.detection_telemetry;
   return result;
 }

@@ -60,6 +60,11 @@ struct CellResult {
   double system_throughput_pps = 0.0;
   double induced_latency_sec = 0.0;
 
+  // Unified cost/capability score (Iannacone & Bridges) over the cell's
+  // detection run, under the default cost weights.
+  double unified_total_cost = 0.0;
+  double unified_capability = 0.0;
+
   /// Per-stage telemetry from the cell's detection run. Derived from
   /// simulation time only, so it is persisted with the row and stays
   /// byte-identical across worker counts and trace settings.

@@ -150,6 +150,8 @@ results::Doc cell_to_doc(const CellResult& r) {
       .set("zero_loss_pps", r.zero_loss_pps)
       .set("system_throughput_pps", r.system_throughput_pps)
       .set("induced_latency_sec", r.induced_latency_sec)
+      .set("unified_total_cost", r.unified_total_cost)
+      .set("unified_capability", r.unified_capability)
       .set("telemetry", telemetry::to_doc(r.telemetry));
   return doc;
 }
@@ -200,6 +202,14 @@ CellResult deserialize_cell(const std::string& line) {
   r.zero_loss_pps = field_double(doc, "zero_loss_pps");
   r.system_throughput_pps = field_double(doc, "system_throughput_pps");
   r.induced_latency_sec = field_double(doc, "induced_latency_sec");
+  // Stores written before the unified score existed still load; their
+  // rows simply carry zeros for both fields.
+  if (const results::Doc* v = doc.find("unified_total_cost")) {
+    r.unified_total_cost = v->as_double();
+  }
+  if (const results::Doc* v = doc.find("unified_capability")) {
+    r.unified_capability = v->as_double();
+  }
   // Stores written before the telemetry field existed still load; their
   // rows simply carry an all-zero snapshot.
   if (const results::Doc* snap = doc.find("telemetry")) {

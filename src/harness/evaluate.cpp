@@ -33,6 +33,9 @@ Evaluation evaluate_product(const TestbedConfig& env,
   // --- Detection run: confusion, timeliness, host impact, storage --------
   {
     Testbed bed(env, &model, options.sensitivity);
+    if (ctx != nullptr && ctx->score_ledger() != nullptr) {
+      bed.set_score_ledger(ctx->score_ledger());
+    }
     const auto scenario = attack::Scenario::mixed(
         options.attacks_per_kind, SimTime::zero(), env.measure * 0.9,
         util::hash64("evaluate") ^ env.seed, env.external_hosts,
@@ -141,6 +144,22 @@ Evaluation evaluate_product(const TestbedConfig& env,
     card.set(MetricId::kInducedTrafficLatency,
              core::score_induced_latency(m.induced_latency_sec),
              cat(util::fmt_fixed(m.induced_latency_sec * 1e6, 1), " us"));
+  }
+
+  // --- Unified cost/capability score (Iannacone & Bridges) ---------------
+  // Computed after the load probes so the resource term can include the
+  // induced-latency measurement when available.
+  {
+    score::CostInputs in;
+    in.transactions = run.transactions;
+    in.attacks = run.attacks;
+    in.missed_attacks = run.missed_attacks;
+    in.false_alarms = run.false_alarms;
+    in.true_detections = run.true_detections;
+    in.mean_detection_latency_sec = run.timeliness_mean_sec;
+    in.mean_host_ids_cpu = run.mean_host_ids_cpu;
+    in.induced_latency_sec = m.induced_latency_sec;
+    eval.unified = score::unified_score(in, options.cost_weights);
   }
 
   return eval;

@@ -11,6 +11,7 @@
 #include "harness/run_context.hpp"
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
+#include "score/scorecard.hpp"
 
 namespace idseval::harness {
 
@@ -20,6 +21,8 @@ struct EvaluationOptions {
   /// Skip the expensive load sweeps (zero loss, lethal dose, system
   /// throughput) — useful for quick scorecards and unit tests.
   bool include_load_metrics = true;
+  /// Unit costs behind the unified cost/capability score.
+  score::CostWeights cost_weights;
 };
 
 /// The measured values backing the scorecard entries, retained so reports
@@ -44,6 +47,11 @@ struct Measurements {
 struct Evaluation {
   core::Scorecard card;
   Measurements measured;
+  /// One comparable number per product: the Iannacone & Bridges unified
+  /// cost model over the detection run (and, when load metrics ran, the
+  /// induced-latency measurement), rendered beside the paper's three
+  /// class scores.
+  score::UnifiedScore unified;
 };
 
 /// Evaluates one product in the given environment. With a `ctx`, the

@@ -242,6 +242,39 @@ std::vector<ErrorRatePoint> sensitivity_sweep(
   return points;
 }
 
+SinglePassSweep single_pass_sensitivity_sweep(
+    const TestbedConfig& base, const products::ProductModel& model,
+    const std::vector<double>& sensitivities, std::size_t attacks_per_kind,
+    double record_sensitivity) {
+  // Same scenario construction as the re-simulated sweep, so the two
+  // paths score the identical ground truth.
+  score::ScoreLedger ledger;
+  Testbed bed(base, &model, record_sensitivity);
+  bed.set_score_ledger(&ledger);
+  const auto scenario = attack::Scenario::mixed(
+      attacks_per_kind, SimTime::zero(), base.measure * 0.9,
+      util::hash64("sweep") ^ base.seed, base.external_hosts,
+      base.internal_hosts);
+  bed.run(scenario);
+
+  SinglePassSweep out;
+  out.record_sensitivity = record_sensitivity;
+  out.evidence_observations = ledger.observations();
+  out.roc = score::RocCurve(ledger.samples());
+  out.points.reserve(sensitivities.size());
+  for (const double s : sensitivities) {
+    const score::ErrorCounts c = out.roc.error_rate_at(s);
+    ErrorRatePoint p;
+    p.sensitivity = s;
+    p.fp_ratio = c.fp_ratio;
+    p.fn_ratio = c.fn_ratio;
+    p.fp_percent_of_benign = c.fp_percent_of_benign;
+    p.fn_percent_of_attacks = c.fn_percent_of_attacks;
+    out.points.push_back(p);
+  }
+  return out;
+}
+
 EqualErrorRate equal_error_rate(const std::vector<ErrorRatePoint>& sweep) {
   EqualErrorRate eer;
   // diff = FN% - FP%: positive at low sensitivity (missing attacks),

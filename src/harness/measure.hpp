@@ -9,6 +9,8 @@
 #include "harness/run_context.hpp"
 #include "harness/testbed.hpp"
 #include "products/catalog.hpp"
+#include "score/ledger.hpp"
+#include "score/roc.hpp"
 
 namespace idseval::harness {
 
@@ -90,6 +92,33 @@ std::vector<ErrorRatePoint> sensitivity_sweep(
     const TestbedConfig& base, const products::ProductModel& model,
     const std::vector<double>& sensitivities, std::size_t attacks_per_kind,
     std::size_t threads = 0);
+
+/// Result of a single-pass sweep: the grid points in the same shape the
+/// re-simulated sweep produces, plus the full continuous-threshold ROC
+/// they were cut from.
+struct SinglePassSweep {
+  std::vector<ErrorRatePoint> points;
+  score::RocCurve roc;
+  double record_sensitivity = 0.5;
+  std::uint64_t evidence_observations = 0;
+};
+
+/// Single-pass Figure 4: runs the identical mixed scenario ONCE with a
+/// score ledger attached, then derives every sweep point offline from
+/// the recorded per-transaction evidence (score::RocCurve). One
+/// simulation plus a sort instead of one simulation per point.
+///
+/// Exactly equivalent to `sensitivity_sweep` whenever detection has no
+/// feedback into simulation dynamics: pattern-rule signature detection
+/// with no management console (no firewall blocks), no anomaly engine
+/// (whose winsorized learning and cooldowns are threshold-coupled), and
+/// no threshold rules (whose confidence gate also gates window-state
+/// updates). Outside that envelope the derived points are a close
+/// approximation whose quality the regression tests pin down.
+SinglePassSweep single_pass_sensitivity_sweep(
+    const TestbedConfig& base, const products::ProductModel& model,
+    const std::vector<double>& sensitivities, std::size_t attacks_per_kind,
+    double record_sensitivity = 0.5);
 
 /// Equal Error Rate: the sensitivity where the Type I and Type II curves
 /// cross (linear interpolation between sweep points; Figure 4). Uses the

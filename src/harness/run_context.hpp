@@ -14,6 +14,10 @@
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 
+namespace idseval::score {
+class ScoreLedger;
+}  // namespace idseval::score
+
 namespace idseval::harness {
 
 class RunContext {
@@ -36,6 +40,15 @@ class RunContext {
   telemetry::Registry& registry() noexcept { return *registry_; }
   const telemetry::Registry& registry() const noexcept { return *registry_; }
   telemetry::TraceSink* trace() const noexcept { return trace_; }
+
+  /// Optional score ledger, threaded through like the registry: when
+  /// set, evaluation detection runs record per-transaction evidence into
+  /// it (Testbed::set_score_ledger). Null by default — recording is
+  /// strictly opt-in so ordinary runs stay byte-identical.
+  void set_score_ledger(score::ScoreLedger* ledger) noexcept {
+    score_ledger_ = ledger;
+  }
+  score::ScoreLedger* score_ledger() const noexcept { return score_ledger_; }
 
   /// Emits one event Doc to the trace; no-op without a sink.
   void emit(const results::Doc& event) {
@@ -60,6 +73,7 @@ class RunContext {
   telemetry::Registry owned_;
   telemetry::Registry* registry_;
   telemetry::TraceSink* trace_ = nullptr;
+  score::ScoreLedger* score_ledger_ = nullptr;
 };
 
 /// Standard trace events shared by the evaluate/rank commands: the

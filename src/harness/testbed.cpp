@@ -1,5 +1,7 @@
 #include "harness/testbed.hpp"
 
+#include "score/ledger.hpp"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -102,6 +104,11 @@ RunResult Testbed::run(const attack::Scenario& scenario) {
   if (pipeline_ != nullptr) {
     pipeline_->set_learning(false);
     pipeline_->reset_counters();
+    // Evidence recording covers exactly the scored window; warmup
+    // observations never pollute the score ledger.
+    if (score_ledger_ != nullptr) {
+      pipeline_->set_evidence_sink(score_ledger_);
+    }
   }
   net_->reset_link_stats();
   delivery_latency_.reset();
@@ -139,6 +146,9 @@ RunResult Testbed::collect(const attack::Scenario* scenario,
   r.product = model_ != nullptr ? model_->name : "baseline";
   r.sensitivity = sensitivity_;
   const double window_sec = (measure_end - measure_start).sec();
+  if (score_ledger_ != nullptr) {
+    score_ledger_->finalize(ledger_, measure_start, measure_end);
+  }
 
   // --- Confusion over transactions that began in the window --------------
   std::unordered_set<std::uint64_t> alerted;

@@ -26,6 +26,10 @@
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
+namespace idseval::score {
+class ScoreLedger;
+}  // namespace idseval::score
+
 namespace idseval::harness {
 
 struct TestbedConfig {
@@ -126,6 +130,14 @@ class Testbed {
   /// are interpreted relative to the start of the measurement phase.
   RunResult run(const attack::Scenario& scenario);
 
+  /// Optional score ledger: when set before run(), the pipeline records
+  /// pre-gate detector evidence into it for the measurement window and
+  /// collect() finalizes it against ground truth. Off by default, and
+  /// purely observational — run results are identical either way.
+  void set_score_ledger(score::ScoreLedger* ledger) noexcept {
+    score_ledger_ = ledger;
+  }
+
   /// Convenience: run with no attacks at all (pure load measurement).
   RunResult run_clean();
 
@@ -151,6 +163,7 @@ class Testbed {
   TestbedConfig config_;
   const products::ProductModel* model_;
   double sensitivity_;
+  score::ScoreLedger* score_ledger_ = nullptr;
 
   netsim::Simulator sim_;
   std::unique_ptr<netsim::Network> net_;

@@ -96,6 +96,16 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
       zl = std::abs(model.length.zscore(len, len_floor));
       ze = std::abs(model.entropy.zscore(ent, ent_floor));
       if (mode_ == Mode::kDetecting) {
+        if (evidence_) {
+          // Pre-gate evidence: z-scores fire strictly above the trigger,
+          // so equality at the critical sensitivity does not fire.
+          evidence_->observe(packet.flow_id, EvidenceChannel::kAnomaly, zl,
+                             sensitivity_for_zscore(zl),
+                             /*strict_trigger=*/true);
+          evidence_->observe(packet.flow_id, EvidenceChannel::kAnomaly, ze,
+                             sensitivity_for_zscore(ze),
+                             /*strict_trigger=*/true);
+        }
         if (zl > z_trigger && fire_once(1, packet.flow_id)) {
           out.push_back(make_detection(packet, now,
                                        "anomalous payload length", zl, 3));
@@ -132,6 +142,11 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
     const double z = fanout_baseline_.zscore(fanout, /*min_stddev=*/1.0);
     if (mode_ == Mode::kDetecting && fanout_baseline_.seeded() &&
         now >= w.cooldown_until) {
+      if (evidence_) {
+        evidence_->observe(packet.flow_id, EvidenceChannel::kAnomaly, z,
+                           sensitivity_for_zscore(z),
+                           /*strict_trigger=*/true);
+      }
       if (z > z_trigger && fire_once(3, packet.flow_id)) {
         w.cooldown_until = now + window;
         out.push_back(
@@ -156,11 +171,17 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
     const double rate = static_cast<double>(w.events.size());
     const double z = syn_rate_baseline_.zscore(rate, /*min_stddev=*/2.0);
     if (mode_ == Mode::kDetecting && syn_rate_baseline_.seeded() &&
-        now >= w.cooldown_until && z > z_trigger &&
-        fire_once(5, packet.flow_id)) {
-      w.cooldown_until = now + window;
-      out.push_back(
-          make_detection(packet, now, "SYN rate anomaly", z, 3));
+        now >= w.cooldown_until) {
+      if (evidence_) {
+        evidence_->observe(packet.flow_id, EvidenceChannel::kAnomaly, z,
+                           sensitivity_for_zscore(z),
+                           /*strict_trigger=*/true);
+      }
+      if (z > z_trigger && fire_once(5, packet.flow_id)) {
+        w.cooldown_until = now + window;
+        out.push_back(
+            make_detection(packet, now, "SYN rate anomaly", z, 3));
+      }
     }
     if (mode_ == Mode::kLearning || z <= 0.5 * z_trigger) {
       syn_rate_baseline_.add(rate);
@@ -186,6 +207,13 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
       // service on a known peer. High sensitivity fires on both, medium
       // only on new pairs, low on neither (z_trigger above ~5 never fires).
       const double pseudo_z = new_pair ? 5.0 : (new_service ? 3.0 : 0.0);
+      if (evidence_ && pseudo_z > 0.0) {
+        // Novelty fires at z >= trigger, so the critical sensitivity is
+        // inclusive (non-strict).
+        evidence_->observe(packet.flow_id, EvidenceChannel::kNovelty,
+                           pseudo_z, sensitivity_for_zscore(pseudo_z),
+                           /*strict_trigger=*/false);
+      }
       if (pseudo_z > 0.0 && pseudo_z >= z_trigger &&
           fire_once(4, packet.flow_id)) {
         out.push_back(make_detection(

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ids/alert.hpp"
+#include "ids/evidence.hpp"
 #include "netsim/packet.hpp"
 #include "util/stats.hpp"
 
@@ -51,6 +52,10 @@ class AnomalyEngine {
   Mode mode() const noexcept { return mode_; }
   void set_sensitivity(double s) noexcept { options_.sensitivity = s; }
   double sensitivity() const noexcept { return options_.sensitivity; }
+
+  /// Attaches a pre-gate evidence observer (nullptr detaches). Purely
+  /// observational: detection output is identical either way.
+  void set_evidence_sink(EvidenceSink* sink) noexcept { evidence_ = sink; }
 
   /// Observes one packet; in detection mode appends anomaly detections.
   void process(const netsim::Packet& packet, netsim::SimTime now,
@@ -92,6 +97,7 @@ class AnomalyEngine {
 
   AnomalyEngineOptions options_;
   Mode mode_ = Mode::kLearning;
+  EvidenceSink* evidence_ = nullptr;
 
   std::unordered_map<std::uint32_t, PortModel> by_port_;  ///< key: port|proto
   util::EwmaBaseline fanout_baseline_;

@@ -1,0 +1,78 @@
+// Continuous detector evidence: the raw scores behind the binary alert
+// decision. Engines gate their observations against the shared
+// sensitivity knob (z-score triggers, minimum rule confidence, scaled
+// thresholds); an EvidenceSink sees the observation *before* the gate,
+// together with the minimal sensitivity at which the gate would have
+// passed. Recording that critical sensitivity once per transaction lets
+// an offline pass derive the alert outcome for every threshold — the
+// whole Figure 4 sweep from a single simulation (score::RocCurve).
+//
+// Emission is purely observational: engines behave identically with or
+// without a sink attached, so the golden determinism hash is untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace idseval::ids {
+
+/// Which detector feature produced an observation.
+enum class EvidenceChannel : std::uint8_t {
+  kSignaturePattern,    ///< Content rule match (strength = confidence).
+  kSignatureThreshold,  ///< Window count (strength = count/threshold).
+  kAnomaly,             ///< Baseline z-score (strength = |z|).
+  kNovelty,             ///< Peer/service novelty pseudo-z.
+};
+
+inline const char* to_string(EvidenceChannel channel) noexcept {
+  switch (channel) {
+    case EvidenceChannel::kSignaturePattern: return "signature_pattern";
+    case EvidenceChannel::kSignatureThreshold: return "signature_threshold";
+    case EvidenceChannel::kAnomaly: return "anomaly";
+    case EvidenceChannel::kNovelty: return "novelty";
+  }
+  return "unknown";
+}
+
+/// Inverse sensitivity maps: for an observed evidence strength, the
+/// minimal sensitivity at which the corresponding gate fires. Each is
+/// the algebraic inverse of its forward map (sensitivity_to_zscore,
+/// sensitivity_to_min_confidence, sensitivity_threshold_scale) on the
+/// evaluation domain [0, 1], where the forward clamp is the identity.
+/// Values are deliberately unclamped: < 0 means "fires at any
+/// sensitivity", > 1 means "never fires on the knob's range".
+
+/// Pattern rules fire iff confidence >= min_confidence(s) — non-strict.
+inline double sensitivity_for_confidence(double confidence) noexcept {
+  return (0.95 - confidence) / 0.70;
+}
+
+/// Threshold rules fire iff count >= threshold * scale(s) — non-strict.
+/// `ratio` is count / threshold.
+inline double sensitivity_for_threshold_ratio(double ratio) noexcept {
+  return (1.6 - ratio) / 1.2;
+}
+
+/// Anomaly z-scores fire iff z > z_trigger(s) — strict.
+/// Novelty pseudo-z fires iff z >= z_trigger(s) — non-strict.
+inline double sensitivity_for_zscore(double z) noexcept {
+  return (8.0 - z) / 6.5;
+}
+
+/// Receives every pre-gate detector observation. Implementations must
+/// tolerate high call volume (one call per rule evaluation on the hot
+/// path when attached); the engines skip the calls entirely when no
+/// sink is set.
+class EvidenceSink {
+ public:
+  virtual ~EvidenceSink() = default;
+
+  /// One observation on `flow_id`. `strength` is the channel's raw
+  /// score; `critical_sensitivity` the minimal knob setting at which
+  /// this observation fires, with `strict_trigger` distinguishing
+  /// s > critical (anomaly z) from s >= critical (everything else).
+  virtual void observe(std::uint64_t flow_id, EvidenceChannel channel,
+                       double strength, double critical_sensitivity,
+                       bool strict_trigger) = 0;
+};
+
+}  // namespace idseval::ids

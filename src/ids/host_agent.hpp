@@ -66,6 +66,9 @@ class HostAgent {
 
   void set_on_detection(DetectionFn fn);
   void set_sensitivity(double s) noexcept { sensor_->set_sensitivity(s); }
+  void set_evidence_sink(EvidenceSink* sink) noexcept {
+    sensor_->set_evidence_sink(sink);
+  }
 
   /// Begins observing the host's delivered packets.
   void attach();

@@ -315,6 +315,11 @@ void Pipeline::set_sensitivity(double sensitivity) {
   for (auto& agent : agents_) agent->set_sensitivity(sensitivity);
 }
 
+void Pipeline::set_evidence_sink(EvidenceSink* sink) {
+  for (auto& sensor : sensors_) sensor->set_evidence_sink(sink);
+  for (auto& agent : agents_) agent->set_evidence_sink(sink);
+}
+
 PipelineTotals Pipeline::totals() const {
   PipelineTotals t;
   t.packets_tapped = packets_tapped_;

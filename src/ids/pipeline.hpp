@@ -127,6 +127,10 @@ class Pipeline {
   /// Anomaly engines learn during warmup, then switch to detecting.
   void set_learning(bool learning);
   void set_sensitivity(double sensitivity);
+  /// Forwards a pre-gate evidence observer to every engine — network
+  /// sensors and host agents alike (nullptr detaches). Off by default;
+  /// attaching it never changes detection output.
+  void set_evidence_sink(EvidenceSink* sink);
   double sensitivity() const noexcept { return config_.sensitivity; }
 
   Monitor& monitor() noexcept { return *monitor_; }

@@ -113,6 +113,13 @@ class Sensor {
 
   void set_sensitivity(double s) noexcept;
 
+  /// Forwards a pre-gate evidence observer to both engines (nullptr
+  /// detaches). Observational only — no effect on detection output.
+  void set_evidence_sink(EvidenceSink* sink) noexcept {
+    if (signature_) signature_->set_evidence_sink(sink);
+    if (anomaly_) anomaly_->set_evidence_sink(sink);
+  }
+
   const SensorConfig& config() const noexcept { return config_; }
   const SensorStats& stats() const noexcept { return stats_; }
   bool failed() const noexcept { return failed_; }

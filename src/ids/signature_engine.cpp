@@ -108,9 +108,17 @@ void SignatureEngine::check_patterns(const Packet& packet, SimTime now,
   }
   for (const std::size_t pid : hits) {
     const PatternRule& rule = rules_.patterns[pattern_rule_index_[pid]];
-    if (rule.confidence < min_conf) continue;
     if (rule.dst_port && *rule.dst_port != packet.tuple.dst_port) continue;
     if (rule.proto && *rule.proto != packet.tuple.proto) continue;
+    // Pre-gate evidence: a matched pattern fires once sensitivity admits
+    // its confidence, independent of the current knob setting.
+    if (evidence_) {
+      evidence_->observe(packet.flow_id, EvidenceChannel::kSignaturePattern,
+                         rule.confidence,
+                         sensitivity_for_confidence(rule.confidence),
+                         /*strict_trigger=*/false);
+    }
+    if (rule.confidence < min_conf) continue;
     if (already_fired(pattern_rule_index_[pid], packet.flow_id)) continue;
     out.push_back(make_detection(packet, now, rule.name, rule.confidence,
                                  rule.severity));
@@ -121,6 +129,21 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
                                        double min_conf,
                                        std::vector<Detection>& out) {
   const double scale = sensitivity_threshold_scale(options_.sensitivity);
+  // Pre-gate evidence for window rules. A rule fires once sensitivity
+  // both admits its confidence and scales the trigger below the observed
+  // count, so the critical sensitivity is the max of the two inverses.
+  // Unlike pattern rules this is approximate across knob settings: the
+  // confidence gate above also gates window updates, so windows only
+  // accumulate while the recording sensitivity admits the rule.
+  const auto observe_count = [&](const ThresholdRule& rule, double count) {
+    if (!evidence_) return;
+    const double ratio = count / static_cast<double>(rule.threshold);
+    const double critical =
+        std::max(sensitivity_for_confidence(rule.confidence),
+                 sensitivity_for_threshold_ratio(ratio));
+    evidence_->observe(packet.flow_id, EvidenceChannel::kSignatureThreshold,
+                       ratio, critical, /*strict_trigger=*/false);
+  };
   for (std::size_t r = 0; r < rules_.thresholds.size(); ++r) {
     const ThresholdRule& rule = rules_.thresholds[r];
     if (rule.confidence < min_conf) continue;
@@ -137,6 +160,7 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
         std::erase_if(state.last_seen, [&](const auto& kv) {
           return now - kv.second > rule.window;
         });
+        observe_count(rule, static_cast<double>(state.last_seen.size()));
         if (static_cast<double>(state.last_seen.size()) >= effective) {
           state.cooldown_until = now + rule.window;
           if (!already_fired(rule_tag, packet.flow_id)) {
@@ -155,6 +179,7 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
           state.events.pop_front();
         }
         if (now < state.cooldown_until) break;
+        observe_count(rule, static_cast<double>(state.events.size()));
         if (static_cast<double>(state.events.size()) >= effective) {
           state.cooldown_until = now + rule.window;
           if (!already_fired(rule_tag, packet.flow_id)) {
@@ -172,6 +197,7 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
           state.events.pop_front();
         }
         if (now < state.cooldown_until) break;
+        observe_count(rule, static_cast<double>(state.events.size()));
         if (static_cast<double>(state.events.size()) >= effective) {
           state.cooldown_until = now + rule.window;
           if (!already_fired(rule_tag, packet.flow_id)) {

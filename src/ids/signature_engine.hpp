@@ -13,6 +13,7 @@
 
 #include "ids/aho_corasick.hpp"
 #include "ids/alert.hpp"
+#include "ids/evidence.hpp"
 #include "ids/rules.hpp"
 #include "netsim/packet.hpp"
 
@@ -53,6 +54,10 @@ class SignatureEngine {
   double sensitivity() const noexcept { return options_.sensitivity; }
   bool deep_inspection() const noexcept { return options_.deep_inspection; }
 
+  /// Attaches a pre-gate evidence observer (nullptr detaches). Purely
+  /// observational: detection output is identical either way.
+  void set_evidence_sink(EvidenceSink* sink) noexcept { evidence_ = sink; }
+
   const RuleSet& rules() const noexcept { return rules_; }
 
   /// Abstract CPU cost of scanning this packet (drives the sensor's
@@ -87,6 +92,7 @@ class SignatureEngine {
 
   RuleSet rules_;
   SignatureEngineOptions options_;
+  EvidenceSink* evidence_ = nullptr;
   std::unique_ptr<AhoCorasick> matcher_;
   /// matcher pattern id -> index into rules_.patterns.
   std::vector<std::size_t> pattern_rule_index_;

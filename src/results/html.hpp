@@ -1,0 +1,32 @@
+// Third writer over table-shaped Docs: HTML and GitHub-flavored markdown
+// renderings of the same {"title","columns","rows"} shape the text and
+// CSV writers consume. One Doc, four views — they can never disagree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "results/doc.hpp"
+
+namespace idseval::results {
+
+/// Minimal HTML entity escaping (&, <, >, ").
+std::string html_escape(std::string_view s);
+
+/// One table Doc as an HTML <table>: title as <caption>, column aligns
+/// as inline text-align styles, rule rows as a tbody break. Throws
+/// std::invalid_argument on a malformed table Doc.
+std::string table_to_html(const Doc& table);
+
+/// The same table as a GitHub-flavored markdown pipe table: title as a
+/// bold paragraph, aligns via ---/---: separator cells, rules dropped
+/// (markdown tables have no mid-table rules).
+std::string table_to_markdown(const Doc& table);
+
+/// A complete standalone HTML page wrapping the given table Docs in
+/// document order, with a small embedded stylesheet.
+std::string html_document(std::string_view title,
+                          const std::vector<Doc>& tables);
+
+}  // namespace idseval::results

@@ -1,0 +1,126 @@
+#include "score/roc.hpp"
+
+#include <algorithm>
+
+namespace idseval::score {
+
+RocCurve::RocCurve(const std::vector<ScoreSample>& samples) {
+  attack_keys_.reserve(samples.size());
+  benign_keys_.reserve(samples.size());
+  for (const ScoreSample& s : samples) {
+    const Key key{s.critical_sensitivity, s.strict ? 1 : 0};
+    if (s.is_attack) {
+      attack_keys_.push_back(key);
+    } else {
+      benign_keys_.push_back(key);
+    }
+  }
+  std::sort(attack_keys_.begin(), attack_keys_.end());
+  std::sort(benign_keys_.begin(), benign_keys_.end());
+  attacks_n_ = attack_keys_.size();
+  benign_n_ = benign_keys_.size();
+
+  // Walk both sorted key lists in merged order, emitting one operating
+  // point per distinct key (every threshold between two adjacent keys
+  // fires the same set, so these are all the distinct points).
+  points_.push_back(RocPoint{});  // nothing fires below the lowest key
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < attack_keys_.size() || b < benign_keys_.size()) {
+    const Key key = [&] {
+      if (a == attack_keys_.size()) return benign_keys_[b];
+      if (b == benign_keys_.size()) return attack_keys_[a];
+      return std::min(attack_keys_[a], benign_keys_[b]);
+    }();
+    if (key.first == kNeverFires) break;  // evidence-free tail
+    while (a < attack_keys_.size() && attack_keys_[a] == key) ++a;
+    while (b < benign_keys_.size() && benign_keys_[b] == key) ++b;
+    RocPoint p;
+    p.threshold = key.first;
+    p.tpr = attacks_n_ == 0
+                ? 0.0
+                : static_cast<double>(a) / static_cast<double>(attacks_n_);
+    p.fpr = benign_n_ == 0
+                ? 0.0
+                : static_cast<double>(b) / static_cast<double>(benign_n_);
+    points_.push_back(p);
+  }
+  points_.front().threshold =
+      points_.size() > 1 ? points_[1].threshold : 0.0;
+}
+
+std::size_t RocCurve::fired_before(const std::vector<Key>& keys,
+                                   double s) const {
+  // A sample fires at s iff key < (s, 1): strict keys need crit < s,
+  // non-strict fire at crit == s too.
+  const Key probe{s, 1};
+  return static_cast<std::size_t>(
+      std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+}
+
+ErrorCounts RocCurve::error_rate_at(double sensitivity) const {
+  ErrorCounts c;
+  c.sensitivity = sensitivity;
+  c.attacks = attacks_n_;
+  c.benign = benign_n_;
+  c.transactions = attacks_n_ + benign_n_;
+  c.detected_attacks = fired_before(attack_keys_, sensitivity);
+  c.missed_attacks = attacks_n_ - c.detected_attacks;
+  c.false_alarms = fired_before(benign_keys_, sensitivity);
+  const double total = static_cast<double>(c.transactions);
+  if (total > 0.0) {
+    c.fp_ratio = static_cast<double>(c.false_alarms) / total;
+    c.fn_ratio = static_cast<double>(c.missed_attacks) / total;
+  }
+  if (benign_n_ > 0) {
+    c.fp_percent_of_benign = 100.0 * static_cast<double>(c.false_alarms) /
+                             static_cast<double>(benign_n_);
+  }
+  if (attacks_n_ > 0) {
+    c.fn_percent_of_attacks = 100.0 *
+                              static_cast<double>(c.missed_attacks) /
+                              static_cast<double>(attacks_n_);
+  }
+  return c;
+}
+
+double RocCurve::auc() const {
+  if (attacks_n_ == 0 || benign_n_ == 0) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dx = points_[i].fpr - points_[i - 1].fpr;
+    area += 0.5 * dx * (points_[i].tpr + points_[i - 1].tpr);
+  }
+  // Past the last reachable point the detector cannot fire on anything
+  // further; the curve continues horizontally at the final tpr.
+  area += (1.0 - points_.back().fpr) * points_.back().tpr;
+  return area;
+}
+
+RocEer RocCurve::eer() const {
+  RocEer eer;
+  if (attacks_n_ == 0 || benign_n_ == 0) return eer;
+  // FN% starts at 100 and falls; FP% starts at 0 and rises. Find the
+  // first operating point where FN% <= FP% and interpolate the crossing
+  // against the previous point, in threshold (sensitivity) units.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double fn0 = 100.0 * (1.0 - points_[i - 1].tpr);
+    const double fp0 = 100.0 * points_[i - 1].fpr;
+    const double fn1 = 100.0 * (1.0 - points_[i].tpr);
+    const double fp1 = 100.0 * points_[i].fpr;
+    const double d0 = fn0 - fp0;
+    const double d1 = fn1 - fp1;
+    if (d0 >= 0.0 && d1 <= 0.0) {
+      const double span = d0 - d1;
+      const double t = span == 0.0 ? 0.5 : d0 / span;
+      eer.sensitivity = points_[i - 1].threshold +
+                        t * (points_[i].threshold - points_[i - 1].threshold);
+      eer.error_percent = fp0 + t * (fp1 - fp0);
+      eer.found = true;
+      return eer;
+    }
+  }
+  return eer;
+}
+
+}  // namespace idseval::score

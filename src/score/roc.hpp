@@ -1,0 +1,114 @@
+// Offline sweep engine: turns one recorded ScoreLedger into the whole
+// Figure 4 analysis. Each ground-truth transaction carries the minimal
+// sensitivity at which its strongest evidence fires, so "run the testbed
+// at sensitivity s" reduces to a binary search over sorted critical
+// sensitivities — Type I/II error rates for every threshold, the full
+// ROC with AUC, and an interpolated equal error rate, all from a single
+// simulation instead of one per sweep point.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace idseval::score {
+
+/// Critical sensitivity of a transaction that produced no evidence: no
+/// knob setting makes it fire.
+inline constexpr double kNeverFires =
+    std::numeric_limits<double>::infinity();
+
+/// One ground-truth transaction joined with its strongest evidence.
+struct ScoreSample {
+  std::uint64_t flow_id = 0;
+  bool is_attack = false;
+  bool has_evidence = false;
+  /// Minimal sensitivity at which any evidence on this flow fires.
+  /// May fall outside [0, 1]: below 0 fires at any knob setting, above 1
+  /// never fires on the knob's range.
+  double critical_sensitivity = kNeverFires;
+  /// True when firing needs s > critical (anomaly z-triggers); false for
+  /// the inclusive gates (s >= critical).
+  bool strict = false;
+  double strength = 0.0;  ///< Strongest raw evidence on any channel.
+};
+
+/// Transaction-level confusion at one sensitivity, in the same shape the
+/// re-simulated sweep reports (Figure 3 ratios + percent-of-class).
+struct ErrorCounts {
+  double sensitivity = 0.5;
+  std::size_t transactions = 0;
+  std::size_t attacks = 0;
+  std::size_t benign = 0;
+  std::size_t detected_attacks = 0;
+  std::size_t missed_attacks = 0;
+  std::size_t false_alarms = 0;
+  double fp_ratio = 0.0;                ///< |D-A| / |T|
+  double fn_ratio = 0.0;                ///< |A-D| / |T|
+  double fp_percent_of_benign = 0.0;
+  double fn_percent_of_attacks = 0.0;
+};
+
+/// One ROC operating point: the confusion after admitting every sample
+/// whose evidence fires at `threshold`.
+struct RocPoint {
+  double threshold = 0.0;  ///< Sensitivity units (score space).
+  double fpr = 0.0;        ///< False-positive rate over benign.
+  double tpr = 0.0;        ///< True-positive rate over attacks.
+};
+
+/// Score-space equal error rate (continuous-threshold analogue of the
+/// harness grid EER).
+struct RocEer {
+  double sensitivity = 0.0;    ///< Threshold where the curves cross.
+  double error_percent = 0.0;  ///< Common error level at the crossing.
+  bool found = false;
+};
+
+class RocCurve {
+ public:
+  RocCurve() = default;
+  explicit RocCurve(const std::vector<ScoreSample>& samples);
+
+  std::size_t transactions() const noexcept { return attacks_n_ + benign_n_; }
+  std::size_t attacks() const noexcept { return attacks_n_; }
+  std::size_t benign() const noexcept { return benign_n_; }
+
+  /// Confusion at one sensitivity — two binary searches, no simulation.
+  ErrorCounts error_rate_at(double sensitivity) const;
+
+  /// Operating points at every distinct critical sensitivity, in
+  /// increasing-threshold (hence nondecreasing fpr/tpr) order, starting
+  /// from the implicit (0, 0). The curve ends at the detector's reachable
+  /// maximum — samples without evidence never fire, so (1, 1) is not
+  /// fabricated.
+  const std::vector<RocPoint>& points() const noexcept { return points_; }
+
+  /// Trapezoidal area under the ROC over fpr in [0, 1], extending the
+  /// final reachable tpr horizontally to fpr = 1. Zero when either class
+  /// is empty (no curve to integrate).
+  double auc() const;
+
+  /// Crossing of the FN%-of-attacks and FP%-of-benign step curves,
+  /// linearly interpolated between adjacent distinct thresholds (the
+  /// same convention as harness::equal_error_rate on grid points).
+  /// Not found when either class is empty or the curves never cross.
+  RocEer eer() const;
+
+ private:
+  /// Firing order key: (critical sensitivity, strictness). A sample
+  /// fires at s iff its key < (s, 1) lexicographically — non-strict
+  /// samples (flag 0) fire at equality, strict ones (flag 1) just above.
+  using Key = std::pair<double, int>;
+
+  std::size_t fired_before(const std::vector<Key>& keys, double s) const;
+
+  std::vector<Key> attack_keys_;  ///< Sorted ascending.
+  std::vector<Key> benign_keys_;  ///< Sorted ascending.
+  std::size_t attacks_n_ = 0;
+  std::size_t benign_n_ = 0;
+  std::vector<RocPoint> points_;
+};
+
+}  // namespace idseval::score

@@ -1,0 +1,45 @@
+#include "score/scorecard.hpp"
+
+namespace idseval::score {
+
+UnifiedScore unified_score(const CostInputs& in, const CostWeights& w) {
+  UnifiedScore s;
+  s.miss_cost = w.missed_attack * static_cast<double>(in.missed_attacks);
+  s.false_alarm_cost =
+      w.false_alarm * static_cast<double>(in.false_alarms);
+  // Latency matters per detection: a detection that takes a minute to
+  // surface costs response time on every attack it covers.
+  s.latency_cost = w.latency_per_sec * in.mean_detection_latency_sec *
+                   static_cast<double>(in.true_detections);
+  s.resource_cost = w.host_cpu_fraction * in.mean_host_ids_cpu +
+                    w.induced_latency_ms * 1000.0 * in.induced_latency_sec;
+  s.total_cost =
+      s.miss_cost + s.false_alarm_cost + s.latency_cost + s.resource_cost;
+  s.baseline_cost = w.missed_attack * static_cast<double>(in.attacks);
+  s.capability = s.baseline_cost > 0.0
+                     ? (s.baseline_cost - s.total_cost) / s.baseline_cost
+                     : 0.0;
+  return s;
+}
+
+results::Doc to_doc(const UnifiedScore& score) {
+  return results::Doc::object()
+      .set("miss_cost", score.miss_cost)
+      .set("false_alarm_cost", score.false_alarm_cost)
+      .set("latency_cost", score.latency_cost)
+      .set("resource_cost", score.resource_cost)
+      .set("total_cost", score.total_cost)
+      .set("baseline_cost", score.baseline_cost)
+      .set("capability", score.capability);
+}
+
+results::Doc to_doc(const CostWeights& weights) {
+  return results::Doc::object()
+      .set("missed_attack", weights.missed_attack)
+      .set("false_alarm", weights.false_alarm)
+      .set("latency_per_sec", weights.latency_per_sec)
+      .set("host_cpu_fraction", weights.host_cpu_fraction)
+      .set("induced_latency_ms", weights.induced_latency_ms);
+}
+
+}  // namespace idseval::score

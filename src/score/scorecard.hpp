@@ -1,0 +1,67 @@
+// Unified cost/capability scorecard, after Iannacone & Bridges, "Quantify-
+// ing & Characterizing IDS Performance" (arXiv:1902.00053): collapse a
+// product's detection errors, detection latency, and resource overhead
+// into one expected operating cost under explicit unit-cost weights, then
+// normalize against the do-nothing baseline (every attack missed, zero
+// overhead). The resulting capability score is directly comparable across
+// products and environments: 1 = perfect, 0 = no better than running no
+// IDS at all, negative = the IDS costs more than it saves. Rendered via
+// the results::Doc layer beside the paper's three class scores.
+#pragma once
+
+#include <cstddef>
+
+#include "results/doc.hpp"
+
+namespace idseval::score {
+
+/// Unit costs, in arbitrary-but-consistent "analyst cost units". The
+/// defaults encode the usual asymmetry: a missed attack costs an order
+/// of magnitude more than a false alarm, and resource overhead matters
+/// but never dominates detection.
+struct CostWeights {
+  double missed_attack = 20.0;      ///< Per attack transaction missed.
+  double false_alarm = 1.0;         ///< Per benign transaction alarmed.
+  double latency_per_sec = 0.5;     ///< Per detected attack, per second
+                                    ///< from occurrence to report.
+  double host_cpu_fraction = 50.0;  ///< Per unit of mean host CPU the
+                                    ///< IDS consumes (0..1).
+  double induced_latency_ms = 2.0;  ///< Per millisecond added to
+                                    ///< production delivery latency.
+};
+
+/// Measured quantities the cost model consumes; all come from a single
+/// detection run plus the load probes (X1 host overhead, induced
+/// latency), so the unified score needs no score ledger.
+struct CostInputs {
+  std::size_t transactions = 0;
+  std::size_t attacks = 0;
+  std::size_t missed_attacks = 0;
+  std::size_t false_alarms = 0;
+  std::size_t true_detections = 0;
+  double mean_detection_latency_sec = 0.0;
+  double mean_host_ids_cpu = 0.0;  ///< Fraction of host CPU (0..1).
+  double induced_latency_sec = 0.0;
+};
+
+struct UnifiedScore {
+  double miss_cost = 0.0;
+  double false_alarm_cost = 0.0;
+  double latency_cost = 0.0;
+  double resource_cost = 0.0;
+  double total_cost = 0.0;
+  /// Cost of running no IDS at all: every attack missed, no overhead.
+  double baseline_cost = 0.0;
+  /// (baseline - total) / baseline; 0 when the baseline is empty (an
+  /// attack-free window has nothing to defend).
+  double capability = 0.0;
+};
+
+UnifiedScore unified_score(const CostInputs& in,
+                           const CostWeights& weights = {});
+
+/// Doc rendering (stable key order) for reports and campaign rows.
+results::Doc to_doc(const UnifiedScore& score);
+results::Doc to_doc(const CostWeights& weights);
+
+}  // namespace idseval::score

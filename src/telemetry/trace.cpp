@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -270,6 +271,184 @@ std::string to_json(const Registry& registry) {
 
 bool validate_json_line(std::string_view line) {
   return results::validate_json_line(line);
+}
+
+namespace {
+
+[[noreturn]] void schema_fail(const std::string& what) {
+  throw std::invalid_argument("trace event: " + what);
+}
+
+/// Field kinds a trace-event schema can require. JSON round-trips
+/// integral doubles back as integers, so "number" accepts any numeric
+/// kind and "uint" accepts any non-negative integer kind.
+enum class FieldKind { kString, kBool, kUint, kNumber, kRegistry };
+
+struct FieldSpec {
+  const char* name;
+  FieldKind kind;
+};
+
+struct EventSchema {
+  const char* type;
+  std::vector<FieldSpec> fields;  ///< All required; nothing else allowed.
+};
+
+bool is_uint_like(const results::Doc& d) {
+  if (d.kind() == results::Doc::Kind::kUint) return true;
+  return d.kind() == results::Doc::Kind::kInt && d.as_i64() >= 0;
+}
+
+void check_registry_doc(const results::Doc& doc, const std::string& where) {
+  if (!doc.is_object()) schema_fail(where + " must be an object");
+  const results::Doc* counters = doc.find("counters");
+  const results::Doc* stages = doc.find("stages");
+  if (counters == nullptr || !counters->is_object()) {
+    schema_fail(where + " is missing the counters object");
+  }
+  if (stages == nullptr || !stages->is_object()) {
+    schema_fail(where + " is missing the stages object");
+  }
+  if (doc.size() != 2) schema_fail(where + " has unknown keys");
+  for (const auto& [name, value] : counters->items()) {
+    if (!is_uint_like(value)) {
+      schema_fail(where + ".counters." + name +
+                  " must be an unsigned integer");
+    }
+  }
+  constexpr FieldSpec kStageFields[] = {
+      {"count", FieldKind::kUint},    {"mean_sec", FieldKind::kNumber},
+      {"min_sec", FieldKind::kNumber}, {"max_sec", FieldKind::kNumber},
+      {"p50_sec", FieldKind::kNumber}, {"p99_sec", FieldKind::kNumber},
+      {"zeros", FieldKind::kUint},
+  };
+  for (const auto& [name, stage] : stages->items()) {
+    const std::string stage_where = where + ".stages." + name;
+    if (!stage.is_object()) schema_fail(stage_where + " must be an object");
+    for (const FieldSpec& field : kStageFields) {
+      const results::Doc* value = stage.find(field.name);
+      if (value == nullptr) {
+        schema_fail(stage_where + " is missing " + field.name);
+      }
+      const bool ok = field.kind == FieldKind::kUint ? is_uint_like(*value)
+                                                     : value->is_number();
+      if (!ok) {
+        schema_fail(stage_where + "." + field.name + " has the wrong type");
+      }
+    }
+    const results::Doc* buckets = stage.find("log2_buckets");
+    if (buckets == nullptr || !buckets->is_object()) {
+      schema_fail(stage_where + " is missing the log2_buckets object");
+    }
+    if (stage.size() != std::size(kStageFields) + 1) {
+      schema_fail(stage_where + " has unknown keys");
+    }
+    for (const auto& [exp, count] : buckets->items()) {
+      if (exp.empty() ||
+          exp.find_first_not_of("-0123456789") != std::string::npos) {
+        schema_fail(stage_where + ".log2_buckets key '" + exp +
+                    "' is not an exponent");
+      }
+      if (!is_uint_like(count)) {
+        schema_fail(stage_where + ".log2_buckets." + exp +
+                    " must be an unsigned integer");
+      }
+    }
+  }
+}
+
+const std::vector<EventSchema>& event_schemas() {
+  static const std::vector<EventSchema> kSchemas = {
+      {"evaluation",
+       {{"type", FieldKind::kString},
+        {"product", FieldKind::kString},
+        {"profile", FieldKind::kString},
+        {"seed", FieldKind::kUint},
+        {"telemetry", FieldKind::kRegistry}}},
+      {"load_probes",
+       {{"type", FieldKind::kString},
+        {"product", FieldKind::kString},
+        {"profile", FieldKind::kString},
+        {"seed", FieldKind::kUint},
+        {"telemetry", FieldKind::kRegistry}}},
+      {"cell",
+       {{"type", FieldKind::kString},
+        {"index", FieldKind::kUint},
+        {"product", FieldKind::kString},
+        {"profile", FieldKind::kString},
+        {"sensitivity", FieldKind::kNumber},
+        {"replicate", FieldKind::kUint},
+        {"seed", FieldKind::kUint},
+        {"ok", FieldKind::kBool},
+        {"error", FieldKind::kString},
+        {"telemetry", FieldKind::kRegistry}}},
+      {"campaign_begin",
+       {{"type", FieldKind::kString},
+        {"name", FieldKind::kString},
+        {"cells", FieldKind::kUint},
+        {"jobs", FieldKind::kUint}}},
+      {"campaign_end",
+       {{"type", FieldKind::kString},
+        {"name", FieldKind::kString},
+        {"executed", FieldKind::kUint},
+        {"failed", FieldKind::kUint},
+        {"telemetry", FieldKind::kRegistry}}},
+      {"trace_summary",
+       {{"type", FieldKind::kString},
+        {"emitted", FieldKind::kUint},
+        {"dropped", FieldKind::kUint}}},
+  };
+  return kSchemas;
+}
+
+}  // namespace
+
+void check_trace_event(const results::Doc& event) {
+  if (!event.is_object()) schema_fail("expected an object");
+  const results::Doc* type = event.find("type");
+  if (type == nullptr || !type->is_string()) {
+    schema_fail("missing string 'type' field");
+  }
+  const EventSchema* schema = nullptr;
+  for (const EventSchema& candidate : event_schemas()) {
+    if (type->as_string() == candidate.type) {
+      schema = &candidate;
+      break;
+    }
+  }
+  if (schema == nullptr) {
+    schema_fail("unknown type '" + type->as_string() + "'");
+  }
+  const std::string prefix = type->as_string();
+  for (const auto& [key, value] : event.items()) {
+    const FieldSpec* spec = nullptr;
+    for (const FieldSpec& field : schema->fields) {
+      if (key == field.name) {
+        spec = &field;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      schema_fail(prefix + " has unknown key '" + key + "'");
+    }
+    bool ok = true;
+    switch (spec->kind) {
+      case FieldKind::kString: ok = value.is_string(); break;
+      case FieldKind::kBool: ok = value.is_bool(); break;
+      case FieldKind::kUint: ok = is_uint_like(value); break;
+      case FieldKind::kNumber: ok = value.is_number(); break;
+      case FieldKind::kRegistry:
+        check_registry_doc(value, prefix + "." + key);
+        break;
+    }
+    if (!ok) schema_fail(prefix + "." + key + " has the wrong type");
+  }
+  for (const FieldSpec& field : schema->fields) {
+    if (event.find(field.name) == nullptr) {
+      schema_fail(prefix + " is missing required field '" +
+                  std::string(field.name) + "'");
+    }
+  }
 }
 
 }  // namespace idseval::telemetry

@@ -116,4 +116,13 @@ std::string to_json(const Registry& registry);
 /// nothing but whitespace after it.
 bool validate_json_line(std::string_view line);
 
+/// Doc-level schema validation for one trace event. Every event type
+/// the writers emit (evaluation, load_probes, cell, campaign_begin,
+/// campaign_end, trace_summary) has a fixed field list; this checks the
+/// type is known, every required field is present with the right kind,
+/// no unknown keys ride along, and embedded telemetry registries have
+/// the full counters/stages/log2_buckets shape. Throws
+/// std::invalid_argument naming the first violation.
+void check_trace_event(const results::Doc& event);
+
 }  // namespace idseval::telemetry

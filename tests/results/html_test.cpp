@@ -1,0 +1,80 @@
+// HTML/markdown table writers: escaping, alignment, rule rows, and the
+// standalone document wrapper over the shared table Doc shape.
+#include "results/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include "results/table.hpp"
+
+namespace idseval::results {
+namespace {
+
+Doc sample_table() {
+  TableBuilder table({"Product", "Score"}, {"left", "right"});
+  table.title("Scores <2026>");
+  table.row({"A|B", 42});
+  table.rule();
+  table.row({"plain", 7.5});
+  return table.build();
+}
+
+TEST(HtmlTest, EscapesEntities) {
+  EXPECT_EQ(html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(html_escape("plain"), "plain");
+}
+
+TEST(HtmlTest, TableRendersCaptionAlignmentAndCells) {
+  const std::string html = table_to_html(sample_table());
+  EXPECT_NE(html.find("<caption>Scores &lt;2026&gt;</caption>"),
+            std::string::npos);
+  EXPECT_NE(html.find("<th>Product</th>"), std::string::npos);
+  EXPECT_NE(html.find("<th style=\"text-align:right\">Score</th>"),
+            std::string::npos);
+  EXPECT_NE(html.find("<td>A|B</td>"), std::string::npos);
+  EXPECT_NE(html.find("<td style=\"text-align:right\">42</td>"),
+            std::string::npos);
+}
+
+TEST(HtmlTest, RuleRowSplitsTheBody) {
+  const std::string html = table_to_html(sample_table());
+  std::size_t bodies = 0;
+  for (std::size_t pos = html.find("<tbody>"); pos != std::string::npos;
+       pos = html.find("<tbody>", pos + 1)) {
+    ++bodies;
+  }
+  EXPECT_EQ(bodies, 2u);
+}
+
+TEST(HtmlTest, MarkdownPipeTableWithAlignmentAndEscaping) {
+  const std::string md = table_to_markdown(sample_table());
+  EXPECT_NE(md.find("**Scores <2026>**"), std::string::npos);
+  EXPECT_NE(md.find("| Product | Score |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+  // Literal pipes must be escaped inside pipe-table cells.
+  EXPECT_NE(md.find("A\\|B"), std::string::npos);
+  // Markdown tables have no mid-table rules; the rule row vanishes.
+  EXPECT_EQ(md.find("rule"), std::string::npos);
+}
+
+TEST(HtmlTest, DocumentWrapsTablesAndSkipsNullDocs) {
+  const std::string page =
+      html_document("Report & Co", {sample_table(), Doc(), sample_table()});
+  EXPECT_NE(page.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(page.find("<title>Report &amp; Co</title>"), std::string::npos);
+  EXPECT_NE(page.find("<h1>Report &amp; Co</h1>"), std::string::npos);
+  std::size_t tables = 0;
+  for (std::size_t pos = page.find("<table>"); pos != std::string::npos;
+       pos = page.find("<table>", pos + 1)) {
+    ++tables;
+  }
+  EXPECT_EQ(tables, 2u);
+}
+
+TEST(HtmlTest, MalformedTableThrows) {
+  EXPECT_THROW(table_to_html(Doc()), std::invalid_argument);
+  EXPECT_THROW(table_to_html(Doc::object()), std::invalid_argument);
+  EXPECT_THROW(table_to_markdown(Doc::object()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idseval::results

@@ -1,0 +1,121 @@
+// RocCurve edge cases: empty and single-class ledgers, tied critical
+// sensitivities, strict vs. inclusive firing, single-transaction runs,
+// AUC and the interpolated score-space EER.
+#include "score/roc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idseval::score {
+namespace {
+
+ScoreSample sample(std::uint64_t flow, bool attack, double critical,
+                   bool strict = false) {
+  ScoreSample s;
+  s.flow_id = flow;
+  s.is_attack = attack;
+  s.has_evidence = critical != kNeverFires;
+  s.critical_sensitivity = critical;
+  s.strict = strict;
+  return s;
+}
+
+TEST(RocCurveTest, EmptyLedgerHasNoCurve) {
+  const RocCurve roc{std::vector<ScoreSample>{}};
+  EXPECT_EQ(roc.transactions(), 0u);
+  EXPECT_DOUBLE_EQ(roc.auc(), 0.0);
+  EXPECT_FALSE(roc.eer().found);
+  const ErrorCounts c = roc.error_rate_at(0.5);
+  EXPECT_EQ(c.transactions, 0u);
+  EXPECT_DOUBLE_EQ(c.fp_percent_of_benign, 0.0);
+  EXPECT_DOUBLE_EQ(c.fn_percent_of_attacks, 0.0);
+}
+
+TEST(RocCurveTest, AllBenignLedgerHasNoEerOrAuc) {
+  const RocCurve roc{{sample(1, false, 0.3), sample(2, false, 0.7),
+                      sample(3, false, kNeverFires)}};
+  EXPECT_EQ(roc.attacks(), 0u);
+  EXPECT_EQ(roc.benign(), 3u);
+  EXPECT_FALSE(roc.eer().found);
+  EXPECT_DOUBLE_EQ(roc.auc(), 0.0);
+  // False alarms still count: both evidence-bearing flows fire at 0.8.
+  const ErrorCounts c = roc.error_rate_at(0.8);
+  EXPECT_EQ(c.false_alarms, 2u);
+  EXPECT_NEAR(c.fp_percent_of_benign, 100.0 * 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.fn_percent_of_attacks, 0.0);
+}
+
+TEST(RocCurveTest, SingleTransactionInclusiveFiresAtItsCritical) {
+  const RocCurve roc{{sample(7, true, 0.4, /*strict=*/false)}};
+  EXPECT_EQ(roc.error_rate_at(0.39).detected_attacks, 0u);
+  EXPECT_EQ(roc.error_rate_at(0.4).detected_attacks, 1u);
+  EXPECT_EQ(roc.error_rate_at(1.0).detected_attacks, 1u);
+  EXPECT_DOUBLE_EQ(roc.error_rate_at(0.4).fn_percent_of_attacks, 0.0);
+}
+
+TEST(RocCurveTest, StrictTriggerNeedsSensitivityAboveCritical) {
+  const RocCurve roc{{sample(7, true, 0.4, /*strict=*/true)}};
+  EXPECT_EQ(roc.error_rate_at(0.4).detected_attacks, 0u);
+  EXPECT_EQ(roc.error_rate_at(0.4).missed_attacks, 1u);
+  EXPECT_EQ(roc.error_rate_at(0.401).detected_attacks, 1u);
+}
+
+TEST(RocCurveTest, TiedScoresMoveTogether) {
+  // Three attacks share one critical sensitivity: the step is atomic.
+  const RocCurve roc{{sample(1, true, 0.5), sample(2, true, 0.5),
+                      sample(3, true, 0.5), sample(4, false, kNeverFires)}};
+  EXPECT_EQ(roc.error_rate_at(0.49).detected_attacks, 0u);
+  EXPECT_EQ(roc.error_rate_at(0.5).detected_attacks, 3u);
+  // One distinct threshold plus the implicit origin.
+  ASSERT_EQ(roc.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(roc.points()[1].tpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc.points()[1].fpr, 0.0);
+}
+
+TEST(RocCurveTest, NeverFiringSamplesCapTheCurve) {
+  // The detector can never reach the second attack: tpr tops out at 0.5
+  // and AUC extends that plateau to fpr = 1 instead of inventing (1,1).
+  const RocCurve roc{{sample(1, true, 0.2), sample(2, true, kNeverFires),
+                      sample(3, false, 0.6)}};
+  const RocPoint& last = roc.points().back();
+  EXPECT_DOUBLE_EQ(last.tpr, 0.5);
+  EXPECT_DOUBLE_EQ(last.fpr, 1.0);
+  EXPECT_EQ(roc.error_rate_at(5.0).missed_attacks, 1u);
+}
+
+TEST(RocCurveTest, PerfectSeparationScoresAucOne) {
+  const RocCurve roc{{sample(1, true, 0.1), sample(2, true, 0.2),
+                      sample(3, false, 0.8)}};
+  EXPECT_DOUBLE_EQ(roc.auc(), 1.0);
+}
+
+TEST(RocCurveTest, EerInterpolatesTheCrossing) {
+  // fn% falls 100 -> 50 -> 0 at thresholds 0.2, 0.6; fp% rises to 50 at
+  // 0.5. The curves meet exactly where fp% reaches fn%: 50% at s = 0.5.
+  const RocCurve roc{{sample(1, true, 0.2), sample(2, true, 0.6),
+                      sample(3, false, 0.5), sample(4, false, 0.9)}};
+  const RocEer eer = roc.eer();
+  ASSERT_TRUE(eer.found);
+  EXPECT_NEAR(eer.error_percent, 50.0, 1e-9);
+  EXPECT_NEAR(eer.sensitivity, 0.5, 1e-9);
+}
+
+TEST(RocCurveTest, ErrorCountsMatchHandComputedConfusion) {
+  const RocCurve roc{{sample(1, true, 0.3), sample(2, true, 0.7),
+                      sample(3, true, kNeverFires), sample(4, false, 0.4),
+                      sample(5, false, kNeverFires),
+                      sample(6, false, kNeverFires)}};
+  const ErrorCounts c = roc.error_rate_at(0.5);
+  EXPECT_EQ(c.transactions, 6u);
+  EXPECT_EQ(c.attacks, 3u);
+  EXPECT_EQ(c.benign, 3u);
+  EXPECT_EQ(c.detected_attacks, 1u);
+  EXPECT_EQ(c.missed_attacks, 2u);
+  EXPECT_EQ(c.false_alarms, 1u);
+  EXPECT_NEAR(c.fp_ratio, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c.fn_ratio, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c.fp_percent_of_benign, 100.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.fn_percent_of_attacks, 200.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace idseval::score

@@ -1,0 +1,98 @@
+// Unified cost model math: component costs under explicit weights, the
+// do-nothing baseline, and the normalized capability score.
+#include "score/scorecard.hpp"
+
+#include <iterator>
+
+#include <gtest/gtest.h>
+
+namespace idseval::score {
+namespace {
+
+TEST(UnifiedScoreTest, ComponentCostsFollowTheWeights) {
+  CostWeights w;
+  w.missed_attack = 10.0;
+  w.false_alarm = 2.0;
+  w.latency_per_sec = 1.0;
+  w.host_cpu_fraction = 100.0;
+  w.induced_latency_ms = 4.0;
+
+  CostInputs in;
+  in.transactions = 1000;
+  in.attacks = 20;
+  in.missed_attacks = 5;
+  in.false_alarms = 3;
+  in.true_detections = 15;
+  in.mean_detection_latency_sec = 2.0;
+  in.mean_host_ids_cpu = 0.1;
+  in.induced_latency_sec = 0.001;  // 1 ms
+
+  const UnifiedScore s = unified_score(in, w);
+  EXPECT_DOUBLE_EQ(s.miss_cost, 50.0);
+  EXPECT_DOUBLE_EQ(s.false_alarm_cost, 6.0);
+  EXPECT_DOUBLE_EQ(s.latency_cost, 30.0);  // 1.0 * 2s * 15 detections
+  EXPECT_DOUBLE_EQ(s.resource_cost, 10.0 + 4.0);
+  EXPECT_DOUBLE_EQ(s.total_cost, 100.0);
+  EXPECT_DOUBLE_EQ(s.baseline_cost, 200.0);
+  EXPECT_DOUBLE_EQ(s.capability, 0.5);
+}
+
+TEST(UnifiedScoreTest, PerfectDetectorWithNoOverheadScoresOne) {
+  CostInputs in;
+  in.attacks = 10;
+  in.true_detections = 10;
+  const UnifiedScore s = unified_score(in);
+  EXPECT_DOUBLE_EQ(s.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(s.capability, 1.0);
+}
+
+TEST(UnifiedScoreTest, MissingEverythingScoresZero) {
+  CostInputs in;
+  in.attacks = 10;
+  in.missed_attacks = 10;
+  const UnifiedScore s = unified_score(in);
+  EXPECT_DOUBLE_EQ(s.total_cost, s.baseline_cost);
+  EXPECT_DOUBLE_EQ(s.capability, 0.0);
+}
+
+TEST(UnifiedScoreTest, CostlierThanNoIdsGoesNegative) {
+  // All attacks missed AND false alarms on top: worse than no IDS.
+  CostInputs in;
+  in.attacks = 2;
+  in.missed_attacks = 2;
+  in.false_alarms = 100;
+  const UnifiedScore s = unified_score(in);
+  EXPECT_LT(s.capability, 0.0);
+}
+
+TEST(UnifiedScoreTest, AttackFreeWindowHasZeroCapability) {
+  CostInputs in;
+  in.transactions = 500;
+  in.false_alarms = 4;
+  const UnifiedScore s = unified_score(in);
+  EXPECT_DOUBLE_EQ(s.baseline_cost, 0.0);
+  EXPECT_DOUBLE_EQ(s.capability, 0.0);
+  EXPECT_GT(s.total_cost, 0.0);
+}
+
+TEST(UnifiedScoreTest, DocKeysAreStable) {
+  const results::Doc doc = to_doc(UnifiedScore{});
+  const char* expected[] = {"miss_cost",     "false_alarm_cost",
+                            "latency_cost",  "resource_cost",
+                            "total_cost",    "baseline_cost",
+                            "capability"};
+  ASSERT_EQ(doc.size(), std::size(expected));
+  std::size_t i = 0;
+  for (const auto& [key, value] : doc.items()) {
+    EXPECT_EQ(key, expected[i++]);
+    EXPECT_TRUE(value.is_number());
+  }
+
+  const results::Doc weights = to_doc(CostWeights{});
+  EXPECT_NE(weights.find("missed_attack"), nullptr);
+  EXPECT_NE(weights.find("induced_latency_ms"), nullptr);
+  EXPECT_EQ(weights.size(), 5u);
+}
+
+}  // namespace
+}  // namespace idseval::score

@@ -1,0 +1,168 @@
+// Doc-level trace event schema validation: known types with the exact
+// field lists the writers emit, kind checking, unknown-key rejection,
+// and the nested registry (counters/stages/log2_buckets) shape.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "results/doc.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace idseval::telemetry {
+namespace {
+
+results::Doc registry_doc() {
+  Registry registry;
+  registry.counter("harness.runs").increment();
+  registry.latency("sensor.service").record(0.002);
+  registry.latency("sensor.service").record(0.0);
+  return to_doc(registry);
+}
+
+results::Doc evaluation_event() {
+  results::Doc event = results::Doc::object();
+  event.set("type", "evaluation")
+      .set("product", "SentryNID")
+      .set("profile", "rt_cluster")
+      .set("seed", std::uint64_t{42})
+      .set("telemetry", registry_doc());
+  return event;
+}
+
+TEST(TraceSchemaTest, AcceptsEveryEmittedEventShape) {
+  EXPECT_NO_THROW(check_trace_event(evaluation_event()));
+
+  results::Doc probes = evaluation_event();
+  probes.set("type", "load_probes");
+  EXPECT_NO_THROW(check_trace_event(probes));
+
+  results::Doc cell = results::Doc::object();
+  cell.set("type", "cell")
+      .set("index", 3u)
+      .set("product", "FlowHunt")
+      .set("profile", "ecommerce")
+      .set("sensitivity", 0.4)
+      .set("replicate", 1u)
+      .set("seed", std::uint64_t{99})
+      .set("ok", true)
+      .set("error", "")
+      .set("telemetry", registry_doc());
+  EXPECT_NO_THROW(check_trace_event(cell));
+
+  results::Doc begin = results::Doc::object();
+  begin.set("type", "campaign_begin")
+      .set("name", "ci")
+      .set("cells", 8u)
+      .set("jobs", 2u);
+  EXPECT_NO_THROW(check_trace_event(begin));
+
+  results::Doc end = results::Doc::object();
+  end.set("type", "campaign_end")
+      .set("name", "ci")
+      .set("executed", 8u)
+      .set("failed", 0u)
+      .set("telemetry", registry_doc());
+  EXPECT_NO_THROW(check_trace_event(end));
+
+  results::Doc footer = results::Doc::object();
+  footer.set("type", "trace_summary")
+      .set("emitted", 10u)
+      .set("dropped", 0u);
+  EXPECT_NO_THROW(check_trace_event(footer));
+}
+
+TEST(TraceSchemaTest, SurvivesAJsonRoundTrip) {
+  // Serialized traces re-parse integral doubles as integers; the schema
+  // must accept what parse_json hands back, not just what set() built.
+  const results::Doc reparsed =
+      results::parse_json(results::to_json(evaluation_event()));
+  EXPECT_NO_THROW(check_trace_event(reparsed));
+}
+
+TEST(TraceSchemaTest, RejectsUnknownType) {
+  results::Doc event = results::Doc::object();
+  event.set("type", "mystery");
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsMissingType) {
+  EXPECT_THROW(check_trace_event(results::Doc::object()),
+               std::invalid_argument);
+  EXPECT_THROW(check_trace_event(results::Doc("not an object")),
+               std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsUnknownKeys) {
+  results::Doc event = evaluation_event();
+  event.set("extra", 1);
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsMissingRequiredField) {
+  results::Doc event = results::Doc::object();
+  event.set("type", "trace_summary").set("emitted", 10u);  // no dropped
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsKindMismatch) {
+  results::Doc event = evaluation_event();
+  event.set("seed", "forty-two");
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+
+  results::Doc negative = results::Doc::object();
+  negative.set("type", "trace_summary")
+      .set("emitted", -1)
+      .set("dropped", 0u);
+  EXPECT_THROW(check_trace_event(negative), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsMalformedRegistry) {
+  results::Doc event = evaluation_event();
+  event.set("telemetry", results::Doc::object());  // no counters/stages
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+
+  // A stage missing its histogram buckets is malformed too.
+  results::Doc stage = results::Doc::object();
+  stage.set("count", 1u)
+      .set("mean_sec", 0.1)
+      .set("min_sec", 0.1)
+      .set("max_sec", 0.1)
+      .set("p50_sec", 0.1)
+      .set("p99_sec", 0.1)
+      .set("zeros", 0u);
+  results::Doc stages = results::Doc::object();
+  stages.set("sensor.service", std::move(stage));
+  results::Doc registry = results::Doc::object();
+  registry.set("counters", results::Doc::object())
+      .set("stages", std::move(stages));
+  results::Doc bad = evaluation_event();
+  bad.set("telemetry", std::move(registry));
+  EXPECT_THROW(check_trace_event(bad), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsNonNumericBucketKeys) {
+  // Rebuild the registry Doc with a corrupted bucket exponent key.
+  results::Doc buckets = results::Doc::object();
+  buckets.set("not-a-number", 3u);
+  results::Doc stage = results::Doc::object();
+  stage.set("count", 1u)
+      .set("mean_sec", 0.1)
+      .set("min_sec", 0.1)
+      .set("max_sec", 0.1)
+      .set("p50_sec", 0.1)
+      .set("p99_sec", 0.1)
+      .set("zeros", 0u)
+      .set("log2_buckets", std::move(buckets));
+  results::Doc stages = results::Doc::object();
+  stages.set("sensor.service", std::move(stage));
+  results::Doc registry = results::Doc::object();
+  registry.set("counters", results::Doc::object())
+      .set("stages", std::move(stages));
+  results::Doc event = evaluation_event();
+  event.set("telemetry", std::move(registry));
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idseval::telemetry

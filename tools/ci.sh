@@ -48,5 +48,11 @@ for preset in "${presets[@]}"; do
       --csv "${out_dir}/ci_campaign.csv"
     rm -rf "${out_dir}"
     trap - EXIT
+    # Single-pass score-ledger sweep under the sanitizers: exercises the
+    # evidence sinks, the ledger finalize path, and the offline ROC walk
+    # end to end (a short grid keeps the sanitizer run quick).
+    echo "==== single-pass sweep (${preset}) ===="
+    "build-${preset}/tools/idseval_cli" sweep --product SentryNID \
+      --steps 5 --single-pass
   fi
 done

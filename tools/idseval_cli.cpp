@@ -11,11 +11,16 @@
 //                    [--seed N] [--jobs N] [--load-metrics] [--robustness]
 //       evaluate every product and print the weighted ranking
 //   idseval_cli sweep --product NAME [--profile P] [--steps N] [--seed N]
-//       Figure-4 sensitivity sweep with EER
+//                     [--single-pass]
+//       Figure-4 sensitivity sweep with EER; --single-pass derives the
+//       grid from one evidence-recorded run instead of N simulations
 //   idseval_cli campaign --spec FILE [--jobs N] [--resume] [--out DIR]
-//       run a multi-seed evaluation grid, aggregate with dispersion
+//                        [--out-html]
+//       run a multi-seed evaluation grid, aggregate with dispersion;
+//       --out-html adds HTML and markdown summary tables
 //   idseval_cli trace-check FILE
-//       validate a --trace JSONL file (well-formed, zero dropped events)
+//       validate a --trace JSONL file (well-formed JSON lines, known
+//       event schemas, zero dropped events)
 //   idseval_cli trace-check --csv FILE [--expect-rows N]
 //       validate a CSV export (rectangular, finite numbers, row count)
 //
@@ -45,7 +50,9 @@
 #include "products/catalog.hpp"
 #include "results/csv.hpp"
 #include "results/doc.hpp"
+#include "results/html.hpp"
 #include "results/table.hpp"
+#include "score/scorecard.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 #include "util/table.hpp"
@@ -126,6 +133,19 @@ harness::TestbedConfig make_env(const Args& args) {
   return env;
 }
 
+/// The Iannacone-Bridges unified cost table for one evaluation, built
+/// from the Doc view so the CLI and any file writer agree on values.
+std::string render_unified_score(const score::UnifiedScore& unified) {
+  results::TableBuilder table({"Unified cost component", "Value"},
+                              {"left", "right"});
+  table.title("Unified cost/capability (default weights)");
+  const results::Doc doc = score::to_doc(unified);
+  for (const auto& [key, value] : doc.items()) {
+    table.row({key, util::fmt_double(value.as_double(), 4)});
+  }
+  return results::render_table_text(table.build());
+}
+
 int cmd_products() {
   results::TableBuilder table({"Product", "Class", "Description"},
                               {"left", "left", "left"});
@@ -193,6 +213,7 @@ int cmd_evaluate(const Args& args) {
                           "Performance", core::table3_performance_metrics(),
                           cards, notes)
                           .c_str());
+  std::printf("%s\n", render_unified_score(eval.unified).c_str());
   std::printf(
       "%s\n",
       telemetry::render_telemetry(eval.measured.detection_telemetry,
@@ -273,6 +294,21 @@ int cmd_rank(const Args& args) {
                   "Ranking (" + profile + " requirement profile)", cards,
                   weights)
                   .c_str());
+  {
+    // The unified cost model ranks on one absolute number beside the
+    // paper's weighted class scores: capability 1 = perfect, 0 = no
+    // better than running no IDS.
+    results::TableBuilder unified({"Product", "Total cost", "Capability"},
+                                  {"left", "right", "right"});
+    unified.title("Unified cost/capability (default weights)");
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const score::UnifiedScore& u = slots[i]->unified;
+      unified.row({catalog[i].name, util::fmt_double(u.total_cost, 2),
+                   util::fmt_double(u.capability, 4)});
+    }
+    std::printf("%s\n",
+                results::render_table_text(unified.build()).c_str());
+  }
   if (args.has_flag("robustness")) {
     std::printf("%s\n",
                 core::render_weight_robustness(cards, weights).c_str());
@@ -297,13 +333,26 @@ int cmd_sweep(const Args& args) {
     sensitivities.push_back(static_cast<double>(i) /
                             std::max(1, steps - 1));
   }
-  const auto sweep = harness::sensitivity_sweep(
-      env, products::product(*id), sensitivities, 4);
+  // --single-pass records per-transaction evidence in ONE simulation and
+  // derives every sweep point offline; the default re-simulates the
+  // testbed once per grid point (the reference path).
+  const bool single_pass = args.has_flag("single-pass");
+  std::vector<harness::ErrorRatePoint> sweep;
+  harness::SinglePassSweep recorded;
+  if (single_pass) {
+    recorded = harness::single_pass_sensitivity_sweep(
+        env, products::product(*id), sensitivities, 4);
+    sweep = recorded.points;
+  } else {
+    sweep = harness::sensitivity_sweep(env, products::product(*id),
+                                       sensitivities, 4);
+  }
 
   results::TableBuilder table({"Sensitivity", "Type I (% benign)",
                                "Type II (% attacks)"},
                               {"right", "right", "right"});
-  table.title(products::to_string(*id) + " on " + env.profile.name);
+  table.title(products::to_string(*id) + " on " + env.profile.name +
+              (single_pass ? " (single-pass)" : ""));
   for (const auto& p : sweep) {
     table.row({util::fmt_double(p.sensitivity, 2),
                util::fmt_double(p.fp_percent_of_benign, 2),
@@ -316,6 +365,14 @@ int cmd_sweep(const Args& args) {
                 eer.error_percent, eer.sensitivity);
   } else {
     std::printf("no Type I / Type II crossing in [0,1]\n");
+  }
+  if (single_pass) {
+    std::printf("single-pass ledger: %zu transactions (%zu attacks), "
+                "%llu evidence observations, ROC AUC %.4f\n",
+                recorded.roc.transactions(), recorded.roc.attacks(),
+                static_cast<unsigned long long>(
+                    recorded.evidence_observations),
+                recorded.roc.auc());
   }
   return 0;
 }
@@ -433,6 +490,25 @@ int cmd_campaign(const Args& args) {
   std::printf("results: %s\naggregate: %s, %s\nstages: %s\n",
               store_path.c_str(), csv_path.c_str(), summary_path.c_str(),
               stages_path.c_str());
+  if (args.has_flag("out-html")) {
+    // Same table Docs as the text summary, rendered by the HTML and
+    // markdown writers — one Doc, every view.
+    const results::Doc summary_doc = campaign::summary_table_doc(spec, agg);
+    const results::Doc eer_doc = campaign::eer_table_doc(spec, agg);
+    const std::string html_path =
+        (out_dir / (spec.name + ".html")).string();
+    std::ofstream html(html_path);
+    html << results::html_document("Campaign '" + spec.name + "'",
+                                   {summary_doc, eer_doc});
+    const std::string md_path = (out_dir / (spec.name + ".md")).string();
+    std::ofstream md(md_path);
+    md << results::table_to_markdown(summary_doc);
+    if (!eer_doc.is_null()) {
+      md << "\n" << results::table_to_markdown(eer_doc);
+    }
+    std::printf("html: %s\nmarkdown: %s\n", html_path.c_str(),
+                md_path.c_str());
+  }
   if (trace) {
     // The trace, like the store, carries simulation-time telemetry only:
     // the wall-clock instrument would make fixed-seed trace files differ
@@ -531,6 +607,12 @@ int cmd_trace_check(const Args& args) {
                    lines);
       return 1;
     }
+    try {
+      telemetry::check_trace_event(event);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace-check: line %zu: %s\n", lines, e.what());
+      return 1;
+    }
     if (saw_summary) {
       std::fprintf(stderr,
                    "trace-check: line %zu follows the trace_summary "
@@ -592,8 +674,9 @@ int usage() {
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
       "       [--jobs N] [--load-metrics] [--robustness] [--trace FILE]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
+      "        [--single-pass]\n"
       "  campaign --spec FILE [--jobs N] [--resume] [--out DIR]\n"
-      "           [--trace FILE]\n"
+      "           [--out-html] [--trace FILE]\n"
       "  trace-check FILE                        validate a trace file\n"
       "  trace-check --csv FILE [--expect-rows N] validate a CSV export\n"
       "--trace-sync writes trace events on the emitting thread (default\n"
