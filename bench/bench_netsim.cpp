@@ -15,6 +15,11 @@
 //              (cell-boundary-flush) writer and once with the background
 //              writer thread; checks the background writer does not add
 //              producer-visible time and that both files are identical.
+//   megaflow — flow-table stress: the megaflow profile scaled to ~10^4
+//              hosts and up to ~10^6 concurrently live flows, with a
+//              mirror-tap live-flow tracker keyed by packed FlowTuple.
+//              Reports flows/sec (wall), bytes per table probe, and the
+//              tracker's probes-per-lookup chain length.
 //
 // The "baseline" constants below were measured at the commit immediately
 // before the allocation-free event core landed (std::function queue,
@@ -39,9 +44,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "attack/scenario.hpp"
 #include "harness/testbed.hpp"
+#include "netsim/flow_tuple.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "products/catalog.hpp"
@@ -74,6 +81,11 @@ constexpr double kPriorTestbedPacketsPerSec = 459652.0;
 // meaningless, so the check degrades to a warning.
 constexpr double kSmokeTestbedEventsPerSecFloor =
     1.3 * kBaselineTestbedEventsPerSec;
+
+// Megaflow smoke floor (flows created per wall second). Deliberately low:
+// the smoke run exists to catch order-of-magnitude collapses (e.g. a
+// flow-table probe chain going quadratic), not to measure.
+constexpr double kSmokeMegaflowFlowsPerSecFloor = 2000.0;
 
 constexpr bool sanitized_build() {
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -217,6 +229,110 @@ FanoutResult fanout_run(bool coalesce, int bursts,
                       sim.alloc_fallbacks()};
 }
 
+struct MegaflowResult {
+  double flows_per_sec = 0.0;    ///< Ledger transactions per wall second.
+  double packets_per_sec = 0.0;
+  double bytes_per_probe = 0.0;  ///< Payload bytes moved per table probe.
+  double probes_per_lookup = 0.0;  ///< Live-tracker mean chain length.
+  std::uint64_t flows = 0;
+  std::uint64_t peak_live = 0;     ///< Peak concurrently live flows.
+  std::uint64_t end_live = 0;      ///< Stragglers still open at cutoff.
+  std::uint64_t table_memory_bytes = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+// Megaflow profile at bench scale: ~10^4 hosts, flow arrivals fast
+// enough that the live-flow population — not the packet rate — is the
+// scaling variable (~10^6 live at full scale). A mirror tap maintains a
+// FlowTuple-keyed live-flow tracker, erasing on FIN/RST, exactly the
+// access pattern the per-flow state holders pay; the ledger's own flow
+// table is the second table under test.
+MegaflowResult megaflow_run(bool smoke) {
+  Simulator sim;
+  idseval::netsim::Network net(sim);
+  const int internal = smoke ? 2000 : 12000;
+  const int external = smoke ? 200 : 1200;
+  std::vector<idseval::netsim::Ipv4> internal_hosts;
+  std::vector<idseval::netsim::Ipv4> external_hosts;
+  internal_hosts.reserve(static_cast<std::size_t>(internal));
+  external_hosts.reserve(static_cast<std::size_t>(external));
+  for (int i = 0; i < internal; ++i) {
+    const idseval::netsim::Ipv4 addr(
+        10, 1, static_cast<std::uint8_t>(i >> 8),
+        static_cast<std::uint8_t>(i & 0xff));
+    net.add_host("h" + std::to_string(i), addr);
+    internal_hosts.push_back(addr);
+  }
+  for (int i = 0; i < external; ++i) {
+    const idseval::netsim::Ipv4 addr(
+        198, 51, static_cast<std::uint8_t>(i >> 8),
+        static_cast<std::uint8_t>(i & 0xff));
+    net.add_external_host("x" + std::to_string(i), addr);
+    external_hosts.push_back(addr);
+  }
+
+  struct FlowAccum {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  idseval::netsim::FlowMap<FlowAccum> live;
+  live.reserve(smoke ? (1u << 16) : (1u << 20));
+  std::uint64_t packets = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t peak_live = 0;
+  net.lan_switch().add_mirror_batch(
+      [&](const idseval::netsim::Packet* p, std::size_t n) {
+        packets += n;
+        for (std::size_t i = 0; i < n; ++i) {
+          const idseval::netsim::Packet& pk = p[i];
+          const std::uint64_t bytes = pk.payload_bytes();
+          bytes_total += bytes;
+          const idseval::netsim::FlowTuple key =
+              idseval::netsim::FlowTuple::from(pk.tuple).canonical();
+          if (pk.flags.fin || pk.flags.rst) {
+            live.erase(key);
+            continue;
+          }
+          FlowAccum& acc = *live.try_emplace(key).first;
+          ++acc.packets;
+          acc.bytes += bytes;
+          if (live.size() > peak_live) peak_live = live.size();
+        }
+      });
+
+  idseval::traffic::EnvironmentProfile prof =
+      idseval::traffic::megaflow_profile();
+  prof.flows_per_sec *= smoke ? 20.0 : 200.0;  // 5k / 50k flows per sim-sec
+  const double gen_sec = smoke ? 6.0 : 20.0;
+  const double drain_sec = smoke ? 25.0 : 40.0;
+
+  idseval::traffic::TransactionLedger ledger;
+  idseval::traffic::FlowGenerator gen(sim, net, &ledger, prof, /*seed=*/13);
+  gen.set_internal_hosts(internal_hosts);
+  gen.set_external_hosts(external_hosts);
+
+  const double t0 = now_sec();
+  gen.start(SimTime::from_sec(gen_sec));
+  sim.run_until(SimTime::from_sec(gen_sec + drain_sec));
+  const double dt = now_sec() - t0;
+
+  const std::uint64_t probes =
+      live.stats().probes + ledger.table_stats().probes;
+  MegaflowResult r;
+  r.flows = ledger.size();
+  r.flows_per_sec = static_cast<double>(r.flows) / dt;
+  r.packets_per_sec = static_cast<double>(packets) / dt;
+  r.bytes_per_probe = probes == 0 ? 0.0
+                                  : static_cast<double>(bytes_total) /
+                                        static_cast<double>(probes);
+  r.probes_per_lookup = live.stats().probes_per_lookup();
+  r.peak_live = peak_live;
+  r.end_live = live.size();
+  r.table_memory_bytes = live.memory_bytes();
+  r.fallbacks = sim.alloc_fallbacks();
+  return r;
+}
+
 struct TraceOverheadResult {
   double sync_producer_sec = 0.0;        ///< emit+flush time, sync sink.
   double background_producer_sec = 0.0;  ///< emit+flush time, bg sink.
@@ -312,7 +428,8 @@ idseval::results::Doc speed_doc(double v) {
 bool write_report(const std::string& path, const ChurnResult& churn,
                   const TestbedResult& bed, const FanoutResult& fan_on,
                   const FanoutResult& fan_off,
-                  const TraceOverheadResult& trace, bool smoke) {
+                  const TraceOverheadResult& trace,
+                  const MegaflowResult& mega, bool smoke) {
   using idseval::results::Doc;
   Doc report = Doc::object();
   report.set("smoke", smoke);
@@ -380,9 +497,20 @@ bool write_report(const std::string& path, const ChurnResult& churn,
       .set("files_identical", trace.files_identical);
   report.set("trace_overhead", std::move(trace_overhead));
 
+  Doc megaflow = Doc::object();
+  megaflow.set("flows", mega.flows)
+      .set("flows_per_sec", std::round(mega.flows_per_sec))
+      .set("packets_per_sec", std::round(mega.packets_per_sec))
+      .set("bytes_per_table_probe", speed_doc(mega.bytes_per_probe))
+      .set("probes_per_lookup", speed_doc(mega.probes_per_lookup))
+      .set("peak_live_flows", mega.peak_live)
+      .set("end_live_flows", mega.end_live)
+      .set("tracker_memory_bytes", mega.table_memory_bytes);
+  report.set("megaflow", std::move(megaflow));
+
   report.set("callback_heap_fallbacks",
              churn.fallbacks + bed.fallbacks + fan_on.fallbacks +
-                 fan_off.fallbacks);
+                 fan_off.fallbacks + mega.fallbacks);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -462,12 +590,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(trace.events),
               trace.files_identical ? "identical" : "DIFFER");
 
+  const MegaflowResult mega = megaflow_run(smoke);
+  std::printf("megaflow:%12.0f flows/sec   (%llu flows, peak %llu live, "
+              "%.0f packets/sec)\n",
+              mega.flows_per_sec,
+              static_cast<unsigned long long>(mega.flows),
+              static_cast<unsigned long long>(mega.peak_live),
+              mega.packets_per_sec);
+  std::printf("megaflow:%12.1f bytes/table-probe, %.2f probes/lookup, "
+              "%.1f MB tracker\n",
+              mega.bytes_per_probe, mega.probes_per_lookup,
+              static_cast<double>(mega.table_memory_bytes) / 1048576.0);
+
   const std::uint64_t fallbacks = churn.fallbacks + bed.fallbacks +
-                                  fan_on.fallbacks + fan_off.fallbacks;
+                                  fan_on.fallbacks + fan_off.fallbacks +
+                                  mega.fallbacks;
   std::printf("callback heap fallbacks: %llu\n",
               static_cast<unsigned long long>(fallbacks));
 
-  if (!write_report(out, churn, bed, fan_on, fan_off, trace, smoke)) {
+  if (!write_report(out, churn, bed, fan_on, fan_off, trace, mega,
+                    smoke)) {
     return 1;
   }
   std::printf("report: %s\n", out.c_str());
@@ -504,6 +646,23 @@ int main(int argc, char** argv) {
                  "not met (%.0f), ignored on unoptimized/sanitized "
                  "builds\n",
                  kSmokeTestbedEventsPerSecFloor, bed.events_per_sec);
+  }
+
+  // Same policy for the megaflow flow-rate floor: a probe-chain blowup
+  // in the flow table shows up as orders of magnitude here.
+  if (smoke && mega.flows_per_sec < kSmokeMegaflowFlowsPerSecFloor) {
+    if (optimized_build()) {
+      std::fprintf(stderr,
+                   "bench_netsim: FAIL — smoke megaflow ran at %.0f "
+                   "flows/sec, floor is %.0f\n",
+                   mega.flows_per_sec, kSmokeMegaflowFlowsPerSecFloor);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_netsim: warning — megaflow smoke floor %.0f "
+                 "flows/sec not met (%.0f), ignored on "
+                 "unoptimized/sanitized builds\n",
+                 kSmokeMegaflowFlowsPerSecFloor, mega.flows_per_sec);
   }
 
   // The default-profile hot path must never spill a callback to the

@@ -67,8 +67,7 @@ Detection AnomalyEngine::make_detection(const Packet& packet, SimTime now,
 
 bool AnomalyEngine::fire_once(std::uint64_t feature_tag,
                               std::uint64_t flow_id) {
-  const std::uint64_t key = (feature_tag << 48) ^ flow_id;
-  return fired_.insert(key).second;
+  return fired_.insert(FireKey{flow_id, feature_tag});
 }
 
 void AnomalyEngine::process(const Packet& packet, SimTime now,
@@ -80,9 +79,8 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
 
   // --- Per-service payload shape (length + entropy) ----------------------
   if (packet.payload_bytes() > 0) {
-    auto [it, inserted] =
-        by_port_.try_emplace(port_key, options_.ewma_alpha);
-    PortModel& model = it->second;
+    PortModel& model =
+        *by_port_.try_emplace(port_key, options_.ewma_alpha).first;
     const double len = static_cast<double>(packet.payload_bytes());
     const double ent = payload_entropy(packet.payload_view());
     // Stddev floors keep near-constant baselines from amplifying noise:
@@ -131,7 +129,8 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
 
   // --- Source fanout (distinct destination ports in a sliding window) ----
   {
-    SrcWindow& w = fanout_by_src_[packet.tuple.src_ip.value()];
+    SrcWindow& w =
+        *fanout_by_src_.try_emplace(packet.tuple.src_ip.value()).first;
     w.ports[packet.tuple.dst_port] = now;
     const SimTime window = SimTime::from_sec(options_.fanout_window_sec);
     std::erase_if(w.ports,
@@ -162,7 +161,8 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
 
   // --- Bare-SYN arrival rate per destination (flood behaviour) -----------
   if (packet.flags.syn && !packet.flags.ack) {
-    SynWindow& w = syn_by_dst_[packet.tuple.dst_ip.value()];
+    SynWindow& w =
+        *syn_by_dst_.try_emplace(packet.tuple.dst_ip.value()).first;
     const SimTime window = SimTime::from_sec(1.0);
     w.events.push_back(now);
     while (!w.events.empty() && now - w.events.front() > window) {
@@ -190,12 +190,15 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
 
   // --- Peer/service novelty for internal sources -------------------------
   if (options_.learn_peer_graph && is_internal(packet.tuple.src_ip)) {
-    const std::uint64_t pair =
-        (static_cast<std::uint64_t>(packet.tuple.src_ip.value()) << 32) |
-        packet.tuple.dst_ip.value();
-    const std::uint64_t triple =
-        pair ^ (static_cast<std::uint64_t>(packet.tuple.dst_port) << 16) ^
-        0x9e3779b97f4a7c15ULL;
+    // Exact packed keys: (src, dst) for the peer graph, (src, dst,
+    // dst_port) for services. The old triple XOR-folded dst_port<<16
+    // into the low half of dst inside one 64-bit word, so distinct
+    // (dst, port) services aliased and novel-service detections were
+    // silently swallowed (regression: key_aliasing_test.cpp).
+    const netsim::FlowTuple pair{packet.tuple.src_ip.value(),
+                                 packet.tuple.dst_ip.value(), 0, 0, 0};
+    netsim::FlowTuple triple = pair;
+    triple.dst_port = packet.tuple.dst_port;
     if (mode_ == Mode::kLearning) {
       peer_pairs_.insert(pair);
       service_triples_.insert(triple);

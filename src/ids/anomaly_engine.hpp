@@ -11,12 +11,14 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ids/alert.hpp"
 #include "ids/evidence.hpp"
+#include "ids/fired_set.hpp"
+#include "netsim/flow_tuple.hpp"
 #include "netsim/packet.hpp"
+#include "util/flow_table.hpp"
 #include "util/stats.hpp"
 
 namespace idseval::ids {
@@ -99,14 +101,17 @@ class AnomalyEngine {
   Mode mode_ = Mode::kLearning;
   EvidenceSink* evidence_ = nullptr;
 
-  std::unordered_map<std::uint32_t, PortModel> by_port_;  ///< key: port|proto
+  util::FlowTable<std::uint32_t, PortModel> by_port_;  ///< key: port|proto
   util::EwmaBaseline fanout_baseline_;
-  std::unordered_map<std::uint32_t, SrcWindow> fanout_by_src_;
+  util::FlowTable<std::uint32_t, SrcWindow> fanout_by_src_;
   util::EwmaBaseline syn_rate_baseline_;
-  std::unordered_map<std::uint32_t, SynWindow> syn_by_dst_;
-  std::unordered_set<std::uint64_t> peer_pairs_;      ///< src^dst learned.
-  std::unordered_set<std::uint64_t> service_triples_; ///< src,dst,port.
-  std::unordered_set<std::uint64_t> fired_;
+  util::FlowTable<std::uint32_t, SynWindow> syn_by_dst_;
+  /// Learned peer graph, keyed by packed (src, dst) / (src, dst, port)
+  /// tuples — exact keys, no XOR folding (see fired_set.hpp for the
+  /// aliasing failure the old packing had).
+  netsim::FlowTupleSet peer_pairs_;
+  netsim::FlowTupleSet service_triples_;
+  FiredSet fired_;
 };
 
 }  // namespace idseval::ids

@@ -1,0 +1,33 @@
+// Exact (rule/feature tag, flow id) dedup keys for the engines'
+// one-alert-per-rule-per-flow guards. The previous scheme packed both
+// into one 64-bit word as `(tag << 48) ^ flow_id`, which aliases: any
+// flow id >= 2^48 bleeds into the tag bits, and crafted (tag, flow)
+// pairs collide outright (tagA<<48 ^ fA == tagB<<48 ^ fB whenever
+// fB == fA ^ ((tagA^tagB) << 48)), silently swallowing detections at
+// megaflow id volumes. The pair key below cannot collide: equality is
+// field-exact, the hash only steers bucketing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/flow_table.hpp"
+
+namespace idseval::ids {
+
+struct FireKey {
+  std::uint64_t flow_id = 0;
+  std::uint64_t tag = 0;
+
+  constexpr bool operator==(const FireKey&) const noexcept = default;
+};
+
+struct FireKeyHash {
+  std::uint64_t operator()(const FireKey& key) const noexcept {
+    return util::mix64(key.flow_id ^
+                       util::mix64(key.tag ^ 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+using FiredSet = util::FlowSet<FireKey, FireKeyHash>;
+
+}  // namespace idseval::ids

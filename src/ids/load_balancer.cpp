@@ -44,9 +44,12 @@ LoadBalancer::LoadBalancer(netsim::Simulator& sim, LoadBalancerConfig config,
       sensor_count_(std::max<std::size_t>(1, sensor_count)),
       tele_offered_(telemetry::counter_handle(telemetry::names::kLbOffered)),
       tele_dropped_(telemetry::counter_handle(telemetry::names::kLbDropped)),
+      tele_pin_evictions_(
+          telemetry::counter_handle(telemetry::names::kLbPinEvictions)),
       tele_queue_wait_(
           telemetry::latency_handle(telemetry::names::kLbQueueWait)) {
   stats_.per_sensor.assign(sensor_count_, 0);
+  telemetry::bind_flow_table(flow_pin_);
 }
 
 SimTime LoadBalancer::service_time() const noexcept {
@@ -69,9 +72,18 @@ std::size_t LoadBalancer::route(const Packet& packet) {
     }
     case LbStrategy::kLeastLoaded: {
       // Session-consistent: a pinned flow stays put; new flows go to the
-      // sensor with the shortest queue right now.
-      const auto it = flow_pin_.find(packet.flow_id);
-      if (it != flow_pin_.end()) return it->second;
+      // sensor with the shortest queue right now. The pin is released
+      // once the flow ends so long runs don't accumulate dead entries.
+      const bool flow_end = packet.flags.fin || packet.flags.rst;
+      if (const std::uint32_t* pinned = flow_pin_.find(packet.flow_id)) {
+        const std::size_t idx = *pinned;
+        if (flow_end) {
+          flow_pin_.erase(packet.flow_id);
+          ++stats_.pin_evictions;
+          telemetry::bump(tele_pin_evictions_);
+        }
+        return idx;
+      }
       std::size_t best = 0;
       std::size_t best_depth = SIZE_MAX;
       for (std::size_t i = 0; i < sensors_.size(); ++i) {
@@ -81,7 +93,12 @@ std::size_t LoadBalancer::route(const Packet& packet) {
           best = i;
         }
       }
-      flow_pin_.emplace(packet.flow_id, best);
+      // A flow whose first routed packet already carries FIN/RST is over;
+      // pinning it would leak an entry no later packet can release.
+      if (!flow_end) {
+        flow_pin_.try_emplace(packet.flow_id,
+                              static_cast<std::uint32_t>(best));
+      }
       return best;
     }
   }
@@ -142,6 +159,7 @@ void LoadBalancer::reset_stats() {
   stats_.per_sensor.assign(sensor_count_, 0);
   telemetry::reset(tele_offered_);
   telemetry::reset(tele_dropped_);
+  telemetry::reset(tele_pin_evictions_);
   telemetry::reset(tele_queue_wait_);
 }
 

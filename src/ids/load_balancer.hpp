@@ -9,12 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
 #include "telemetry/registry.hpp"
+#include "util/flow_table.hpp"
 
 namespace idseval::ids {
 
@@ -48,6 +48,7 @@ struct LoadBalancerStats {
   std::uint64_t offered = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t pin_evictions = 0;  ///< Flow pins released on FIN/RST.
   std::vector<std::uint64_t> per_sensor;  ///< Forwarded per sensor index.
 
   double imbalance() const;  ///< max/mean of per-sensor counts (1 = even).
@@ -80,6 +81,8 @@ class LoadBalancer {
   const LoadBalancerConfig& config() const noexcept { return config_; }
   const LoadBalancerStats& stats() const noexcept { return stats_; }
   std::size_t sensor_count() const noexcept { return sensor_count_; }
+  /// Live kLeastLoaded session pins (flows seen but not yet FIN/RST).
+  std::size_t pins_live() const noexcept { return flow_pin_.size(); }
   void reset_stats();
 
  private:
@@ -94,9 +97,13 @@ class LoadBalancer {
   LoadBalancerStats stats_;
   netsim::SimTime busy_until_;
   std::size_t queued_ = 0;
-  std::unordered_map<std::uint64_t, std::size_t> flow_pin_;
+  /// kLeastLoaded session pins. Entries are erased when the flow's
+  /// FIN/RST packet routes, so the table tracks *live* flows instead of
+  /// every flow ever seen (it previously grew without bound).
+  util::FlowTable<std::uint64_t, std::uint32_t> flow_pin_;
   telemetry::Counter* tele_offered_;
   telemetry::Counter* tele_dropped_;
+  telemetry::Counter* tele_pin_evictions_;
   telemetry::LatencyStat* tele_queue_wait_;
 };
 

@@ -14,8 +14,12 @@ Monitor::Monitor(netsim::Simulator& sim, MonitorConfig config)
       config_(std::move(config)),
       tele_alerts_(
           telemetry::counter_handle(telemetry::names::kMonitorAlerts)),
+      tele_evictions_(
+          telemetry::counter_handle(telemetry::names::kMonitorEvictions)),
       tele_alert_latency_(telemetry::latency_handle(
-          telemetry::names::kMonitorAlertLatency)) {}
+          telemetry::names::kMonitorAlertLatency)) {
+  telemetry::bind_flow_table(alerted_severity_);
+}
 
 void Monitor::submit(const ThreatReport& report) {
   ++stats_.reports_in;
@@ -23,14 +27,16 @@ void Monitor::submit(const ThreatReport& report) {
     ++stats_.suppressed_severity;
     return;
   }
-  const auto prior = alerted_severity_.find(report.primary.flow_id);
-  if (prior != alerted_severity_.end() &&
-      report.severity <= prior->second) {
-    ++stats_.suppressed_duplicate;
-    return;
+  const auto [prior, inserted] =
+      alerted_severity_.try_emplace(report.primary.flow_id, report.severity);
+  if (!inserted) {
+    if (report.severity <= *prior) {
+      ++stats_.suppressed_duplicate;
+      return;
+    }
+    *prior = report.severity;
   }
   alerted_flows_.insert(report.primary.flow_id);
-  alerted_severity_[report.primary.flow_id] = report.severity;
 
   Alert alert;
   alert.id = ++next_alert_id_;
@@ -54,6 +60,14 @@ void Monitor::submit(const ThreatReport& report) {
     log_.push_back(alert);
     if (on_alert_) on_alert_(alert);
   });
+}
+
+void Monitor::flow_ended(std::uint64_t flow_id) {
+  if (!config_.evict_on_flow_end) return;
+  if (alerted_severity_.erase(flow_id)) {
+    ++stats_.evicted_flows;
+    telemetry::bump(tele_evictions_);
+  }
 }
 
 std::vector<Alert> Monitor::alerts_from(netsim::Ipv4 offender) const {
@@ -136,6 +150,7 @@ void Monitor::clear() {
   alerted_severity_.clear();
   stats_ = MonitorStats{};
   telemetry::reset(tele_alerts_);
+  telemetry::reset(tele_evictions_);
   telemetry::reset(tele_alert_latency_);
 }
 

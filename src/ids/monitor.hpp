@@ -8,13 +8,13 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "ids/alert.hpp"
 #include "netsim/simulator.hpp"
 #include "telemetry/registry.hpp"
+#include "util/flow_table.hpp"
 
 namespace idseval::ids {
 
@@ -26,6 +26,12 @@ struct MonitorConfig {
   /// operator (tuning "according to the traffic patterns of the protected
   /// network" — §2.2's alert-fatigue discussion).
   int min_severity = 1;
+  /// Drop the per-flow duplicate-suppression record when the flow ends
+  /// (FIN/RST seen by the pipeline). Keeps dedup state bounded by *live*
+  /// flows on megaflow runs. Off by default: a straggler report arriving
+  /// after the flow's FIN would then re-alert instead of being suppressed,
+  /// which shifts alert counts on the golden profiles.
+  bool evict_on_flow_end = false;
 };
 
 struct MonitorStats {
@@ -33,6 +39,7 @@ struct MonitorStats {
   std::uint64_t alerts_raised = 0;
   std::uint64_t suppressed_severity = 0;
   std::uint64_t suppressed_duplicate = 0;
+  std::uint64_t evicted_flows = 0;  ///< Dedup records dropped on flow end.
 };
 
 class Monitor {
@@ -52,6 +59,16 @@ class Monitor {
   /// Set of flow ids with at least one raised alert — the D in Figure 3.
   const std::unordered_set<std::uint64_t>& alerted_flows() const noexcept {
     return alerted_flows_;
+  }
+
+  /// Notifies the monitor that a flow ended (FIN/RST). When
+  /// `evict_on_flow_end` is set, drops that flow's duplicate-suppression
+  /// record; `alerted_flows_` (the scoring set D) is never evicted.
+  void flow_ended(std::uint64_t flow_id);
+
+  /// Flows currently tracked for duplicate suppression.
+  std::size_t tracked_flows() const noexcept {
+    return alerted_severity_.size();
   }
 
   void clear();
@@ -78,9 +95,10 @@ class Monitor {
   std::unordered_set<std::uint64_t> alerted_flows_;
   /// Highest severity already raised per flow: an escalated threat on an
   /// already-alerted flow is raised again, lower/equal ones are duplicate.
-  std::unordered_map<std::uint64_t, int> alerted_severity_;
+  util::FlowTable<std::uint64_t, int> alerted_severity_;
   std::uint64_t next_alert_id_ = 0;
   telemetry::Counter* tele_alerts_;
+  telemetry::Counter* tele_evictions_;
   telemetry::LatencyStat* tele_alert_latency_;
 };
 

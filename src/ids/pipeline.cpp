@@ -81,6 +81,7 @@ Pipeline::Pipeline(netsim::Simulator& sim, netsim::Network& net,
 
   // Monitor + optional console (1:1c).
   monitor_ = std::make_unique<Monitor>(sim_, config_.monitor);
+  monitor_evicts_ = config_.monitor.evict_on_flow_end;
   if (config_.use_console) {
     console_ = std::make_unique<ManagementConsole>(sim_, config_.console);
     console_->attach_switch(&net_.lan_switch());
@@ -178,6 +179,9 @@ void Pipeline::feed(const Packet& packet) {
   }
   ++packets_tapped_;
   telemetry::bump(tele_tapped_);
+  if (monitor_evicts_ && (packet.flags.fin || packet.flags.rst)) {
+    monitor_->flow_ended(packet.flow_id);
+  }
   if (sensors_.empty()) return;
   if (lb_) {
     lb_->ingest(packet);
@@ -209,6 +213,9 @@ void Pipeline::feed_batch(const Packet* packets, std::size_t count) {
     }
     if (sensors_.empty()) {
       ++tapped;
+      if (monitor_evicts_ && (p.flags.fin || p.flags.rst)) {
+        monitor_->flow_ended(p.flow_id);
+      }
       ++i;
       continue;
     }
@@ -224,6 +231,13 @@ void Pipeline::feed_batch(const Packet* packets, std::size_t count) {
       ++j;
     }
     tapped += j - i;
+    if (monitor_evicts_) {
+      for (std::size_t k = i; k < j; ++k) {
+        if (packets[k].flags.fin || packets[k].flags.rst) {
+          monitor_->flow_ended(packets[k].flow_id);
+        }
+      }
+    }
     if (lb_) {
       lb_->ingest_batch(packets + i, j - i);
     } else {

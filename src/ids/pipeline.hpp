@@ -176,6 +176,8 @@ class Pipeline {
   std::uint64_t packets_tapped_ = 0;
   std::uint64_t packets_filtered_ = 0;
   bool attached_ = false;
+  /// Cached config_.monitor.evict_on_flow_end: checked per tapped packet.
+  bool monitor_evicts_ = false;
   telemetry::Counter* tele_tapped_;
   telemetry::Counter* tele_filtered_;
 };

@@ -51,9 +51,9 @@ double SignatureEngine::scan_cost_ops(const Packet& packet) const noexcept {
 
 std::size_t SignatureEngine::reassembly_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& [flow, tail] : stream_tail_) {
+  stream_tail_.for_each([&total](std::uint64_t, const std::string& tail) {
     total += tail.size() + 16;
-  }
+  });
   return total;
 }
 
@@ -69,9 +69,8 @@ void SignatureEngine::process(const Packet& packet, SimTime now,
 
 bool SignatureEngine::already_fired(std::size_t rule_tag,
                                     std::uint64_t flow_id) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(rule_tag) << 48) ^ flow_id;
-  return !fired_.insert(key).second;
+  return !fired_.insert(
+      FireKey{flow_id, static_cast<std::uint64_t>(rule_tag)});
 }
 
 Detection SignatureEngine::make_detection(const Packet& packet, SimTime now,
@@ -97,7 +96,7 @@ void SignatureEngine::check_patterns(const Packet& packet, SimTime now,
     // Scan the retained tail of this flow's stream concatenated with the
     // new payload so boundary-straddling patterns match, then retain the
     // new tail.
-    std::string& tail = stream_tail_[packet.flow_id];
+    std::string& tail = *stream_tail_.try_emplace(packet.flow_id).first;
     const std::string scan = tail + packet.payload_view();
     hits = matcher_->find_set(scan);
     const std::size_t keep =
@@ -153,7 +152,8 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
 
     switch (rule.feature) {
       case ThresholdFeature::kDistinctDstPorts: {
-        PortFanout& state = fanout_by_src_[packet.tuple.src_ip.value()];
+        PortFanout& state =
+            *fanout_by_src_.try_emplace(packet.tuple.src_ip.value()).first;
         state.last_seen[packet.tuple.dst_port] = now;
         if (now < state.cooldown_until) break;
         // Prune entries older than the window, then count.
@@ -172,7 +172,8 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
       }
       case ThresholdFeature::kSynRate: {
         if (!(packet.flags.syn && !packet.flags.ack)) break;
-        RateWindow& state = syn_by_dst_[packet.tuple.dst_ip.value()];
+        RateWindow& state =
+            *syn_by_dst_.try_emplace(packet.tuple.dst_ip.value()).first;
         state.events.push_back(now);
         while (!state.events.empty() &&
                now - state.events.front() > rule.window) {
@@ -190,7 +191,8 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
         break;
       }
       case ThresholdFeature::kFlowPacketRate: {
-        RateWindow& state = rate_by_flow_[packet.flow_id];
+        RateWindow& state =
+            *rate_by_flow_.try_emplace(packet.flow_id).first;
         state.events.push_back(now);
         while (!state.events.empty() &&
                now - state.events.front() > rule.window) {

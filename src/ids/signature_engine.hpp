@@ -7,15 +7,17 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ids/aho_corasick.hpp"
 #include "ids/alert.hpp"
 #include "ids/evidence.hpp"
+#include "ids/fired_set.hpp"
 #include "ids/rules.hpp"
 #include "netsim/packet.hpp"
+#include "util/flow_table.hpp"
 
 namespace idseval::ids {
 
@@ -97,11 +99,11 @@ class SignatureEngine {
   /// matcher pattern id -> index into rules_.patterns.
   std::vector<std::size_t> pattern_rule_index_;
 
-  std::unordered_map<std::uint32_t, PortFanout> fanout_by_src_;
-  std::unordered_map<std::uint32_t, RateWindow> syn_by_dst_;
-  std::unordered_map<std::uint64_t, RateWindow> rate_by_flow_;
-  std::unordered_map<std::uint64_t, std::string> stream_tail_;
-  std::unordered_set<std::uint64_t> fired_;  ///< (rule_tag, flow) pairs.
+  util::FlowTable<std::uint32_t, PortFanout> fanout_by_src_;
+  util::FlowTable<std::uint32_t, RateWindow> syn_by_dst_;
+  util::FlowTable<std::uint64_t, RateWindow> rate_by_flow_;
+  util::FlowTable<std::uint64_t, std::string> stream_tail_;
+  FiredSet fired_;  ///< Exact (rule_tag, flow) pairs (see fired_set.hpp).
 };
 
 }  // namespace idseval::ids

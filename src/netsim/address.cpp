@@ -1,5 +1,6 @@
 #include "netsim/address.hpp"
 
+#include "netsim/flow_tuple.hpp"
 #include "util/strfmt.hpp"
 
 namespace idseval::netsim {
@@ -41,18 +42,9 @@ std::string FiveTuple::to_string() const {
 }
 
 std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
-  // FNV-style mix over the tuple fields.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(t.src_ip.value());
-  mix(t.dst_ip.value());
-  mix(t.src_port);
-  mix(t.dst_port);
-  mix(static_cast<std::uint64_t>(t.proto));
-  return static_cast<std::size_t>(h);
+  // Packed-bytes hash over the 13-byte FlowTuple view of the tuple —
+  // one raw-byte FNV pass shared with every FlowTable keyed by flows.
+  return static_cast<std::size_t>(FlowTuple::from(t).hash());
 }
 
 }  // namespace idseval::netsim

@@ -1,0 +1,9 @@
+#include "netsim/flow_tuple.hpp"
+
+namespace idseval::netsim {
+
+std::string FlowTuple::to_string() const {
+  return to_five_tuple().to_string();
+}
+
+}  // namespace idseval::netsim

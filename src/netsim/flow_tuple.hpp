@@ -1,0 +1,81 @@
+// Packed 13-byte flow key, after the ns-3 FlowTuple idiom: the five
+// tuple fields laid out contiguously (src addr, dst addr, src port, dst
+// port, proto) so the key hashes as raw bytes — one FNV pass over 13
+// bytes instead of field-by-field mixing — and compares as five integer
+// fields. This is the key type of every FlowTable in the tree; FiveTuple
+// remains the packet-facing representation and converts loss-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "netsim/address.hpp"
+#include "util/flow_table.hpp"
+
+namespace idseval::netsim {
+
+struct FlowTuple {
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  /// Bytes participating in the raw-byte hash: the five fields occupy
+  /// the first 13 bytes with no interior padding; the trailing struct
+  /// padding is excluded so it can never leak into the hash.
+  static constexpr std::size_t kPackedBytes = 13;
+
+  static constexpr FlowTuple from(const FiveTuple& t) noexcept {
+    return FlowTuple{t.src_ip.value(), t.dst_ip.value(), t.src_port,
+                     t.dst_port, static_cast<std::uint8_t>(t.proto)};
+  }
+
+  constexpr FiveTuple to_five_tuple() const noexcept {
+    return FiveTuple{Ipv4(src_addr), Ipv4(dst_addr), src_port, dst_port,
+                     static_cast<Protocol>(proto)};
+  }
+
+  /// Direction-insensitive form; same endpoint ordering rule as
+  /// FiveTuple::canonical, so from(t.canonical()) == from(t).canonical().
+  constexpr FlowTuple canonical() const noexcept {
+    if (src_addr < dst_addr ||
+        (src_addr == dst_addr && src_port <= dst_port)) {
+      return *this;
+    }
+    return FlowTuple{dst_addr, src_addr, dst_port, src_port, proto};
+  }
+
+  std::uint64_t hash() const noexcept {
+    return util::hash_bytes(this, kPackedBytes);
+  }
+
+  constexpr bool operator==(const FlowTuple&) const noexcept = default;
+
+  std::string to_string() const;
+};
+
+static_assert(std::is_trivially_copyable_v<FlowTuple> &&
+                  std::is_standard_layout_v<FlowTuple>,
+              "FlowTuple must stay a plain packed record");
+static_assert(offsetof(FlowTuple, src_addr) == 0 &&
+                  offsetof(FlowTuple, dst_addr) == 4 &&
+                  offsetof(FlowTuple, src_port) == 8 &&
+                  offsetof(FlowTuple, dst_port) == 10 &&
+                  offsetof(FlowTuple, proto) == 12,
+              "hash() reads the first kPackedBytes bytes raw");
+
+struct FlowTupleHash {
+  std::uint64_t operator()(const FlowTuple& t) const noexcept {
+    return t.hash();
+  }
+};
+
+/// Flow tables keyed by the packed tuple.
+template <class T>
+using FlowMap = util::FlowTable<FlowTuple, T, FlowTupleHash>;
+using FlowTupleSet = util::FlowSet<FlowTuple, FlowTupleHash>;
+
+}  // namespace idseval::netsim

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
+
 namespace idseval::score {
+
+ScoreLedger::ScoreLedger() { telemetry::bind_flow_table(by_flow_); }
 
 void ScoreLedger::observe(std::uint64_t flow_id,
                           ids::EvidenceChannel channel, double strength,
                           double critical_sensitivity, bool strict_trigger) {
   ++observations_;
-  FlowEvidence& ev = by_flow_[flow_id];
+  FlowEvidence& ev = *by_flow_.try_emplace(flow_id).first;
   ++ev.observations;
   ev.max_strength = std::max(ev.max_strength, strength);
   // Earlier-firing evidence wins: lower critical sensitivity, or equal
@@ -26,8 +30,7 @@ void ScoreLedger::observe(std::uint64_t flow_id,
 
 const ScoreLedger::FlowEvidence* ScoreLedger::find(
     std::uint64_t flow_id) const {
-  const auto it = by_flow_.find(flow_id);
-  return it == by_flow_.end() ? nullptr : &it->second;
+  return by_flow_.find(flow_id);
 }
 
 void ScoreLedger::finalize(const traffic::TransactionLedger& truth,

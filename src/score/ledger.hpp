@@ -9,18 +9,20 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "ids/evidence.hpp"
 #include "netsim/sim_time.hpp"
 #include "score/roc.hpp"
 #include "traffic/ledger.hpp"
+#include "util/flow_table.hpp"
 
 namespace idseval::score {
 
 class ScoreLedger final : public ids::EvidenceSink {
  public:
+  ScoreLedger();
+
   /// Running per-flow maximum of evidence: the observation that fires at
   /// the lowest sensitivity wins (non-strict beats strict on a tie,
   /// because it fires at the critical value itself).
@@ -57,7 +59,7 @@ class ScoreLedger final : public ids::EvidenceSink {
   void reset();
 
  private:
-  std::unordered_map<std::uint64_t, FlowEvidence> by_flow_;
+  util::FlowTable<std::uint64_t, FlowEvidence> by_flow_;
   std::vector<ScoreSample> samples_;
   std::uint64_t observations_ = 0;
   bool finalized_ = false;

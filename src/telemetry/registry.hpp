@@ -35,6 +35,9 @@ class Counter {
   void increment(std::uint64_t n = 1) noexcept { value_ += n; }
   std::uint64_t value() const noexcept { return value_; }
   void reset() noexcept { value_ = 0; }
+  /// Raw cell for layers below telemetry (util::FlowTable binds plain
+  /// uint64 cells); stable for the registry's lifetime like handles.
+  std::uint64_t* cell() noexcept { return &value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -121,6 +124,20 @@ class ScopedRegistry {
 Counter* counter_handle(std::string_view name);
 LatencyStat* latency_handle(std::string_view name);
 
+/// Raw counter cell, or nullptr without a registry — the binding shape
+/// util::FlowTable accepts (util cannot depend on this layer).
+inline std::uint64_t* counter_cell(std::string_view name) {
+  Counter* counter = counter_handle(name);
+  return counter == nullptr ? nullptr : counter->cell();
+}
+
+/// Binds a flow table's probe/lookup counts to the shared registry-wide
+/// "flowtable.*" counters (no-op handles without a registry). All bound
+/// tables aggregate into the same pair, giving the run's total table
+/// traffic; per-table stats stay available via FlowTable::stats().
+template <class Table>
+void bind_flow_table(Table& table);
+
 /// Builds per-instance stage names like "sensor.0.offered" from a scope
 /// ("sensor.0") and a stage suffix ("offered"). Empty scope → empty
 /// result, so callers can gate scoped handles on the scope being set.
@@ -161,6 +178,9 @@ inline constexpr std::string_view kPipelineFiltered = "pipeline.filtered";
 inline constexpr std::string_view kLbOffered = "lb.offered";
 inline constexpr std::string_view kLbDropped = "lb.dropped";
 inline constexpr std::string_view kLbQueueWait = "lb.queue_wait";
+inline constexpr std::string_view kLbPinEvictions = "lb.pin_evictions";
+inline constexpr std::string_view kFlowTableProbes = "flowtable.probes";
+inline constexpr std::string_view kFlowTableLookups = "flowtable.lookups";
 inline constexpr std::string_view kSensorOffered = "sensor.offered";
 inline constexpr std::string_view kSensorDropped = "sensor.dropped";
 inline constexpr std::string_view kSensorDetections = "sensor.detections";
@@ -169,6 +189,7 @@ inline constexpr std::string_view kAnalyzerReports = "analyzer.reports";
 inline constexpr std::string_view kAnalyzerBatch = "analyzer.batch";
 inline constexpr std::string_view kMonitorAlerts = "monitor.alerts";
 inline constexpr std::string_view kMonitorAlertLatency = "monitor.alert";
+inline constexpr std::string_view kMonitorEvictions = "monitor.evictions";
 inline constexpr std::string_view kConsoleBlocks = "console.blocks";
 inline constexpr std::string_view kHarnessProbes = "harness.probes";
 inline constexpr std::string_view kCampaignCellWall = "campaign.cell_wall";
@@ -236,5 +257,11 @@ std::string render_telemetry(const PipelineSnapshot& snapshot,
 
 /// Human-readable duration with an adaptive unit (ns/us/ms/s).
 std::string fmt_duration(double seconds);
+
+template <class Table>
+void bind_flow_table(Table& table) {
+  table.bind_counters(counter_cell(names::kFlowTableProbes),
+                      counter_cell(names::kFlowTableLookups));
+}
 
 }  // namespace idseval::telemetry

@@ -4,16 +4,20 @@
 
 namespace idseval::traffic {
 
+TransactionLedger::TransactionLedger() {
+  telemetry::bind_flow_table(by_flow_);
+}
+
 Transaction& TransactionLedger::begin(std::uint64_t flow_id,
                                       const netsim::FiveTuple& tuple,
                                       netsim::SimTime start, bool is_attack,
                                       int attack_kind) {
-  auto [it, inserted] = by_flow_.try_emplace(flow_id);
+  auto [value, inserted] = by_flow_.try_emplace(flow_id);
   if (!inserted) {
     throw std::invalid_argument("TransactionLedger: duplicate flow id " +
                                 std::to_string(flow_id));
   }
-  Transaction& t = it->second;
+  Transaction& t = *value;
   t.flow_id = flow_id;
   t.tuple = tuple;
   t.start = start;
@@ -27,17 +31,15 @@ Transaction& TransactionLedger::begin(std::uint64_t flow_id,
 
 void TransactionLedger::touch(std::uint64_t flow_id, netsim::SimTime when,
                               std::uint64_t bytes) {
-  const auto it = by_flow_.find(flow_id);
-  if (it == by_flow_.end()) return;
-  Transaction& t = it->second;
-  ++t.packets;
-  t.bytes += bytes;
-  if (when > t.end) t.end = when;
+  Transaction* t = by_flow_.find(flow_id);
+  if (t == nullptr) return;
+  ++t->packets;
+  t->bytes += bytes;
+  if (when > t->end) t->end = when;
 }
 
 const Transaction* TransactionLedger::find(std::uint64_t flow_id) const {
-  const auto it = by_flow_.find(flow_id);
-  return it == by_flow_.end() ? nullptr : &it->second;
+  return by_flow_.find(flow_id);
 }
 
 bool TransactionLedger::is_attack(std::uint64_t flow_id) const {
@@ -48,7 +50,7 @@ bool TransactionLedger::is_attack(std::uint64_t flow_id) const {
 std::vector<const Transaction*> TransactionLedger::all() const {
   std::vector<const Transaction*> out;
   out.reserve(order_.size());
-  for (const auto id : order_) out.push_back(&by_flow_.at(id));
+  for (const auto id : order_) out.push_back(by_flow_.find(id));
   return out;
 }
 
@@ -56,8 +58,8 @@ std::vector<const Transaction*> TransactionLedger::attacks() const {
   std::vector<const Transaction*> out;
   out.reserve(attacks_);
   for (const auto id : order_) {
-    const Transaction& t = by_flow_.at(id);
-    if (t.is_attack) out.push_back(&t);
+    const Transaction* t = by_flow_.find(id);
+    if (t->is_attack) out.push_back(t);
   }
   return out;
 }

@@ -9,11 +9,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "netsim/address.hpp"
 #include "netsim/sim_time.hpp"
+#include "telemetry/registry.hpp"
+#include "util/flow_table.hpp"
 
 namespace idseval::traffic {
 
@@ -31,6 +32,8 @@ struct Transaction {
 
 class TransactionLedger {
  public:
+  TransactionLedger();
+
   /// Opens a transaction. Duplicate flow ids are rejected.
   Transaction& begin(std::uint64_t flow_id, const netsim::FiveTuple& tuple,
                      netsim::SimTime start, bool is_attack = false,
@@ -39,8 +42,9 @@ class TransactionLedger {
   /// Accounts one emitted packet against the transaction.
   void touch(std::uint64_t flow_id, netsim::SimTime when,
              std::uint64_t bytes);
-  /// Hash-free variant for hot emit loops: `by_flow_` is node-based, so
-  /// the Transaction& from begin() stays valid and callers may cache it.
+  /// Hash-free variant for hot emit loops: `by_flow_`'s values live in a
+  /// stable slab, so the Transaction& from begin() stays valid across
+  /// later inserts and callers may cache it.
   static void touch(Transaction& txn, netsim::SimTime when,
                     std::uint64_t bytes) noexcept {
     ++txn.packets;
@@ -59,8 +63,13 @@ class TransactionLedger {
   std::vector<const Transaction*> all() const;
   std::vector<const Transaction*> attacks() const;
 
+  /// Flow-table access statistics (probes per lookup etc.).
+  const util::FlowTableStats& table_stats() const noexcept {
+    return by_flow_.stats();
+  }
+
  private:
-  std::unordered_map<std::uint64_t, Transaction> by_flow_;
+  util::FlowTable<std::uint64_t, Transaction> by_flow_;
   std::vector<std::uint64_t> order_;
   std::size_t attacks_ = 0;
 };

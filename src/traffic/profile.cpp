@@ -96,11 +96,34 @@ EnvironmentProfile random_flood_profile() {
   return p;
 }
 
+EnvironmentProfile megaflow_profile() {
+  EnvironmentProfile p;
+  p.name = "megaflow";
+  // Pure TCP so every flow carries an explicit FIN: flow-table entries
+  // keyed on liveness (LB pins, monitor dedup) can all be reclaimed.
+  p.mix = {
+      {PayloadKind::kHttpRequest, Protocol::kTcp, ports::kHttp, 0.45},
+      {PayloadKind::kClusterRpc, Protocol::kTcp, ports::kClusterRpc, 0.35},
+      {PayloadKind::kSmtp, Protocol::kTcp, ports::kSmtp, 0.20},
+  };
+  p.flows_per_sec = 250.0;         // bench scales this up ~200x
+  p.burst_factor = 1.0;            // steady state: liveness is the knob
+  p.burst_fraction = 0.0;
+  p.mean_packets_per_flow = 20.0;
+  p.flow_tail_alpha = 2.2;
+  p.mean_payload_bytes = 96.0;     // thin keep-alive style packets
+  p.payload_jitter = 0.25;
+  p.mean_pkt_interval_ms = 1000.0; // slow pacing -> ~19s mean lifetime
+  p.external_fraction = 0.10;
+  return p;
+}
+
 EnvironmentProfile profile_by_name(const std::string& name) {
   if (name == "rt_cluster") return rt_cluster_profile();
   if (name == "ecommerce") return ecommerce_profile();
   if (name == "office") return office_profile();
   if (name == "random_flood") return random_flood_profile();
+  if (name == "megaflow") return megaflow_profile();
   throw std::invalid_argument("unknown traffic profile: " + name);
 }
 

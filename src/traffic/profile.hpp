@@ -63,8 +63,16 @@ EnvironmentProfile office_profile();
 /// payload-inspecting IDSes.
 EnvironmentProfile random_flood_profile();
 
+/// Flow-table stress environment: a data-center front at flow-arrival
+/// rates where the *number of concurrently live flows* is the scaling
+/// variable (~10^6 live at the bench's rate scale). Long-lived pure-TCP
+/// flows with slow pacing, so live-flow count ≈ rate × duration dwarfs
+/// the per-tick packet load. Drives the megaflow bench section.
+EnvironmentProfile megaflow_profile();
+
 /// Look up a built-in profile by name ("rt_cluster", "ecommerce",
-/// "office", "random_flood"); throws std::invalid_argument otherwise.
+/// "office", "random_flood", "megaflow"); throws std::invalid_argument
+/// otherwise.
 EnvironmentProfile profile_by_name(const std::string& name);
 
 }  // namespace idseval::traffic

@@ -1,0 +1,337 @@
+// Open-addressing flow table: the generic per-flow state substrate
+// (ROADMAP "flow-table core"). Keys live in a flat power-of-two slot
+// array probed linearly; values live in a recycled chunked slab (the
+// event-core callback-slab idiom), so value pointers stay stable across
+// rehash and erase — holders may cache them like the ledger's cached
+// Transaction*. Deletion is tombstone-free backward-shift, so probe
+// chains never accrete dead slots and lookup cost stays bounded by load
+// factor alone. Probe/lookup counts are tracked per table and can be
+// mirrored into telemetry counter cells (util cannot depend on the
+// telemetry layer, so the binding is a pair of raw uint64 cells).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace idseval::util {
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over raw bytes, finalized with mix64 so the low bits (the only
+/// ones a power-of-two table uses) carry the whole key.
+inline std::uint64_t hash_bytes(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+/// Default hasher for integral keys (flow ids, packed host addresses).
+template <class Key>
+struct FlowKeyHash {
+  static_assert(std::is_integral_v<Key>,
+                "provide an explicit hasher for non-integral keys");
+  std::uint64_t operator()(const Key& key) const noexcept {
+    return mix64(static_cast<std::uint64_t>(key));
+  }
+};
+
+/// Per-table access statistics. `probes` counts slots inspected across
+/// all key searches (find/insert/erase); `lookups` counts the searches
+/// themselves, so probes/lookups is the mean chain length actually paid.
+struct FlowTableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t rehashes = 0;
+
+  double probes_per_lookup() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(probes) / static_cast<double>(lookups);
+  }
+};
+
+template <class Key, class T, class Hash = FlowKeyHash<Key>>
+class FlowTable {
+  static constexpr std::uint32_t kNoValue = 0xffffffffu;
+  static constexpr std::uint32_t kChunkShift = 9;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+ public:
+  FlowTable() = default;
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+  FlowTable(FlowTable&& other) noexcept { move_from(other); }
+  FlowTable& operator=(FlowTable&& other) noexcept {
+    if (this != &other) {
+      destroy_values();
+      chunks_.clear();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~FlowTable() { destroy_values(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Slab high-water mark: value slots ever allocated (erased slots are
+  /// recycled, so this only grows with peak live size).
+  std::size_t slab_high_water() const noexcept { return slab_used_; }
+  /// Bytes held by the slot array, value slab, and free list.
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) + chunks_.size() * sizeof(Chunk) +
+           free_.capacity() * sizeof(std::uint32_t);
+  }
+  const FlowTableStats& stats() const noexcept { return stats_; }
+
+  /// Mirrors probe/lookup counts into external cells (e.g. telemetry
+  /// counters); either may be null. Past counts are not replayed.
+  void bind_counters(std::uint64_t* probes, std::uint64_t* lookups) noexcept {
+    probe_cell_ = probes;
+    lookup_cell_ = lookups;
+  }
+
+  T* find(const Key& key) noexcept {
+    return const_cast<T*>(std::as_const(*this).find(key));
+  }
+
+  const T* find(const Key& key) const noexcept {
+    note_lookup();
+    if (size_ == 0) return nullptr;
+    std::size_t i = Hash{}(key) & mask_;
+    for (;;) {
+      note_probe();
+      const Slot& slot = slots_[i];
+      if (slot.value == kNoValue) return nullptr;
+      if (slot.key == key) return value_ptr(slot.value);
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(const Key& key) const noexcept { return find(key) != nullptr; }
+
+  /// Inserts key -> T(args...) unless present; returns {value, inserted}.
+  /// The returned pointer is stable until the entry is erased.
+  template <class... Args>
+  std::pair<T*, bool> try_emplace(const Key& key, Args&&... args) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    note_lookup();
+    std::size_t i = Hash{}(key) & mask_;
+    for (;;) {
+      note_probe();
+      Slot& slot = slots_[i];
+      if (slot.value == kNoValue) {
+        const std::uint32_t ref = allocate_value();
+        T* value = value_ptr(ref);
+        ::new (static_cast<void*>(value)) T(std::forward<Args>(args)...);
+        slot.key = key;
+        slot.value = ref;
+        ++size_;
+        ++stats_.inserts;
+        return {value, true};
+      }
+      if (slot.key == key) return {value_ptr(slot.value), false};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Erases the key if present. Backward-shift deletion: every element
+  /// whose probe chain crossed the hole slides back into it, so no
+  /// tombstone is left and chains stay minimal.
+  bool erase(const Key& key) {
+    note_lookup();
+    if (size_ == 0) return false;
+    std::size_t i = Hash{}(key) & mask_;
+    for (;;) {
+      note_probe();
+      Slot& slot = slots_[i];
+      if (slot.value == kNoValue) return false;
+      if (slot.key == key) break;
+      i = (i + 1) & mask_;
+    }
+    value_ptr(slots_[i].value)->~T();
+    free_.push_back(slots_[i].value);
+    --size_;
+    ++stats_.erases;
+
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      const Slot& cand = slots_[j];
+      if (cand.value == kNoValue) break;
+      // cand may move into the hole only if its home slot does not lie
+      // strictly inside the cyclic range (hole, j] — otherwise its probe
+      // chain never crossed the hole and moving it would break lookup.
+      const std::size_t home = Hash{}(cand.key) & mask_;
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = cand;
+        hole = j;
+      }
+    }
+    slots_[hole].value = kNoValue;
+    return true;
+  }
+
+  /// Destroys all values and recycles the whole slab; keeps allocated
+  /// capacity for reuse.
+  void clear() noexcept {
+    destroy_values();
+    for (Slot& slot : slots_) slot.value = kNoValue;
+    size_ = 0;
+    free_.clear();
+    slab_used_ = 0;
+  }
+
+  /// Pre-sizes the slot array for `n` live entries (one rehash up front
+  /// instead of log2(n) incremental ones).
+  void reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 3 < n * 4) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.value != kNoValue) fn(slot.key, *value_ptr(slot.value));
+    }
+  }
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.value != kNoValue) {
+        fn(slot.key, *const_cast<const T*>(value_ptr(slot.value)));
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    std::uint32_t value = kNoValue;
+  };
+  struct Chunk {
+    alignas(T) unsigned char bytes[sizeof(T) * kChunkSlots];
+  };
+
+  T* value_ptr(std::uint32_t ref) const noexcept {
+    return reinterpret_cast<T*>(chunks_[ref >> kChunkShift]->bytes) +
+           (ref & (kChunkSlots - 1));
+  }
+
+  std::uint32_t allocate_value() {
+    if (!free_.empty()) {
+      const std::uint32_t ref = free_.back();
+      free_.pop_back();
+      return ref;
+    }
+    if ((slab_used_ >> kChunkShift) == chunks_.size()) {
+      chunks_.emplace_back(new Chunk);  // default-init: no byte zeroing
+    }
+    return slab_used_++;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    ++stats_.rehashes;
+    for (const Slot& slot : old) {
+      if (slot.value == kNoValue) continue;
+      std::size_t i = Hash{}(slot.key) & mask_;
+      while (slots_[i].value != kNoValue) i = (i + 1) & mask_;
+      slots_[i] = slot;
+    }
+  }
+
+  void destroy_values() noexcept {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (const Slot& slot : slots_) {
+        if (slot.value != kNoValue) value_ptr(slot.value)->~T();
+      }
+    }
+  }
+
+  void move_from(FlowTable& other) noexcept {
+    slots_ = std::move(other.slots_);
+    mask_ = other.mask_;
+    size_ = other.size_;
+    chunks_ = std::move(other.chunks_);
+    free_ = std::move(other.free_);
+    slab_used_ = other.slab_used_;
+    stats_ = other.stats_;
+    probe_cell_ = other.probe_cell_;
+    lookup_cell_ = other.lookup_cell_;
+    other.mask_ = 0;
+    other.size_ = 0;
+    other.slab_used_ = 0;
+    other.stats_ = FlowTableStats{};
+  }
+
+  void note_lookup() const noexcept {
+    ++stats_.lookups;
+    if (lookup_cell_ != nullptr) ++*lookup_cell_;
+  }
+  void note_probe() const noexcept {
+    ++stats_.probes;
+    if (probe_cell_ != nullptr) ++*probe_cell_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t slab_used_ = 0;
+  mutable FlowTableStats stats_;
+  std::uint64_t* probe_cell_ = nullptr;
+  std::uint64_t* lookup_cell_ = nullptr;
+};
+
+/// Set facade over FlowTable (keys only, empty values).
+template <class Key, class Hash = FlowKeyHash<Key>>
+class FlowSet {
+ public:
+  /// True when the key was newly inserted.
+  bool insert(const Key& key) { return table_.try_emplace(key).second; }
+  bool contains(const Key& key) const noexcept {
+    return table_.contains(key);
+  }
+  bool erase(const Key& key) { return table_.erase(key); }
+  std::size_t size() const noexcept { return table_.size(); }
+  bool empty() const noexcept { return table_.empty(); }
+  void clear() noexcept { table_.clear(); }
+  std::size_t memory_bytes() const noexcept { return table_.memory_bytes(); }
+  const FlowTableStats& stats() const noexcept { return table_.stats(); }
+  void bind_counters(std::uint64_t* probes, std::uint64_t* lookups) noexcept {
+    table_.bind_counters(probes, lookups);
+  }
+
+ private:
+  struct Empty {};
+  FlowTable<Key, Empty, Hash> table_;
+};
+
+}  // namespace idseval::util

@@ -1,0 +1,170 @@
+// Regression tests for the two XOR key-aliasing bugs the packed keys
+// close. Both tests construct pairs that collide under the OLD packing
+// (asserted inline as arithmetic) and verify the engines now keep them
+// distinct — these tests fail against the old keying and pass against
+// the new.
+//
+//   1. Service triples: the old key folded dst_port << 16 into the low
+//      half of dst_ip inside one 64-bit word, so services with
+//      dst_b == dst_a ^ ((port_a ^ port_b) << 16) aliased and a novel
+//      service on dst_b was silently treated as the learned one on dst_a.
+//   2. fire_once dedup: the old key was (feature_tag << 48) ^ flow_id,
+//      so (tagA, fA) == (tagB, fB) whenever fB == fA ^ ((tagA^tagB)<<48)
+//      — one flow's alert swallowed a different feature on a different
+//      flow.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ids/anomaly_engine.hpp"
+#include "ids/fired_set.hpp"
+#include "netsim/packet.hpp"
+
+namespace idseval::ids {
+namespace {
+
+using netsim::FiveTuple;
+using netsim::Ipv4;
+using netsim::Packet;
+using netsim::Protocol;
+using netsim::SimTime;
+
+Packet packet_for(std::uint64_t flow, Ipv4 src, Ipv4 dst,
+                  std::uint16_t dst_port, std::string payload,
+                  double at_sec = 0.0) {
+  static std::uint64_t next_id = 1;
+  FiveTuple t;
+  t.src_ip = src;
+  t.dst_ip = dst;
+  t.src_port = 40000;
+  t.dst_port = dst_port;
+  t.proto = Protocol::kTcp;
+  return netsim::make_packet(next_id++, flow, SimTime::from_sec(at_sec), t,
+                             std::move(payload));
+}
+
+std::vector<std::string> rules_fired(const std::vector<Detection>& out) {
+  std::vector<std::string> rules;
+  for (const Detection& d : out) rules.push_back(d.rule);
+  return rules;
+}
+
+bool fired(const std::vector<Detection>& out, const std::string& rule,
+           std::uint64_t flow) {
+  for (const Detection& d : out) {
+    if (d.rule == rule && d.flow_id == flow) return true;
+  }
+  return false;
+}
+
+TEST(KeyAliasingTest, DistinctServicesNoLongerAliasInPeerGraph) {
+  const Ipv4 src(10, 0, 0, 5);
+  const Ipv4 dst_a(10, 0, 2, 1);
+  const std::uint16_t port_a = netsim::ports::kClusterRpc;  // 7400
+  const std::uint16_t port_b = netsim::ports::kHttp;        // 80
+  // Crafted second service that the OLD XOR-folded triple key cannot
+  // tell apart from (dst_a, port_a):
+  const Ipv4 dst_b(dst_a.value() ^
+                   (static_cast<std::uint32_t>(port_a ^ port_b) << 16));
+  ASSERT_EQ(dst_a.value() ^ (static_cast<std::uint32_t>(port_a) << 16),
+            dst_b.value() ^ (static_cast<std::uint32_t>(port_b) << 16))
+      << "test construction must collide under the old folding";
+  ASSERT_NE(dst_a, dst_b);
+
+  AnomalyEngineOptions opts;
+  opts.sensitivity = 0.8;  // z_trigger 2.8 < new-service pseudo_z 3.0
+  AnomalyEngine engine(opts);
+  std::vector<Detection> out;
+
+  // Learning: src talks to dst_a on port_a, and to dst_b on an unrelated
+  // port — so both PEERS are known and only service novelty remains to
+  // distinguish the detection-phase packet.
+  engine.set_mode(AnomalyEngine::Mode::kLearning);
+  engine.process(packet_for(1, src, dst_a, port_a, ""),
+                 SimTime::from_sec(0.1), out);
+  engine.process(packet_for(2, src, dst_b, 9999, ""),
+                 SimTime::from_sec(0.2), out);
+  ASSERT_TRUE(out.empty());
+
+  // Detection: (src, dst_b, port_b) is a novel service. Under the old
+  // aliased key it matched the learned (src, dst_a, port_a) triple and
+  // was silently accepted.
+  engine.set_mode(AnomalyEngine::Mode::kDetecting);
+  engine.process(packet_for(3, src, dst_b, port_b, ""),
+                 SimTime::from_sec(1.0), out);
+  EXPECT_TRUE(fired(out, "novel internal service", 3))
+      << ::testing::PrintToString(rules_fired(out));
+
+  // Sanity: the genuinely learned service stays quiet.
+  out.clear();
+  engine.process(packet_for(4, src, dst_a, port_a, ""),
+                 SimTime::from_sec(1.1), out);
+  EXPECT_FALSE(fired(out, "novel internal service", 4));
+  EXPECT_FALSE(fired(out, "novel internal peer", 4));
+}
+
+TEST(KeyAliasingTest, FireOnceKeysNeverCollideAcrossFeaturesAndFlows) {
+  // Exact-pair dedup keys at the FiredSet level.
+  FiredSet set;
+  const std::uint64_t flow = 12345;
+  EXPECT_TRUE(set.insert(FireKey{flow, 1}));
+  EXPECT_TRUE(set.insert(FireKey{flow, 2}));   // second feature, same flow
+  EXPECT_TRUE(set.insert(FireKey{flow + 1, 1}));  // same feature, new flow
+  EXPECT_FALSE(set.insert(FireKey{flow, 1}));  // true duplicate
+  EXPECT_EQ(set.size(), 3u);
+
+  // The crafted old-scheme collision: tags 1 and 2 on flows related by
+  // fB == fA ^ (3 << 48).
+  const std::uint64_t fa = 0x0123456789abULL;
+  const std::uint64_t fb = fa ^ (3ULL << 48);
+  ASSERT_EQ((1ULL << 48) ^ fa, (2ULL << 48) ^ fb)
+      << "test construction must collide under the old packing";
+  EXPECT_TRUE(set.insert(FireKey{fa, 1}));
+  EXPECT_TRUE(set.insert(FireKey{fb, 2}));  // swallowed under the old key
+}
+
+TEST(KeyAliasingTest, EngineRaisesBothAliasedDetections) {
+  // End-to-end: train a per-service payload model, then trigger feature
+  // tag 1 (length) on flow fa and feature tag 2 (entropy) on
+  // fb = fa ^ (3 << 48). The old fire_once key treated the second as a
+  // duplicate of the first.
+  const std::uint64_t fa = 0x0123456789abULL;
+  const std::uint64_t fb = fa ^ (3ULL << 48);
+  ASSERT_EQ((1ULL << 48) ^ fa, (2ULL << 48) ^ fb);
+
+  AnomalyEngineOptions opts;
+  opts.sensitivity = 0.8;
+  opts.learn_peer_graph = false;  // isolate the payload-shape features
+  AnomalyEngine engine(opts);
+  std::vector<Detection> out;
+
+  const Ipv4 src(10, 0, 0, 5);
+  const Ipv4 dst(10, 0, 0, 9);
+  // 35 identical low-entropy payloads: tight length + entropy baseline.
+  engine.set_mode(AnomalyEngine::Mode::kLearning);
+  for (int i = 0; i < 35; ++i) {
+    engine.process(packet_for(100 + i, src, dst, 80, std::string(100, 'a'),
+                              0.01 * i),
+                   SimTime::from_sec(0.01 * i), out);
+  }
+  ASSERT_TRUE(out.empty());
+
+  engine.set_mode(AnomalyEngine::Mode::kDetecting);
+  // fa: 4x the learned length, same zero entropy -> length anomaly only.
+  engine.process(packet_for(fa, src, dst, 80, std::string(400, 'a')),
+                 SimTime::from_sec(2.0), out);
+  // fb: learned length, maximal byte diversity -> entropy anomaly only.
+  std::string diverse(100, '\0');
+  for (int i = 0; i < 100; ++i) diverse[i] = static_cast<char>(i + 1);
+  engine.process(packet_for(fb, src, dst, 80, diverse),
+                 SimTime::from_sec(2.1), out);
+
+  EXPECT_TRUE(fired(out, "anomalous payload length", fa))
+      << ::testing::PrintToString(rules_fired(out));
+  EXPECT_TRUE(fired(out, "anomalous payload entropy", fb))
+      << ::testing::PrintToString(rules_fired(out));
+}
+
+}  // namespace
+}  // namespace idseval::ids

@@ -1,0 +1,144 @@
+// Packed FlowTuple key: loss-free FiveTuple round-trip, the
+// canonical-form commutation property (from(t.canonical()) ==
+// from(t).canonical()), and the raw-byte hash contract that FiveTupleHash
+// now delegates to.
+#include "netsim/flow_tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace idseval::netsim {
+namespace {
+
+FiveTuple random_tuple(util::Rng& rng) {
+  FiveTuple t;
+  t.src_ip = Ipv4(static_cast<std::uint32_t>(rng.uniform_u64(0, ~0u)));
+  t.dst_ip = Ipv4(static_cast<std::uint32_t>(rng.uniform_u64(0, ~0u)));
+  t.src_port = static_cast<std::uint16_t>(rng.uniform_u64(0, 65535));
+  t.dst_port = static_cast<std::uint16_t>(rng.uniform_u64(0, 65535));
+  const Protocol protos[] = {Protocol::kTcp, Protocol::kUdp,
+                             Protocol::kIcmp};
+  t.proto = protos[rng.uniform_u64(0, 2)];
+  return t;
+}
+
+TEST(FlowTupleTest, FiveTupleRoundTripIsLossFree) {
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const FiveTuple t = random_tuple(rng);
+    const FlowTuple packed = FlowTuple::from(t);
+    const FiveTuple back = packed.to_five_tuple();
+    EXPECT_EQ(back, t);
+    EXPECT_EQ(FlowTuple::from(back), packed);
+  }
+}
+
+TEST(FlowTupleTest, CanonicalCommutesWithFiveTupleCanonical) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const FiveTuple t = random_tuple(rng);
+    EXPECT_EQ(FlowTuple::from(t.canonical()),
+              FlowTuple::from(t).canonical())
+        << t.to_string();
+  }
+  // Both directions of a session share one canonical key.
+  FiveTuple fwd;
+  fwd.src_ip = Ipv4(10, 0, 0, 9);
+  fwd.dst_ip = Ipv4(10, 0, 0, 2);
+  fwd.src_port = 40000;
+  fwd.dst_port = 80;
+  FiveTuple rev;
+  rev.src_ip = fwd.dst_ip;
+  rev.dst_ip = fwd.src_ip;
+  rev.src_port = fwd.dst_port;
+  rev.dst_port = fwd.src_port;
+  rev.proto = fwd.proto;
+  EXPECT_EQ(FlowTuple::from(fwd).canonical(),
+            FlowTuple::from(rev).canonical());
+}
+
+TEST(FlowTupleTest, HashIsStableAndFieldSensitive) {
+  FiveTuple t;
+  t.src_ip = Ipv4(10, 0, 0, 1);
+  t.dst_ip = Ipv4(10, 0, 0, 2);
+  t.src_port = 4000;
+  t.dst_port = 80;
+  const FlowTuple a = FlowTuple::from(t);
+  EXPECT_EQ(a.hash(), a.hash());
+
+  // Flipping any single field must change the packed bytes, hence the
+  // key — and (with overwhelming probability for these fixed values)
+  // the hash.
+  FlowTuple b = a;
+  b.src_addr ^= 1;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.dst_port ^= 1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.proto ^= 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(FlowTupleTest, FiveTupleHashDelegatesToPackedBytes) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    const FiveTuple t = random_tuple(rng);
+    EXPECT_EQ(FiveTupleHash{}(t),
+              static_cast<std::size_t>(FlowTuple::from(t).hash()));
+  }
+}
+
+TEST(FlowTupleTest, DistinctServicesNeverShareAKey) {
+  // The regression class the packed key closes: under the old XOR-folded
+  // triple key, (dst, dst_port) pairs related by
+  // dst_b == dst_a ^ ((port_a ^ port_b) << 16) collided. As exact packed
+  // fields they cannot.
+  const std::uint32_t dst_a = Ipv4(10, 0, 2, 1).value();
+  const std::uint16_t port_a = ports::kClusterRpc;
+  const std::uint16_t port_b = ports::kHttp;
+  const std::uint32_t dst_b =
+      dst_a ^ (static_cast<std::uint32_t>(port_a ^ port_b) << 16);
+  // Old single-word folding really collides for this pair:
+  EXPECT_EQ(dst_a ^ (static_cast<std::uint32_t>(port_a) << 16),
+            dst_b ^ (static_cast<std::uint32_t>(port_b) << 16));
+
+  const FlowTuple ta{0, dst_a, 0, port_a, 0};
+  const FlowTuple tb{0, dst_b, 0, port_b, 0};
+  EXPECT_NE(ta, tb);
+
+  util::FlowSet<FlowTuple, FlowTupleHash> set;
+  EXPECT_TRUE(set.insert(ta));
+  EXPECT_TRUE(set.insert(tb));  // would be swallowed under the old key
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlowTupleTest, FlowMapKeyedByTuple) {
+  FlowMap<int> map;
+  util::Rng rng(5);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 500; ++i) {
+    const FlowTuple key = FlowTuple::from(random_tuple(rng));
+    map.try_emplace(key, i);
+    hashes.insert(key.hash());
+  }
+  // 500 random 13-byte keys: no 64-bit hash collisions expected.
+  EXPECT_EQ(hashes.size(), map.size());
+  EXPECT_EQ(map.size(), 500u);
+}
+
+TEST(FlowTupleTest, ToStringMatchesFiveTuple) {
+  FiveTuple t;
+  t.src_ip = Ipv4(10, 0, 0, 1);
+  t.dst_ip = Ipv4(192, 168, 1, 2);
+  t.src_port = 1234;
+  t.dst_port = 80;
+  EXPECT_EQ(FlowTuple::from(t).to_string(), t.to_string());
+}
+
+}  // namespace
+}  // namespace idseval::netsim

@@ -103,7 +103,8 @@ TEST_P(ProfileProperty, PayloadSizesTrackProfileMean) {
 
 INSTANTIATE_TEST_SUITE_P(Profiles, ProfileProperty,
                          ::testing::Values("rt_cluster", "ecommerce",
-                                           "office", "random_flood"));
+                                           "office", "random_flood",
+                                           "megaflow"));
 
 TEST(ProfilePropertyTest, BurstyProfileHasHigherArrivalVariance) {
   // Compare inter-arrival dispersion of the bursty e-commerce profile

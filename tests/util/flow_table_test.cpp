@@ -1,0 +1,253 @@
+// FlowTable unit suite: insert/find/erase, rehash growth, tombstone-free
+// backward-shift deletion under forced collision chains, slab recycling,
+// value-pointer stability, and the probe/lookup statistics the telemetry
+// layer surfaces.
+#include "util/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace idseval::util {
+namespace {
+
+TEST(FlowTableTest, InsertFindErase) {
+  FlowTable<std::uint64_t, int> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(7), nullptr);
+
+  auto [v, inserted] = table.try_emplace(7, 42);
+  ASSERT_TRUE(inserted);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(table.size(), 1u);
+
+  auto [again, inserted2] = table.try_emplace(7, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(again, v);   // existing value, not overwritten
+  EXPECT_EQ(*again, 42);
+
+  ASSERT_NE(table.find(7), nullptr);
+  EXPECT_EQ(*table.find(7), 42);
+  EXPECT_TRUE(table.contains(7));
+  EXPECT_FALSE(table.contains(8));
+
+  EXPECT_TRUE(table.erase(7));
+  EXPECT_FALSE(table.erase(7));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(7), nullptr);
+}
+
+TEST(FlowTableTest, RehashGrowthKeepsAllEntries) {
+  FlowTable<std::uint64_t, std::uint64_t> table;
+  constexpr std::uint64_t kN = 10000;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    table.try_emplace(k * 2654435761u, k);
+  }
+  EXPECT_EQ(table.size(), kN);
+  EXPECT_GE(table.stats().rehashes, 8u);  // grew from 16 well past kN
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    const std::uint64_t* v = table.find(k * 2654435761u);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k);
+  }
+  // Load factor invariant: capacity * 3/4 >= size.
+  EXPECT_GE(table.capacity() * 3, table.size() * 4);
+}
+
+TEST(FlowTableTest, ValuePointersStableAcrossGrowthAndErase) {
+  FlowTable<std::uint64_t, std::uint64_t> table;
+  std::vector<std::uint64_t*> ptrs;
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    ptrs.push_back(table.try_emplace(k, k).first);
+  }
+  // Growth rehashes the slot array but never moves slab values.
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    EXPECT_EQ(table.find(k), ptrs[k]);
+    EXPECT_EQ(*ptrs[k], k);
+  }
+  // Erasing neighbours must not disturb a cached pointer either.
+  for (std::uint64_t k = 0; k < 4096; k += 2) table.erase(k);
+  for (std::uint64_t k = 1; k < 4096; k += 2) {
+    EXPECT_EQ(table.find(k), ptrs[k]);
+  }
+}
+
+// Hash that collapses everything onto a handful of home slots, forcing
+// long probe chains that wrap the table — the worst case for
+// backward-shift deletion.
+struct ClusteringHash {
+  std::uint64_t operator()(const std::uint64_t& k) const noexcept {
+    return k % 3;
+  }
+};
+
+TEST(FlowTableTest, BackwardShiftDeletionUnderCollisionChains) {
+  FlowTable<std::uint64_t, std::uint64_t, ClusteringHash> table;
+  constexpr std::uint64_t kN = 48;
+  for (std::uint64_t k = 0; k < kN; ++k) table.try_emplace(k, k * 10);
+
+  // Delete from the middle of chains in a scattered order; after every
+  // deletion each survivor must still be findable (no tombstone, no
+  // broken chain).
+  std::set<std::uint64_t> alive;
+  for (std::uint64_t k = 0; k < kN; ++k) alive.insert(k);
+  const std::uint64_t kill[] = {5, 0, 17, 33, 2, 46, 13, 8, 21, 40, 1, 30};
+  for (const std::uint64_t k : kill) {
+    EXPECT_TRUE(table.erase(k));
+    alive.erase(k);
+    for (const std::uint64_t s : alive) {
+      const std::uint64_t* v = table.find(s);
+      ASSERT_NE(v, nullptr) << "lost " << s << " after erasing " << k;
+      EXPECT_EQ(*v, s * 10);
+    }
+    for (const std::uint64_t d : kill) {
+      if (alive.count(d) == 0) {
+        EXPECT_EQ(table.find(d), nullptr);
+      }
+    }
+  }
+  // Chains stay functional for further inserts into freed space.
+  for (const std::uint64_t k : kill) table.try_emplace(k, k * 10);
+  EXPECT_EQ(table.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) EXPECT_TRUE(table.contains(k));
+}
+
+struct CountedValue {
+  static int live;
+  std::uint64_t payload = 0;
+  CountedValue() { ++live; }
+  explicit CountedValue(std::uint64_t p) : payload(p) { ++live; }
+  CountedValue(const CountedValue& o) : payload(o.payload) { ++live; }
+  ~CountedValue() { --live; }
+};
+int CountedValue::live = 0;
+
+TEST(FlowTableTest, SlabRecyclingReusesErasedSlots) {
+  CountedValue::live = 0;
+  {
+    FlowTable<std::uint64_t, CountedValue> table;
+    for (std::uint64_t k = 0; k < 1000; ++k) table.try_emplace(k, k);
+    EXPECT_EQ(CountedValue::live, 1000);
+    const std::size_t high_water = table.slab_high_water();
+
+    // Churn: repeated erase+insert cycles at steady-state size must not
+    // grow the slab — freed slots are recycled.
+    for (int round = 0; round < 20; ++round) {
+      for (std::uint64_t k = 0; k < 1000; ++k) {
+        table.erase(k);
+        table.try_emplace(k + 100000 * (round + 1), k);
+      }
+      // Re-key back so the next round starts from a clean base.
+      for (std::uint64_t k = 0; k < 1000; ++k) {
+        table.erase(k + 100000 * (round + 1));
+        table.try_emplace(k, k);
+      }
+    }
+    EXPECT_EQ(table.size(), 1000u);
+    EXPECT_EQ(CountedValue::live, 1000);
+    EXPECT_LE(table.slab_high_water(), high_water + 1);
+
+    table.clear();
+    EXPECT_EQ(CountedValue::live, 0);
+    EXPECT_EQ(table.size(), 0u);
+    // clear() recycles the slab wholesale.
+    table.try_emplace(1, 1);
+    EXPECT_EQ(table.slab_high_water(), 1u);
+  }
+  EXPECT_EQ(CountedValue::live, 0);  // destructor drained everything
+}
+
+TEST(FlowTableTest, StatsCountProbesAndLookups) {
+  FlowTable<std::uint64_t, int> table;
+  table.try_emplace(1, 1);
+  table.try_emplace(2, 2);
+  (void)table.find(1);
+  (void)table.find(999);
+  const FlowTableStats& s = table.stats();
+  EXPECT_EQ(s.inserts, 2u);
+  EXPECT_EQ(s.lookups, 4u);  // 2 inserts + 2 finds
+  EXPECT_GE(s.probes, s.lookups);
+  EXPECT_GE(s.probes_per_lookup(), 1.0);
+
+  std::uint64_t probes = 0;
+  std::uint64_t lookups = 0;
+  table.bind_counters(&probes, &lookups);
+  (void)table.find(2);
+  EXPECT_EQ(lookups, 1u);
+  EXPECT_GE(probes, 1u);
+}
+
+TEST(FlowTableTest, ReservePreSizesWithoutRehashing) {
+  FlowTable<std::uint64_t, int> table;
+  table.reserve(10000);
+  const std::uint64_t rehashes_after_reserve = table.stats().rehashes;
+  for (std::uint64_t k = 0; k < 10000; ++k) table.try_emplace(k, 1);
+  EXPECT_EQ(table.stats().rehashes, rehashes_after_reserve);
+}
+
+TEST(FlowTableTest, ForEachVisitsEveryLiveEntry) {
+  FlowTable<std::uint64_t, std::uint64_t> table;
+  for (std::uint64_t k = 0; k < 100; ++k) table.try_emplace(k, k);
+  for (std::uint64_t k = 0; k < 100; k += 3) table.erase(k);
+  std::set<std::uint64_t> seen;
+  std::uint64_t sum = 0;
+  table.for_each([&](std::uint64_t key, const std::uint64_t& v) {
+    seen.insert(key);
+    sum += v;
+  });
+  EXPECT_EQ(seen.size(), table.size());
+  for (const std::uint64_t k : seen) {
+    EXPECT_NE(k % 3, 0u);
+    EXPECT_LT(k, 100u);
+  }
+  std::uint64_t expect_sum = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    if (k % 3 != 0) expect_sum += k;
+  }
+  EXPECT_EQ(sum, expect_sum);
+}
+
+TEST(FlowTableTest, MoveTransfersStateAndLeavesSourceEmpty) {
+  FlowTable<std::uint64_t, std::string> a;
+  a.try_emplace(1, "one");
+  a.try_emplace(2, "two");
+  FlowTable<std::uint64_t, std::string> b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  ASSERT_NE(b.find(1), nullptr);
+  EXPECT_EQ(*b.find(1), "one");
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  FlowTable<std::uint64_t, std::string> c;
+  c.try_emplace(9, "gone");  // must be destroyed by move-assign
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.find(9), nullptr);
+  EXPECT_EQ(*c.find(2), "two");
+}
+
+TEST(FlowSetTest, InsertContainsErase) {
+  FlowSet<std::uint64_t> set;
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(6));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(5));
+  EXPECT_FALSE(set.erase(5));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlowTableTest, HashBytesMatchesAcrossCalls) {
+  const unsigned char k1[] = {1, 2, 3, 4, 5};
+  const unsigned char k2[] = {1, 2, 3, 4, 6};
+  EXPECT_EQ(hash_bytes(k1, sizeof(k1)), hash_bytes(k1, sizeof(k1)));
+  EXPECT_NE(hash_bytes(k1, sizeof(k1)), hash_bytes(k2, sizeof(k2)));
+  // mix64 is a bijection, so distinct small ints stay distinct.
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+}  // namespace
+}  // namespace idseval::util

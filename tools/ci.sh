@@ -48,6 +48,16 @@ for preset in "${presets[@]}"; do
       --csv "${out_dir}/ci_campaign.csv"
     rm -rf "${out_dir}"
     trap - EXIT
+    # Flow-table core focus run: the open-addressing FlowTable, packed
+    # FlowTuple keys, the XOR-aliasing regressions, and the per-flow
+    # eviction paths get an explicit sanitizer pass (they are also part
+    # of the full suite above), plus the megaflow bench section in smoke
+    # mode — its throughput floor is warn-only under instrumentation.
+    echo "==== flow-table focus (${preset}) ===="
+    ctest --preset "${preset}" --output-on-failure \
+      -R 'flow_table_test|flow_tuple_test|key_aliasing_test|flow_state_eviction_test'
+    "build-${preset}/bench/bench_netsim" --smoke \
+      --out "build-${preset}/BENCH_netsim_smoke.json"
     # Single-pass score-ledger sweep under the sanitizers: exercises the
     # evidence sinks, the ledger finalize path, and the offline ROC walk
     # end to end (a short grid keeps the sanitizer run quick).

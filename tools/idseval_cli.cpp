@@ -681,7 +681,8 @@ int usage() {
       "  trace-check --csv FILE [--expect-rows N] validate a CSV export\n"
       "--trace-sync writes trace events on the emitting thread (default\n"
       "is a background writer thread; both produce identical files)\n"
-      "profiles: rt_cluster, ecommerce, office, random_flood\n");
+      "profiles: rt_cluster, ecommerce, office, random_flood, "
+      "megaflow\n");
   return 2;
 }
 
