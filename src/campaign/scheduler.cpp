@@ -1,8 +1,10 @@
 #include "campaign/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "campaign/store.hpp"
 #include "harness/evaluate.hpp"
@@ -46,6 +48,7 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
   env.external_hosts = spec.external_hosts;
   env.warmup = netsim::SimTime::from_sec(spec.warmup_sec);
   env.measure = netsim::SimTime::from_sec(spec.measure_sec);
+  env.shards = spec.shards;
   env.seed = cell.seed;
 
   harness::EvaluationOptions options;
@@ -145,7 +148,16 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
   // drains. Every context shares the campaign's trace sink.
   std::vector<std::unique_ptr<harness::RunContext>> cell_ctxs(
       pending.size());
-  util::ThreadPool pool(options.jobs);
+  // Sharded cells each want spec.shards threads of their own, so clamp
+  // the worker count to keep jobs x shards within the machine instead of
+  // oversubscribing every core with barrier-spinning shard workers.
+  std::size_t jobs = options.jobs;
+  if (spec.shards > 1 && jobs > 1) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    jobs = std::max<std::size_t>(1, std::min(jobs, hw / spec.shards));
+  }
+  util::ThreadPool pool(jobs);
   pool.parallel_for(pending.size(), [&](std::size_t i) {
     const CampaignCell& cell = *pending[i];
     const auto cell_started = std::chrono::steady_clock::now();
@@ -190,7 +202,7 @@ RunStats run_campaign(const CampaignSpec& spec, ResultStore& store,
 
   if (options.telemetry) {
     for (const auto& ctx : cell_ctxs) {
-      if (ctx) options.telemetry->merge(ctx->registry());
+      if (ctx) options.telemetry->merge_from(ctx->registry());
     }
   }
 

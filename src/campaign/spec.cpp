@@ -115,6 +115,8 @@ CampaignSpec CampaignSpec::from_config(const util::Config& config) {
       "external_hosts", static_cast<std::int64_t>(base.external_hosts)));
   spec.warmup_sec = config.get_double_or("warmup_sec", base.warmup_sec);
   spec.measure_sec = config.get_double_or("measure_sec", base.measure_sec);
+  spec.shards = static_cast<std::size_t>(
+      config.get_int_or("shards", static_cast<std::int64_t>(base.shards)));
 
   spec.validate();
   return spec;
@@ -147,6 +149,9 @@ util::Config CampaignSpec::to_config() const {
   config.set("external_hosts", std::to_string(external_hosts));
   config.set("warmup_sec", fmt_exact(warmup_sec));
   config.set("measure_sec", fmt_exact(measure_sec));
+  // Only serialized when sharded so pre-shards stores keep their
+  // fingerprint and stay resumable.
+  if (shards != 1) config.set("shards", std::to_string(shards));
   return config;
 }
 
@@ -193,6 +198,9 @@ void CampaignSpec::validate() const {
   }
   if (warmup_sec < 0.0 || measure_sec <= 0.0) {
     throw std::invalid_argument("campaign spec: bad testbed window");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("campaign spec: shards must be >= 1");
   }
   // Fail fast on typos rather than after hours of cells.
   for (const auto& name : profiles) {

@@ -90,7 +90,7 @@ std::vector<LoadPoint> load_sweep(const TestbedConfig& base,
     points[i] = probe(base, model, sensitivity, rate_scales[i],
                       regs.empty() ? nullptr : &regs[i]);
   });
-  for (const telemetry::Registry& r : regs) probe_telemetry->merge(r);
+  for (const telemetry::Registry& r : regs) probe_telemetry->merge_from(r);
   return points;
 }
 
@@ -172,7 +172,7 @@ double measure_system_throughput_pps(const TestbedConfig& base,
                          regs.empty() ? nullptr : &regs[i])
                        .processed_pps;
   });
-  for (const telemetry::Registry& r : regs) probe_telemetry->merge(r);
+  for (const telemetry::Registry& r : regs) probe_telemetry->merge_from(r);
   return *std::max_element(processed.begin(), processed.end());
 }
 

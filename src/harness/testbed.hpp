@@ -41,6 +41,13 @@ struct TestbedConfig {
   /// Same-tick packets per flood train for attack floods (see
   /// AttackEmitter::set_flood_train); 1 = legacy per-packet emission.
   std::uint32_t flood_train = 1;
+  /// Event-queue shards the simulation runs on (netsim::ShardedSimulator,
+  /// central plan): shard 0 keeps traffic generation, the switch, every
+  /// uplink, and the IDS pipeline; internal hosts hash onto shards
+  /// 1..N-1, which execute their downlink deliveries and host agents.
+  /// Results are byte-identical at every shard count; 1 = the legacy
+  /// single-queue engine with no barriers or mailboxes.
+  std::size_t shards = 1;
   std::uint64_t seed = 42;
   netsim::SimTime warmup = netsim::SimTime::from_sec(20);   ///< Learning.
   netsim::SimTime measure = netsim::SimTime::from_sec(60);  ///< Scoring.
@@ -124,6 +131,7 @@ class Testbed {
   /// Latency).
   Testbed(TestbedConfig config, const products::ProductModel* model,
           double sensitivity);
+  ~Testbed();
 
   /// Runs warmup (attack-free, anomaly engines learning) then the
   /// measurement phase with the scenario injected. Scenario step times
@@ -141,7 +149,9 @@ class Testbed {
   /// Convenience: run with no attacks at all (pure load measurement).
   RunResult run_clean();
 
+  /// The hub shard's simulator (the only one at shards == 1).
   netsim::Simulator& sim() noexcept { return sim_; }
+  netsim::ShardedSimulator& engine() noexcept { return engine_; }
   netsim::Network& net() noexcept { return *net_; }
   ids::Pipeline* pipeline() noexcept { return pipeline_.get(); }
   const traffic::TransactionLedger& ledger() const noexcept {
@@ -156,6 +166,9 @@ class Testbed {
 
  private:
   void build();
+  /// Wires the evidence sink(s): one shared ledger when everything runs
+  /// on the hub, per-shard ledgers for remote host agents otherwise.
+  void attach_score_ledger();
   RunResult collect(const attack::Scenario* scenario,
                     netsim::SimTime measure_start,
                     netsim::SimTime measure_end);
@@ -164,8 +177,13 @@ class Testbed {
   const products::ProductModel* model_;
   double sensitivity_;
   score::ScoreLedger* score_ledger_ = nullptr;
+  /// Per-shard evidence ledgers for host agents on remote shards (index
+  /// = shard; 0 unused), merged into score_ledger_ in shard order before
+  /// finalize. Only populated when a ledger is set and shards > 1.
+  std::vector<std::unique_ptr<score::ScoreLedger>> shard_score_ledgers_;
 
-  netsim::Simulator sim_;
+  netsim::ShardedSimulator engine_;
+  netsim::Simulator& sim_;  ///< engine_.hub(): the shard-0 clock.
   std::unique_ptr<netsim::Network> net_;
   std::unique_ptr<ids::Pipeline> pipeline_;
   /// One pool per simulation, shared by background and attack traffic;
@@ -178,8 +196,16 @@ class Testbed {
 
   std::vector<netsim::Ipv4> internal_;
   std::vector<netsim::Ipv4> external_;
-  util::RunningStats delivery_latency_;   ///< Production path, seconds.
-  util::LogHistogram delivery_latency_hist_;  ///< For the real p99.
+  /// Production-path delivery latency, accumulated per host so a host on
+  /// a remote shard records on its own thread; collect() merges them in
+  /// host order, which makes the aggregate identical at every shard
+  /// count (each host sees the same delivery sequence regardless of
+  /// which shard executes it).
+  struct HostDelivery {
+    util::RunningStats latency;       ///< Production path, seconds.
+    util::LogHistogram hist;          ///< For the real p99.
+  };
+  std::vector<std::unique_ptr<HostDelivery>> host_delivery_;
 };
 
 }  // namespace idseval::harness

@@ -1,0 +1,80 @@
+#include "netsim/fabric.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace idseval::netsim {
+
+CrossShardFabric::CrossShardFabric(ShardedSimulator& engine, LinkSpec trunk,
+                                   std::uint32_t lane_base)
+    : engine_(engine), shards_(engine.shards()) {
+  switches_.resize(shards_, nullptr);
+  trunks_.resize(shards_ * shards_);
+  dirty_.resize(shards_);
+  for (std::size_t src = 0; src < shards_; ++src) {
+    for (std::size_t dst = 0; dst < shards_; ++dst) {
+      if (src == dst) continue;
+      auto link = std::make_unique<Link>(
+          engine_.shard(src),
+          "trunk." + std::to_string(src) + "-" + std::to_string(dst),
+          trunk.bandwidth_bps, trunk.latency, trunk.queue_capacity);
+      link->set_lane(lane_base +
+                     static_cast<std::uint32_t>(src * shards_ + dst));
+      Link* l = link.get();
+      engine_.add_channel(src, dst, trunk.latency);
+      l->set_deliver_batch([this, dst](const Packet* p, std::size_t n) {
+        switches_[dst]->receive_batch(p, n);
+      });
+      l->set_remote_flush(
+          [this, l, src, dst](SimTime when, std::vector<Packet>&& batch) {
+            engine_.post(src, dst, when, l->lane(),
+                         [l, b = std::move(batch)]() mutable {
+                           l->deliver_remote_batch(b);
+                         });
+          },
+          [this, l, src] {
+            if (!l->remote_listed()) {
+              l->set_remote_listed(true);
+              dirty_[src].push_back(l);
+            }
+          });
+      trunks_[src * shards_ + dst] = std::move(link);
+    }
+    engine_.add_source(
+        src, ShardedSimulator::Source{
+                 [this, src] {
+                   SimTime m = SimTime::max();
+                   for (const Link* l : dirty_[src]) {
+                     m = std::min(m, l->remote_pending_min());
+                   }
+                   return m;
+                 },
+                 [this, src](SimTime global_min) {
+                   auto it = dirty_[src].begin();
+                   while (it != dirty_[src].end()) {
+                     Link* l = *it;
+                     l->flush_remote(global_min);
+                     if (l->remote_pending_min() == SimTime::max()) {
+                       l->set_remote_listed(false);
+                       it = dirty_[src].erase(it);
+                     } else {
+                       ++it;
+                     }
+                   }
+                 }});
+  }
+}
+
+void CrossShardFabric::set_switch(std::size_t s, Switch* sw) {
+  switches_[s] = sw;
+}
+
+void CrossShardFabric::add_route(Ipv4 addr, std::size_t home) {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (s == home) continue;
+    switches_[s]->attach(addr, trunk(s, home));
+  }
+}
+
+}  // namespace idseval::netsim

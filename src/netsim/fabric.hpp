@@ -1,0 +1,54 @@
+// Distributed sharding glue: per-shard-pair trunk links connecting N
+// per-shard switches. In a distributed plan every shard owns a full
+// local topology (hosts, switch, links); a packet whose destination
+// hashes to another shard is routed by the local switch onto the trunk
+// toward the destination shard, crosses at the barrier through the
+// engine mailboxes, and enters the destination switch's batched-ingest
+// path — the border-router shape of Figure 1, one hop wider.
+//
+// Distributed runs are bit-reproducible at a fixed shard count, but not
+// shard-count-invariant (each shard drives its own traffic generator
+// stream); the shard-count-invariant path is the central plan built by
+// Network(ShardedSimulator&, ShardPlan). This fabric exists for
+// scale-out benchmarking (bench_netsim shard_scaling) and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/network.hpp"
+#include "netsim/sharded.hpp"
+#include "netsim/switch.hpp"
+
+namespace idseval::netsim {
+
+class CrossShardFabric {
+ public:
+  /// `trunk` sizes the per-pair trunk links; its latency is the declared
+  /// cross-shard lookahead, so keep it >= the LAN link latency. Trunk
+  /// lanes start at `lane_base` (pick a range no host link uses).
+  CrossShardFabric(ShardedSimulator& engine, LinkSpec trunk,
+                   std::uint32_t lane_base = 1u << 22);
+
+  /// Registers shard `s`'s switch. Call for every shard before add_route.
+  void set_switch(std::size_t s, Switch* sw);
+
+  /// Declares a host address homed on shard `home`: every other shard's
+  /// switch routes it onto the trunk toward `home`.
+  void add_route(Ipv4 addr, std::size_t home);
+
+  Link* trunk(std::size_t src, std::size_t dst) noexcept {
+    return trunks_[src * shards_ + dst].get();
+  }
+
+ private:
+  ShardedSimulator& engine_;
+  std::size_t shards_;
+  std::vector<Switch*> switches_;
+  std::vector<std::unique_ptr<Link>> trunks_;  ///< N*N, [src][dst].
+  std::vector<std::vector<Link*>> dirty_;      ///< Per source shard.
+};
+
+}  // namespace idseval::netsim

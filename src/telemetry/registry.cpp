@@ -37,7 +37,7 @@ const LatencyStat* Registry::find_latency(
   return it == latencies_.end() ? nullptr : &it->second;
 }
 
-void Registry::merge(const Registry& other) {
+void Registry::merge_from(const Registry& other) {
   for (const auto& [name, c] : other.counters_) {
     counter(name).increment(c.value());
   }

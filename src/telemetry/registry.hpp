@@ -90,10 +90,16 @@ class Registry {
     return latencies_;
   }
 
-  /// Accumulates another registry (counters add, latencies merge).
-  /// Merging per-cell registries in cell-index order keeps campaign
-  /// aggregates independent of worker count.
-  void merge(const Registry& other);
+  /// Accumulates another registry (counters add, latencies merge) — THE
+  /// deterministic merge primitive: map iteration is name-sorted, so two
+  /// merges of the same registries in the same call order produce
+  /// bit-identical aggregates regardless of insertion history. Callers
+  /// own the call order: campaign aggregation merges per-cell registries
+  /// in cell-index order, sharded runs merge per-shard registries in
+  /// shard-index order.
+  void merge_from(const Registry& other);
+  /// Deprecated spelling of merge_from (kept for older call sites).
+  void merge(const Registry& other) { merge_from(other); }
   void reset() noexcept;
   bool empty() const noexcept {
     return counters_.empty() && latencies_.empty();

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <thread>
+#include <utility>
 
 namespace idseval::telemetry {
 namespace {
@@ -102,7 +105,7 @@ TEST(RegistryTest, MergeAddsCountersAndLatencies) {
   b.counter("only_b").increment(1);
   a.latency("w").record(1.0);
   b.latency("w").record(3.0);
-  a.merge(b);
+  a.merge_from(b);
   EXPECT_EQ(a.counter("n").value(), 5u);
   EXPECT_EQ(a.counter("only_b").value(), 1u);
   EXPECT_EQ(a.latency("w").stats().count(), 2u);
@@ -119,15 +122,57 @@ TEST(RegistryTest, MergeOrderInvariantForTotals) {
   parts[0].latency("l").record(0.25);
   parts[1].counter("c").increment(5);
   parts[1].latency("l").record(0.75);
-  left.merge(parts[0]);
-  left.merge(parts[1]);
-  right.merge(parts[1]);
-  right.merge(parts[0]);
+  left.merge_from(parts[0]);
+  left.merge_from(parts[1]);
+  right.merge_from(parts[1]);
+  right.merge_from(parts[0]);
   EXPECT_EQ(left.counter("c").value(), right.counter("c").value());
   EXPECT_EQ(left.latency("l").stats().count(),
             right.latency("l").stats().count());
   EXPECT_DOUBLE_EQ(left.latency("l").stats().mean(),
                    right.latency("l").stats().mean());
+}
+
+TEST(RegistryTest, FixedMergeOrderIsBitReproducible) {
+  // Running-moment merges do floating-point arithmetic, so the combined
+  // MEAN of three parts is only guaranteed bit-identical when the parts
+  // merge in the same order — which is why the sharded engine merges
+  // per-shard registries in shard-index order. Two same-order merges
+  // must agree to the last bit.
+  auto build = [] {
+    Registry parts[3];
+    for (int p = 0; p < 3; ++p) {
+      for (int i = 0; i < 50; ++i) {
+        parts[p].latency("l").record(0.1 * (p + 1) + 1e-3 * i);
+        parts[p].counter("c").increment(static_cast<std::uint64_t>(p + i));
+      }
+    }
+    Registry total;
+    for (const Registry& part : parts) total.merge_from(part);
+    return std::pair{total.counter("c").value(),
+                     total.latency("l").stats().mean()};
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.second),
+            std::bit_cast<std::uint64_t>(b.second));
+}
+
+TEST(RegistryTest, ResetAfterMergeKeepsHandlesLive) {
+  // The sharded testbed reuses per-shard registries across runs: merge
+  // into the ambient registry, then reset in place. Handles taken before
+  // the reset must keep recording into the same instruments.
+  Registry shard;
+  Counter& c = shard.counter("x");
+  c.increment(4);
+  Registry total;
+  total.merge_from(shard);
+  shard.reset();
+  EXPECT_EQ(shard.counter("x").value(), 0u);
+  c.increment(2);
+  EXPECT_EQ(shard.counter("x").value(), 2u);
+  EXPECT_EQ(total.counter("x").value(), 4u);
 }
 
 TEST(SnapshotTest, ReadsPipelineInstruments) {

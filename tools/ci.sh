@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan-ubsan)
+  presets=(default asan-ubsan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
@@ -15,12 +15,29 @@ for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j"${jobs}"
-  ctest --preset "${preset}" -j"${jobs}"
+  if [ "${preset}" = "tsan" ]; then
+    # The thread-sanitizer leg targets the sharded engine. Force the
+    # per-shard worker threads ON (a single-core CI machine would
+    # otherwise fall back to the sequential round-robin and TSan would
+    # watch exactly one thread), then run the focused race surface: the
+    # golden-hash determinism suite (pins byte-identical output at
+    # shards 1/2/4, threaded and sequential), the cross-shard engine
+    # tests (mailboxes, lookahead windows, lane-order merges), and the
+    # telemetry registry merge paths.
+    IDSEVAL_SHARD_THREADS=1 ctest --preset "${preset}" \
+      --output-on-failure --no-tests=error \
+      -R 'DeterminismTest|ShardPlanTest|ShardedSimulatorTest|RegistryTest|ScopedRegistryTest'
+  else
+    ctest --preset "${preset}" -j"${jobs}"
+  fi
 done
 
 # Event-core benchmark smoke under the Release preset: checks the
 # zero-heap-fallback invariant and archives the throughput report next to
-# the build tree. Skipped when only specific presets were requested.
+# the build tree. The smoke run includes the shard_scaling section at 1
+# and 2 shards; its 2-shard throughput floor is warn-only (wall-clock
+# speedup needs >= N physical cores, which CI machines may not have).
+# Skipped when only specific presets were requested.
 if [ $# -eq 0 ]; then
   echo "==== bench smoke (release) ===="
   cmake --preset release
@@ -53,9 +70,12 @@ for preset in "${presets[@]}"; do
     # eviction paths get an explicit sanitizer pass (they are also part
     # of the full suite above), plus the megaflow bench section in smoke
     # mode — its throughput floor is warn-only under instrumentation.
+    # (ctest names are the discovered gtest suites, not the binary
+    # names; --no-tests=error keeps a filter typo from passing as a
+    # silent no-op.)
     echo "==== flow-table focus (${preset}) ===="
-    ctest --preset "${preset}" --output-on-failure \
-      -R 'flow_table_test|flow_tuple_test|key_aliasing_test|flow_state_eviction_test'
+    ctest --preset "${preset}" --output-on-failure --no-tests=error \
+      -R 'FlowTableTest|FlowTupleTest|KeyAliasingTest|FlowStateEvictionTest'
     "build-${preset}/bench/bench_netsim" --smoke \
       --out "build-${preset}/BENCH_netsim_smoke.json"
     # Single-pass score-ledger sweep under the sanitizers: exercises the
@@ -64,5 +84,20 @@ for preset in "${presets[@]}"; do
     echo "==== single-pass sweep (${preset}) ===="
     "build-${preset}/tools/idseval_cli" sweep --product SentryNID \
       --steps 5 --single-pass
+  fi
+  if [ "${preset}" = "tsan" ]; then
+    # End-to-end race check: the example CI campaign on two shards with
+    # worker threads forced on, so every cross-shard mailbox hand-off,
+    # barrier, and telemetry merge runs under the race detector. One job
+    # keeps shard workers as the only concurrency TSan has to model.
+    echo "==== sharded traced campaign (${preset}) ===="
+    out_dir=$(mktemp -d)
+    trap 'rm -rf "${out_dir}"' EXIT
+    IDSEVAL_SHARD_THREADS=1 "build-${preset}/tools/idseval_cli" campaign \
+      --spec examples/campaign_ci.spec --jobs 1 --shards 2 \
+      --out "${out_dir}" --trace "${out_dir}/trace.jsonl"
+    "build-${preset}/tools/idseval_cli" trace-check "${out_dir}/trace.jsonl"
+    rm -rf "${out_dir}"
+    trap - EXIT
   fi
 done

@@ -27,6 +27,7 @@
 // evaluate, rank, and campaign accept --trace FILE to write a JSONL
 // event trace of the run's pipeline telemetry; --trace-sync forces the
 // synchronous (caller-thread) writer instead of the background thread.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -130,6 +131,11 @@ harness::TestbedConfig make_env(const Args& args) {
   env.profile = traffic::profile_by_name(args.opt("profile", "rt_cluster"));
   env.seed = static_cast<std::uint64_t>(
       std::stoull(args.opt("seed", "42")));
+  // --shards N partitions each testbed over N event-queue shards
+  // (results are byte-identical at any shard count; 1 = the legacy
+  // single-queue engine).
+  env.shards = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::stoull(args.opt("shards", "1"))));
   return env;
 }
 
@@ -391,8 +397,13 @@ int cmd_campaign(const Args& args) {
   }
   std::ostringstream text;
   text << in.rdbuf();
-  const campaign::CampaignSpec spec =
-      campaign::CampaignSpec::parse(text.str());
+  campaign::CampaignSpec spec = campaign::CampaignSpec::parse(text.str());
+  // --shards overrides the spec before the store opens, so the engine
+  // choice lands in the fingerprint and a mismatched --resume is refused.
+  if (const std::string shards = args.opt("shards", ""); !shards.empty()) {
+    spec.shards = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::stoull(shards)));
+  }
 
   const std::filesystem::path out_dir = args.opt("out", "campaign-out");
   std::filesystem::create_directories(out_dir);
@@ -670,13 +681,15 @@ int usage() {
       "  products                                list evaluated products\n"
       "  catalog [substring]                     metric definitions\n"
       "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
-      "           [--seed N] [--load-metrics] [--notes] [--trace FILE]\n"
+      "           [--seed N] [--shards N] [--load-metrics] [--notes]\n"
+      "           [--trace FILE]\n"
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
-      "       [--jobs N] [--load-metrics] [--robustness] [--trace FILE]\n"
+      "       [--jobs N] [--shards N] [--load-metrics] [--robustness]\n"
+      "       [--trace FILE]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
-      "        [--single-pass]\n"
-      "  campaign --spec FILE [--jobs N] [--resume] [--out DIR]\n"
-      "           [--out-html] [--trace FILE]\n"
+      "        [--shards N] [--single-pass]\n"
+      "  campaign --spec FILE [--jobs N] [--shards N] [--resume]\n"
+      "           [--out DIR] [--out-html] [--trace FILE]\n"
       "  trace-check FILE                        validate a trace file\n"
       "  trace-check --csv FILE [--expect-rows N] validate a CSV export\n"
       "--trace-sync writes trace events on the emitting thread (default\n"
