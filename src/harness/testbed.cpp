@@ -89,8 +89,11 @@ void Testbed::build() {
 
   // Product under test.
   if (model_ != nullptr) {
-    pipeline_ = std::make_unique<ids::Pipeline>(
-        sim_, *net_, model_->make_config(sensitivity_));
+    ids::PipelineConfig pipeline_config = model_->make_config(sensitivity_);
+    pipeline_config.sensor.scan_cache = config_.scan_cache;
+    pipeline_config.agent_sensor.scan_cache = config_.scan_cache;
+    pipeline_ = std::make_unique<ids::Pipeline>(sim_, *net_,
+                                                std::move(pipeline_config));
     pipeline_->attach(model_->deploys_host_agents ? internal_
                                                   : std::vector<Ipv4>{});
   }

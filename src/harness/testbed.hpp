@@ -48,6 +48,10 @@ struct TestbedConfig {
   /// Results are byte-identical at every shard count; 1 = the legacy
   /// single-queue engine with no barriers or mailboxes.
   std::size_t shards = 1;
+  /// Interned-payload scan cache in the detection engines (ISSUE 9):
+  /// false (--no-scan-cache) replays the exact legacy full-rescan path.
+  /// Results are byte-identical either way; only wall-clock changes.
+  bool scan_cache = true;
   std::uint64_t seed = 42;
   netsim::SimTime warmup = netsim::SimTime::from_sec(20);   ///< Learning.
   netsim::SimTime measure = netsim::SimTime::from_sec(60);  ///< Scoring.

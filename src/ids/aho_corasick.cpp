@@ -16,6 +16,7 @@ void AhoCorasick::build(const std::vector<std::string>& patterns) {
     if (p.empty()) {
       throw std::invalid_argument("AhoCorasick: empty pattern");
     }
+    max_pattern_length_ = std::max(max_pattern_length_, p.size());
   }
 
   // Trie construction.

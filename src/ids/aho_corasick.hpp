@@ -35,6 +35,14 @@ class AhoCorasick {
   bool contains_any(std::string_view text) const;
 
   std::size_t pattern_count() const noexcept { return patterns_.size(); }
+  /// Longest pattern, in bytes (0 when the set is empty). Any match in a
+  /// text ending at offset e starts at or after e - max_pattern_length(),
+  /// which is what makes boundary-limited stream scans sound: a window of
+  /// the last L-1 bytes before a split plus the first L-1 after it sees
+  /// every match the split could hide.
+  std::size_t max_pattern_length() const noexcept {
+    return max_pattern_length_;
+  }
   const std::string& pattern(std::size_t id) const {
     return patterns_.at(id);
   }
@@ -47,6 +55,7 @@ class AhoCorasick {
   void build(const std::vector<std::string>& patterns);
 
   std::vector<std::string> patterns_;
+  std::size_t max_pattern_length_ = 0;
   std::vector<Row> next_;                    ///< Goto function (dense).
   std::vector<std::int32_t> fail_;
   std::vector<std::vector<std::int32_t>> output_;

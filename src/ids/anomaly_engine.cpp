@@ -38,6 +38,19 @@ bool AnomalyEngine::is_internal(Ipv4 addr) const noexcept {
   return addr.in_subnet(options_.internal_net, options_.internal_prefix);
 }
 
+double AnomalyEngine::cached_entropy(const Packet& packet) {
+  if (!options_.scan_cache || packet.payload == nullptr) {
+    return payload_entropy(packet.payload_view());
+  }
+  if (const double* cached = entropy_memo_.find(packet.payload)) {
+    entropy_memo_.credit_saved(packet.payload->size());
+    return *cached;
+  }
+  const double entropy = payload_entropy(*packet.payload);
+  entropy_memo_.store(packet.payload, entropy);
+  return entropy;
+}
+
 double AnomalyEngine::scan_cost_ops(const Packet& packet) const noexcept {
   return 800.0 + 15.0 * static_cast<double>(packet.payload_bytes());
 }
@@ -82,7 +95,7 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
     PortModel& model =
         *by_port_.try_emplace(port_key, options_.ewma_alpha).first;
     const double len = static_cast<double>(packet.payload_bytes());
-    const double ent = payload_entropy(packet.payload_view());
+    const double ent = cached_entropy(packet);
     // Stddev floors keep near-constant baselines from amplifying noise:
     // 5% of the typical length, 0.15 bits of entropy.
     const double len_floor = 0.05 * std::max(1.0, model.length.mean());
@@ -133,8 +146,8 @@ void AnomalyEngine::process(const Packet& packet, SimTime now,
         *fanout_by_src_.try_emplace(packet.tuple.src_ip.value()).first;
     w.ports[packet.tuple.dst_port] = now;
     const SimTime window = SimTime::from_sec(options_.fanout_window_sec);
-    std::erase_if(w.ports,
-                  [&](const auto& kv) { return now - kv.second > window; });
+    w.ports.erase_if(
+        [&](const auto& kv) { return now - kv.second > window; });
     const double fanout = static_cast<double>(w.ports.size());
     // Fanout counts are small integers; a stddev floor of 1 keeps one
     // extra benign port from reading as a multi-sigma event.

@@ -10,14 +10,15 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ids/alert.hpp"
 #include "ids/evidence.hpp"
 #include "ids/fired_set.hpp"
+#include "ids/scan_cache.hpp"
 #include "netsim/flow_tuple.hpp"
 #include "netsim/packet.hpp"
+#include "util/flat_map.hpp"
 #include "util/flow_table.hpp"
 #include "util/stats.hpp"
 
@@ -42,6 +43,11 @@ struct AnomalyEngineOptions {
   /// Distinct-port fanout per source that is considered pathological even
   /// without a learned baseline.
   double fanout_window_sec = 5.0;
+  /// Interned-payload entropy memo (ids/scan_cache.hpp): repeated pooled
+  /// payloads cost one table hit instead of an O(bytes) histogram pass.
+  /// Entropy values are bit-identical cached or recomputed, so results
+  /// never change; off replays the exact legacy per-packet computation.
+  bool scan_cache = true;
 };
 
 class AnomalyEngine {
@@ -54,6 +60,12 @@ class AnomalyEngine {
   Mode mode() const noexcept { return mode_; }
   void set_sensitivity(double s) noexcept { options_.sensitivity = s; }
   double sensitivity() const noexcept { return options_.sensitivity; }
+  void set_scan_cache(bool on) noexcept { options_.scan_cache = on; }
+  bool scan_cache() const noexcept { return options_.scan_cache; }
+  /// Entropy-memo traffic (hits/misses/bytes_saved) for benches/tests.
+  const ScanCacheStats& scan_cache_stats() const noexcept {
+    return entropy_memo_.stats();
+  }
 
   /// Attaches a pre-gate evidence observer (nullptr detaches). Purely
   /// observational: detection output is identical either way.
@@ -83,7 +95,9 @@ class AnomalyEngine {
     PortModel(double alpha) : length(alpha), entropy(alpha) {}
   };
   struct SrcWindow {
-    std::unordered_map<std::uint16_t, netsim::SimTime> ports;
+    /// Tiny live-port window: flat sorted vector, not a hash map (one
+    /// allocation, cache-linear pruning).
+    util::FlatMap<std::uint16_t, netsim::SimTime> ports;
     netsim::SimTime cooldown_until;
   };
   struct SynWindow {
@@ -92,6 +106,9 @@ class AnomalyEngine {
   };
 
   bool is_internal(netsim::Ipv4 addr) const noexcept;
+  /// payload_entropy through the interned-payload memo (straight
+  /// recomputation when the cache is off or the payload is unpooled).
+  double cached_entropy(const netsim::Packet& packet);
   Detection make_detection(const netsim::Packet& packet, netsim::SimTime now,
                            const std::string& feature, double zscore,
                            int severity) const;
@@ -111,6 +128,7 @@ class AnomalyEngine {
   /// aliasing failure the old packing had).
   netsim::FlowTupleSet peer_pairs_;
   netsim::FlowTupleSet service_triples_;
+  PayloadMemo<double> entropy_memo_;
   FiredSet fired_;
 };
 

@@ -50,6 +50,11 @@ struct SensorConfig {
   RecoveryPolicy recovery = RecoveryPolicy::kAppRestart;
   netsim::SimTime reboot_delay = netsim::SimTime::from_sec(45);
   netsim::SimTime restart_delay = netsim::SimTime::from_sec(2);
+  /// Interned-payload scan cache (ids/scan_cache.hpp) force-off switch:
+  /// applied to every engine attached to this sensor. Detection output
+  /// and the golden determinism hash are byte-identical either way —
+  /// false replays the exact legacy full-rescan path (--no-scan-cache).
+  bool scan_cache = true;
   /// When set (e.g. "sensor.0"), the sensor additionally bumps
   /// per-instance stage counters/latencies ("sensor.0.offered", ...)
   /// beside the aggregate sensor.* names, so overload profiles can

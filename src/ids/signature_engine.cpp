@@ -21,7 +21,12 @@ double sensitivity_threshold_scale(double sensitivity) noexcept {
 
 SignatureEngine::SignatureEngine(RuleSet rules,
                                  SignatureEngineOptions options)
-    : rules_(std::move(rules)), options_(options) {
+    : rules_(std::move(rules)),
+      options_(options),
+      boundary_rescans_(telemetry::counter_handle(
+          telemetry::names::kScanCacheBoundaryRescans)) {
+  options_.reassembly_tail_bytes =
+      std::min(options_.reassembly_tail_bytes, TailBuffer::kCapacity);
   std::vector<std::string> patterns;
   patterns.reserve(rules_.patterns.size());
   for (std::size_t i = 0; i < rules_.patterns.size(); ++i) {
@@ -50,11 +55,10 @@ double SignatureEngine::scan_cost_ops(const Packet& packet) const noexcept {
 }
 
 std::size_t SignatureEngine::reassembly_bytes() const noexcept {
-  std::size_t total = 0;
-  stream_tail_.for_each([&total](std::uint64_t, const std::string& tail) {
-    total += tail.size() + 16;
-  });
-  return total;
+  // Each live flow owns one fixed inline TailBuffer slab slot plus ~16
+  // bytes of table-slot overhead (honest for the new representation: the
+  // buffer's full capacity is committed whether or not it is filled).
+  return stream_tail_.size() * (sizeof(TailBuffer) + 16);
 }
 
 void SignatureEngine::process(const Packet& packet, SimTime now,
@@ -88,24 +92,100 @@ Detection SignatureEngine::make_detection(const Packet& packet, SimTime now,
   return d;
 }
 
+namespace {
+
+/// Union of two ascending unique id lists, ascending unique — the order
+/// find_set would have produced over the concatenated stream.
+void merge_sorted_unique(const std::vector<std::size_t>& a,
+                         const std::vector<std::size_t>& b,
+                         std::vector<std::size_t>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+}
+
+}  // namespace
+
+const SignatureEngine::CachedHits& SignatureEngine::cached_hits(
+    const std::shared_ptr<const std::string>& payload,
+    std::size_t rescanned_bytes) {
+  if (const CachedHits* cached = payload_memo_.find(payload)) {
+    payload_memo_.credit_saved(
+        payload->size() - std::min(payload->size(), rescanned_bytes));
+    return *cached;
+  }
+  // One full scan per distinct interned payload: keep the raw match list
+  // (sensitivity-independent) and derive the sorted-unique id set once.
+  scratch_hits_.matches = matcher_->find_all(*payload);
+  scratch_hits_.ids.clear();
+  for (const AhoCorasick::Match& m : scratch_hits_.matches) {
+    scratch_hits_.ids.push_back(m.pattern_id);
+  }
+  std::sort(scratch_hits_.ids.begin(), scratch_hits_.ids.end());
+  scratch_hits_.ids.erase(
+      std::unique(scratch_hits_.ids.begin(), scratch_hits_.ids.end()),
+      scratch_hits_.ids.end());
+  if (const CachedHits* stored = payload_memo_.store(payload, scratch_hits_)) {
+    return *stored;
+  }
+  return scratch_hits_;
+}
+
 void SignatureEngine::check_patterns(const Packet& packet, SimTime now,
                                      double min_conf,
                                      std::vector<Detection>& out) {
-  std::vector<std::size_t> hits;
+  const std::vector<std::size_t>* hits = nullptr;
+  std::vector<std::size_t> local;
   if (options_.stream_reassembly) {
-    // Scan the retained tail of this flow's stream concatenated with the
-    // new payload so boundary-straddling patterns match, then retain the
-    // new tail.
-    std::string& tail = *stream_tail_.try_emplace(packet.flow_id).first;
-    const std::string scan = tail + packet.payload_view();
-    hits = matcher_->find_set(scan);
-    const std::size_t keep =
-        std::min(options_.reassembly_tail_bytes, scan.size());
-    tail.assign(scan, scan.size() - keep, keep);
+    TailBuffer& tail = *stream_tail_.try_emplace(packet.flow_id).first;
+    if (options_.scan_cache && packet.payload != nullptr) {
+      // Boundary-limited reassembly: the only matches the per-payload
+      // memo cannot know about cross the packet boundary, and every one
+      // of those ends within the first L-1 payload bytes (L = longest
+      // pattern). Scanning the whole retained tail (≤ 64 B — patterns
+      // entirely inside the tail re-fire evidence exactly as the legacy
+      // full rescan did) plus that prefix, then merging with the cached
+      // payload-only ids, reproduces find_set(tail || payload) exactly.
+      const std::string& payload = packet.payload_view();
+      const std::size_t max_len = matcher_->max_pattern_length();
+      const std::size_t prefix =
+          std::min(payload.size(), max_len > 0 ? max_len - 1 : 0);
+      scan_buf_.assign(tail.data(), tail.size());
+      scan_buf_.append(payload, 0, prefix);
+      telemetry::bump(boundary_rescans_);
+      const std::vector<std::size_t> boundary = matcher_->find_set(scan_buf_);
+      merge_sorted_unique(boundary, cached_hits(packet.payload, prefix).ids,
+                          merged_hits_);
+      hits = &merged_hits_;
+    } else {
+      // Legacy scan path (the --no-scan-cache pin): rescan the retained
+      // tail concatenated with the whole payload.
+      scan_buf_.assign(tail.data(), tail.size());
+      scan_buf_.append(packet.payload_view());
+      local = matcher_->find_set(scan_buf_);
+      hits = &local;
+    }
+    tail.append(packet.payload_view(), options_.reassembly_tail_bytes);
+  } else if (options_.scan_cache && packet.payload != nullptr) {
+    hits = &cached_hits(packet.payload, 0).ids;
   } else {
-    hits = matcher_->find_set(packet.payload_view());
+    local = matcher_->find_set(packet.payload_view());
+    hits = &local;
   }
-  for (const std::size_t pid : hits) {
+  for (const std::size_t pid : *hits) {
     const PatternRule& rule = rules_.patterns[pattern_rule_index_[pid]];
     if (rule.dst_port && *rule.dst_port != packet.tuple.dst_port) continue;
     if (rule.proto && *rule.proto != packet.tuple.proto) continue;
@@ -157,7 +237,7 @@ void SignatureEngine::check_thresholds(const Packet& packet, SimTime now,
         state.last_seen[packet.tuple.dst_port] = now;
         if (now < state.cooldown_until) break;
         // Prune entries older than the window, then count.
-        std::erase_if(state.last_seen, [&](const auto& kv) {
+        state.last_seen.erase_if([&](const auto& kv) {
           return now - kv.second > rule.window;
         });
         observe_count(rule, static_cast<double>(state.last_seen.size()));
@@ -219,6 +299,8 @@ void SignatureEngine::reset_state() {
   syn_by_dst_.clear();
   rate_by_flow_.clear();
   fired_.clear();
+  // payload_memo_ is deliberately retained: entries are pure content
+  // functions of their interned payloads, valid across windows/reboots.
 }
 
 }  // namespace idseval::ids

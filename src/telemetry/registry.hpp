@@ -176,6 +176,14 @@ inline constexpr std::string_view kSimCallbackFallbacks =
     "sim.callback_fallbacks";
 inline constexpr std::string_view kPayloadPoolHits = "payload.pool_hits";
 inline constexpr std::string_view kPayloadPoolMisses = "payload.pool_misses";
+// Interned-payload scan cache (ids/scan_cache.hpp): engine memo traffic,
+// aggregated across all signature/anomaly engines in the run.
+inline constexpr std::string_view kScanCacheHits = "scan_cache.hits";
+inline constexpr std::string_view kScanCacheMisses = "scan_cache.misses";
+inline constexpr std::string_view kScanCacheBytesSaved =
+    "scan_cache.bytes_saved";
+inline constexpr std::string_view kScanCacheBoundaryRescans =
+    "scan_cache.boundary_rescans";
 inline constexpr std::string_view kSwitchMirrored = "switch.mirrored";
 inline constexpr std::string_view kSwitchForwarded = "switch.forwarded";
 inline constexpr std::string_view kSwitchBlocked = "switch.blocked";

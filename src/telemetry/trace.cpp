@@ -310,10 +310,30 @@ void check_registry_doc(const results::Doc& doc, const std::string& where) {
     schema_fail(where + " is missing the stages object");
   }
   if (doc.size() != 2) schema_fail(where + " has unknown keys");
+  // Counter names follow the "<stage>.<event>" scheme (registry.hpp
+  // names::*, plus per-instance "sensor.N.*"/"agent.N.*" scopes). An
+  // unknown stage prefix means a writer invented a name outside the
+  // scheme — fail the trace rather than silently passing it through.
+  constexpr std::string_view kCounterStagePrefixes[] = {
+      "sim.",      "payload.",  "scan_cache.", "switch.",  "pipeline.",
+      "lb.",       "flowtable.", "sensor.",    "agent.",   "analyzer.",
+      "monitor.",  "console.",  "harness.",    "campaign.",
+  };
   for (const auto& [name, value] : counters->items()) {
     if (!is_uint_like(value)) {
       schema_fail(where + ".counters." + name +
                   " must be an unsigned integer");
+    }
+    bool known = false;
+    for (const std::string_view prefix : kCounterStagePrefixes) {
+      if (std::string_view{name}.substr(0, prefix.size()) == prefix) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      schema_fail(where + ".counters." + name +
+                  " has an unknown stage prefix");
     }
   }
   constexpr FieldSpec kStageFields[] = {

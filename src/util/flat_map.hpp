@@ -1,0 +1,89 @@
+// Small flat sorted-vector map for tiny hot-path windows (a handful of
+// ports per source, not thousands of flows). One contiguous allocation,
+// binary-search lookup, shift-based insert/erase: for the single-digit
+// sizes the detection-engine windows hold, that beats a node-based
+// unordered_map on both allocation count and cache behaviour, and the
+// sorted layout makes iteration order deterministic for free.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace idseval::util {
+
+template <class Key, class Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  /// Upsert access, map-style: inserts a default Value for a new key.
+  Value& operator[](const Key& key) {
+    iterator it = lower_bound(key);
+    if (it == items_.end() || it->first != key) {
+      it = items_.insert(it, value_type{key, Value{}});
+    }
+    return it->second;
+  }
+
+  Value* find(const Key& key) noexcept {
+    iterator it = lower_bound(key);
+    return it != items_.end() && it->first == key ? &it->second : nullptr;
+  }
+  const Value* find(const Key& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(const Key& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  bool erase(const Key& key) {
+    iterator it = lower_bound(key);
+    if (it == items_.end() || it->first != key) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  /// Removes every entry the predicate accepts (called with the
+  /// key/value pair); returns how many were removed. Order-preserving,
+  /// one pass — the window-pruning idiom `std::erase_if` serves for the
+  /// standard maps.
+  template <class Pred>
+  std::size_t erase_if(Pred&& pred) {
+    const iterator keep =
+        std::remove_if(items_.begin(), items_.end(), pred);
+    const std::size_t removed =
+        static_cast<std::size_t>(items_.end() - keep);
+    items_.erase(keep, items_.end());
+    return removed;
+  }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  void clear() noexcept { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  /// Iteration in ascending key order.
+  iterator begin() noexcept { return items_.begin(); }
+  iterator end() noexcept { return items_.end(); }
+  const_iterator begin() const noexcept { return items_.begin(); }
+  const_iterator end() const noexcept { return items_.end(); }
+
+  std::size_t memory_bytes() const noexcept {
+    return items_.capacity() * sizeof(value_type);
+  }
+
+ private:
+  iterator lower_bound(const Key& key) noexcept {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& item, const Key& k) { return item.first < k; });
+  }
+
+  std::vector<value_type> items_;
+};
+
+}  // namespace idseval::util

@@ -134,11 +134,13 @@ struct GoldenOptions {
   /// -1 = engine default (threaded iff >1 hardware thread or
   /// IDSEVAL_SHARD_THREADS=1), 0 = force sequential, 1 = force threaded.
   int threaded = -1;
+  bool scan_cache = true;
 };
 
 std::uint64_t golden_run_hash(GoldenOptions opt = {}) {
   TestbedConfig cfg = golden_config();
   cfg.shards = opt.shards;
+  cfg.scan_cache = opt.scan_cache;
   const auto& model = products::product(products::ProductId::kGuardSecure);
   Testbed bed(cfg, &model, 0.5);
   if (opt.threaded >= 0) bed.engine().set_threaded(opt.threaded == 1);
@@ -166,6 +168,14 @@ TEST(DeterminismTest, GoldenRunMatchesStoredHash) {
 
 TEST(DeterminismTest, BackToBackRunsAreIdentical) {
   EXPECT_EQ(golden_run_hash(), golden_run_hash());
+}
+
+TEST(DeterminismTest, ScanCacheOffReproducesTheGoldenHash) {
+  // The interned-payload scan cache must be an optimization, not a
+  // behavior change: replaying the legacy full-rescan path (entropy per
+  // packet, full tail||payload automaton scans) produces the exact same
+  // bytes as the memoized + boundary-limited path the default uses.
+  EXPECT_EQ(golden_run_hash({.scan_cache = false}), kGoldenHash);
 }
 
 TEST(DeterminismTest, CoalescingOffReproducesTheGoldenHash) {

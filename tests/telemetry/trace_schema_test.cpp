@@ -15,6 +15,8 @@ namespace {
 results::Doc registry_doc() {
   Registry registry;
   registry.counter("harness.runs").increment();
+  registry.counter("scan_cache.hits").increment(3);
+  registry.counter("scan_cache.bytes_saved").increment(512);
   registry.latency("sensor.service").record(0.002);
   registry.latency("sensor.service").record(0.0);
   return to_doc(registry);
@@ -115,6 +117,16 @@ TEST(TraceSchemaTest, RejectsKindMismatch) {
       .set("emitted", -1)
       .set("dropped", 0u);
   EXPECT_THROW(check_trace_event(negative), std::invalid_argument);
+}
+
+TEST(TraceSchemaTest, RejectsCountersOutsideTheNamingScheme) {
+  // Counter names follow "<stage>.<event>" with a known stage prefix; a
+  // writer inventing "made_up.counter" must fail the schema check.
+  Registry registry;
+  registry.counter("made_up.counter").increment();
+  results::Doc event = evaluation_event();
+  event.set("telemetry", to_doc(registry));
+  EXPECT_THROW(check_trace_event(event), std::invalid_argument);
 }
 
 TEST(TraceSchemaTest, RejectsMalformedRegistry) {

@@ -1,0 +1,81 @@
+// FlatMap: the sorted-vector map behind the engines' tiny port windows.
+// Must behave like a std::map for the operations the windows use —
+// upsert via operator[], predicate pruning, size — with ascending
+// deterministic iteration.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_map.hpp"
+
+namespace idseval::util {
+namespace {
+
+TEST(FlatMapTest, UpsertFindAndOrderedIteration) {
+  FlatMap<std::uint16_t, int> map;
+  map[443] = 1;
+  map[22] = 2;
+  map[8080] = 3;
+  map[443] = 4;  // upsert overwrites, no duplicate key
+  ASSERT_EQ(map.size(), 3u);
+
+  ASSERT_NE(map.find(22), nullptr);
+  EXPECT_EQ(*map.find(22), 2);
+  EXPECT_EQ(*map.find(443), 4);
+  EXPECT_EQ(map.find(80), nullptr);
+  EXPECT_TRUE(map.contains(8080));
+  EXPECT_FALSE(map.contains(80));
+
+  std::vector<std::uint16_t> keys;
+  for (const auto& [port, value] : map) keys.push_back(port);
+  EXPECT_EQ(keys, (std::vector<std::uint16_t>{22, 443, 8080}));
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructsNewValues) {
+  FlatMap<std::uint16_t, std::uint64_t> map;
+  EXPECT_EQ(map[80], 0u);  // inserted default
+  EXPECT_EQ(map.size(), 1u);
+  map[80] += 5;
+  EXPECT_EQ(map[80], 5u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, EraseIfPrunesAndPreservesOrder) {
+  FlatMap<std::uint16_t, int> map;
+  for (std::uint16_t port : {9, 1, 5, 3, 7}) map[port] = port * 10;
+  EXPECT_EQ(map.erase_if([](const auto& kv) { return kv.first % 2 == 0; }),
+            0u);  // nothing even: no-op
+  EXPECT_EQ(map.erase_if([](const auto& kv) { return kv.second >= 50; }),
+            3u);
+  std::vector<std::uint16_t> keys;
+  for (const auto& [port, value] : map) keys.push_back(port);
+  EXPECT_EQ(keys, (std::vector<std::uint16_t>{1, 3}));
+}
+
+TEST(FlatMapTest, EraseAndClear) {
+  FlatMap<std::uint16_t, int> map;
+  map[1] = 1;
+  map[2] = 2;
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.size(), 1u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(2), nullptr);
+}
+
+TEST(FlatMapTest, SlidingWindowIdiom) {
+  // The exact engine usage: stamp ports with a timestamp, prune stale
+  // entries, count the survivors.
+  FlatMap<std::uint16_t, std::int64_t> window;
+  for (std::int64_t t = 0; t < 100; ++t) {
+    window[static_cast<std::uint16_t>(t % 13)] = t;
+    window.erase_if([&](const auto& kv) { return t - kv.second > 10; });
+    EXPECT_LE(window.size(), 13u);
+  }
+  EXPECT_EQ(window.size(), 11u);  // stamps 89..99 survive at t=99
+}
+
+}  // namespace
+}  // namespace idseval::util

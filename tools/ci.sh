@@ -35,8 +35,10 @@ done
 # Event-core benchmark smoke under the Release preset: checks the
 # zero-heap-fallback invariant and archives the throughput report next to
 # the build tree. The smoke run includes the shard_scaling section at 1
-# and 2 shards; its 2-shard throughput floor is warn-only (wall-clock
-# speedup needs >= N physical cores, which CI machines may not have).
+# and 2 shards (2-shard throughput floor warn-only: wall-clock speedup
+# needs >= N physical cores, which CI machines may not have) and the
+# scan_cache section (cached-vs-legacy detection identity hard-fails;
+# the >=1.5x speedup floor is warn-only — it is a wall-clock ratio).
 # Skipped when only specific presets were requested.
 if [ $# -eq 0 ]; then
   echo "==== bench smoke (release) ===="
@@ -78,6 +80,16 @@ for preset in "${presets[@]}"; do
       -R 'FlowTableTest|FlowTupleTest|KeyAliasingTest|FlowStateEvictionTest'
     "build-${preset}/bench/bench_netsim" --smoke \
       --out "build-${preset}/BENCH_netsim_smoke.json"
+    # Scan-cache focus run: the interned-payload memo, the flat-map port
+    # windows, and the boundary-limited reassembly merge get an explicit
+    # sanitizer pass, then a --no-scan-cache evaluation keeps the legacy
+    # full-rescan detection path exercised end to end (the determinism
+    # suite pins that both paths are byte-identical).
+    echo "==== scan-cache focus (${preset}) ===="
+    ctest --preset "${preset}" --output-on-failure --no-tests=error \
+      -R 'ScanCacheTest|FlatMapTest|ReassemblyTest'
+    "build-${preset}/tools/idseval_cli" evaluate --product SentryNID \
+      --no-scan-cache
     # Single-pass score-ledger sweep under the sanitizers: exercises the
     # evidence sinks, the ledger finalize path, and the offline ROC walk
     # end to end (a short grid keeps the sanitizer run quick).

@@ -136,6 +136,10 @@ harness::TestbedConfig make_env(const Args& args) {
   // single-queue engine).
   env.shards = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::stoull(args.opt("shards", "1"))));
+  // --no-scan-cache replays the exact legacy full-rescan detection path
+  // (regression pinning for the interned-payload scan cache). Results
+  // are byte-identical either way; only wall-clock changes.
+  env.scan_cache = !args.has_flag("no-scan-cache");
   return env;
 }
 
@@ -682,18 +686,20 @@ int usage() {
       "  catalog [substring]                     metric definitions\n"
       "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
       "           [--seed N] [--shards N] [--load-metrics] [--notes]\n"
-      "           [--trace FILE]\n"
+      "           [--no-scan-cache] [--trace FILE]\n"
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
       "       [--jobs N] [--shards N] [--load-metrics] [--robustness]\n"
-      "       [--trace FILE]\n"
+      "       [--no-scan-cache] [--trace FILE]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
-      "        [--shards N] [--single-pass]\n"
+      "        [--shards N] [--single-pass] [--no-scan-cache]\n"
       "  campaign --spec FILE [--jobs N] [--shards N] [--resume]\n"
       "           [--out DIR] [--out-html] [--trace FILE]\n"
       "  trace-check FILE                        validate a trace file\n"
       "  trace-check --csv FILE [--expect-rows N] validate a CSV export\n"
       "--trace-sync writes trace events on the emitting thread (default\n"
       "is a background writer thread; both produce identical files)\n"
+      "--no-scan-cache replays the legacy full-rescan detection path\n"
+      "(results byte-identical to the default cached path)\n"
       "profiles: rt_cluster, ecommerce, office, random_flood, "
       "megaflow\n");
   return 2;
