@@ -124,6 +124,15 @@ constexpr double kSmokeScanCacheSpeedupFloor = 1.5;
 // flow-table probe chain going quadratic), not to measure.
 constexpr double kSmokeMegaflowFlowsPerSecFloor = 2000.0;
 
+// ICS / CAN environment smoke floors (packets per wall second). These
+// profiles stress the per-packet fast path with fixed-rate periodic tiny
+// frames plus adaptive payload-pool growth; a collapse here means
+// per-packet overhead crept into that loop. Both floors are WARN-ONLY
+// everywhere — they are wall-clock rates and the profiles exist for
+// realism pins (the ctest property suite), not throughput guarantees.
+constexpr double kSmokeIcsPacketsPerSecFloor = 30000.0;
+constexpr double kSmokeCanbusPacketsPerSecFloor = 60000.0;
+
 constexpr bool sanitized_build() {
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   return true;
@@ -484,6 +493,84 @@ MegaflowResult megaflow_run(bool smoke) {
   return r;
 }
 
+struct ProfileSmokeResult {
+  std::string name;
+  std::uint64_t packets = 0;
+  std::uint64_t flows = 0;
+  double packets_per_sec = 0.0;
+  double flows_per_sec = 0.0;
+  std::uint64_t pool_grown_variants = 0;
+  std::uint64_t fallbacks = 0;
+  double floor = 0.0;  ///< Warn-only packets/sec floor for this profile.
+};
+
+// One environment profile through the raw generator + switch fast path
+// (no IDS pipeline): the ics and canbus profiles are dominated by
+// periodic tiny frames, so this measures exactly the per-packet overhead
+// their fixed-rate loops pay. Growth is enabled for the low-entropy
+// payload kinds the same way the harness enables it, so the adaptive
+// pool's doubling path is on the measured loop.
+ProfileSmokeResult profile_smoke_run(
+    const idseval::traffic::EnvironmentProfile& prof, double floor,
+    bool smoke) {
+  Simulator sim;
+  idseval::netsim::Network net(sim);
+  std::vector<idseval::netsim::Ipv4> internal_hosts;
+  std::vector<idseval::netsim::Ipv4> external_hosts;
+  for (int i = 1; i <= 8; ++i) {
+    const idseval::netsim::Ipv4 addr(10, 2, 0,
+                                     static_cast<std::uint8_t>(i));
+    net.add_host("h" + std::to_string(i), addr);
+    internal_hosts.push_back(addr);
+  }
+  for (int i = 1; i <= 2; ++i) {
+    const idseval::netsim::Ipv4 addr(198, 51, 101,
+                                     static_cast<std::uint8_t>(i));
+    net.add_external_host("x" + std::to_string(i), addr);
+    external_hosts.push_back(addr);
+  }
+
+  std::uint64_t packets = 0;
+  net.lan_switch().add_mirror_batch(
+      [&packets](const idseval::netsim::Packet*, std::size_t n) {
+        packets += n;
+      });
+
+  idseval::traffic::EnvironmentProfile scaled = prof;
+  scaled.flows_per_sec *= smoke ? 20.0 : 100.0;
+  const double gen_sec = smoke ? 8.0 : 20.0;
+
+  idseval::traffic::PayloadPool pool(/*seed=*/29);
+  for (const auto& share : scaled.mix) {
+    if (share.kind == idseval::traffic::PayloadKind::kIcsControl ||
+        share.kind == idseval::traffic::PayloadKind::kCanFrame) {
+      pool.enable_growth(
+          share.kind, idseval::traffic::PayloadPool::kGrowthMaxVariants);
+    }
+  }
+  idseval::traffic::TransactionLedger ledger;
+  idseval::traffic::FlowGenerator gen(sim, net, &ledger, scaled,
+                                      /*seed=*/29, &pool);
+  gen.set_internal_hosts(internal_hosts);
+  gen.set_external_hosts(external_hosts);
+
+  const double t0 = now_sec();
+  gen.start(SimTime::from_sec(gen_sec));
+  sim.run_until(SimTime::from_sec(gen_sec + 5.0));
+  const double dt = now_sec() - t0;
+
+  ProfileSmokeResult r;
+  r.name = prof.name;
+  r.packets = packets;
+  r.flows = ledger.size();
+  r.packets_per_sec = static_cast<double>(packets) / dt;
+  r.flows_per_sec = static_cast<double>(r.flows) / dt;
+  r.pool_grown_variants = pool.grown_variants();
+  r.fallbacks = sim.alloc_fallbacks();
+  r.floor = floor;
+  return r;
+}
+
 struct ShardScalingPoint {
   std::size_t shards = 0;
   double events_per_sec = 0.0;
@@ -717,6 +804,7 @@ bool write_report(const std::string& path, const ChurnResult& churn,
                   const FanoutResult& fan_on, const FanoutResult& fan_off,
                   const TraceOverheadResult& trace,
                   const MegaflowResult& mega,
+                  const std::vector<ProfileSmokeResult>& profiles,
                   const std::vector<ShardScalingPoint>& scaling,
                   bool smoke) {
   using idseval::results::Doc;
@@ -812,6 +900,20 @@ bool write_report(const std::string& path, const ChurnResult& churn,
       .set("end_live_flows", mega.end_live)
       .set("tracker_memory_bytes", mega.table_memory_bytes);
   report.set("megaflow", std::move(megaflow));
+
+  Doc env_profiles = Doc::array();
+  for (const ProfileSmokeResult& p : profiles) {
+    Doc entry = Doc::object();
+    entry.set("profile", p.name)
+        .set("packets", p.packets)
+        .set("flows", p.flows)
+        .set("packets_per_sec", std::round(p.packets_per_sec))
+        .set("flows_per_sec", std::round(p.flows_per_sec))
+        .set("pool_grown_variants", p.pool_grown_variants)
+        .set("floor_packets_per_sec", p.floor);
+    env_profiles.push(std::move(entry));
+  }
+  report.set("environment_profiles", std::move(env_profiles));
 
   Doc shard_scaling = Doc::array();
   for (const ShardScalingPoint& p : scaling) {
@@ -956,6 +1058,25 @@ int main(int argc, char** argv) {
               mega.bytes_per_probe, mega.probes_per_lookup,
               static_cast<double>(mega.table_memory_bytes) / 1048576.0);
 
+  // ICS / CAN environment smoke: the periodic tiny-frame fast path with
+  // adaptive payload-pool growth enabled, floors warn-only (see the
+  // constants).
+  std::vector<ProfileSmokeResult> profiles;
+  profiles.push_back(profile_smoke_run(idseval::traffic::ics_profile(),
+                                       kSmokeIcsPacketsPerSecFloor,
+                                       smoke));
+  profiles.push_back(profile_smoke_run(idseval::traffic::canbus_profile(),
+                                       kSmokeCanbusPacketsPerSecFloor,
+                                       smoke));
+  for (const ProfileSmokeResult& p : profiles) {
+    std::printf("%-8s:%12.0f packets/sec (%llu packets, %llu flows, "
+                "%llu grown payload variants)\n",
+                p.name.c_str(), p.packets_per_sec,
+                static_cast<unsigned long long>(p.packets),
+                static_cast<unsigned long long>(p.flows),
+                static_cast<unsigned long long>(p.pool_grown_variants));
+  }
+
   std::vector<ShardScalingPoint> scaling;
   for (const std::size_t shards :
        smoke ? std::vector<std::size_t>{1, 2}
@@ -972,14 +1093,15 @@ int main(int argc, char** argv) {
                 p.barrier_stall_mean_sec, p.barrier_stall_max_sec);
   }
 
-  const std::uint64_t fallbacks = churn.fallbacks + bed.fallbacks +
-                                  fan_on.fallbacks + fan_off.fallbacks +
-                                  mega.fallbacks;
+  std::uint64_t fallbacks = churn.fallbacks + bed.fallbacks +
+                            fan_on.fallbacks + fan_off.fallbacks +
+                            mega.fallbacks;
+  for (const ProfileSmokeResult& p : profiles) fallbacks += p.fallbacks;
   std::printf("callback heap fallbacks: %llu\n",
               static_cast<unsigned long long>(fallbacks));
 
   if (!write_report(out, churn, bed, scan, fan_on, fan_off, trace, mega,
-                    scaling, smoke)) {
+                    profiles, scaling, smoke)) {
     return 1;
   }
   std::printf("report: %s\n", out.c_str());
@@ -1054,6 +1176,20 @@ int main(int argc, char** argv) {
                  "flows/sec not met (%.0f), ignored on "
                  "unoptimized/sanitized builds\n",
                  kSmokeMegaflowFlowsPerSecFloor, mega.flows_per_sec);
+  }
+
+  // ICS/CAN environment floors stay warn-only on every build (see the
+  // constants): the profiles pin realism properties in ctest; the bench
+  // section only flags order-of-magnitude fast-path collapses.
+  if (smoke) {
+    for (const ProfileSmokeResult& p : profiles) {
+      if (p.packets_per_sec < p.floor) {
+        std::fprintf(stderr,
+                     "bench_netsim: warning — %s smoke floor %.0f "
+                     "packets/sec not met (%.0f), warn-only\n",
+                     p.name.c_str(), p.floor, p.packets_per_sec);
+      }
+    }
   }
 
   // Shard-scaling floor — warn-only by design: CI containers often pin

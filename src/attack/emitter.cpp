@@ -36,6 +36,7 @@ AttackEmitter::AttackEmitter(netsim::Simulator& sim, netsim::Network& net,
 std::uint64_t AttackEmitter::launch(AttackKind kind, Ipv4 attacker,
                                     Ipv4 victim, SimTime when) {
   ++stats_.attacks_launched;
+  last_launch_end_ = when;
   switch (kind) {
     case AttackKind::kPortScan:
       return emit_port_scan(attacker, victim, when);
@@ -65,14 +66,18 @@ std::uint64_t AttackEmitter::open_transaction(AttackKind kind,
                                               const FiveTuple& tuple,
                                               SimTime when) {
   const std::uint64_t flow_id = sim_.next_flow_id();
+  const int stage = stage_override_ >= 0
+                        ? stage_override_
+                        : static_cast<int>(traits(kind).stage);
   ledger_.begin(flow_id, tuple, when, /*is_attack=*/true,
-                static_cast<int>(kind));
+                static_cast<int>(kind), stage);
   return flow_id;
 }
 
 void AttackEmitter::send_at(SimTime when, std::uint64_t flow_id,
                             FiveTuple tuple, PayloadPool::Ref payload,
                             TcpFlags flags, std::uint32_t seq) {
+  if (when > last_launch_end_) last_launch_end_ = when;
   sim_.schedule_at(when, [this, flow_id, tuple,
                           payload = std::move(payload), flags,
                           seq]() mutable {

@@ -49,6 +49,18 @@ class AttackEmitter {
   }
   std::uint32_t flood_train() const noexcept { return flood_train_; }
 
+  /// Kill-chain campaigns label transactions with the stage a step runs
+  /// in; -1 (default) records the kind's default stage from AttackTraits.
+  void set_stage_override(int stage) noexcept { stage_override_ = stage; }
+  int stage_override() const noexcept { return stage_override_; }
+
+  /// Scheduled time of the last packet of the most recent launch(). Every
+  /// emitter draws its whole schedule eagerly at launch() time, so this is
+  /// the attack's end time — kill chains use it to gate the next stage.
+  netsim::SimTime last_launch_end() const noexcept {
+    return last_launch_end_;
+  }
+
   const EmitStats& stats() const noexcept { return stats_; }
 
  private:
@@ -89,6 +101,8 @@ class AttackEmitter {
   traffic::PayloadPool* pool_;
   EmitStats stats_;
   std::uint32_t flood_train_ = 1;
+  int stage_override_ = -1;
+  netsim::SimTime last_launch_end_{};
 };
 
 }  // namespace idseval::attack

@@ -1,0 +1,124 @@
+// Kill-chain attack campaigns: multi-stage scripted campaigns
+// (recon → exploit → lateral movement → exfil) whose ground truth carries
+// the stage each step actually ran in, on top of the per-kind ATT&CK
+// technique tags from AttackTraits. A KillChain is an ordered list of
+// stages; each stage is a set of ScenarioSteps whose times are offsets
+// from the stage's start. Later stages launch only after every flow of the
+// earlier stage has finished emitting (emitters schedule eagerly, so a
+// stage's end time is known at launch), and lateral/exfil stages can
+// pivot the attacker pool onto the internal hosts compromised earlier in
+// the chain. A chain plus one seed fully determines the campaign.
+//
+// Singleton chains (one stage) degrade to a flat Scenario and take the
+// exact legacy Scenario::run path, preserving the golden determinism hash
+// for every configuration that doesn't opt into campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/emitter.hpp"
+#include "attack/kind.hpp"
+#include "attack/scenario.hpp"
+#include "netsim/address.hpp"
+#include "netsim/sim_time.hpp"
+#include "util/flat_map.hpp"
+
+namespace idseval::attack {
+
+/// One stage of a campaign. Step `when` values are offsets from the
+/// stage's (dynamic) start time, not absolute simulation times.
+struct ChainStage {
+  Stage stage = Stage::kRecon;
+  std::vector<ScenarioStep> steps;
+  /// Quiet dwell time between this stage's last emitted packet and the
+  /// next stage's first launch.
+  netsim::SimTime gap_after = netsim::SimTime::from_ms(500);
+  /// Draw this stage's attackers from the hosts compromised by earlier
+  /// stages (falls back to the step's natural pool when nothing has been
+  /// compromised yet).
+  bool pivot = false;
+  /// Victims of this stage join the compromised pool for later pivots.
+  bool compromises = false;
+};
+
+/// Record of one executed stage, for logs and tests.
+struct StageLaunch {
+  Stage stage = Stage::kRecon;
+  std::size_t steps = 0;
+  netsim::SimTime begin;  ///< First launch time of the stage.
+  netsim::SimTime end;    ///< Last scheduled packet across its flows.
+};
+
+class KillChain {
+ public:
+  KillChain() = default;
+  explicit KillChain(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void add_stage(ChainStage stage) { stages_.push_back(std::move(stage)); }
+  const std::vector<ChainStage>& stages() const noexcept { return stages_; }
+  std::size_t size() const noexcept { return stages_.size(); }
+  std::size_t total_steps() const noexcept;
+
+  /// True when the chain has at most one stage — it then degrades to a
+  /// flat Scenario (see to_scenario) and callers must use the legacy
+  /// Scenario::run path, which the golden determinism hash pins.
+  bool singleton() const noexcept { return stages_.size() <= 1; }
+
+  /// Flattens a singleton chain into a Scenario whose step times are the
+  /// stage-relative offsets. Throws for multi-stage chains (their timing
+  /// depends on emission, which a static Scenario cannot express).
+  Scenario to_scenario() const;
+
+  /// Counts per attack kind across every stage (kind-ordered iteration).
+  util::FlatMap<AttackKind, std::size_t> histogram() const;
+
+  /// Executes the campaign: stage k+1's base time is stage k's last
+  /// scheduled packet plus the stage gap. Pivoting stages draw attackers
+  /// from the compromised-host pool (victims of earlier `compromises`
+  /// stages, first-touch order); insider kinds fall back to the internal
+  /// pool and everything else to `external_attackers` when no host has
+  /// been compromised yet. Stage labels ride into the transaction ledger
+  /// via the emitter's stage override. Returns launched flow ids in
+  /// launch order; per-stage timing lands in `last_run()`.
+  std::vector<std::uint64_t> run(
+      AttackEmitter& emitter,
+      const std::vector<netsim::Ipv4>& external_attackers,
+      const std::vector<netsim::Ipv4>& internal_hosts,
+      netsim::SimTime start) const;
+
+  /// Per-stage launch record of the most recent run().
+  const std::vector<StageLaunch>& last_run() const noexcept {
+    return last_run_;
+  }
+
+  /// Builds a named preset chain, deterministic in `seed`. Step times
+  /// within each stage are uniform in [0, stage_span). Known presets:
+  ///   "intrusion"    — recon / exploit (web + brute-force) /
+  ///                    lateral (pivot) / exfil (pivot); the classic
+  ///                    enterprise chain for rt_cluster-style networks.
+  ///   "ics-takeover" — recon / exploit (novel RPC + brute-force) /
+  ///                    lateral (pivot) / exfil (pivot); tuned for the
+  ///                    `ics` profile where the exploit surface is the
+  ///                    control service, not the web tier.
+  ///   "canbus-storm" — recon / exploit (novel + SYN-flood bus storm) /
+  ///                    lateral (pivot) / exfil (pivot); pairs with the
+  ///                    `canbus` profile's high-rate tiny-frame floor.
+  /// Throws std::invalid_argument for unknown names.
+  static KillChain preset(const std::string& name, std::uint64_t seed,
+                          netsim::SimTime stage_span,
+                          std::size_t attacker_pool = 4,
+                          std::size_t victim_pool = 8);
+
+  /// Names preset() accepts, for CLI help and validation.
+  static const std::vector<std::string>& preset_names();
+
+ private:
+  std::string name_;
+  std::vector<ChainStage> stages_;
+  mutable std::vector<StageLaunch> last_run_;
+};
+
+}  // namespace idseval::attack

@@ -6,21 +6,49 @@ namespace idseval::attack {
 
 namespace {
 constexpr std::array<AttackTraits, kAttackKindCount> kTraits = {{
-    // kind, name, known_sig, rate_anom, payload_anom, insider, severity
-    {AttackKind::kPortScan, "port-scan", true, true, false, false, 2},
-    {AttackKind::kSynFlood, "syn-flood", true, true, false, false, 3},
+    // kind, name, known_sig, rate_anom, payload_anom, insider, severity,
+    // default stage, ATT&CK technique
+    {AttackKind::kPortScan, "port-scan", true, true, false, false, 2,
+     Stage::kRecon, Technique::kT1046},
+    {AttackKind::kSynFlood, "syn-flood", true, true, false, false, 3,
+     Stage::kExploit, Technique::kT1498},
     {AttackKind::kBruteForceLogin, "brute-force-login", true, true, false,
-     false, 3},
-    {AttackKind::kWebExploit, "web-exploit", true, false, true, false, 4},
-    {AttackKind::kSmtpWorm, "smtp-worm", true, false, true, false, 4},
+     false, 3, Stage::kExploit, Technique::kT1110},
+    {AttackKind::kWebExploit, "web-exploit", true, false, true, false, 4,
+     Stage::kExploit, Technique::kT1190},
+    {AttackKind::kSmtpWorm, "smtp-worm", true, false, true, false, 4,
+     Stage::kExploit, Technique::kT1566},
     {AttackKind::kNovelExploit, "novel-exploit", false, false, true, false,
-     5},
-    {AttackKind::kDnsTunnel, "dns-tunnel", false, false, true, false, 3},
+     5, Stage::kExploit, Technique::kT1210},
+    {AttackKind::kDnsTunnel, "dns-tunnel", false, false, true, false, 3,
+     Stage::kExfil, Technique::kT1048},
     {AttackKind::kInsiderMasquerade, "insider-masquerade", false, true,
-     false, true, 5},
+     false, true, 5, Stage::kLateral, Technique::kT1021},
+    // Shares T1190 with web-exploit: the evasive variant is the same
+    // public-facing exploit delivered across packet boundaries, which also
+    // exercises per-technique aggregation over multiple kinds.
     {AttackKind::kEvasiveExploit, "evasive-exploit", true, false, true,
-     false, 4},
+     false, 4, Stage::kExploit, Technique::kT1190},
 }};
+
+constexpr const char* kStageNames[kStageCount] = {
+    "recon", "exploit", "lateral", "exfil"};
+
+struct TechniqueInfo {
+  const char* id;
+  const char* name;
+};
+
+constexpr TechniqueInfo kTechniques[kTechniqueCount] = {
+    {"T1046", "network-service-discovery"},
+    {"T1498", "network-denial-of-service"},
+    {"T1110", "brute-force"},
+    {"T1190", "exploit-public-facing-application"},
+    {"T1566", "phishing"},
+    {"T1210", "exploitation-of-remote-services"},
+    {"T1048", "exfiltration-over-alternative-protocol"},
+    {"T1021", "remote-services"},
+};
 }  // namespace
 
 const AttackTraits& traits(AttackKind kind) {
@@ -36,5 +64,29 @@ const std::array<AttackTraits, kAttackKindCount>& all_attack_traits() {
 }
 
 std::string to_string(AttackKind kind) { return traits(kind).name; }
+
+std::string to_string(Stage stage) {
+  const auto idx = static_cast<std::size_t>(stage);
+  if (idx >= kStageCount) {
+    throw std::invalid_argument("to_string: bad Stage");
+  }
+  return kStageNames[idx];
+}
+
+std::string attack_id(Technique technique) {
+  const auto idx = static_cast<std::size_t>(technique);
+  if (idx >= kTechniqueCount) {
+    throw std::invalid_argument("attack_id: bad Technique");
+  }
+  return kTechniques[idx].id;
+}
+
+std::string to_string(Technique technique) {
+  const auto idx = static_cast<std::size_t>(technique);
+  if (idx >= kTechniqueCount) {
+    throw std::invalid_argument("to_string: bad Technique");
+  }
+  return kTechniques[idx].name;
+}
 
 }  // namespace idseval::attack

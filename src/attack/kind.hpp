@@ -13,6 +13,38 @@
 
 namespace idseval::attack {
 
+/// Kill-chain stage an attack class most naturally belongs to. Campaign
+/// ground truth carries the stage a step actually ran in (a kill-chain may
+/// reuse a kind in a different stage), but `AttackTraits::stage` provides
+/// the default for flat scenarios.
+enum class Stage : std::uint8_t {
+  kRecon = 0,   ///< Discovery / scanning of the target enclave.
+  kExploit,     ///< Initial access: exploit or credential attack.
+  kLateral,     ///< Movement between internal hosts post-compromise.
+  kExfil,       ///< Data staged out of the enclave.
+  kCount        ///< Sentinel.
+};
+
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount);
+
+/// MITRE ATT&CK technique ids for the catalog, so scorecards can report
+/// detection per technique in the vocabulary evaluators actually use.
+enum class Technique : std::uint8_t {
+  kT1046 = 0,   ///< Network Service Discovery (port scan).
+  kT1498,       ///< Network Denial of Service (SYN flood).
+  kT1110,       ///< Brute Force (login guessing).
+  kT1190,       ///< Exploit Public-Facing Application.
+  kT1566,       ///< Phishing / mail-borne payload (worm delivery).
+  kT1210,       ///< Exploitation of Remote Services (novel exploit).
+  kT1048,       ///< Exfiltration Over Alternative Protocol (DNS tunnel).
+  kT1021,       ///< Remote Services (lateral movement via trusted creds).
+  kCount        ///< Sentinel.
+};
+
+inline constexpr std::size_t kTechniqueCount =
+    static_cast<std::size_t>(Technique::kCount);
+
 enum class AttackKind : std::uint8_t {
   kPortScan = 0,        ///< SYN sweep across many ports.
   kSynFlood,            ///< Half-open connection flood (DoS).
@@ -46,10 +78,19 @@ struct AttackTraits {
   bool insider;
   /// Severity 1 (nuisance) .. 5 (critical), for analyzer policy.
   int severity;
+  /// Default kill-chain stage for flat (non-campaign) scenarios.
+  Stage stage;
+  /// MITRE ATT&CK technique this kind maps to.
+  Technique technique;
 };
 
 const AttackTraits& traits(AttackKind kind);
 const std::array<AttackTraits, kAttackKindCount>& all_attack_traits();
 std::string to_string(AttackKind kind);
+std::string to_string(Stage stage);
+/// The ATT&CK id string, e.g. "T1046".
+std::string attack_id(Technique technique);
+/// A short human name for the technique, e.g. "network-service-discovery".
+std::string to_string(Technique technique);
 
 }  // namespace idseval::attack

@@ -7,8 +7,8 @@ namespace idseval::attack {
 
 using netsim::SimTime;
 
-std::map<AttackKind, std::size_t> Scenario::histogram() const {
-  std::map<AttackKind, std::size_t> counts;
+util::FlatMap<AttackKind, std::size_t> Scenario::histogram() const {
+  util::FlatMap<AttackKind, std::size_t> counts;
   for (const auto& step : steps_) ++counts[step.kind];
   return counts;
 }

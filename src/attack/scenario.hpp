@@ -5,13 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "attack/emitter.hpp"
 #include "attack/kind.hpp"
 #include "netsim/address.hpp"
 #include "netsim/sim_time.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace idseval::attack {
@@ -34,8 +34,8 @@ class Scenario {
   const std::vector<ScenarioStep>& steps() const noexcept { return steps_; }
   std::size_t size() const noexcept { return steps_.size(); }
 
-  /// Counts per attack kind.
-  std::map<AttackKind, std::size_t> histogram() const;
+  /// Counts per attack kind (kind-ordered iteration).
+  util::FlatMap<AttackKind, std::size_t> histogram() const;
 
   /// Launches every step through the emitter. Host pools supply concrete
   /// addresses; indices wrap modulo pool size. Returns the flow ids of the

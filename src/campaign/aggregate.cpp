@@ -40,6 +40,17 @@ constexpr CsvQuantity kCsvQuantities[] = {
     {"unified_capability", &GroupStats::unified_capability},
 };
 
+/// Chain position of a stage name (attack::kStageNames order); unknown
+/// names sort after the known chain.
+int stage_order(const std::string& stage) {
+  static constexpr const char* kOrder[] = {"recon", "exploit", "lateral",
+                                           "exfil"};
+  for (int i = 0; i < 4; ++i) {
+    if (stage == kOrder[i]) return i;
+  }
+  return 4;
+}
+
 }  // namespace
 
 double dispersion(const util::RunningStats& s) {
@@ -79,6 +90,19 @@ CampaignAggregate aggregate(
     g.induced_latency_sec.add(result.induced_latency_sec);
     g.unified_total_cost.add(result.unified_total_cost);
     g.unified_capability.add(result.unified_capability);
+
+    for (const CellResult::StageOutcome& stage : result.stages) {
+      StageStats& s = agg.stages[{product, result.cell.profile,
+                                  stage_order(stage.stage), stage.stage}];
+      s.launched += stage.launched;
+      s.detected += stage.detected;
+      s.prevented += stage.prevented;
+      if (stage.launched > 0) {
+        s.detection_rate.add(static_cast<double>(stage.detected) /
+                             static_cast<double>(stage.launched));
+      }
+      s.mean_latency_sec.add(stage.mean_latency_sec);
+    }
 
     harness::ErrorRatePoint point;
     point.sensitivity = result.cell.sensitivity;
@@ -161,6 +185,48 @@ results::Doc eer_table_doc(const CampaignSpec& spec,
                std::to_string(e.replicates_without_crossing)});
   }
   return table.build();
+}
+
+results::Doc killchain_table_doc(const CampaignSpec& spec,
+                                 const CampaignAggregate& agg) {
+  if (agg.stages.empty()) return results::Doc();
+  results::TableBuilder table(
+      {"Product", "Profile", "Stage", "Launched", "Detected", "Prevented",
+       "Det rate", "Latency s"},
+      {"left", "left", "left", "right", "right", "right", "right",
+       "right"});
+  table.title("Campaign '" + spec.name + "' — kill-chain '" +
+              spec.kill_chain + "' per-stage detection, mean ± stddev "
+              "over seed replicates");
+  std::string last_product;
+  for (const auto& [key, s] : agg.stages) {
+    if (!last_product.empty() && key.product != last_product) {
+      table.rule();
+    }
+    last_product = key.product;
+    table.row({key.product, key.profile, key.stage,
+               std::to_string(s.launched), std::to_string(s.detected),
+               std::to_string(s.prevented), fmt_mean_sd(s.detection_rate),
+               fmt_mean_sd(s.mean_latency_sec)});
+  }
+  return table.build();
+}
+
+std::string killchain_to_csv(const CampaignSpec& spec,
+                             const CampaignAggregate& agg) {
+  (void)spec;
+  if (agg.stages.empty()) return "";
+  results::Csv csv({"product", "profile", "stage", "launched", "detected",
+                    "prevented", "detection_rate_mean",
+                    "detection_rate_stddev", "mean_latency_sec_mean",
+                    "mean_latency_sec_stddev"});
+  for (const auto& [key, s] : agg.stages) {
+    csv.add_row({key.product, key.profile, key.stage, s.launched,
+                 s.detected, s.prevented, s.detection_rate.mean(),
+                 dispersion(s.detection_rate), s.mean_latency_sec.mean(),
+                 dispersion(s.mean_latency_sec)});
+  }
+  return results::to_csv(csv);
 }
 
 std::string render_summary(const CampaignSpec& spec,

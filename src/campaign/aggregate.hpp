@@ -57,9 +57,40 @@ struct EerStats {
   std::size_t replicates_without_crossing = 0;
 };
 
+/// One (product, profile, kill-chain stage) aggregation key, ordered by
+/// chain position (recon before exploit before lateral before exfil)
+/// rather than alphabetically.
+struct StageKey {
+  std::string product;
+  std::string profile;
+  int stage_order = 0;  ///< Chain position of `stage`.
+  std::string stage;
+
+  bool operator<(const StageKey& other) const {
+    if (product != other.product) return product < other.product;
+    if (profile != other.profile) return profile < other.profile;
+    if (stage_order != other.stage_order) {
+      return stage_order < other.stage_order;
+    }
+    return stage < other.stage;
+  }
+};
+
+/// Detection rollup for one kill-chain stage across seed replicates:
+/// raw counts summed, detection rate and latency as per-cell dispersion.
+struct StageStats {
+  std::size_t launched = 0;
+  std::size_t detected = 0;
+  std::size_t prevented = 0;
+  util::RunningStats detection_rate;    ///< Per-cell detected/launched.
+  util::RunningStats mean_latency_sec;  ///< Per-cell mean alert latency.
+};
+
 struct CampaignAggregate {
   std::map<GroupKey, GroupStats> groups;
   std::map<std::pair<std::string, std::string>, EerStats> eer;  ///< (product, profile)
+  /// Kill-chain stage rollups; empty for flat-scenario campaigns.
+  std::map<StageKey, StageStats> stages;
   std::size_t ok_cells = 0;
   std::size_t failed_cells = 0;
 };
@@ -81,6 +112,17 @@ results::Doc summary_table_doc(const CampaignSpec& spec,
 /// the spec has fewer than 2 sensitivities (no curve to cross).
 results::Doc eer_table_doc(const CampaignSpec& spec,
                            const CampaignAggregate& agg);
+
+/// The per-(product, profile, kill-chain stage) detection table as a
+/// table Doc; a null Doc when no cell carried stage rollups (flat
+/// campaigns).
+results::Doc killchain_table_doc(const CampaignSpec& spec,
+                                 const CampaignAggregate& agg);
+
+/// CSV export of the kill-chain stage rollups (one row per StageKey);
+/// empty string when there are none.
+std::string killchain_to_csv(const CampaignSpec& spec,
+                             const CampaignAggregate& agg);
 
 /// Renders the per-group score/measurement table (mean ± stddev columns)
 /// through util::TextTable.

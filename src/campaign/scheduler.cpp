@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "attack/kind.hpp"
 #include "campaign/store.hpp"
 #include "harness/evaluate.hpp"
 #include "results/doc.hpp"
@@ -55,6 +56,7 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
   options.sensitivity = cell.sensitivity;
   options.attacks_per_kind = spec.attacks_per_kind;
   options.include_load_metrics = spec.load_metrics;
+  options.kill_chain = spec.kill_chain;
 
   const harness::Evaluation eval =
       harness::evaluate_product(env, products::product(cell.product),
@@ -95,6 +97,20 @@ CellResult run_cell(const CampaignSpec& spec, const CampaignCell& cell,
   result.unified_total_cost = eval.unified.total_cost;
   result.unified_capability = eval.unified.capability;
   result.telemetry = eval.measured.detection_telemetry;
+  // Stage rollups are only persisted for kill-chain cells; flat cells
+  // still label stages (the kinds' defaults) but keeping the rows empty
+  // there preserves pre-kill-chain store bytes.
+  if (!spec.kill_chain.empty()) {
+    for (const score::StageRow& row : run.breakdown.stages) {
+      CellResult::StageOutcome stage;
+      stage.stage = attack::to_string(static_cast<attack::Stage>(row.stage));
+      stage.launched = row.launched;
+      stage.detected = row.detected;
+      stage.prevented = row.prevented;
+      stage.mean_latency_sec = row.mean_latency_sec();
+      result.stages.push_back(std::move(stage));
+    }
+  }
   return result;
 }
 

@@ -69,6 +69,19 @@ struct CellResult {
   /// simulation time only, so it is persisted with the row and stays
   /// byte-identical across worker counts and trace settings.
   telemetry::PipelineSnapshot telemetry;
+
+  /// One kill-chain stage's detection rollup (ordered recon → exfil).
+  /// Empty when the cell ran the flat scenario with no labeled stages —
+  /// and then omitted from the serialized row, so pre-kill-chain stores
+  /// round-trip unchanged.
+  struct StageOutcome {
+    std::string stage;
+    std::size_t launched = 0;
+    std::size_t detected = 0;
+    std::size_t prevented = 0;
+    double mean_latency_sec = 0.0;
+  };
+  std::vector<StageOutcome> stages;
 };
 
 /// Expands the spec's grid in canonical order: products (outer) ×

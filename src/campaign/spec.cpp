@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "attack/killchain.hpp"
 #include "core/requirement.hpp"
 #include "traffic/profile.hpp"
 #include "util/rng.hpp"
@@ -109,6 +110,7 @@ CampaignSpec CampaignSpec::from_config(const util::Config& config) {
   spec.attacks_per_kind = static_cast<std::size_t>(config.get_int_or(
       "attacks_per_kind", static_cast<std::int64_t>(base.attacks_per_kind)));
   spec.load_metrics = config.get_bool_or("load_metrics", base.load_metrics);
+  spec.kill_chain = config.get_or("kill_chain", base.kill_chain);
   spec.internal_hosts = static_cast<std::size_t>(config.get_int_or(
       "internal_hosts", static_cast<std::int64_t>(base.internal_hosts)));
   spec.external_hosts = static_cast<std::size_t>(config.get_int_or(
@@ -145,6 +147,9 @@ util::Config CampaignSpec::to_config() const {
   config.set("weights", weights);
   config.set("attacks_per_kind", std::to_string(attacks_per_kind));
   config.set("load_metrics", load_metrics ? "true" : "false");
+  // Only serialized when set so pre-kill-chain stores keep their
+  // fingerprint and stay resumable.
+  if (!kill_chain.empty()) config.set("kill_chain", kill_chain);
   config.set("internal_hosts", std::to_string(internal_hosts));
   config.set("external_hosts", std::to_string(external_hosts));
   config.set("warmup_sec", fmt_exact(warmup_sec));
@@ -205,6 +210,16 @@ void CampaignSpec::validate() const {
   // Fail fast on typos rather than after hours of cells.
   for (const auto& name : profiles) {
     (void)traffic::profile_by_name(name);
+  }
+  if (!kill_chain.empty()) {
+    bool known = false;
+    for (const std::string& preset : attack::KillChain::preset_names()) {
+      if (kill_chain == preset) known = true;
+    }
+    if (!known) {
+      throw std::invalid_argument(
+          "campaign spec: unknown kill_chain preset: " + kill_chain);
+    }
   }
   (void)weight_set();
 }

@@ -35,6 +35,11 @@ struct CampaignSpec {
   std::string weights = "realtime";        ///< realtime | ecommerce
   std::size_t attacks_per_kind = 3;
   bool load_metrics = false;
+  /// Kill-chain preset run per cell instead of the flat mixed scenario
+  /// (attack::KillChain::preset names). Empty keeps the legacy scenario —
+  /// and is omitted from the serialization, so pre-kill-chain stores keep
+  /// their fingerprint and stay resumable.
+  std::string kill_chain;
 
   // Testbed environment knobs.
   std::size_t internal_hosts = 8;

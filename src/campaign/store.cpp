@@ -153,6 +153,21 @@ results::Doc cell_to_doc(const CellResult& r) {
       .set("unified_total_cost", r.unified_total_cost)
       .set("unified_capability", r.unified_capability)
       .set("telemetry", telemetry::to_doc(r.telemetry));
+  // Kill-chain stage rollups: only written when present, so flat-scenario
+  // rows (and pre-kill-chain stores) keep their exact byte shape.
+  if (!r.stages.empty()) {
+    results::Doc stages = results::Doc::array();
+    for (const auto& stage : r.stages) {
+      results::Doc row = results::Doc::object();
+      row.set("stage", stage.stage)
+          .set("launched", stage.launched)
+          .set("detected", stage.detected)
+          .set("prevented", stage.prevented)
+          .set("mean_latency_sec", stage.mean_latency_sec);
+      stages.push(std::move(row));
+    }
+    doc.set("stages", std::move(stages));
+  }
   return doc;
 }
 
@@ -209,6 +224,20 @@ CellResult deserialize_cell(const std::string& line) {
   }
   if (const results::Doc* v = doc.find("unified_capability")) {
     r.unified_capability = v->as_double();
+  }
+  // Stores written before the kill-chain stage rollups existed (or rows
+  // from flat-scenario cells) simply carry no stages.
+  if (const results::Doc* stages = doc.find("stages")) {
+    for (const results::Doc& row : stages->elements()) {
+      CellResult::StageOutcome stage;
+      stage.stage = field_string(row, "stage");
+      stage.launched = static_cast<std::size_t>(field_u64(row, "launched"));
+      stage.detected = static_cast<std::size_t>(field_u64(row, "detected"));
+      stage.prevented =
+          static_cast<std::size_t>(field_u64(row, "prevented"));
+      stage.mean_latency_sec = field_double(row, "mean_latency_sec");
+      r.stages.push_back(std::move(stage));
+    }
   }
   // Stores written before the telemetry field existed still load; their
   // rows simply carry an all-zero snapshot.

@@ -36,11 +36,21 @@ Evaluation evaluate_product(const TestbedConfig& env,
     if (ctx != nullptr && ctx->score_ledger() != nullptr) {
       bed.set_score_ledger(ctx->score_ledger());
     }
-    const auto scenario = attack::Scenario::mixed(
-        options.attacks_per_kind, SimTime::zero(), env.measure * 0.9,
-        util::hash64("evaluate") ^ env.seed, env.external_hosts,
-        env.internal_hosts);
-    m.detection_run = bed.run(scenario);
+    if (!options.kill_chain.empty()) {
+      // Stage offsets are relative to each stage's dynamic start; the
+      // per-stage span keeps a four-stage chain (plus emission tails)
+      // comfortably inside the measurement window.
+      const auto chain = attack::KillChain::preset(
+          options.kill_chain, util::hash64("evaluate") ^ env.seed,
+          env.measure * 0.08, env.external_hosts, env.internal_hosts);
+      m.detection_run = bed.run(chain);
+    } else {
+      const auto scenario = attack::Scenario::mixed(
+          options.attacks_per_kind, SimTime::zero(), env.measure * 0.9,
+          util::hash64("evaluate") ^ env.seed, env.external_hosts,
+          env.internal_hosts);
+      m.detection_run = bed.run(scenario);
+    }
   }
   // Snapshot stage telemetry now: the load probes below rebuild testbeds
   // and would fold their traffic into the same per-thread registry.

@@ -23,6 +23,11 @@ struct EvaluationOptions {
   bool include_load_metrics = true;
   /// Unit costs behind the unified cost/capability score.
   score::CostWeights cost_weights;
+  /// Kill-chain preset name (attack::KillChain::preset). Empty runs the
+  /// legacy flat mixed scenario; non-empty replaces the detection run
+  /// with a staged campaign (recon → exploit → lateral → exfil) whose
+  /// ground truth carries per-stage and ATT&CK technique labels.
+  std::string kill_chain;
 };
 
 /// The measured values backing the scorecard entries, retained so reports

@@ -3,8 +3,10 @@
 #include "score/ledger.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "ids/scan_cache.hpp"
 #include "telemetry/registry.hpp"
 #include "util/strfmt.hpp"
 
@@ -68,6 +70,17 @@ void Testbed::build() {
   // attack flows intern against the same variant store.
   payload_pool_ = std::make_unique<traffic::PayloadPool>(
       util::hash64("payloads") ^ config_.seed);
+  // Low-entropy industrial payload kinds (ICS control loops, CAN frames)
+  // would alias the anomaly engines' entropy estimates at the default 32
+  // variants per family; let their families grow instead. Profiles that
+  // never emit these kinds keep the pool bit-identical to before.
+  for (const traffic::ProtocolShare& share : config_.profile.mix) {
+    if (share.kind == traffic::PayloadKind::kIcsControl ||
+        share.kind == traffic::PayloadKind::kCanFrame) {
+      payload_pool_->enable_growth(share.kind,
+                                   traffic::PayloadPool::kGrowthMaxVariants);
+    }
+  }
 
   // Background traffic.
   flowgen_ = std::make_unique<traffic::FlowGenerator>(
@@ -92,6 +105,17 @@ void Testbed::build() {
     ids::PipelineConfig pipeline_config = model_->make_config(sensitivity_);
     pipeline_config.sensor.scan_cache = config_.scan_cache;
     pipeline_config.agent_sensor.scan_cache = config_.scan_cache;
+    // Payload growth mints extra variants; raise the engines' scan-memo
+    // capacity by the growth bound so grown variants stay cached instead
+    // of falling back to full rescans. Zero headroom (every existing
+    // profile) leaves the memos at their default capacity.
+    if (const std::size_t headroom = payload_pool_->growth_headroom();
+        headroom > 0) {
+      const std::size_t cap =
+          ids::PayloadMemo<double>::kDefaultCapacity + headroom;
+      pipeline_config.sensor.scan_cache_capacity = cap;
+      pipeline_config.agent_sensor.scan_cache_capacity = cap;
+    }
     pipeline_ = std::make_unique<ids::Pipeline>(sim_, *net_,
                                                 std::move(pipeline_config));
     pipeline_->attach(model_->deploys_host_agents ? internal_
@@ -100,6 +124,29 @@ void Testbed::build() {
 }
 
 RunResult Testbed::run(const attack::Scenario& scenario) {
+  return run_phases([&](SimTime measure_start) {
+    // Scenario steps are relative to measurement start.
+    attack::Scenario shifted;
+    for (attack::ScenarioStep step : scenario.steps()) {
+      step.when += measure_start;
+      shifted.add_step(step);
+    }
+    shifted.run(*emitter_, external_, internal_);
+  });
+}
+
+RunResult Testbed::run(const attack::KillChain& chain) {
+  // A chain of at most one stage is exactly a flat scenario; route it
+  // through the legacy overload so its RNG-draw sequence (and hence the
+  // golden determinism hash) is untouched.
+  if (chain.singleton()) return run(chain.to_scenario());
+  return run_phases([&](SimTime measure_start) {
+    chain.run(*emitter_, external_, internal_, measure_start);
+  });
+}
+
+template <class Inject>
+RunResult Testbed::run_phases(const Inject& inject) {
   const SimTime warmup_end = config_.warmup;
   const SimTime measure_end = warmup_end + config_.measure;
   const SimTime drain_end = measure_end + config_.drain;
@@ -134,13 +181,9 @@ RunResult Testbed::run(const attack::Scenario& scenario) {
     net_->find_host(addr)->begin_accounting(sim_.now());
   }
 
-  // Scenario steps are relative to measurement start.
-  attack::Scenario shifted;
-  for (attack::ScenarioStep step : scenario.steps()) {
-    step.when += warmup_end;
-    shifted.add_step(step);
-  }
-  shifted.run(*emitter_, external_, internal_);
+  // Attack traffic is injected at the barrier; step times are relative
+  // to the measurement start the callback receives.
+  inject(warmup_end);
 
   engine_.run_until(measure_end);
   for (Ipv4 addr : internal_) {
@@ -163,7 +206,7 @@ RunResult Testbed::run(const attack::Scenario& scenario) {
     engine_.registry(s)->reset();
   }
 
-  return collect(&shifted, warmup_end, measure_end);
+  return collect(warmup_end, measure_end);
 }
 
 void Testbed::attach_score_ledger() {
@@ -201,8 +244,7 @@ RunResult Testbed::run_clean() {
   return run(attack::Scenario{});
 }
 
-RunResult Testbed::collect(const attack::Scenario* scenario,
-                           SimTime measure_start, SimTime measure_end) {
+RunResult Testbed::collect(SimTime measure_start, SimTime measure_end) {
   RunResult r;
   r.product = model_ != nullptr ? model_->name : "baseline";
   r.sensitivity = sensitivity_;
@@ -235,6 +277,17 @@ RunResult Testbed::collect(const attack::Scenario* scenario,
     }
     return false;
   };
+  // Per-flow earliest alert time, for the breakdown's mean alert latency.
+  std::unordered_map<std::uint64_t, SimTime> first_alert;
+  if (pipeline_ != nullptr) {
+    for (const ids::Alert& alert : pipeline_->monitor().log()) {
+      if (alert.flow_id == 0) continue;
+      auto [it, inserted] =
+          first_alert.try_emplace(alert.flow_id, alert.raised);
+      if (!inserted && alert.raised < it->second) it->second = alert.raised;
+    }
+  }
+  std::vector<score::BreakdownInput> breakdown_inputs;
   for (const traffic::Transaction* t : ledger_.all()) {
     if (t->start < measure_start || t->start >= measure_end) continue;
     ++r.transactions;
@@ -242,22 +295,37 @@ RunResult Testbed::collect(const attack::Scenario* scenario,
     const bool was_alerted = alerted.contains(t->flow_id);
     if (is_attack) {
       ++r.attacks;
+      const bool prevented = !was_alerted && was_prevented(*t);
       auto& outcome =
           r.per_kind[static_cast<AttackKind>(t->attack_kind)];
       ++outcome.launched;
       if (was_alerted) {
         ++r.true_detections;
         ++outcome.detected;
-      } else if (was_prevented(*t)) {
+      } else if (prevented) {
         ++r.prevented_attacks;
         ++outcome.prevented;
       } else {
         ++r.missed_attacks;
       }
+      score::BreakdownInput bi;
+      bi.kind = t->attack_kind;
+      bi.stage = t->attack_stage;
+      bi.detected = was_alerted;
+      bi.prevented = prevented;
+      if (was_alerted) {
+        if (auto it = first_alert.find(t->flow_id);
+            it != first_alert.end()) {
+          bi.has_latency = true;
+          bi.latency_sec = (it->second - t->start).sec();
+        }
+      }
+      breakdown_inputs.push_back(bi);
     } else if (was_alerted) {
       ++r.false_alarms;
     }
   }
+  r.breakdown = score::compute_breakdown(breakdown_inputs);
   r.detected = r.true_detections + r.false_alarms;
   if (r.transactions > 0) {
     r.fp_ratio = static_cast<double>(r.false_alarms) /
@@ -355,7 +423,6 @@ RunResult Testbed::collect(const attack::Scenario* scenario,
   r.max_host_ids_cpu = host_cpu.max();
   r.mean_host_ids_cpu = host_cpu.mean();
 
-  (void)scenario;
   return r;
 }
 

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "attack/emitter.hpp"
+#include "attack/killchain.hpp"
 #include "attack/scenario.hpp"
 #include "ids/pipeline.hpp"
+#include "score/breakdown.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "products/catalog.hpp"
@@ -126,6 +128,11 @@ struct RunResult {
   std::size_t post_block_benign_collateral = 0;
 
   std::map<attack::AttackKind, KindOutcome> per_kind;
+
+  /// Per-technique / per-stage detection breakdown over the labeled
+  /// attack transactions of the window (ATT&CK ids from AttackTraits,
+  /// stages from the kill-chain ground truth or the kind defaults).
+  score::DetectionBreakdown breakdown;
 };
 
 class Testbed {
@@ -141,6 +148,15 @@ class Testbed {
   /// measurement phase with the scenario injected. Scenario step times
   /// are interpreted relative to the start of the measurement phase.
   RunResult run(const attack::Scenario& scenario);
+
+  /// Runs a kill-chain campaign: stage k+1 launches only after stage k's
+  /// flows finish emitting, with lateral/exfil stages pivoting onto
+  /// compromised hosts (attack::KillChain::run). Stage offsets are
+  /// relative to each stage's dynamic start. Singleton chains degrade to
+  /// the flat Scenario overload — the exact legacy code path, so the
+  /// golden determinism hash is untouched when no multi-stage chain is
+  /// configured.
+  RunResult run(const attack::KillChain& chain);
 
   /// Optional score ledger: when set before run(), the pipeline records
   /// pre-gate detector evidence into it for the measurement window and
@@ -173,8 +189,13 @@ class Testbed {
   /// Wires the evidence sink(s): one shared ledger when everything runs
   /// on the hub, per-shard ledgers for remote host agents otherwise.
   void attach_score_ledger();
-  RunResult collect(const attack::Scenario* scenario,
-                    netsim::SimTime measure_start,
+  /// The shared three-phase run skeleton (warmup / measure / drain).
+  /// `inject` runs at the phase-2 barrier, on this thread, with every
+  /// shard idle and clock-aligned — it schedules the attack traffic for
+  /// the measurement window starting at `measure_start`.
+  template <class Inject>
+  RunResult run_phases(const Inject& inject);
+  RunResult collect(netsim::SimTime measure_start,
                     netsim::SimTime measure_end);
 
   TestbedConfig config_;

@@ -62,6 +62,11 @@ class AnomalyEngine {
   double sensitivity() const noexcept { return options_.sensitivity; }
   void set_scan_cache(bool on) noexcept { options_.scan_cache = on; }
   bool scan_cache() const noexcept { return options_.scan_cache; }
+  /// Raises the memo's capacity ceiling (never lowers): adaptive
+  /// PayloadPool growth mints variants past the default population.
+  void reserve_scan_cache(std::size_t capacity) noexcept {
+    entropy_memo_.reserve_capacity(capacity);
+  }
   /// Entropy-memo traffic (hits/misses/bytes_saved) for benches/tests.
   const ScanCacheStats& scan_cache_stats() const noexcept {
     return entropy_memo_.stats();

@@ -52,10 +52,10 @@ template <class V>
 class PayloadMemo {
  public:
   using PayloadRef = std::shared_ptr<const std::string>;
-  /// Generous versus the pool's real population (8 payload kinds x ≤32
+  /// Generous versus the pool's real population (payload kinds x ≤32
   /// variants x a few length buckets); adaptive PayloadPool growth
-  /// (ROADMAP) must raise this alongside the variant caps or accept
-  /// uncached scans for the overflow variants.
+  /// raises it alongside the variant caps via reserve_capacity (see
+  /// SensorConfig::scan_cache_capacity) so overflow variants stay cached.
   static constexpr std::size_t kDefaultCapacity = 4096;
 
   explicit PayloadMemo(std::size_t capacity = kDefaultCapacity)
@@ -98,6 +98,15 @@ class PayloadMemo {
       entry->value = std::move(value);
     }
     return &entry->value;
+  }
+
+  /// Raises the capacity ceiling (never lowers it — entries are already
+  /// pinned). Adaptive PayloadPool growth calls this with the pool's
+  /// growth headroom before traffic starts, so freshly minted overflow
+  /// variants still land in the memo instead of falling back to uncached
+  /// full scans.
+  void reserve_capacity(std::size_t capacity) noexcept {
+    if (capacity > capacity_) capacity_ = capacity;
   }
 
   std::size_t size() const noexcept { return table_.size(); }

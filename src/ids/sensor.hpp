@@ -55,6 +55,11 @@ struct SensorConfig {
   /// and the golden determinism hash are byte-identical either way —
   /// false replays the exact legacy full-rescan path (--no-scan-cache).
   bool scan_cache = true;
+  /// Raises each attached engine's scan-memo capacity ceiling above the
+  /// PayloadMemo default (0 = leave the default). The harness sets it to
+  /// default + PayloadPool::growth_headroom() when adaptive variant
+  /// growth is enabled, so grown variants stay cached.
+  std::size_t scan_cache_capacity = 0;
   /// When set (e.g. "sensor.0"), the sensor additionally bumps
   /// per-instance stage counters/latencies ("sensor.0.offered", ...)
   /// beside the aggregate sensor.* names, so overload profiles can

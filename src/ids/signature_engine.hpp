@@ -68,6 +68,11 @@ class SignatureEngine {
   bool deep_inspection() const noexcept { return options_.deep_inspection; }
   void set_scan_cache(bool on) noexcept { options_.scan_cache = on; }
   bool scan_cache() const noexcept { return options_.scan_cache; }
+  /// Raises the memo's capacity ceiling (never lowers): adaptive
+  /// PayloadPool growth mints variants past the default population.
+  void reserve_scan_cache(std::size_t capacity) noexcept {
+    payload_memo_.reserve_capacity(capacity);
+  }
   /// Memo traffic (hits/misses/bytes_saved) for benches and tests.
   const ScanCacheStats& scan_cache_stats() const noexcept {
     return payload_memo_.stats();

@@ -52,6 +52,8 @@ inline constexpr std::uint16_t kPop3 = 110;
 inline constexpr std::uint16_t kSnmp = 161;
 inline constexpr std::uint16_t kHttps = 443;
 inline constexpr std::uint16_t kClusterRpc = 7400;  // simulated RT bus
+inline constexpr std::uint16_t kModbus = 502;       // ICS control loops
+inline constexpr std::uint16_t kCanBus = 3020;      // CAN bus-over-IP bridge
 }  // namespace ports
 
 /// Flow key: the classic 5-tuple.

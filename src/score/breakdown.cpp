@@ -1,0 +1,104 @@
+#include "score/breakdown.hpp"
+
+#include <algorithm>
+
+#include "attack/kind.hpp"
+#include "results/table.hpp"
+#include "util/flat_map.hpp"
+#include "util/strfmt.hpp"
+
+namespace idseval::score {
+
+namespace {
+
+void fold(BreakdownCounts& counts, const BreakdownInput& in) {
+  ++counts.launched;
+  if (in.detected) ++counts.detected;
+  if (in.prevented) ++counts.prevented;
+  if (in.has_latency) {
+    ++counts.latency_samples;
+    counts.latency_sum_sec += in.latency_sec;
+  }
+}
+
+}  // namespace
+
+DetectionBreakdown compute_breakdown(
+    const std::vector<BreakdownInput>& inputs) {
+  DetectionBreakdown b;
+  // (stage << 8) | technique keys the technique cells; FlatMap keeps both
+  // maps in the final sorted order for free.
+  util::FlatMap<int, TechniqueRow> techniques;
+  util::FlatMap<int, StageRow> stages;
+  for (const BreakdownInput& in : inputs) {
+    if (in.kind < 0 ||
+        in.kind >= static_cast<int>(attack::kAttackKindCount)) {
+      continue;
+    }
+    const attack::AttackTraits& traits =
+        attack::traits(static_cast<attack::AttackKind>(in.kind));
+    const int stage =
+        in.stage >= 0 && in.stage < static_cast<int>(attack::kStageCount)
+            ? in.stage
+            : static_cast<int>(traits.stage);
+    const int technique = static_cast<int>(traits.technique);
+
+    TechniqueRow& trow = techniques[(stage << 8) | technique];
+    trow.stage = stage;
+    trow.technique = technique;
+    fold(trow, in);
+
+    StageRow& srow = stages[stage];
+    srow.stage = stage;
+    fold(srow, in);
+  }
+  b.techniques.reserve(techniques.size());
+  for (const auto& [key, row] : techniques) b.techniques.push_back(row);
+  b.stages.reserve(stages.size());
+  for (const auto& [key, row] : stages) b.stages.push_back(row);
+  for (const StageRow& row : b.stages) {
+    if (row.prevented > 0) {
+      b.chain_broken_at = row.stage;
+      break;
+    }
+  }
+  return b;
+}
+
+results::Doc technique_table_doc(const DetectionBreakdown& b) {
+  if (b.empty()) return results::Doc();
+  results::TableBuilder table(
+      {"stage", "attck", "technique", "launched", "detected", "prevented",
+       "det_rate", "mean_latency_s"},
+      {"left", "left", "left", "right", "right", "right", "right",
+       "right"});
+  table.title("Detection by ATT&CK technique");
+  for (const TechniqueRow& row : b.techniques) {
+    const auto technique = static_cast<attack::Technique>(row.technique);
+    table.row({attack::to_string(static_cast<attack::Stage>(row.stage)),
+               attack::attack_id(technique), attack::to_string(technique),
+               row.launched, row.detected, row.prevented,
+               util::fmt_fixed(row.detection_rate(), 3),
+               util::fmt_fixed(row.mean_latency_sec(), 3)});
+  }
+  return table.build();
+}
+
+results::Doc stage_table_doc(const DetectionBreakdown& b) {
+  if (b.empty()) return results::Doc();
+  results::TableBuilder table(
+      {"stage", "launched", "detected", "prevented", "det_rate",
+       "mean_latency_s", "chain"},
+      {"left", "right", "right", "right", "right", "right", "left"});
+  table.title("Detection by kill-chain stage");
+  for (const StageRow& row : b.stages) {
+    table.row({attack::to_string(static_cast<attack::Stage>(row.stage)),
+               row.launched, row.detected, row.prevented,
+               util::fmt_fixed(row.detection_rate(), 3),
+               util::fmt_fixed(row.mean_latency_sec(), 3),
+               row.stage == b.chain_broken_at ? "broken-here" : ""});
+  }
+  return table.build();
+}
+
+}  // namespace idseval::score

@@ -1,0 +1,89 @@
+// Per-technique and per-stage detection breakdown for kill-chain
+// campaigns (ATT&CK-based dataset-evaluation framing): every labeled
+// attack transaction carries its kind (→ MITRE ATT&CK technique) and the
+// kill-chain stage it ran in, so a run's ground truth aggregates into
+// detection counts, rates, and mean alert latency per technique and per
+// stage, plus the "chain broken at stage k" summary — the earliest stage
+// whose flows the managing console actually blocked. Rendered through the
+// results::Doc table layer (text, CSV, HTML all share one source).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "results/doc.hpp"
+
+namespace idseval::score {
+
+/// One labeled attack transaction joined with its detection outcome.
+struct BreakdownInput {
+  int kind = -1;       ///< attack::AttackKind as int (required, >= 0).
+  int stage = -1;      ///< attack::Stage as int; < 0 falls back to the
+                       ///< kind's default stage from AttackTraits.
+  bool detected = false;
+  bool prevented = false;   ///< Blocked by the console (chain severed).
+  bool has_latency = false; ///< True when `latency_sec` carries a sample.
+  double latency_sec = 0.0; ///< Attack start → first alert.
+};
+
+/// Aggregated outcome counts shared by technique and stage rows.
+struct BreakdownCounts {
+  std::size_t launched = 0;
+  std::size_t detected = 0;
+  std::size_t prevented = 0;
+  std::size_t latency_samples = 0;
+  double latency_sum_sec = 0.0;
+
+  double detection_rate() const noexcept {
+    return launched == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(launched);
+  }
+  double mean_latency_sec() const noexcept {
+    return latency_samples == 0
+               ? 0.0
+               : latency_sum_sec / static_cast<double>(latency_samples);
+  }
+};
+
+/// Counts for one (stage, technique) cell. A technique may appear under
+/// several stages when a campaign reuses it (e.g. T1190 recon vs exploit).
+struct TechniqueRow : BreakdownCounts {
+  int stage = 0;      ///< attack::Stage as int.
+  int technique = 0;  ///< attack::Technique as int.
+};
+
+/// Counts for one kill-chain stage.
+struct StageRow : BreakdownCounts {
+  int stage = 0;  ///< attack::Stage as int.
+};
+
+struct DetectionBreakdown {
+  /// Sorted by (stage, technique).
+  std::vector<TechniqueRow> techniques;
+  /// Sorted by stage order (recon → exploit → lateral → exfil).
+  std::vector<StageRow> stages;
+  /// Earliest stage (attack::Stage as int) with at least one prevented
+  /// flow — the point where the console severed the chain; -1 when the
+  /// campaign ran to completion unblocked.
+  int chain_broken_at = -1;
+
+  bool empty() const noexcept { return stages.empty(); }
+};
+
+/// Aggregates labeled outcomes. Inputs with kind < 0 (benign) are
+/// ignored; stage < 0 falls back to the kind's default AttackTraits
+/// stage, so flat pre-campaign scenarios break down too.
+DetectionBreakdown compute_breakdown(
+    const std::vector<BreakdownInput>& inputs);
+
+/// Per-technique table: stage, ATT&CK id, technique name, launched,
+/// detected, prevented, detection rate, mean latency. Null Doc when the
+/// breakdown is empty (no labeled attacks).
+results::Doc technique_table_doc(const DetectionBreakdown& b);
+
+/// Per-stage rollup table with the chain-broken marker; null Doc when
+/// the breakdown is empty.
+results::Doc stage_table_doc(const DetectionBreakdown& b);
+
+}  // namespace idseval::score

@@ -60,6 +60,8 @@ void ScoreLedger::finalize(const traffic::TransactionLedger& truth,
     ScoreSample s;
     s.flow_id = t->flow_id;
     s.is_attack = t->is_attack;
+    s.attack_kind = t->attack_kind;
+    s.attack_stage = t->attack_stage;
     if (const FlowEvidence* ev = find(t->flow_id)) {
       s.has_evidence = true;
       s.critical_sensitivity = ev->critical_sensitivity;

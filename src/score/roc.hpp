@@ -32,6 +32,11 @@ struct ScoreSample {
   /// the inclusive gates (s >= critical).
   bool strict = false;
   double strength = 0.0;  ///< Strongest raw evidence on any channel.
+  /// Ground-truth labels carried over from the transaction: attack kind
+  /// (attack::AttackKind as int) and kill-chain stage (attack::Stage as
+  /// int); -1 for benign flows (stage also -1 on pre-campaign ledgers).
+  int attack_kind = -1;
+  int attack_stage = -1;
 };
 
 /// Transaction-level confusion at one sensitivity, in the same shape the

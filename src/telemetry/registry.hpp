@@ -176,6 +176,9 @@ inline constexpr std::string_view kSimCallbackFallbacks =
     "sim.callback_fallbacks";
 inline constexpr std::string_view kPayloadPoolHits = "payload.pool_hits";
 inline constexpr std::string_view kPayloadPoolMisses = "payload.pool_misses";
+// Variants minted beyond the base cycle by adaptive per-kind growth
+// (PayloadPool::enable_growth) for low-entropy payload kinds.
+inline constexpr std::string_view kPayloadPoolGrown = "payload.pool_grown";
 // Interned-payload scan cache (ids/scan_cache.hpp): engine memo traffic,
 // aggregated across all signature/anomaly engines in the run.
 inline constexpr std::string_view kScanCacheHits = "scan_cache.hits";

@@ -317,7 +317,7 @@ void check_registry_doc(const results::Doc& doc, const std::string& where) {
   constexpr std::string_view kCounterStagePrefixes[] = {
       "sim.",      "payload.",  "scan_cache.", "switch.",  "pipeline.",
       "lb.",       "flowtable.", "sensor.",    "agent.",   "analyzer.",
-      "monitor.",  "console.",  "harness.",    "campaign.",
+      "monitor.",  "console.",  "harness.",    "campaign.", "attack.",
   };
   for (const auto& [name, value] : counters->items()) {
     if (!is_uint_like(value)) {

@@ -11,7 +11,7 @@ TransactionLedger::TransactionLedger() {
 Transaction& TransactionLedger::begin(std::uint64_t flow_id,
                                       const netsim::FiveTuple& tuple,
                                       netsim::SimTime start, bool is_attack,
-                                      int attack_kind) {
+                                      int attack_kind, int attack_stage) {
   auto [value, inserted] = by_flow_.try_emplace(flow_id);
   if (!inserted) {
     throw std::invalid_argument("TransactionLedger: duplicate flow id " +
@@ -24,6 +24,7 @@ Transaction& TransactionLedger::begin(std::uint64_t flow_id,
   t.end = start;
   t.is_attack = is_attack;
   t.attack_kind = attack_kind;
+  t.attack_stage = attack_stage;
   order_.push_back(flow_id);
   if (is_attack) ++attacks_;
   return t;

@@ -28,6 +28,10 @@ struct Transaction {
   bool is_attack = false;
   /// Attack kind id (attack::AttackKind cast to int); -1 for benign.
   int attack_kind = -1;
+  /// Kill-chain stage id (attack::Stage cast to int); -1 for benign or
+  /// flat scenarios predating campaigns (scorers fall back to the kind's
+  /// default stage from AttackTraits).
+  int attack_stage = -1;
 };
 
 class TransactionLedger {
@@ -37,7 +41,7 @@ class TransactionLedger {
   /// Opens a transaction. Duplicate flow ids are rejected.
   Transaction& begin(std::uint64_t flow_id, const netsim::FiveTuple& tuple,
                      netsim::SimTime start, bool is_attack = false,
-                     int attack_kind = -1);
+                     int attack_kind = -1, int attack_stage = -1);
 
   /// Accounts one emitted packet against the transaction.
   void touch(std::uint64_t flow_id, netsim::SimTime when,

@@ -76,6 +76,10 @@ std::string to_string(PayloadKind kind) {
       return "cluster-rpc";
     case PayloadKind::kRandom:
       return "random";
+    case PayloadKind::kIcsControl:
+      return "ics-control";
+    case PayloadKind::kCanFrame:
+      return "can-frame";
   }
   return "?";
 }
@@ -207,6 +211,39 @@ std::string make_cluster_rpc(std::size_t target_len, util::Rng& rng) {
   return out;
 }
 
+std::string make_ics_control(std::size_t target_len, util::Rng& rng) {
+  // Periodic control-loop frame (SCADA/Modbus-style register readout):
+  // the same fixed fields every cycle with only small sensed-value jitter
+  // — the near-zero-entropy workload the ICS evaluation SoK singles out.
+  // Drawing each register from a narrow band keeps byte-level entropy far
+  // below any web/mail payload while remaining deterministic per seed.
+  std::string out =
+      cat("ICS/1 unit=", rng.uniform_u64(1, 8),
+          " fc=READ_HOLDING addr=", 40001 + 10 * rng.uniform_u64(0, 7),
+          " ");
+  while (out.size() < target_len) {
+    out += cat("r=", util::fmt_fixed(50.0 + rng.uniform(-0.5, 0.5), 2),
+               " ");
+  }
+  if (out.size() > target_len) out.resize(target_len);
+  return out;
+}
+
+std::string make_can_frame(std::size_t /*target_len*/, util::Rng& rng) {
+  // CAN-style frame bridged onto the simulated network: an 11-bit-ish id
+  // from a deliberately tiny id space and exactly eight data bytes, most
+  // of which sit at fixed idle values. Length is fixed regardless of the
+  // target hint — real CAN frames don't stretch.
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string data(16, '0');
+  // Two live signal bytes; the rest of the frame stays at idle 0x00.
+  data[0] = kHex[rng.index(16)];
+  data[1] = kHex[rng.index(16)];
+  data[2] = kHex[rng.index(16)];
+  data[3] = kHex[rng.index(16)];
+  return cat("CAN id=0x10", kHex[rng.index(16)], " dlc=8 data=", data);
+}
+
 }  // namespace
 
 std::string synthesize(PayloadKind kind, std::size_t target_len,
@@ -228,6 +265,10 @@ std::string synthesize(PayloadKind kind, std::size_t target_len,
       return make_cluster_rpc(target_len, rng);
     case PayloadKind::kRandom:
       return random_printable(target_len, rng);
+    case PayloadKind::kIcsControl:
+      return make_ics_control(target_len, rng);
+    case PayloadKind::kCanFrame:
+      return make_can_frame(target_len, rng);
   }
   return {};
 }

@@ -22,6 +22,9 @@ enum class PayloadKind : std::uint8_t {
   kDns,
   kClusterRpc,  ///< Simulated distributed real-time bus traffic.
   kRandom,      ///< Printable noise — realistic *only* in length.
+  kIcsControl,  ///< Periodic industrial control-loop register frames:
+                ///< fixed fields, tiny value jitter — very low entropy.
+  kCanFrame,    ///< CAN-style bus frame: tiny, fixed size, small id space.
 };
 
 std::string to_string(PayloadKind kind);

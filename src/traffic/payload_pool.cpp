@@ -10,7 +10,22 @@ PayloadPool::PayloadPool(std::uint64_t seed, std::size_t variants)
       tele_hits_(
           telemetry::counter_handle(telemetry::names::kPayloadPoolHits)),
       tele_misses_(
-          telemetry::counter_handle(telemetry::names::kPayloadPoolMisses)) {}
+          telemetry::counter_handle(telemetry::names::kPayloadPoolMisses)),
+      tele_grown_(
+          telemetry::counter_handle(telemetry::names::kPayloadPoolGrown)) {}
+
+void PayloadPool::enable_growth(PayloadKind kind,
+                                std::size_t max_variants) {
+  if (max_variants > variants_) growth_[kind] = max_variants;
+}
+
+std::size_t PayloadPool::growth_headroom() const noexcept {
+  std::size_t headroom = 0;
+  for (const auto& [kind, limit] : growth_) {
+    headroom += (limit - variants_) * kGrownBucketsPerKind;
+  }
+  return headroom;
+}
 
 std::size_t PayloadPool::bucket_len(std::size_t target_len) noexcept {
   target_len = std::clamp(target_len, kMinLen, kMaxLen);
@@ -39,10 +54,26 @@ void PayloadPool::note_miss(std::size_t strings,
 
 PayloadPool::Ref PayloadPool::intern(
     Family& family, std::uint64_t family_seed,
-    const std::function<std::string(util::Rng&)>& build) {
+    const std::function<std::string(util::Rng&)>& build,
+    std::size_t limit) {
   if (family.slots.empty()) family.slots.resize(variants_);
   const std::size_t slot = family.cursor;
-  family.cursor = (family.cursor + 1) % variants_;
+  ++family.cursor;
+  if (family.cursor >= family.slots.size()) {
+    if (limit > family.slots.size()) {
+      // Adaptive growth: the family has cycled through every existing
+      // variant — double the cycle (capped at the policy limit). The new
+      // slots mint lazily below with their deterministic per-slot seeds,
+      // so content never depends on growth history.
+      const std::size_t before = family.slots.size();
+      family.slots.resize(std::min(limit, before * 2));
+      const std::size_t added = family.slots.size() - before;
+      grown_ += added;
+      telemetry::bump(tele_grown_, added);
+    } else {
+      family.cursor = 0;
+    }
+  }
   Ref& ref = family.slots[slot];
   if (ref == nullptr) {
     util::Rng rng(util::derive_seed(family_seed, slot));
@@ -60,10 +91,12 @@ PayloadPool::Ref PayloadPool::background(PayloadKind kind,
   const std::size_t bucket = bucket_len(target_len);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(kind) << 32) | bucket;
+  const std::size_t* limit = growth_.find(kind);
   return intern(background_[key], seed_ ^ util::derive_seed(key, 0),
                 [kind, bucket](util::Rng& rng) {
                   return synthesize(kind, bucket, rng);
-                });
+                },
+                limit == nullptr ? 0 : *limit);
 }
 
 PayloadPool::Ref PayloadPool::attack(std::string_view family,

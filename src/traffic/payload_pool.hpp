@@ -26,6 +26,7 @@
 
 #include "telemetry/registry.hpp"
 #include "traffic/payload.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace idseval::traffic {
@@ -59,6 +60,29 @@ class PayloadPool {
   const Refs& attack_family(std::string_view family,
                             const MultiBuilder& build);
 
+  /// Enables adaptive growth for one background payload kind: once a
+  /// family of that kind has cycled through all of its variants, its
+  /// variant count doubles (up to `max_variants`) and the new slots are
+  /// minted lazily with the same deterministic per-slot seeds. Low-entropy
+  /// kinds (ICS control frames, CAN frames) need this — with the default
+  /// 32-variant cycle an anomaly engine would see a frozen payload
+  /// universe and learn an artificially tight baseline. Kinds without a
+  /// policy keep the exact legacy fixed-cycle behavior. Call before
+  /// traffic starts; growing mid-run is deterministic but changes the
+  /// handout sequence relative to a non-growing pool.
+  void enable_growth(PayloadKind kind, std::size_t max_variants);
+
+  /// Upper bound on extra variants growth may mint beyond the base cycle,
+  /// summed over enabled kinds. Near-constant payload sizes confine each
+  /// grown kind to a handful of length buckets, so the bound assumes at
+  /// most kGrownBucketsPerKind buckets per kind. Engines pre-size their
+  /// interned-payload scan memos by this amount (ids::PayloadMemo), so
+  /// freshly minted variants never overflow into uncached full scans.
+  std::size_t growth_headroom() const noexcept;
+
+  /// Variants actually minted beyond the base cycle so far.
+  std::size_t grown_variants() const noexcept { return grown_; }
+
   std::size_t variants() const noexcept { return variants_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
@@ -70,6 +94,14 @@ class PayloadPool {
   static constexpr std::size_t kLengthGranularity = 32;
   static constexpr std::size_t kMinLen = 16;
   static constexpr std::size_t kMaxLen = 1400;
+  /// Length buckets a growable kind is assumed to span (see
+  /// growth_headroom): grown kinds have near-constant payload sizes, so
+  /// jitter reaches at most a couple of granules around the mean.
+  static constexpr std::size_t kGrownBucketsPerKind = 4;
+  /// Default growth ceiling for low-entropy kinds (the harness's choice):
+  /// 8× the base cycle keeps entropy estimates honest without unbounded
+  /// memory.
+  static constexpr std::size_t kGrowthMaxVariants = 256;
   static std::size_t bucket_len(std::size_t target_len) noexcept;
 
  private:
@@ -82,13 +114,20 @@ class PayloadPool {
     std::size_t cursor = 0;
   };
 
+  /// `limit` > variants_ marks the family growable up to that count;
+  /// 0 (the default everywhere but growth-enabled background kinds)
+  /// reproduces the fixed-cycle legacy behavior bit-exactly.
   Ref intern(Family& family, std::uint64_t family_seed,
-             const std::function<std::string(util::Rng&)>& build);
+             const std::function<std::string(util::Rng&)>& build,
+             std::size_t limit = 0);
   void note_hit() noexcept;
   void note_miss(std::size_t strings, std::uint64_t bytes) noexcept;
 
   std::uint64_t seed_;
   std::size_t variants_;
+  /// Growth policy per background kind: max variant count.
+  util::FlatMap<PayloadKind, std::size_t> growth_;
+  std::size_t grown_ = 0;
   /// Background families keyed by (kind << 32) | bucket.
   std::unordered_map<std::uint64_t, Family> background_;
   /// Attack families keyed by name (heterogeneous lookup, no per-call
@@ -102,6 +141,7 @@ class PayloadPool {
   std::uint64_t interned_bytes_ = 0;
   telemetry::Counter* tele_hits_ = nullptr;
   telemetry::Counter* tele_misses_ = nullptr;
+  telemetry::Counter* tele_grown_ = nullptr;
 };
 
 }  // namespace idseval::traffic

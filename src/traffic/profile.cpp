@@ -118,12 +118,58 @@ EnvironmentProfile megaflow_profile() {
   return p;
 }
 
+EnvironmentProfile ics_profile() {
+  EnvironmentProfile p;
+  p.name = "ics";
+  // A control enclave polls field devices on a fixed scan cycle: almost
+  // everything is Modbus-style register readout, with a thin supervisory
+  // RPC/DNS sliver. No burst state — the scan clock never flash-crowds.
+  p.mix = {
+      {PayloadKind::kIcsControl, Protocol::kTcp, ports::kModbus, 0.88},
+      {PayloadKind::kClusterRpc, Protocol::kTcp, ports::kClusterRpc, 0.08},
+      {PayloadKind::kDns, Protocol::kUdp, ports::kDns, 0.04},
+  };
+  p.flows_per_sec = 90.0;         // fixed-rate scan cycles
+  p.burst_factor = 1.0;           // periodic traffic does not burst
+  p.burst_fraction = 0.0;
+  p.mean_packets_per_flow = 8.0;  // one poll/response exchange per device
+  p.flow_tail_alpha = 4.0;        // essentially no long flows
+  p.mean_payload_bytes = 64.0;    // tiny register frames
+  p.payload_jitter = 0.05;        // near-constant sizes
+  p.mean_pkt_interval_ms = 0.4;   // tight inter-arrival jitter
+  p.external_fraction = 0.01;     // air-gapped except a historian uplink
+  return p;
+}
+
+EnvironmentProfile canbus_profile() {
+  EnvironmentProfile p;
+  p.name = "canbus";
+  // A CAN segment bridged onto the LAN: a firehose of fixed-size frames
+  // from a small id space, plus a sliver of diagnostic register reads.
+  p.mix = {
+      {PayloadKind::kCanFrame, Protocol::kUdp, ports::kCanBus, 0.97},
+      {PayloadKind::kIcsControl, Protocol::kTcp, ports::kModbus, 0.03},
+  };
+  p.flows_per_sec = 300.0;        // high frame rate, short bursts of ids
+  p.burst_factor = 1.0;
+  p.burst_fraction = 0.0;
+  p.mean_packets_per_flow = 4.0;  // a frame train per arbitration id
+  p.flow_tail_alpha = 4.0;
+  p.mean_payload_bytes = 40.0;    // frames are fixed-size (~40 B bridged)
+  p.payload_jitter = 0.0;         // zero size variance
+  p.mean_pkt_interval_ms = 0.2;   // bus-speed pacing
+  p.external_fraction = 0.0;      // nothing on a CAN segment is external
+  return p;
+}
+
 EnvironmentProfile profile_by_name(const std::string& name) {
   if (name == "rt_cluster") return rt_cluster_profile();
   if (name == "ecommerce") return ecommerce_profile();
   if (name == "office") return office_profile();
   if (name == "random_flood") return random_flood_profile();
   if (name == "megaflow") return megaflow_profile();
+  if (name == "ics") return ics_profile();
+  if (name == "canbus") return canbus_profile();
   throw std::invalid_argument("unknown traffic profile: " + name);
 }
 

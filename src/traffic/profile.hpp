@@ -70,9 +70,22 @@ EnvironmentProfile random_flood_profile();
 /// the per-tick packet load. Drives the megaflow bench section.
 EnvironmentProfile megaflow_profile();
 
+/// Industrial control enclave (SoK on ICS IDS evaluation): periodic
+/// control-loop register traffic at a fixed rate — no bursts, tight
+/// inter-arrival jitter, tiny low-entropy Modbus-style payloads, almost
+/// no external flows. Stresses anomaly engines with a near-degenerate
+/// baseline where any payload variety stands out.
+EnvironmentProfile ics_profile();
+
+/// CAN-style embedded bus bridged onto the LAN: very high frame rate,
+/// tiny fixed-size frames drawn from a small id space, zero payload size
+/// variance. Stresses the per-packet fast path and the megaflow-era flow
+/// table with many short identical-shape flows.
+EnvironmentProfile canbus_profile();
+
 /// Look up a built-in profile by name ("rt_cluster", "ecommerce",
-/// "office", "random_flood", "megaflow"); throws std::invalid_argument
-/// otherwise.
+/// "office", "random_flood", "megaflow", "ics", "canbus"); throws
+/// std::invalid_argument otherwise.
 EnvironmentProfile profile_by_name(const std::string& name);
 
 }  // namespace idseval::traffic

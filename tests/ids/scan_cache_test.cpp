@@ -128,6 +128,31 @@ TEST(ScanCacheTest, MemoCapacityBoundsPopulation) {
   ASSERT_NE(memo.find(a), nullptr);  // earlier entries unaffected
 }
 
+TEST(ScanCacheTest, ReserveCapacityRaisesButNeverLowers) {
+  // Adaptive PayloadPool growth raises the memo ceiling by its headroom;
+  // the raise must be monotonic — entries are already pinned, so a lower
+  // request is refused rather than evicting.
+  PayloadMemo<int> memo(/*capacity=*/2);
+  EXPECT_EQ(memo.capacity(), 2u);
+  memo.reserve_capacity(1);
+  EXPECT_EQ(memo.capacity(), 2u);
+  memo.reserve_capacity(4);
+  EXPECT_EQ(memo.capacity(), 4u);
+
+  const PayloadRef a = intern("ra");
+  const PayloadRef b = intern("rb");
+  const PayloadRef c = intern("rc");
+  const PayloadRef d = intern("rd");
+  const PayloadRef e = intern("re");
+  EXPECT_NE(memo.store(a, 1), nullptr);
+  EXPECT_NE(memo.store(b, 2), nullptr);
+  // Beyond the original ceiling but inside the reserved one.
+  EXPECT_NE(memo.store(c, 3), nullptr);
+  EXPECT_NE(memo.store(d, 4), nullptr);
+  EXPECT_EQ(memo.store(e, 5), nullptr);  // reserved ceiling still bounds
+  EXPECT_EQ(memo.size(), 4u);
+}
+
 // --- Entropy memo (anomaly engine) ----------------------------------------
 
 TEST(ScanCacheTest, EntropyMemoIsBitIdenticalToRecomputation) {

@@ -1,0 +1,151 @@
+#include "score/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/kind.hpp"
+#include "results/table.hpp"
+
+namespace idseval::score {
+namespace {
+
+using attack::AttackKind;
+using attack::Stage;
+using attack::Technique;
+
+BreakdownInput input(AttackKind kind, Stage stage, bool detected,
+                     bool prevented = false, double latency_sec = -1.0) {
+  BreakdownInput in;
+  in.kind = static_cast<int>(kind);
+  in.stage = static_cast<int>(stage);
+  in.detected = detected;
+  in.prevented = prevented;
+  if (latency_sec >= 0.0) {
+    in.has_latency = true;
+    in.latency_sec = latency_sec;
+  }
+  return in;
+}
+
+TEST(BreakdownTest, EmptyInputsYieldEmptyBreakdown) {
+  const DetectionBreakdown b = compute_breakdown({});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.chain_broken_at, -1);
+  EXPECT_TRUE(technique_table_doc(b).is_null());
+  EXPECT_TRUE(stage_table_doc(b).is_null());
+}
+
+TEST(BreakdownTest, BenignInputsAreIgnored) {
+  BreakdownInput benign;
+  benign.kind = -1;
+  benign.detected = true;
+  const DetectionBreakdown b = compute_breakdown({benign});
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BreakdownTest, CountsRatesAndLatencyArithmetic) {
+  const std::vector<BreakdownInput> inputs = {
+      input(AttackKind::kPortScan, Stage::kRecon, true, false, 0.5),
+      input(AttackKind::kPortScan, Stage::kRecon, true, false, 1.5),
+      input(AttackKind::kPortScan, Stage::kRecon, false),
+      input(AttackKind::kPortScan, Stage::kRecon, false),
+      input(AttackKind::kDnsTunnel, Stage::kExfil, true, false, 2.0),
+  };
+  const DetectionBreakdown b = compute_breakdown(inputs);
+
+  ASSERT_EQ(b.stages.size(), 2u);
+  EXPECT_EQ(b.stages[0].stage, static_cast<int>(Stage::kRecon));
+  EXPECT_EQ(b.stages[0].launched, 4u);
+  EXPECT_EQ(b.stages[0].detected, 2u);
+  EXPECT_EQ(b.stages[0].prevented, 0u);
+  EXPECT_DOUBLE_EQ(b.stages[0].detection_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(b.stages[0].mean_latency_sec(), 1.0);
+  EXPECT_EQ(b.stages[1].stage, static_cast<int>(Stage::kExfil));
+  EXPECT_EQ(b.stages[1].launched, 1u);
+  EXPECT_DOUBLE_EQ(b.stages[1].detection_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(b.stages[1].mean_latency_sec(), 2.0);
+
+  ASSERT_EQ(b.techniques.size(), 2u);
+  EXPECT_EQ(b.techniques[0].technique,
+            static_cast<int>(Technique::kT1046));
+  EXPECT_EQ(b.techniques[0].launched, 4u);
+  EXPECT_EQ(b.techniques[1].technique,
+            static_cast<int>(Technique::kT1048));
+  EXPECT_EQ(b.chain_broken_at, -1);
+}
+
+TEST(BreakdownTest, SharedTechniqueAggregatesWithinOneStage) {
+  // kWebExploit and kEvasiveExploit both map to ATT&CK T1190; run in the
+  // same stage they must fold into one technique row.
+  const std::vector<BreakdownInput> inputs = {
+      input(AttackKind::kWebExploit, Stage::kExploit, true),
+      input(AttackKind::kEvasiveExploit, Stage::kExploit, false),
+  };
+  const DetectionBreakdown b = compute_breakdown(inputs);
+  ASSERT_EQ(b.techniques.size(), 1u);
+  EXPECT_EQ(b.techniques[0].technique,
+            static_cast<int>(Technique::kT1190));
+  EXPECT_EQ(b.techniques[0].launched, 2u);
+  EXPECT_EQ(b.techniques[0].detected, 1u);
+  EXPECT_DOUBLE_EQ(b.techniques[0].detection_rate(), 0.5);
+}
+
+TEST(BreakdownTest, SameTechniqueInDifferentStagesStaysSeparate) {
+  const std::vector<BreakdownInput> inputs = {
+      input(AttackKind::kWebExploit, Stage::kExploit, true),
+      input(AttackKind::kWebExploit, Stage::kLateral, false),
+  };
+  const DetectionBreakdown b = compute_breakdown(inputs);
+  ASSERT_EQ(b.techniques.size(), 2u);
+  EXPECT_EQ(b.techniques[0].stage, static_cast<int>(Stage::kExploit));
+  EXPECT_EQ(b.techniques[1].stage, static_cast<int>(Stage::kLateral));
+  EXPECT_EQ(b.techniques[0].technique, b.techniques[1].technique);
+}
+
+TEST(BreakdownTest, NegativeStageFallsBackToTraitsDefault) {
+  // Flat scenarios predate stage labels: stage < 0 must classify under
+  // the kind's default AttackTraits stage.
+  BreakdownInput in;
+  in.kind = static_cast<int>(AttackKind::kDnsTunnel);
+  in.stage = -1;
+  in.detected = true;
+  const DetectionBreakdown b = compute_breakdown({in});
+  ASSERT_EQ(b.stages.size(), 1u);
+  EXPECT_EQ(b.stages[0].stage, static_cast<int>(Stage::kExfil));
+}
+
+TEST(BreakdownTest, ChainBrokenAtEarliestPreventedStage) {
+  const std::vector<BreakdownInput> inputs = {
+      input(AttackKind::kPortScan, Stage::kRecon, true),
+      input(AttackKind::kWebExploit, Stage::kExploit, true, true),
+      input(AttackKind::kDnsTunnel, Stage::kExfil, true, true),
+  };
+  const DetectionBreakdown b = compute_breakdown(inputs);
+  EXPECT_EQ(b.chain_broken_at, static_cast<int>(Stage::kExploit));
+  ASSERT_EQ(b.stages.size(), 3u);
+  EXPECT_EQ(b.stages[1].prevented, 1u);
+}
+
+TEST(BreakdownTest, TablesRenderAttckIdsAndBrokenMarker) {
+  const std::vector<BreakdownInput> inputs = {
+      input(AttackKind::kPortScan, Stage::kRecon, true, false, 0.25),
+      input(AttackKind::kWebExploit, Stage::kExploit, true, true),
+  };
+  const DetectionBreakdown b = compute_breakdown(inputs);
+
+  const std::string techniques =
+      results::render_table_text(technique_table_doc(b));
+  EXPECT_NE(techniques.find("T1046"), std::string::npos);
+  EXPECT_NE(techniques.find("T1190"), std::string::npos);
+  EXPECT_NE(techniques.find("recon"), std::string::npos);
+
+  const std::string stages = results::render_table_text(stage_table_doc(b));
+  EXPECT_NE(stages.find("exploit"), std::string::npos);
+  EXPECT_NE(stages.find("broken-here"), std::string::npos);
+
+  const std::string csv = results::table_to_csv(technique_table_doc(b));
+  EXPECT_NE(csv.find("attck"), std::string::npos);
+  EXPECT_NE(csv.find("T1046"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idseval::score

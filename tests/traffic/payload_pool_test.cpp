@@ -1,5 +1,6 @@
 #include "traffic/payload_pool.hpp"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,75 @@ TEST(PayloadPoolTest, MultiFamilyCycleIsDeterministic) {
       EXPECT_EQ(*pa[j], *pb_copy[j]);
     }
   }
+}
+
+TEST(PayloadPoolTest, GrowthDoublesAfterFullCycleUpToLimit) {
+  PayloadPool pool(21, /*variants=*/2);
+  pool.enable_growth(PayloadKind::kCanFrame, 8);
+  std::set<std::string> distinct;
+  // 2 base slots, doubled to 4 after the first full cycle, then to 8,
+  // then the cycle is fixed: 16 draws see exactly 8 distinct payloads.
+  for (int i = 0; i < 16; ++i) {
+    distinct.insert(*pool.background(PayloadKind::kCanFrame, 40));
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+  EXPECT_EQ(pool.grown_variants(), 6u);  // 2→4 adds 2, 4→8 adds 4
+  // The cycle stays capped: more draws mint nothing new.
+  for (int i = 0; i < 16; ++i) {
+    distinct.insert(*pool.background(PayloadKind::kCanFrame, 40));
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+  EXPECT_EQ(pool.grown_variants(), 6u);
+}
+
+TEST(PayloadPoolTest, GrownContentIsIndependentOfGrowthHistory) {
+  // Slot content depends only on (pool seed, family, slot index), so a
+  // pool that grew 2→8 hands out exactly the payloads a fixed 8-variant
+  // pool would — growth changes the universe's size, never its content.
+  PayloadPool grown(55, /*variants=*/2);
+  grown.enable_growth(PayloadKind::kIcsControl, 8);
+  PayloadPool fixed(55, /*variants=*/8);
+  std::set<std::string> grown_set;
+  std::set<std::string> fixed_set;
+  for (int i = 0; i < 24; ++i) {
+    grown_set.insert(*grown.background(PayloadKind::kIcsControl, 64));
+    fixed_set.insert(*fixed.background(PayloadKind::kIcsControl, 64));
+  }
+  EXPECT_EQ(grown_set, fixed_set);
+}
+
+TEST(PayloadPoolTest, KindsWithoutGrowthPolicyKeepTheFixedCycle) {
+  PayloadPool pool(9, /*variants=*/3);
+  pool.enable_growth(PayloadKind::kCanFrame, 8);
+  std::set<std::string> distinct;
+  for (int i = 0; i < 12; ++i) {
+    distinct.insert(*pool.background(PayloadKind::kHttpRequest, 300));
+  }
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(pool.grown_variants(), 0u);
+}
+
+TEST(PayloadPoolTest, GrowthBelowBaseCycleIsIgnored) {
+  PayloadPool pool(13, /*variants=*/4);
+  pool.enable_growth(PayloadKind::kCanFrame, 4);  // not > base: no-op
+  EXPECT_EQ(pool.growth_headroom(), 0u);
+  std::set<std::string> distinct;
+  for (int i = 0; i < 12; ++i) {
+    distinct.insert(*pool.background(PayloadKind::kCanFrame, 40));
+  }
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(PayloadPoolTest, GrowthHeadroomSumsOverEnabledKinds) {
+  PayloadPool pool(1, /*variants=*/32);
+  EXPECT_EQ(pool.growth_headroom(), 0u);
+  pool.enable_growth(PayloadKind::kIcsControl,
+                     PayloadPool::kGrowthMaxVariants);
+  pool.enable_growth(PayloadKind::kCanFrame,
+                     PayloadPool::kGrowthMaxVariants);
+  EXPECT_EQ(pool.growth_headroom(),
+            2 * (PayloadPool::kGrowthMaxVariants - 32) *
+                PayloadPool::kGrownBucketsPerKind);
 }
 
 TEST(PayloadPoolTest, SteadyStateHandsOutSharedReferences) {

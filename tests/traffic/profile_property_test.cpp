@@ -104,7 +104,60 @@ TEST_P(ProfileProperty, PayloadSizesTrackProfileMean) {
 INSTANTIATE_TEST_SUITE_P(Profiles, ProfileProperty,
                          ::testing::Values("rt_cluster", "ecommerce",
                                            "office", "random_flood",
-                                           "megaflow"));
+                                           "megaflow", "ics", "canbus"));
+
+TEST(ProfilePropertyTest, IcsProfilePinsControlLoopShape) {
+  const EnvironmentProfile ics = profile_by_name("ics");
+  EXPECT_EQ(ics.name, "ics");
+  // Periodic control loops: no burst state, near-constant frame sizes,
+  // essentially no external traffic. These are the properties the ics
+  // kill-chain preset and the anomaly-baseline experiments assume.
+  EXPECT_DOUBLE_EQ(ics.burst_fraction, 0.0);
+  EXPECT_LE(ics.payload_jitter, 0.1);
+  EXPECT_LE(ics.external_fraction, 0.05);
+  // Modbus-style control traffic dominates the mix.
+  double control_weight = 0.0;
+  double total_weight = 0.0;
+  for (const auto& share : ics.mix) {
+    total_weight += share.weight;
+    if (share.dst_port == netsim::ports::kModbus) {
+      control_weight += share.weight;
+    }
+  }
+  EXPECT_GT(control_weight / total_weight, 0.8);
+}
+
+TEST(ProfilePropertyTest, CanbusProfilePinsTinyFixedFrames) {
+  const EnvironmentProfile can = profile_by_name("canbus");
+  EXPECT_EQ(can.name, "canbus");
+  // A bridged CAN segment: high frame rate, tiny fixed-size frames,
+  // nothing external, zero payload-size variance.
+  EXPECT_GE(can.flows_per_sec, 200.0);
+  EXPECT_LE(can.mean_payload_bytes, 64.0);
+  EXPECT_DOUBLE_EQ(can.payload_jitter, 0.0);
+  EXPECT_DOUBLE_EQ(can.external_fraction, 0.0);
+  double frame_weight = 0.0;
+  double total_weight = 0.0;
+  for (const auto& share : can.mix) {
+    total_weight += share.weight;
+    if (share.dst_port == netsim::ports::kCanBus) {
+      frame_weight += share.weight;
+    }
+  }
+  EXPECT_GT(frame_weight / total_weight, 0.9);
+}
+
+TEST(ProfilePropertyTest, CanbusFramesHaveNoSizeDispersion) {
+  // Zero jitter plus a fixed frame family must show up on the wire as a
+  // much tighter size distribution than any enterprise profile.
+  const Capture can = run_profile(canbus_profile(), 3);
+  const Capture office = run_profile(office_profile(), 3);
+  const double can_cv =
+      can.payload_bytes.stddev() / can.payload_bytes.mean();
+  const double office_cv =
+      office.payload_bytes.stddev() / office.payload_bytes.mean();
+  EXPECT_LT(can_cv, office_cv * 0.5);
+}
 
 TEST(ProfilePropertyTest, BurstyProfileHasHigherArrivalVariance) {
   // Compare inter-arrival dispersion of the bursty e-commerce profile

@@ -96,6 +96,25 @@ for preset in "${presets[@]}"; do
     echo "==== single-pass sweep (${preset}) ===="
     "build-${preset}/tools/idseval_cli" sweep --product SentryNID \
       --steps 5 --single-pass
+    # Kill-chain focus run: the staged campaign machinery (preset
+    # determinism, stage ordering, pivoting), the per-technique/per-stage
+    # breakdown arithmetic, and the ics/canbus profile pins get an
+    # explicit sanitizer pass, then one traced kill-chain evaluation
+    # drives the whole staged path — emitter stage overrides, ledger
+    # labels, breakdown rendering, and the "attack." counters the trace
+    # checker now recognizes — end to end.
+    echo "==== kill-chain focus (${preset}) ===="
+    ctest --preset "${preset}" --output-on-failure --no-tests=error \
+      -R 'KillChainTest|KillChainRunTest|BreakdownTest|ProfileProperty'
+    out_dir=$(mktemp -d)
+    trap 'rm -rf "${out_dir}"' EXIT
+    "build-${preset}/tools/idseval_cli" evaluate --product SentryNID \
+      --profile ics --kill-chain ics-takeover \
+      --trace "${out_dir}/killchain_trace.jsonl"
+    "build-${preset}/tools/idseval_cli" trace-check \
+      "${out_dir}/killchain_trace.jsonl"
+    rm -rf "${out_dir}"
+    trap - EXIT
   fi
   if [ "${preset}" = "tsan" ]; then
     # End-to-end race check: the example CI campaign on two shards with

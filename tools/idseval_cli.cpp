@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/kind.hpp"
 #include "campaign/aggregate.hpp"
 #include "campaign/scheduler.hpp"
 #include "campaign/spec.hpp"
@@ -53,6 +54,7 @@
 #include "results/doc.hpp"
 #include "results/html.hpp"
 #include "results/table.hpp"
+#include "score/breakdown.hpp"
 #include "score/scorecard.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
@@ -189,6 +191,7 @@ int cmd_evaluate(const Args& args) {
   harness::EvaluationOptions options;
   options.sensitivity = std::stod(args.opt("sensitivity", "0.5"));
   options.include_load_metrics = args.has_flag("load-metrics");
+  options.kill_chain = args.opt("kill-chain", "");
 
   const auto& model = products::product(*id);
   std::printf("evaluating %s on profile '%s' (seed %llu)...\n\n",
@@ -207,6 +210,42 @@ int cmd_evaluate(const Args& args) {
   std::printf("FP=%.5f FN=%.5f timeliness=%.2fs peak-streams=%zu\n\n",
               run.fp_ratio, run.fn_ratio, run.timeliness_mean_sec,
               run.peak_concurrent_streams);
+
+  // Per-technique / per-stage breakdown (always present when the run
+  // launched labeled attacks; the stage column is the kill-chain ground
+  // truth, or the kinds' default stages on a flat scenario).
+  if (!run.breakdown.empty()) {
+    const results::Doc technique_doc =
+        score::technique_table_doc(run.breakdown);
+    const results::Doc stage_doc = score::stage_table_doc(run.breakdown);
+    std::printf("%s\n",
+                results::render_table_text(technique_doc).c_str());
+    std::printf("%s\n", results::render_table_text(stage_doc).c_str());
+    if (run.breakdown.chain_broken_at >= 0) {
+      std::printf("chain broken at stage: %s\n\n",
+                  attack::to_string(static_cast<attack::Stage>(
+                                        run.breakdown.chain_broken_at))
+                      .c_str());
+    }
+    // --out DIR: the same Docs through the CSV and HTML writers.
+    if (const std::string out = args.opt("out", ""); !out.empty()) {
+      const std::filesystem::path out_dir = out;
+      std::filesystem::create_directories(out_dir);
+      const std::string csv_path =
+          (out_dir / (model.name + "_breakdown.csv")).string();
+      std::ofstream csv(csv_path);
+      csv << results::table_to_csv(technique_doc);
+      csv << "\n" << results::table_to_csv(stage_doc);
+      const std::string html_path =
+          (out_dir / (model.name + "_breakdown.html")).string();
+      std::ofstream html(html_path);
+      html << results::html_document(
+          "Detection breakdown: " + model.name + " on " + env.profile.name,
+          {technique_doc, stage_doc});
+      std::printf("breakdown: %s, %s\n\n", csv_path.c_str(),
+                  html_path.c_str());
+    }
+  }
 
   const bool notes = args.has_flag("notes");
   const core::Scorecard cards[] = {eval.card};
@@ -250,6 +289,7 @@ int cmd_rank(const Args& args) {
   harness::EvaluationOptions options;
   options.sensitivity = std::stod(args.opt("sensitivity", "0.5"));
   options.include_load_metrics = args.has_flag("load-metrics");
+  options.kill_chain = args.opt("kill-chain", "");
 
   // --jobs N spreads the per-product evaluations over the thread pool;
   // each evaluation is deterministic on its own, so the ranking is
@@ -318,6 +358,28 @@ int cmd_rank(const Args& args) {
     }
     std::printf("%s\n",
                 results::render_table_text(unified.build()).c_str());
+  }
+  if (!options.kill_chain.empty()) {
+    // Cross-product per-stage view of the campaign: which stage each
+    // product first loses track of the intrusion at.
+    results::TableBuilder stages(
+        {"Product", "Stage", "Launched", "Detected", "Det rate", "Chain"},
+        {"left", "left", "right", "right", "right", "left"});
+    stages.title("Per-stage detection ('" + options.kill_chain +
+                 "' kill chain)");
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const score::DetectionBreakdown& b =
+          slots[i]->measured.detection_run.breakdown;
+      for (const score::StageRow& row : b.stages) {
+        stages.row(
+            {catalog[i].name,
+             attack::to_string(static_cast<attack::Stage>(row.stage)),
+             row.launched, row.detected,
+             util::fmt_double(row.detection_rate(), 3),
+             row.stage == b.chain_broken_at ? "broken-here" : ""});
+      }
+    }
+    std::printf("%s\n", results::render_table_text(stages.build()).c_str());
   }
   if (args.has_flag("robustness")) {
     std::printf("%s\n",
@@ -467,6 +529,12 @@ int cmd_campaign(const Args& args) {
   const std::string eer = campaign::render_eer_summary(spec, agg);
   std::printf("%s\n", summary.c_str());
   if (!eer.empty()) std::printf("%s\n", eer.c_str());
+  const results::Doc killchain_doc =
+      campaign::killchain_table_doc(spec, agg);
+  if (!killchain_doc.is_null()) {
+    std::printf("%s\n",
+                results::render_table_text(killchain_doc).c_str());
+  }
 
   // Aggregate pipeline telemetry across this run's executed cells. The
   // snapshot is simulation-time-only, so it (and the .txt file) stays
@@ -496,11 +564,24 @@ int cmd_campaign(const Args& args) {
       (out_dir / (spec.name + "_stages.csv")).string();
   std::ofstream stages(stages_path);
   stages << campaign::stages_to_csv(spec, store.results());
+  // Kill-chain per-stage rollup (kill-chain campaigns only): its own CSV
+  // beside the aggregate, plus the text/HTML sections below.
+  if (const std::string killchain_csv = campaign::killchain_to_csv(spec, agg);
+      !killchain_csv.empty()) {
+    const std::string killchain_path =
+        (out_dir / (spec.name + "_killchain.csv")).string();
+    std::ofstream kc(killchain_path);
+    kc << killchain_csv;
+    std::printf("kill-chain stages: %s\n", killchain_path.c_str());
+  }
   const std::string summary_path =
       (out_dir / (spec.name + ".txt")).string();
   std::ofstream txt(summary_path);
   txt << summary;
   if (!eer.empty()) txt << "\n" << eer;
+  if (!killchain_doc.is_null()) {
+    txt << "\n" << results::render_table_text(killchain_doc);
+  }
   txt << "\n" << telemetry_section;
   std::printf("results: %s\naggregate: %s, %s\nstages: %s\n",
               store_path.c_str(), csv_path.c_str(), summary_path.c_str(),
@@ -514,12 +595,15 @@ int cmd_campaign(const Args& args) {
         (out_dir / (spec.name + ".html")).string();
     std::ofstream html(html_path);
     html << results::html_document("Campaign '" + spec.name + "'",
-                                   {summary_doc, eer_doc});
+                                   {summary_doc, eer_doc, killchain_doc});
     const std::string md_path = (out_dir / (spec.name + ".md")).string();
     std::ofstream md(md_path);
     md << results::table_to_markdown(summary_doc);
     if (!eer_doc.is_null()) {
       md << "\n" << results::table_to_markdown(eer_doc);
+    }
+    if (!killchain_doc.is_null()) {
+      md << "\n" << results::table_to_markdown(killchain_doc);
     }
     std::printf("html: %s\nmarkdown: %s\n", html_path.c_str(),
                 md_path.c_str());
@@ -686,10 +770,11 @@ int usage() {
       "  catalog [substring]                     metric definitions\n"
       "  evaluate --product NAME [--profile P] [--sensitivity S]\n"
       "           [--seed N] [--shards N] [--load-metrics] [--notes]\n"
-      "           [--no-scan-cache] [--trace FILE]\n"
+      "           [--no-scan-cache] [--kill-chain NAME] [--out DIR]\n"
+      "           [--trace FILE]\n"
       "  rank [--profile P] [--weights realtime|ecommerce] [--seed N]\n"
       "       [--jobs N] [--shards N] [--load-metrics] [--robustness]\n"
-      "       [--no-scan-cache] [--trace FILE]\n"
+      "       [--no-scan-cache] [--kill-chain NAME] [--trace FILE]\n"
       "  sweep --product NAME [--profile P] [--steps N] [--seed N]\n"
       "        [--shards N] [--single-pass] [--no-scan-cache]\n"
       "  campaign --spec FILE [--jobs N] [--shards N] [--resume]\n"
@@ -700,8 +785,12 @@ int usage() {
       "is a background writer thread; both produce identical files)\n"
       "--no-scan-cache replays the legacy full-rescan detection path\n"
       "(results byte-identical to the default cached path)\n"
-      "profiles: rt_cluster, ecommerce, office, random_flood, "
-      "megaflow\n");
+      "--kill-chain runs a staged campaign (recon -> exploit -> lateral\n"
+      "-> exfil) instead of the flat mixed scenario and reports the\n"
+      "per-ATT&CK-technique / per-stage detection breakdown\n"
+      "kill chains: intrusion, ics-takeover, canbus-storm\n"
+      "profiles: rt_cluster, ecommerce, office, random_flood, megaflow, "
+      "ics, canbus\n");
   return 2;
 }
 
